@@ -1,0 +1,703 @@
+(* The experiment harness: one function per table/figure of the paper, each
+   printing measured results next to the paper's numbers. *)
+
+module K = Mcr_simos.Kernel
+module P = Mcr_program.Progdef
+module Instr = Mcr_program.Instr
+module Profiler = Mcr_quiesce.Profiler
+module Manager = Mcr_core.Manager
+module Objgraph = Mcr_trace.Objgraph
+module Heap = Mcr_alloc.Heap
+module Aspace = Mcr_vmem.Aspace
+module Region = Mcr_vmem.Region
+module Testbed = Mcr_workloads.Testbed
+module Holders = Mcr_workloads.Holders
+module Tablefmt = Mcr_util.Tablefmt
+module Stats = Mcr_util.Stats
+
+let ms ns = float_of_int ns /. 1e6
+let fms ns = Printf.sprintf "%.1f" (ms ns)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: programs, updates, engineering effort *)
+
+let table1 () =
+  section "Table 1: programs and updates (measured | paper)";
+  let t = Tablefmt.create ~header:[ "Program"; "SL"; "LL"; "QP"; "Per"; "Vol"; "Num"; "LOC";
+                                    "Fun"; "Var"; "Type"; "Ann LOC"; "ST LOC" ] in
+  List.iter
+    (fun server ->
+      let kernel = K.create () in
+      let profiler = Profiler.create kernel in
+      Profiler.set_filter profiler (fun th ->
+          K.thread_name th <> "mcr-ctl"
+          && P.image_of_proc (K.thread_proc th) <> None);
+      Profiler.attach profiler;
+      let _m = Testbed.launch ~instr:Instr.baseline ~profiler kernel server in
+      let open_holders = Testbed.profiling_workload kernel server in
+      Profiler.detach profiler;
+      let r = Profiler.report profiler in
+      Holders.close_all open_holders;
+      let series = Testbed.version_series server in
+      let changes =
+        let rec go acc = function
+          | a :: (b :: _ as rest) ->
+              let d = P.diff_versions a b in
+              let fa, va, ta = acc in
+              go (fa + d.P.funcs_changed, va + d.P.vars_changed, ta + d.P.types_changed) rest
+          | _ -> acc
+        in
+        go (0, 0, 0) series
+      in
+      let fun_, var, ty = changes in
+      let meta = Testbed.meta server in
+      Tablefmt.add_row t
+        [
+          Testbed.name server;
+          string_of_int r.Profiler.short_lived;
+          string_of_int r.Profiler.long_lived_count;
+          string_of_int r.Profiler.quiescent_points;
+          string_of_int r.Profiler.persistent_points;
+          string_of_int r.Profiler.volatile_points;
+          string_of_int meta.Mcr_servers.Table_meta.num_updates;
+          string_of_int meta.Mcr_servers.Table_meta.upstream_loc;
+          string_of_int fun_;
+          string_of_int var;
+          string_of_int ty;
+          string_of_int meta.Mcr_servers.Table_meta.annotation_loc;
+          string_of_int meta.Mcr_servers.Table_meta.st_loc;
+        ])
+    Testbed.all;
+  Tablefmt.add_sep t;
+  List.iter
+    (fun (p : Paper_ref.table1_row) ->
+      Tablefmt.add_row t
+        ([ "(paper) " ^ p.Paper_ref.prog ]
+        @ List.map string_of_int
+            [ p.sl; p.ll; p.qp; p.per; p.vol; p.num; p.loc; p.fun_; p.var; p.ty;
+              p.ann_loc; p.st_loc ]))
+    Paper_ref.table1;
+  Tablefmt.print t;
+  note
+    "Num/LOC/Ann/ST are update-series metadata (upstream facts); SL..Vol are\n\
+     measured by the quiescence profiler; Fun/Var/Type are measured by\n\
+     diffing the simulated version series (intentionally smaller-scale than\n\
+     the upstream C releases).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: mutable tracing statistics *)
+
+let table2_rows () =
+  let variants =
+    [
+      (Testbed.Httpd, "Apache httpd", Instr.full);
+      (Testbed.Nginx, "nginx", Instr.full);
+      (Testbed.Nginx, "nginx (reg)", Instr.with_regions Instr.full);
+      (Testbed.Vsftpd, "vsftpd", Instr.full);
+      (Testbed.Sshd, "OpenSSH", Instr.full);
+    ]
+  in
+  List.map
+    (fun (server, label, instr) ->
+      let kernel = K.create () in
+      let m = Testbed.launch ~instr kernel server in
+      ignore (Testbed.benchmark kernel server ~scale:250 ());
+      let holders = Testbed.open_holders kernel server ~n:16 in
+      let stats = Manager.trace_statistics m in
+      Holders.close_all holders;
+      (label, stats))
+    variants
+
+let table2 () =
+  section "Table 2: mutable tracing statistics (measured | paper)";
+  let t =
+    Tablefmt.create
+      ~header:
+        [ "Program"; "Ptr"; "Src stat"; "Src dyn"; "Targ stat"; "Targ dyn"; "Targ lib";
+          "| Likely"; "Src stat"; "Src dyn"; "Targ stat"; "Targ dyn"; "Targ lib" ]
+  in
+  let row label (s : Objgraph.stats) =
+    Tablefmt.add_row t
+      ([ label ]
+      @ List.map string_of_int
+          [ s.Objgraph.precise.Objgraph.ptr; s.Objgraph.precise.src_static;
+            s.Objgraph.precise.src_dynamic; s.Objgraph.precise.targ_static;
+            s.Objgraph.precise.targ_dynamic; s.Objgraph.precise.targ_lib;
+            s.Objgraph.likely.ptr; s.Objgraph.likely.src_static;
+            s.Objgraph.likely.src_dynamic; s.Objgraph.likely.targ_static;
+            s.Objgraph.likely.targ_dynamic; s.Objgraph.likely.targ_lib ])
+  in
+  List.iter (fun (label, stats) -> row label stats) (table2_rows ());
+  Tablefmt.add_sep t;
+  List.iter
+    (fun (p : Paper_ref.table2_row) ->
+      Tablefmt.add_row t
+        ([ "(paper) " ^ p.Paper_ref.prog2 ]
+        @ List.map string_of_int
+            [ p.p_ptr; p.p_src_static; p.p_src_dyn; p.p_targ_static; p.p_targ_dyn;
+              p.p_targ_lib; p.l_ptr; p.l_src_static; p.l_src_dyn; p.l_targ_static;
+              p.l_targ_dyn; p.l_targ_lib ]))
+    Paper_ref.table2;
+  Tablefmt.print t;
+  note
+    "Shape checks: uninstrumented custom allocators (httpd pools, nginx)\n\
+     dominate likely pointers; region instrumentation (nginx reg) moves\n\
+     pointers from the likely to the precise side; fully instrumented\n\
+     allocators (vsftpd, OpenSSH) leave only a handful of likely pointers.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: run-time overhead of the instrumentation layers *)
+
+let table3 ?(scale = 400) () =
+  section "Table 3: run time normalized against baseline (measured | paper)";
+  let variants =
+    [
+      (Testbed.Httpd, "Apache httpd", false);
+      (Testbed.Nginx, "nginx", false);
+      (Testbed.Nginx, "nginx (reg)", true);
+      (Testbed.Vsftpd, "vsftpd", false);
+      (Testbed.Sshd, "OpenSSH", false);
+    ]
+  in
+  let measure server instr =
+    let kernel = K.create () in
+    let _m = Testbed.launch ~instr kernel server in
+    let r = Testbed.benchmark kernel server ~scale () in
+    assert (r.Mcr_workloads.Bench_result.errors = 0);
+    float_of_int r.Mcr_workloads.Bench_result.elapsed_ns
+  in
+  let t = Tablefmt.create ~header:("Program" :: Paper_ref.table3_configs) in
+  List.iter
+    (fun (server, label, regions) ->
+      let with_regions i = if regions then Instr.with_regions i else i in
+      (* the baseline is always the uninstrumented program *)
+      let base = measure server Instr.baseline in
+      let norm =
+        List.map
+          (fun (_, instr) -> measure server (with_regions instr) /. base)
+          Instr.table3_rows
+      in
+      Tablefmt.add_row t (label :: List.map (Printf.sprintf "%.3f") norm))
+    variants;
+  Tablefmt.add_sep t;
+  List.iter
+    (fun (label, row) ->
+      Tablefmt.add_row t (("(paper) " ^ label) :: List.map (Printf.sprintf "%.3f") row))
+    Paper_ref.table3;
+  Tablefmt.print t;
+  note
+    "Shape checks: overhead grows with the allocator intensity of the\n\
+     workload; region instrumentation (nginx reg) is the most expensive\n\
+     configuration; quiescence detection adds marginal cost on top.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: state transfer time vs open connections *)
+
+let fig3 ?(step = 20) ?(max_conns = 100) () =
+  section "Figure 3: state transfer time (ms) vs open connections (measured)";
+  let points =
+    let rec go n = if n > max_conns then [] else n :: go (n + step) in
+    0 :: List.filter (fun n -> n > 0) (go step)
+  in
+  let t =
+    Tablefmt.create ~header:("Connections" :: List.map Testbed.name Testbed.all)
+  in
+  let results =
+    List.map
+      (fun n ->
+        let per_server =
+          List.map
+            (fun server ->
+              let kernel = K.create () in
+              let m = Testbed.launch kernel server in
+              ignore (Testbed.benchmark kernel server ~scale:5000 ());
+              let holders =
+                if n > 0 then Some (Testbed.open_holders kernel server ~n) else None
+              in
+              let _m2, report = Manager.update m (Testbed.final_version server) in
+              if not report.Manager.success then
+                Printf.printf "!! %s update failed at %d conns: %s\n" (Testbed.name server) n
+                  (Option.value report.Manager.failure ~default:"?");
+              (match holders with Some h -> Holders.close_all h | None -> ());
+              report.Manager.state_transfer_ns)
+            Testbed.all
+        in
+        (n, per_server))
+      points
+  in
+  List.iter
+    (fun (n, per_server) ->
+      Tablefmt.add_row t (string_of_int n :: List.map fms per_server))
+    results;
+  Tablefmt.print t;
+  (match (results, List.rev results) with
+  | (0, base) :: _, (last_n, last) :: _ when last_n > 0 ->
+      let base_avg = Stats.mean (List.map float_of_int base) /. 1e6 in
+      let incr =
+        Stats.mean (List.map2 (fun l b -> float_of_int (l - b)) last base) /. 1e6
+      in
+      let blo, bhi = Paper_ref.fig3_baseline_ms in
+      note
+        "Baseline (0 conns) avg %.1f ms (paper: %.0f-%.0f ms); avg increase at %d conns\n\
+         %.1f ms (paper: %.0f ms at 100). Shape: per-process-per-connection servers\n\
+         (vsftpd, OpenSSH) grow fastest.\n"
+        base_avg blo bhi last_n incr Paper_ref.fig3_avg_increase_at_100_ms
+  | _ -> ());
+  results
+
+(* ------------------------------------------------------------------ *)
+(* In-text: quiescence time *)
+
+let quiescence ?(repeats = 11) () =
+  section "Quiescence time (measured; paper: < 100 ms, workload-independent)";
+  let t = Tablefmt.create ~header:[ "Program"; "median ms"; "max ms"; "converged" ] in
+  List.iter
+    (fun server ->
+      let kernel = K.create () in
+      let m = Testbed.launch kernel server in
+      let holders = Testbed.open_holders kernel server ~n:4 in
+      let samples =
+        List.init repeats (fun _ ->
+            (* some load between attempts so each sample sees a different
+               program state *)
+            ignore (Testbed.benchmark kernel server ~scale:20_000 ());
+            Manager.quiesce_only m)
+      in
+      Holders.close_all holders;
+      let ok = List.filter_map Fun.id samples in
+      let converged = List.length ok = repeats in
+      let msl = List.map (fun ns -> ms ns) ok in
+      Tablefmt.add_row t
+        [
+          Testbed.name server;
+          (if ok = [] then "-" else Printf.sprintf "%.1f" (Stats.median msl));
+          (if ok = [] then "-" else Printf.sprintf "%.1f" (snd (Stats.min_max msl)));
+          string_of_bool converged;
+        ])
+    Testbed.all;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* In-text: control migration (record/replay) *)
+
+let control_migration () =
+  section "Control migration (measured; paper: record and replay < 50 ms, 1-45% startup overhead)";
+  let t =
+    Tablefmt.create
+      ~header:[ "Program"; "startup ms"; "recorded ms"; "overhead %"; "replay (CM) ms" ]
+  in
+  (* startup duration: from launch until every process of the tree has
+     reached its first quiescent point. The bare run uses the instrumented
+     program without the startup-log recorder, so the comparison isolates
+     the recording cost (the paper's "modest overhead compared to the
+     original startup time"). *)
+  let expected_tree server =
+    match server with Testbed.Nginx -> 2 | Testbed.Httpd -> 3 | _ -> 1
+  in
+  let settled images expected () =
+    List.length (images ()) >= expected
+    && List.for_all (fun (im : P.image) -> im.P.i_startup_complete) (images ())
+  in
+  let measure_bare server =
+    let kernel = K.create () in
+    Testbed.prepare_fs kernel server;
+    let t0 = K.clock_ns kernel in
+    let members = ref [] in
+    let track img =
+      members := !members @ [ img ];
+      img.P.i_child_hooks <- (fun c -> members := !members @ [ c ]) :: img.P.i_child_hooks
+    in
+    let proc =
+      Mcr_program.Loader.launch kernel ~instr:Instr.full (Testbed.base_version server)
+        ~on_image:track
+    in
+    (* balance the manager's controller thread so only recording differs *)
+    ignore
+      (K.spawn_thread kernel proc ~name:"ctl-balance" (fun _ ->
+           match K.syscall (Mcr_simos.Sysdefs.Unix_listen { path = "/bench/balance" }) with
+           | Mcr_simos.Sysdefs.Ok_fd fd ->
+               ignore
+                 (K.syscall (Mcr_simos.Sysdefs.Accept { fd; nonblock = false }))
+           | _ -> ()));
+    let images () =
+      List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !members
+    in
+    ignore
+      (K.run_until kernel ~max_ns:(t0 + 5_000_000_000)
+         (settled images (expected_tree server)));
+    K.clock_ns kernel - t0
+  in
+  let measure_recorded server =
+    let kernel = K.create () in
+    Testbed.prepare_fs kernel server;
+    let t0 = K.clock_ns kernel in
+    let m = Manager.launch kernel (Testbed.base_version server) in
+    ignore
+      (K.run_until kernel ~max_ns:(t0 + 5_000_000_000)
+         (settled (fun () -> Manager.images m) (expected_tree server)));
+    (K.clock_ns kernel - t0, kernel, m)
+  in
+  List.iter
+    (fun server ->
+      let bare = measure_bare server in
+      let recorded, k2, m = measure_recorded server in
+      (* replay: the control-migration phase of an update *)
+      ignore (Testbed.benchmark k2 server ~scale:10_000 ());
+      let _, report = Manager.update m (Testbed.final_version server) in
+      let overhead = 100. *. (float_of_int recorded /. float_of_int bare -. 1.) in
+      Tablefmt.add_row t
+        [
+          Testbed.name server;
+          fms bare;
+          fms recorded;
+          Printf.sprintf "%.1f" overhead;
+          (if report.Manager.success then fms report.Manager.control_migration_ns else "FAIL");
+        ])
+    Testbed.all;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* In-text: memory usage *)
+
+let memory () =
+  section "Memory usage (measured; paper: RSS overhead 110-483.6%, avg 288.5%)";
+  let t =
+    Tablefmt.create
+      ~header:[ "Program"; "base RSS KB"; "MCR RSS KB"; "overhead %"; "tag words"; "log entries" ]
+  in
+  let overheads =
+    List.map
+      (fun server ->
+        let run instr =
+          let kernel = K.create () in
+          let m = Testbed.launch ~instr kernel server in
+          ignore (Testbed.benchmark kernel server ~scale:2000 ());
+          Manager.memory_stats m
+        in
+        let base = run Instr.baseline in
+        let full = run Instr.full in
+        let overhead =
+          100.
+          *. (float_of_int full.Manager.resident_bytes
+              /. float_of_int base.Manager.app_bytes
+             -. 1.)
+        in
+        Tablefmt.add_row t
+          [
+            Testbed.name server;
+            string_of_int (base.Manager.app_bytes / 1024);
+            string_of_int (full.Manager.resident_bytes / 1024);
+            Printf.sprintf "%.1f" overhead;
+            string_of_int full.Manager.tag_metadata_words;
+            string_of_int full.Manager.startup_log_entries;
+          ];
+        overhead)
+      Testbed.all
+  in
+  Tablefmt.print t;
+  note "Average RSS overhead: %.1f%% (paper: %.1f%%)\n" (Stats.mean overheads)
+    Paper_ref.rss_overhead_avg_pct
+
+(* ------------------------------------------------------------------ *)
+(* In-text: SPEC-style allocator instrumentation overhead *)
+
+let spec () =
+  section "Allocator instrumentation overhead (measured; paper: <=5% typical, 36% perlbench)";
+  let t = Tablefmt.create ~header:[ "Workload"; "baseline ms"; "instrumented ms"; "overhead %" ] in
+  (* Virtual-cost model: a compute-bound loop with some allocation (typical
+     SPEC) and an allocation-dominated loop (the perlbench analog). *)
+  let run ~allocs_per_iter ~work_per_iter ~iters ~instrumented =
+    let kernel = K.create () in
+    let costs = K.costs kernel in
+    let aspace = Aspace.create () in
+    let heap = Heap.create aspace ~instrumented ~name:"spec" ~size:(1 lsl 22) () in
+    Heap.end_startup heap;
+    let t0 = K.clock_ns kernel in
+    for _ = 1 to iters do
+      K.charge kernel (work_per_iter * costs.Mcr_simos.Costs.app_work_ns);
+      let blocks =
+        List.init allocs_per_iter (fun i ->
+            K.charge kernel
+              (costs.Mcr_simos.Costs.alloc_ns
+              + if instrumented then 2 * costs.Mcr_simos.Costs.tag_word_ns else 0);
+            Heap.malloc heap ~ty_id:1 ~site:1 (1 + (i mod 8)))
+      in
+      List.iter
+        (fun b ->
+          K.charge kernel costs.Mcr_simos.Costs.alloc_ns;
+          Heap.free heap b)
+        blocks
+    done;
+    K.clock_ns kernel - t0
+  in
+  let bench name ~allocs_per_iter ~work_per_iter =
+    let base = run ~allocs_per_iter ~work_per_iter ~iters:2000 ~instrumented:false in
+    let instr = run ~allocs_per_iter ~work_per_iter ~iters:2000 ~instrumented:true in
+    let overhead = 100. *. (float_of_int instr /. float_of_int base -. 1.) in
+    Tablefmt.add_row t
+      [ name; fms base; fms instr; Printf.sprintf "%.1f" overhead ]
+  in
+  bench "compute-bound (typical SPEC)" ~allocs_per_iter:1 ~work_per_iter:20;
+  bench "mixed" ~allocs_per_iter:4 ~work_per_iter:8;
+  bench "alloc-dominated (perlbench)" ~allocs_per_iter:16 ~work_per_iter:1;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* In-text: dirty-object tracking reduction *)
+
+let dirty_reduction ?(conns = 50) () =
+  section
+    (Printf.sprintf
+       "Soft-dirty transfer reduction at %d connections (measured; paper: 68-86%%)" conns);
+  let t =
+    Tablefmt.create
+      ~header:[ "Program"; "words (dirty-only)"; "words (full)"; "reduction %" ]
+  in
+  List.iter
+    (fun server ->
+      let run dirty_only =
+        let kernel = K.create () in
+        let m = Testbed.launch kernel server in
+        ignore (Testbed.benchmark kernel server ~scale:5000 ());
+        let _h = Testbed.open_holders kernel server ~n:conns in
+        let _, report = Manager.update m ~dirty_only (Testbed.final_version server) in
+        if not report.Manager.success then None
+        else
+          Some
+            (List.fold_left
+               (fun acc (_, (o : Mcr_trace.Transfer.outcome)) ->
+                 acc + o.Mcr_trace.Transfer.transferred_words)
+               0 report.Manager.transfers)
+      in
+      match (run true, run false) with
+      | Some d, Some f when f > 0 ->
+          Tablefmt.add_row t
+            [
+              Testbed.name server;
+              string_of_int d;
+              string_of_int f;
+              Printf.sprintf "%.1f" (100. *. (1. -. (float_of_int d /. float_of_int f)));
+            ]
+      | _ -> Tablefmt.add_row t [ Testbed.name server; "-"; "-"; "FAIL" ])
+    Testbed.all;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* In-text: CPU utilization *)
+
+let cpu () =
+  section "CPU utilization under paced load (measured; paper: < 3% increase)";
+  let t = Tablefmt.create ~header:[ "Program"; "baseline %"; "MCR %"; "increase pp" ] in
+  (* open-loop load with client think time, so the server has idle time and
+     utilization is meaningful (closed-loop saturation is Table 3) *)
+  List.iter
+    (fun (server, port) ->
+      let run instr =
+        let kernel = K.create () in
+        let _m = Testbed.launch ~instr kernel server in
+        let t0 = K.clock_ns kernel and i0 = K.idle_ns kernel in
+        ignore
+          (Mcr_workloads.Http_bench.run kernel ~port ~concurrency:2 ~think_ns:100_000
+             ~requests:300 ~path:"/index.html" ());
+        let total = K.clock_ns kernel - t0 and idle = K.idle_ns kernel - i0 in
+        100. *. (1. -. (float_of_int idle /. float_of_int (max 1 total)))
+      in
+      let base = run Instr.baseline in
+      let full = run Instr.full in
+      Tablefmt.add_row t
+        [
+          Testbed.name server;
+          Printf.sprintf "%.1f" base;
+          Printf.sprintf "%.1f" full;
+          Printf.sprintf "%+.1f" (full -. base);
+        ])
+    [ (Testbed.Httpd, Mcr_servers.Httpd_sim.port); (Testbed.Nginx, Mcr_servers.Nginx_sim.port) ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 5) *)
+
+let ablation () =
+  section "Ablation: conservative scanning off (likely-pointer invariants)";
+  (* analyze a listing1-style image with and without conservative opacity:
+     without it, the hidden-pointer target is unreachable and would be lost *)
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Mcr_servers.Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Mcr_servers.Listing1.v1 ()) in
+  ignore (Manager.wait_startup m ());
+  ignore
+    (Mcr_workloads.Http_bench.run kernel ~port:Mcr_servers.Listing1.port ~requests:3 ~path:"/" ());
+  let image = Manager.root_image m in
+  let conservative = Objgraph.analyze image in
+  let relaxed_policy =
+    { Mcr_types.Ty.unions_opaque = false; char_arrays_opaque = false; words_opaque = false }
+  in
+  let relaxed = Objgraph.analyze ~policy:relaxed_policy image in
+  let pinned a =
+    List.length (List.filter (fun (o : Objgraph.obj) -> o.Objgraph.immutable_)
+                   (Objgraph.reachable_objects a))
+  in
+  let reach a = List.length (Objgraph.reachable_objects a) in
+  Printf.printf
+    "conservative: %d reachable, %d pinned (likely ptr %d)\n\
+     relaxed:      %d reachable, %d pinned (likely ptr %d)\n\
+     -> without conservative scanning, %d object(s) reachable only through\n\
+     hidden pointers would be lost or dangle after transfer.\n"
+    (reach conservative) (pinned conservative) conservative.Objgraph.stats.Objgraph.likely.Objgraph.ptr
+    (reach relaxed) (pinned relaxed) relaxed.Objgraph.stats.Objgraph.likely.Objgraph.ptr
+    (reach conservative - reach relaxed);
+  section "Ablation: region-allocator instrumentation (nginxreg)";
+  let run_nginx instr =
+    let kernel = K.create () in
+    let m = Testbed.launch ~instr kernel Testbed.Nginx in
+    ignore (Testbed.benchmark kernel Testbed.Nginx ~scale:2000 ());
+    let holders = Testbed.open_holders kernel Testbed.Nginx ~n:8 in
+    let _, report = Manager.update m (Mcr_servers.Nginx_sim.final ()) in
+    Holders.close_all holders;
+    report
+  in
+  let plain = run_nginx Instr.full in
+  let reg = run_nginx (Instr.with_regions Instr.full) in
+  let summary label (r : Manager.report) =
+    let tr =
+      List.fold_left
+        (fun (tt, pin) (_, (o : Mcr_trace.Transfer.outcome)) ->
+          (tt + o.Mcr_trace.Transfer.type_transformed, pin + o.Mcr_trace.Transfer.immutable_remapped))
+        (0, 0) r.Manager.transfers
+    in
+    Printf.printf "%-22s success=%b type-transformed=%d pinned-in-place=%d\n" label
+      r.Manager.success (fst tr) (snd tr)
+  in
+  summary "uninstrumented pools:" plain;
+  summary "nginxreg:" reg;
+  note
+    "-> region instrumentation lets mutable tracing transform pool-resident\n\
+     objects precisely instead of pinning opaque chunks in place.\n";
+  section "Ablation: tag-free tracing (the Kitsune-style alternative)";
+  (* re-analyze the listing1 image ignoring the in-band type tags *)
+  let tagged = Objgraph.analyze image in
+  let tag_free = Objgraph.analyze ~tag_free:true image in
+  let pinned_of a =
+    List.length
+      (List.filter (fun (o : Objgraph.obj) -> o.Objgraph.immutable_)
+         (Objgraph.reachable_objects a))
+  in
+  Printf.printf
+    "with tags:    %d precise ptrs, %d likely, %d pinned objects\n\
+     tag-free:     %d precise ptrs, %d likely, %d pinned objects\n\
+     -> without tags every heap pointer is conservative: nothing dynamic can\n\
+     be relocated or type-transformed (no interior/void* support without\n\
+     pervasive annotations, as the paper notes).\n"
+    tagged.Objgraph.stats.Objgraph.precise.Objgraph.ptr
+    tagged.Objgraph.stats.Objgraph.likely.Objgraph.ptr (pinned_of tagged)
+    tag_free.Objgraph.stats.Objgraph.precise.Objgraph.ptr
+    tag_free.Objgraph.stats.Objgraph.likely.Objgraph.ptr (pinned_of tag_free);
+  section "Ablation: call-stack-ID vs positional replay matching";
+  (* the old version's real startup log, replayed against a reordered
+     observation of itself: stack IDs tolerate benign reordering that a
+     strict global ordering flags (Section 5) *)
+  let kernel2 = K.create () in
+  K.fs_write kernel2 ~path:Mcr_servers.Listing1.config_path "welcome=hi";
+  let m2 = Manager.launch kernel2 (Mcr_servers.Listing1.v1 ()) in
+  ignore (Manager.wait_startup m2 ());
+  let entries =
+    match Manager.memory_stats m2 |> fun _ -> () with
+    | () -> (
+        (* re-record a fresh session to get raw entries *)
+        let kernel3 = K.create () in
+        K.fs_write kernel3 ~path:Mcr_servers.Listing1.config_path "welcome=hi";
+        let img = ref None in
+        ignore
+          (Mcr_program.Loader.launch kernel3 (Mcr_servers.Listing1.v1 ())
+             ~on_image:(fun i -> img := Some i));
+        let session = Mcr_replay.Record.start kernel3 (Option.get !img) in
+        ignore
+          (K.run_until kernel3
+             ~max_ns:(K.clock_ns kernel3 + 10_000_000_000)
+             (fun () -> (Option.get !img).P.i_startup_complete));
+        match Mcr_replay.Record.logs session with
+        | [ l ] -> l.Mcr_replay.Logdefs.entries
+        | _ -> [])
+  in
+  let observed =
+    (* swap adjacent same-kind-compatible entries to emulate benign
+       nondeterministic reordering between versions *)
+    match entries with
+    | a :: b :: rest -> b :: a :: rest
+    | l -> l
+  in
+  let module L = Mcr_replay.Logdefs in
+  (* stack-ID matching: an entry matches if some unconsumed recorded entry
+     has the same callstack and kind with equal args *)
+  let stack_conflicts =
+    let consumed = Array.make (List.length entries) false in
+    List.fold_left
+      (fun acc (o : L.entry) ->
+        let rec find i = function
+          | [] -> acc + 1
+          | (e : L.entry) :: rest ->
+              if
+                (not consumed.(i))
+                && e.L.callstack = o.L.callstack
+                && L.deep_equal e.L.call o.L.call
+              then begin
+                consumed.(i) <- true;
+                acc
+              end
+              else find (i + 1) rest
+        in
+        find 0 entries)
+      0 observed
+  in
+  (* positional matching: entry i must equal recorded entry i *)
+  let positional_conflicts =
+    List.fold_left2
+      (fun acc (e : L.entry) (o : L.entry) ->
+        if L.deep_equal e.L.call o.L.call then acc else acc + 1)
+      0 entries observed
+  in
+  Printf.printf
+    "reordered startup (2 calls swapped): %d conflicts with call-stack IDs,\n\
+     %d with strict positional matching -> stack IDs absorb benign\n\
+     reordering, positional matching does not.\n"
+    stack_conflicts positional_conflicts
+
+(* ------------------------------------------------------------------ *)
+(* Update-time summary (the < 1 s claim) *)
+
+let update_time () =
+  section "End-to-end update time (measured; paper: < 1 s)";
+  let t =
+    Tablefmt.create
+      ~header:[ "Program"; "quiesce ms"; "CM ms"; "ST ms"; "total ms"; "replayed"; "live" ]
+  in
+  List.iter
+    (fun server ->
+      let kernel = K.create () in
+      let m = Testbed.launch kernel server in
+      ignore (Testbed.benchmark kernel server ~scale:2000 ());
+      let holders = Testbed.open_holders kernel server ~n:10 in
+      let _, r = Manager.update m (Testbed.final_version server) in
+      Holders.close_all holders;
+      if r.Manager.success then
+        Tablefmt.add_row t
+          [
+            Testbed.name server;
+            fms r.Manager.quiesce_ns;
+            fms r.Manager.control_migration_ns;
+            fms r.Manager.state_transfer_ns;
+            fms r.Manager.total_ns;
+            string_of_int r.Manager.replayed_calls;
+            string_of_int r.Manager.live_calls;
+          ]
+      else
+        Tablefmt.add_row t
+          [ Testbed.name server; "-"; "-"; "-";
+            "FAIL: " ^ Option.value r.Manager.failure ~default:"?"; "-"; "-" ])
+    Testbed.all;
+  Tablefmt.print t

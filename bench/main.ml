@@ -1,0 +1,49 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md section 4 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table3  # one experiment
+   Experiments: table1 table2 table3 fig3 quiescence control-migration
+                update-time memory spec dirty-reduction ablation micro *)
+
+let experiments =
+  [
+    ("table1", fun () -> Experiments.table1 ());
+    ("table2", fun () -> Experiments.table2 ());
+    ("table3", fun () -> Experiments.table3 ());
+    ("fig3", fun () -> ignore (Experiments.fig3 ()));
+    ("quiescence", fun () -> Experiments.quiescence ());
+    ("control-migration", fun () -> Experiments.control_migration ());
+    ("update-time", fun () -> Experiments.update_time ());
+    ("memory", fun () -> Experiments.memory ());
+    ("cpu", fun () -> Experiments.cpu ());
+    ("spec", fun () -> Experiments.spec ());
+    ("dirty-reduction", fun () -> Experiments.dirty_reduction ());
+    ("ablation", fun () -> Experiments.ablation ());
+    ("micro", fun () -> Micro.run ());
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments;
+  print_endline "  all (default)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "all" ] ->
+      print_endline "MCR reproduction harness: all experiments";
+      List.iter (fun (_, f) -> f ()) experiments
+  | [ "help" ] | [ "--help" ] -> usage ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.printf "unknown experiment %S\n" name;
+              usage ();
+              exit 1)
+        names

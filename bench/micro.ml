@@ -1,0 +1,84 @@
+(* Bechamel microbenchmarks: one Test.make per reproduced table/figure,
+   measuring the real (wall-clock) cost of that experiment's core MCR
+   operation in this OCaml implementation. *)
+
+open Bechamel
+open Toolkit
+module Fnv = Mcr_util.Fnv
+module Ty = Mcr_types.Ty
+module Typlan = Mcr_types.Typlan
+module Heap = Mcr_alloc.Heap
+module Aspace = Mcr_vmem.Aspace
+module Objgraph = Mcr_trace.Objgraph
+module Manager = Mcr_core.Manager
+module K = Mcr_simos.Kernel
+
+(* Table 1 / replay matching: hashing a call stack into a call-stack ID *)
+let test_callstack_hash =
+  let stack = [ "main"; "server_init"; "parse_config"; "read_file" ] in
+  Test.make ~name:"table1:callstack-hash" (Staged.stage (fun () -> Fnv.strings stack))
+
+(* Table 3: the tag-maintaining allocation path *)
+let test_alloc_tagging =
+  let aspace = Aspace.create () in
+  let heap = Heap.create aspace ~instrumented:true ~name:"bench" ~size:(1 lsl 20) () in
+  Heap.end_startup heap;
+  Test.make ~name:"table3:alloc-tagging"
+    (Staged.stage (fun () ->
+         let a = Heap.malloc heap ~ty_id:3 ~site:5 ~callstack:12345 8 in
+         Heap.free heap a))
+
+(* Table 2: the hybrid precise/conservative traversal *)
+let test_conservative_scan =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Mcr_servers.Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Mcr_servers.Listing1.v1 ()) in
+  ignore (Manager.wait_startup m ());
+  ignore
+    (Mcr_workloads.Http_bench.run kernel ~port:Mcr_servers.Listing1.port ~requests:20 ~path:"/" ());
+  let image = Manager.root_image m in
+  Test.make ~name:"table2:mutable-tracing-analysis"
+    (Staged.stage (fun () -> ignore (Objgraph.analyze image)))
+
+(* Figure 3: the per-object type transformation applied during transfer *)
+let test_type_transform =
+  let src_env = Ty.env_create () and dst_env = Ty.env_create () in
+  Ty.env_add src_env "l_t"
+    (Ty.Struct { sname = "l_t"; fields = [ ("value", Ty.Int); ("next", Ty.Ptr (Ty.Named "l_t")) ] });
+  Ty.env_add dst_env "l_t"
+    (Ty.Struct
+       { sname = "l_t";
+         fields = [ ("value", Ty.Int); ("next", Ty.Ptr (Ty.Named "l_t")); ("new", Ty.Int) ] });
+  let plan =
+    match Typlan.plan ~src_env ~dst_env ~src:(Ty.Named "l_t") ~dst:(Ty.Named "l_t") with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let src = [| 5; 0x9da68e8 |] in
+  let dst = Array.make 3 0 in
+  Test.make ~name:"fig3:type-transform"
+    (Staged.stage (fun () ->
+         Typlan.apply plan ~read:(Array.get src) ~write:(Array.set dst)))
+
+let run () =
+  print_endline "\nBechamel microbenchmarks (ns per run, wall clock)";
+  print_endline "=================================================";
+  let tests =
+    [ test_callstack_hash; test_alloc_tagging; test_conservative_scan; test_type_transform ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-36s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+        results)
+    tests

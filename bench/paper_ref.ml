@@ -1,0 +1,101 @@
+(* The numbers the paper reports, kept next to our measurements so every
+   harness output is a paper-vs-measured comparison. Source: Giuffrida,
+   Iorgulescu, Tanenbaum, "Mutable Checkpoint-Restart", Middleware 2014,
+   Tables 1-3, Figure 3, and Section 8 in-text results. *)
+
+(* Table 1: quiescence profiling, updates, changes, engineering effort *)
+type table1_row = {
+  prog : string;
+  sl : int;
+  ll : int;
+  qp : int;
+  per : int;
+  vol : int;
+  num : int;
+  loc : int;
+  fun_ : int;
+  var : int;
+  ty : int;
+  ann_loc : int;
+  st_loc : int;
+}
+
+let table1 =
+  [
+    { prog = "Apache httpd"; sl = 2; ll = 8; qp = 8; per = 5; vol = 3; num = 5; loc = 10_844;
+      fun_ = 829; var = 28; ty = 48; ann_loc = 181; st_loc = 302 };
+    { prog = "nginx"; sl = 1; ll = 2; qp = 2; per = 2; vol = 0; num = 25; loc = 9_681;
+      fun_ = 711; var = 51; ty = 54; ann_loc = 22; st_loc = 335 };
+    { prog = "vsftpd"; sl = 0; ll = 5; qp = 5; per = 1; vol = 4; num = 5; loc = 5_830;
+      fun_ = 305; var = 121; ty = 35; ann_loc = 82; st_loc = 21 };
+    { prog = "OpenSSH"; sl = 3; ll = 3; qp = 3; per = 1; vol = 2; num = 5; loc = 14_370;
+      fun_ = 894; var = 84; ty = 33; ann_loc = 49; st_loc = 135 };
+  ]
+
+(* Table 2: mutable tracing statistics *)
+type table2_row = {
+  prog2 : string;
+  p_ptr : int;
+  p_src_static : int;
+  p_src_dyn : int;
+  p_targ_static : int;
+  p_targ_dyn : int;
+  p_targ_lib : int;
+  l_ptr : int;
+  l_src_static : int;
+  l_src_dyn : int;
+  l_targ_static : int;
+  l_targ_dyn : int;
+  l_targ_lib : int;
+}
+
+let table2 =
+  [
+    { prog2 = "Apache httpd"; p_ptr = 2_373; p_src_static = 2_272; p_src_dyn = 101;
+      p_targ_static = 2_151; p_targ_dyn = 219; p_targ_lib = 3; l_ptr = 16_252;
+      l_src_static = 185; l_src_dyn = 16_067; l_targ_static = 2_050; l_targ_dyn = 14_201;
+      l_targ_lib = 1 };
+    { prog2 = "nginx"; p_ptr = 1_242; p_src_static = 1_226; p_src_dyn = 16;
+      p_targ_static = 1_214; p_targ_dyn = 26; p_targ_lib = 2; l_ptr = 4_049;
+      l_src_static = 51; l_src_dyn = 3_998; l_targ_static = 293; l_targ_dyn = 3_755;
+      l_targ_lib = 1 };
+    { prog2 = "nginx (reg)"; p_ptr = 2_049; p_src_static = 1_226; p_src_dyn = 823;
+      p_targ_static = 1_455; p_targ_dyn = 592; p_targ_lib = 2; l_ptr = 3_522;
+      l_src_static = 51; l_src_dyn = 3_471; l_targ_static = 149; l_targ_dyn = 3_372;
+      l_targ_lib = 1 };
+    { prog2 = "vsftpd"; p_ptr = 149; p_src_static = 148; p_src_dyn = 1; p_targ_static = 131;
+      p_targ_dyn = 4; p_targ_lib = 14; l_ptr = 6; l_src_static = 6; l_src_dyn = 0;
+      l_targ_static = 0; l_targ_dyn = 6; l_targ_lib = 0 };
+    { prog2 = "OpenSSH"; p_ptr = 237; p_src_static = 226; p_src_dyn = 11; p_targ_static = 211;
+      p_targ_dyn = 19; p_targ_lib = 7; l_ptr = 56; l_src_static = 5; l_src_dyn = 51;
+      l_targ_static = 16; l_targ_dyn = 32; l_targ_lib = 8 };
+  ]
+
+(* Table 3: run time normalized against the baseline *)
+let table3 =
+  [
+    ("Apache httpd", [ 0.977; 1.040; 1.043; 1.047 ]);
+    ("nginx", [ 1.000; 1.000; 1.000; 1.000 ]);
+    ("nginx (reg)", [ 1.000; 1.175; 1.192; 1.186 ]);
+    ("vsftpd", [ 1.024; 1.027; 1.028; 1.028 ]);
+    ("OpenSSH", [ 0.999; 0.999; 1.001; 1.001 ]);
+  ]
+
+let table3_configs = [ "Unblock"; "+SInstr"; "+DInstr"; "+QDet" ]
+
+(* Figure 3: state transfer time vs open connections — the paper reports a
+   28-187 ms baseline with no connections and an average increase of 371 ms
+   at 100 connections, with vsftpd/OpenSSH growing fastest (one process per
+   connection). *)
+let fig3_baseline_ms = (28.0, 187.0)
+let fig3_avg_increase_at_100_ms = 371.0
+
+(* In-text results *)
+let quiescence_ms_max = 100.0
+let control_migration_ms_max = 50.0
+let record_replay_overhead_pct = (1.0, 45.0)
+let rss_overhead_pct = (110.0, 483.6)
+let rss_overhead_avg_pct = 288.5
+let spec_alloc_worst_pct = 5.0
+let spec_perlbench_pct = 36.0
+let dirty_reduction_pct = (68.0, 86.0)

@@ -1,0 +1,118 @@
+(* mcr-demo: run a simulated MCR-enabled server, put it under load, and
+   drive a live update through the mcr-ctl control socket — the end-to-end
+   workflow of Figure 1 in one command.
+
+     dune exec bin/mcr_demo.exe -- --server nginx --requests 200 --conns 10
+     dune exec bin/mcr_demo.exe -- --server httpd --fail  # rollback demo *)
+
+module K = Mcr_simos.Kernel
+module Manager = Mcr_core.Manager
+module Ctl = Mcr_core.Ctl
+module Testbed = Mcr_workloads.Testbed
+module Holders = Mcr_workloads.Holders
+
+let server_of_string = function
+  | "nginx" -> Ok Testbed.Nginx
+  | "httpd" -> Ok Testbed.Httpd
+  | "vsftpd" -> Ok Testbed.Vsftpd
+  | "sshd" -> Ok Testbed.Sshd
+  | s -> Error (`Msg ("unknown server " ^ s ^ " (nginx|httpd|vsftpd|sshd)"))
+
+let run server requests conns fail_update verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let kernel = K.create () in
+  Printf.printf "launching %s (MCR-enabled, startup log recording)...\n%!"
+    (Testbed.name server);
+  let m = Testbed.launch kernel server in
+  Printf.printf "  %d process(es) up; control socket %s\n"
+    (List.length (Manager.images m)) (Manager.ctl_path m);
+  Printf.printf "running workload (%d requests)...\n%!" requests;
+  let r = Testbed.benchmark kernel server ~scale:(max 1 (100_000 / requests)) () in
+  Format.printf "  %a@." Mcr_workloads.Bench_result.pp r;
+  let holders =
+    if conns > 0 then begin
+      Printf.printf "opening %d long-lived connections...\n%!" conns;
+      Some (Testbed.open_holders kernel server ~n:conns)
+    end
+    else None
+  in
+  let target =
+    if fail_update && server = Testbed.Httpd then Mcr_servers.Httpd_sim.unprepared ()
+    else Testbed.final_version server
+  in
+  Printf.printf "signalling live update via mcr-ctl (to %s %s)...\n%!"
+    target.Mcr_program.Progdef.prog target.Mcr_program.Progdef.version_tag;
+  let reply = ref None in
+  Ctl.request_update kernel ~path:(Manager.ctl_path m) ~on_reply:(fun x -> reply := Some x);
+  ignore
+    (K.run_until kernel
+       ~max_ns:(K.clock_ns kernel + 10_000_000_000)
+       (fun () -> Manager.update_requested m));
+  let m2, report = Manager.update m target in
+  ignore
+    (K.run_until kernel ~max_ns:(K.clock_ns kernel + 10_000_000_000) (fun () -> !reply <> None));
+  Printf.printf "  mcr-ctl reply: %s\n" (Option.value !reply ~default:"(none)");
+  let ms ns = float_of_int ns /. 1e6 in
+  Printf.printf
+    "  quiesce %.1f ms | control migration %.1f ms | state transfer %.1f ms | total %.1f ms\n"
+    (ms report.Manager.quiesce_ns)
+    (ms report.Manager.control_migration_ns)
+    (ms report.Manager.state_transfer_ns)
+    (ms report.Manager.total_ns);
+  Printf.printf "  replayed %d startup calls, %d live; %s\n" report.Manager.replayed_calls
+    report.Manager.live_calls
+    (if report.Manager.success then "COMMITTED" else "ROLLED BACK");
+  (match report.Manager.failure with
+  | Some f -> Printf.printf "  rollback cause: %s\n" f
+  | None -> ());
+  List.iter
+    (fun c -> Format.printf "  replay conflict: %a@." Mcr_replay.Replayer.pp_conflict c)
+    report.Manager.replay_conflicts;
+  List.iter
+    (fun c -> Format.printf "  tracing conflict: %a@." Mcr_trace.Transfer.pp_conflict c)
+    report.Manager.transfer_conflicts;
+  Printf.printf "running post-update workload (version now %s)...\n%!"
+    (Manager.version m2).Mcr_program.Progdef.version_tag;
+  let r2 = Testbed.benchmark kernel server ~scale:(max 1 (100_000 / requests)) () in
+  Format.printf "  %a@." Mcr_workloads.Bench_result.pp r2;
+  (match holders with
+  | Some h ->
+      Holders.close_all h;
+      ignore
+        (K.run_until kernel
+           ~max_ns:(K.clock_ns kernel + 60_000_000_000)
+           (fun () -> Holders.all_done h));
+      Printf.printf "long-lived connections drained cleanly on the %s\n"
+        (if report.Manager.success then "new version" else "old version")
+  | None -> ());
+  Printf.printf "done (virtual time %.1f ms)\n" (ms (K.clock_ns kernel));
+  if r2.Mcr_workloads.Bench_result.errors > 0 then exit 1
+
+open Cmdliner
+
+let server_conv =
+  Arg.conv ~docv:"SERVER" (server_of_string, fun ppf s -> Fmt.string ppf (Testbed.name s))
+
+let server =
+  Arg.(value & opt server_conv Testbed.Nginx & info [ "server"; "s" ] ~doc:"Server to run.")
+
+let requests =
+  Arg.(value & opt int 200 & info [ "requests"; "n" ] ~doc:"Benchmark requests before update.")
+
+let conns =
+  Arg.(value & opt int 10 & info [ "conns"; "c" ] ~doc:"Long-lived connections held across the update.")
+
+let fail_update =
+  Arg.(value & flag & info [ "fail" ] ~doc:"Update to a version that conflicts (rollback demo; httpd).")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mcr-demo" ~doc:"Live-update a simulated server with MCR")
+    Term.(const run $ server $ requests $ conns $ fail_update $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,52 @@
+(* quiescence-profiler: run a server under the execution-stalling test
+   workload and report its thread classes, long-lived loops and suggested
+   quiescent points — the build-time profiling step of Figure 1.
+
+     dune exec bin/quiescence_profiler.exe -- --server vsftpd *)
+
+module K = Mcr_simos.Kernel
+module P = Mcr_program.Progdef
+module Profiler = Mcr_quiesce.Profiler
+module Testbed = Mcr_workloads.Testbed
+module Holders = Mcr_workloads.Holders
+
+let run name =
+  let server =
+    match name with
+    | "nginx" -> Testbed.Nginx
+    | "httpd" -> Testbed.Httpd
+    | "vsftpd" -> Testbed.Vsftpd
+    | "sshd" -> Testbed.Sshd
+    | s ->
+        Printf.eprintf "unknown server %s\n" s;
+        exit 1
+  in
+  let kernel = K.create () in
+  let profiler = Profiler.create kernel in
+  Profiler.set_filter profiler (fun th ->
+      K.thread_name th <> "mcr-ctl" && P.image_of_proc (K.thread_proc th) <> None);
+  Profiler.attach profiler;
+  Printf.printf "profiling %s under the execution-stalling workload...\n%!"
+    (Testbed.name server);
+  let _m = Testbed.launch ~instr:Mcr_program.Instr.baseline ~profiler kernel server in
+  let holders = Testbed.profiling_workload kernel server in
+  Profiler.detach profiler;
+  let report = Profiler.report profiler in
+  Holders.close_all holders;
+  Format.printf "%a@." Profiler.pp_report report;
+  print_endline "suggested quiescent points for instrumentation:";
+  List.iter
+    (fun (site, call) -> Printf.printf "  (%S, %S)\n" site call)
+    (Profiler.suggested_qpoints report)
+
+open Cmdliner
+
+let server =
+  Arg.(value & opt string "nginx" & info [ "server"; "s" ] ~doc:"nginx|httpd|vsftpd|sshd")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "quiescence-profiler" ~doc:"Suggest per-thread quiescent points")
+    Term.(const run $ server)
+
+let () = exit (Cmd.eval cmd)

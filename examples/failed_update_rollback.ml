@@ -1,0 +1,94 @@
+(* Atomic rollback: what happens when an update cannot be applied.
+
+   Three failure classes, all ending with the old version resuming service
+   as if nothing happened:
+
+   1. mutable-reinitialization conflict — the new version's startup omits a
+      recorded system call (listing1 `Omit_listen`);
+   2. mutable-tracing conflict — the update changes a data structure that
+      conservative tracing marked nonupdatable (listing1 `Change_hidden`,
+      the hidden pointer of Figure 2);
+   3. startup crash — httpd built without the paper's 8-LOC preparation
+      aborts when it detects the running instance's pidfile.
+
+     dune exec examples/failed_update_rollback.exe *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module Manager = Mcr_core.Manager
+module Listing1 = Mcr_servers.Listing1
+module Httpd = Mcr_servers.Httpd_sim
+module Testbed = Mcr_workloads.Testbed
+module Aspace = Mcr_vmem.Aspace
+
+let request kernel port payload =
+  let reply = ref "(none)" in
+  let p =
+    K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name:"client"
+      ~entry:"main"
+      ~main:(fun _ ->
+        let rec connect n =
+          match K.syscall (S.Connect { port }) with
+          | S.Ok_fd fd -> Some fd
+          | S.Err S.ECONNREFUSED when n > 0 ->
+              ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+              connect (n - 1)
+          | _ -> None
+        in
+        match connect 100 with
+        | Some fd -> (
+            ignore (K.syscall (S.Write { fd; data = payload }));
+            match K.syscall (S.Read { fd; max = 65536; nonblock = false }) with
+            | S.Ok_data d -> reply := d
+            | _ -> ())
+        | None -> ())
+      ()
+  in
+  ignore
+    (K.run_until kernel ~max_ns:(K.clock_ns kernel + 60_000_000_000) (fun () -> not (K.alive p)));
+  !reply
+
+let attempt name m version =
+  let m', report = Manager.update m version in
+  Printf.printf "update %-28s -> %s\n" name
+    (if report.Manager.success then "COMMITTED (unexpected!)"
+     else "ROLLED BACK: " ^ Option.value report.Manager.failure ~default:"?");
+  List.iter
+    (fun c -> Format.printf "    %a@." Mcr_replay.Replayer.pp_conflict c)
+    report.Manager.replay_conflicts;
+  List.iter
+    (fun c -> Format.printf "    %a@." Mcr_trace.Transfer.pp_conflict c)
+    report.Manager.transfer_conflicts;
+  assert (not report.Manager.success);
+  assert (m' == m);
+  m'
+
+let () =
+  (* listing1: replay and tracing conflicts *)
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  Printf.printf "before: %s\n" (request kernel Listing1.port "GET /");
+  let m = attempt "omitting a recorded call" m (Listing1.v2 ~variant:`Omit_listen ()) in
+  Printf.printf "after rollback, old version serves: %s\n"
+    (request kernel Listing1.port "GET /");
+  let m = attempt "changing a pinned structure" m (Listing1.v2 ~variant:`Change_hidden ()) in
+  Printf.printf "after rollback, old version serves: %s\n"
+    (request kernel Listing1.port "GET /");
+  ignore m;
+  (* httpd: the unprepared build aborts during replayed startup *)
+  print_endline "";
+  let kernel2 = K.create () in
+  let mh = Testbed.launch kernel2 Testbed.Httpd in
+  Printf.printf "httpd before: %s\n"
+    (String.sub (request kernel2 Httpd.port "GET /index.html") 0 20);
+  let mh = attempt "unprepared httpd (pidfile)" mh (Httpd.unprepared ()) in
+  ignore mh;
+  Printf.printf "httpd after rollback: %s\n"
+    (String.sub (request kernel2 Httpd.port "GET /index.html") 0 20);
+  (* and the prepared build of the same release updates fine *)
+  let mh2, report = Manager.update mh (Httpd.final ()) in
+  Printf.printf "prepared httpd 2.3.8: %s\n"
+    (if report.Manager.success then "COMMITTED" else "failed?!");
+  ignore mh2

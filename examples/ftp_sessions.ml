@@ -1,0 +1,98 @@
+(* Live-updating a process-per-connection server with active sessions.
+
+   vsftpd forks one process per control connection; those processes have
+   volatile quiescent points that do not exist at startup, so after the
+   update a reinit-handler annotation re-forks them at the original fork
+   site's call-stack identity and mutable tracing transfers each session's
+   state (login state, command counter) process-by-process.
+
+   The scenario: two users log in and stay connected; the server is
+   live-updated to a version whose session structure has a new field; both
+   users keep working in the same sessions without reconnecting.
+
+     dune exec examples/ftp_sessions.exe *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module Manager = Mcr_core.Manager
+module Vsftpd = Mcr_servers.Vsftpd_sim
+module Testbed = Mcr_workloads.Testbed
+module Aspace = Mcr_vmem.Aspace
+
+type user = { name : string; mutable transcript : string list; proc : K.proc }
+
+let spawn_user kernel name script =
+  let transcript = ref [] in
+  let proc =
+    K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name ~entry:"main"
+      ~main:(fun _ ->
+        let rec connect n =
+          match K.syscall (S.Connect { port = Vsftpd.port }) with
+          | S.Ok_fd fd -> Some fd
+          | S.Err S.ECONNREFUSED when n > 0 ->
+              ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+              connect (n - 1)
+          | _ -> None
+        in
+        match connect 100 with
+        | None -> transcript := [ "connect failed" ]
+        | Some fd ->
+            let recv () =
+              match K.syscall (S.Read { fd; max = 1 lsl 20; nonblock = false }) with
+              | S.Ok_data d -> d
+              | _ -> "(err)"
+            in
+            ignore (recv ());
+            List.iter
+              (function
+                | `Cmd c ->
+                    ignore (K.syscall (S.Write { fd; data = c }));
+                    transcript := !transcript @ [ Printf.sprintf "%-12s -> %s" c (recv ()) ]
+                | `Wait ns -> ignore (K.syscall (S.Nanosleep { ns })))
+              script)
+      ()
+  in
+  fun () -> { name; transcript = !transcript; proc }
+
+let () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:(Vsftpd.ftp_root ^ "/notes.txt") "remember the milk";
+  let m = Testbed.launch kernel Testbed.Vsftpd in
+  (* two users: log in, check status, then keep the session open while the
+     update happens, then keep using it *)
+  let script who =
+    [
+      `Cmd (Printf.sprintf "USER %s" who);
+      `Cmd "PASS secret";
+      `Cmd "STAT";
+      `Wait 700_000_000 (* the live update happens during this pause *);
+      `Cmd "STAT";
+      `Cmd "QUIT";
+    ]
+  in
+  let alice = spawn_user kernel "alice" (script "alice") in
+  let bob = spawn_user kernel "bob" (script "bob") in
+  (* let both sessions reach their pause (3 replies each) *)
+  ignore
+    (K.run_until kernel
+       ~max_ns:(K.clock_ns kernel + 120_000_000_000)
+       (fun () ->
+         List.length (alice ()).transcript >= 3 && List.length (bob ()).transcript >= 3));
+  Printf.printf "sessions active: %d server processes\n" (List.length (Manager.images m));
+  print_endline "live-updating vsftpd 1.1.0 -> 2.0.2 (session struct gains bytes_sent)...";
+  let _m2, report = Manager.update m (Vsftpd.final ()) in
+  Printf.printf "  %s; state transfer %.1f ms across %d process pairs\n"
+    (if report.Manager.success then "COMMITTED" else "ROLLED BACK")
+    (float_of_int report.Manager.state_transfer_ns /. 1e6)
+    (List.length report.Manager.transfers);
+  assert report.Manager.success;
+  (* both users finish their sessions on the new version *)
+  ignore
+    (K.run_until kernel
+       ~max_ns:(K.clock_ns kernel + 120_000_000_000)
+       (fun () -> (not (K.alive (alice ()).proc)) && not (K.alive (bob ()).proc)));
+  List.iter
+    (fun user ->
+      Printf.printf "%s's session transcript (uninterrupted across the update):\n" user.name;
+      List.iter (fun line -> Printf.printf "  %s\n" line) user.transcript)
+    [ alice (); bob () ]

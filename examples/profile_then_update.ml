@@ -1,0 +1,91 @@
+(* The full Figure 1 workflow, from build time to run time:
+
+   1. run the quiescence profiler on the uninstrumented program under a
+      test workload;
+   2. feed the suggested quiescent points back into the build (the version
+      descriptor's [qpoints] — the static-instrumentation input);
+   3. launch the MCR-enabled build and live-update it.
+
+   The example deliberately starts from a version with NO quiescent points
+   configured, proving that the profiled ones are what make the update
+   possible.
+
+     dune exec examples/profile_then_update.exe *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module P = Mcr_program.Progdef
+module Profiler = Mcr_quiesce.Profiler
+module Manager = Mcr_core.Manager
+module Listing1 = Mcr_servers.Listing1
+module Aspace = Mcr_vmem.Aspace
+
+let request kernel =
+  let reply = ref "(none)" in
+  let p =
+    K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name:"client"
+      ~entry:"main"
+      ~main:(fun _ ->
+        let rec connect n =
+          match K.syscall (S.Connect { port = Listing1.port }) with
+          | S.Ok_fd fd -> Some fd
+          | S.Err S.ECONNREFUSED when n > 0 ->
+              ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+              connect (n - 1)
+          | _ -> None
+        in
+        match connect 100 with
+        | Some fd -> (
+            ignore (K.syscall (S.Write { fd; data = "GET /" }));
+            match K.syscall (S.Read { fd; max = 256; nonblock = false }) with
+            | S.Ok_data d -> reply := d
+            | _ -> ())
+        | None -> ())
+      ()
+  in
+  ignore
+    (K.run_until kernel ~max_ns:(K.clock_ns kernel + 60_000_000_000) (fun () -> not (K.alive p)));
+  !reply
+
+let () =
+  (* -- build time: profile ------------------------------------------- *)
+  print_endline "step 1: profiling the uninstrumented program under a test workload";
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let profiler = Profiler.create kernel in
+  Profiler.set_filter profiler (fun th ->
+      K.thread_name th <> "mcr-ctl" && P.image_of_proc (K.thread_proc th) <> None);
+  Profiler.attach profiler;
+  (* a build with no instrumented quiescent points at all *)
+  let unprofiled_v1 = { (Listing1.v1 ()) with P.qpoints = [] } in
+  let m0 = Manager.launch kernel ~instr:Mcr_program.Instr.baseline ~profiler unprofiled_v1 in
+  ignore m0;
+  (* the execution-stalling workload: a few requests, then idle *)
+  for _ = 1 to 3 do
+    ignore (request kernel)
+  done;
+  ignore (K.run_until kernel ~max_ns:(K.clock_ns kernel + 100_000_000) (fun () -> false));
+  Profiler.detach profiler;
+  let report = Profiler.report profiler in
+  Format.printf "%a@." Profiler.pp_report report;
+  let qpoints = Profiler.suggested_qpoints report in
+  print_endline "suggested quiescent points:";
+  List.iter (fun (site, call) -> Printf.printf "  %s / %s\n" site call) qpoints;
+
+  (* -- build time: instrument with the profiled points --------------- *)
+  print_endline "\nstep 2: building the MCR-enabled versions with those points";
+  let v1 = { (Listing1.v1 ()) with P.qpoints = qpoints } in
+  let v2 = { (Listing1.v2 ()) with P.qpoints = qpoints } in
+
+  (* -- run time: launch and live-update ------------------------------ *)
+  print_endline "step 3: launching the instrumented build and live-updating it";
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel v1 in
+  assert (Manager.wait_startup m ());
+  Printf.printf "  v1 serves: %s\n" (request kernel);
+  let _m2, result = Manager.update m v2 in
+  Printf.printf "  update: %s (quiesced in %.1f ms at the profiled point)\n"
+    (if result.Manager.success then "COMMITTED" else "ROLLED BACK")
+    (float_of_int result.Manager.quiesce_ns /. 1e6);
+  Printf.printf "  v2 serves: %s\n" (request kernel)

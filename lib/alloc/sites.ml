@@ -1,0 +1,31 @@
+type site = {
+  id : int;
+  label : string;
+  ty_id : int;
+}
+
+type t = {
+  mutable next : int;
+  by_id : (int, site) Hashtbl.t;
+  by_label : (string, int) Hashtbl.t;
+}
+
+let create () = { next = 1; by_id = Hashtbl.create 32; by_label = Hashtbl.create 32 }
+
+let register t ~label ~ty_id =
+  match Hashtbl.find_opt t.by_label label with
+  | Some id ->
+      Hashtbl.replace t.by_id id { id; label; ty_id };
+      id
+  | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      Hashtbl.replace t.by_id id { id; label; ty_id };
+      Hashtbl.replace t.by_label label id;
+      id
+
+let find t id = Hashtbl.find t.by_id id
+
+let id_of_label t label = Hashtbl.find_opt t.by_label label
+
+let count t = Hashtbl.length t.by_id

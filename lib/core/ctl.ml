@@ -1,0 +1,27 @@
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+
+let request_update kernel ~path ~on_reply =
+  ignore
+    (K.spawn_process kernel ~image:(K.Fresh_image (Mcr_vmem.Aspace.create ())) ~name:"mcr-ctl"
+       ~entry:"main"
+       ~main:(fun _th ->
+         let rec connect attempts =
+           match K.syscall (S.Unix_connect { path }) with
+           | S.Ok_fd fd -> Some fd
+           | S.Err S.ECONNREFUSED when attempts > 0 ->
+               ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+               connect (attempts - 1)
+           | _ -> None
+         in
+         match connect 100 with
+         | None -> on_reply "ERR ECONNREFUSED"
+         | Some fd -> (
+             ignore (K.syscall (S.Write { fd; data = "UPDATE" }));
+             match K.syscall (S.Read { fd = fd; max = 4096; nonblock = false }) with
+             | S.Ok_data reply -> on_reply reply
+             | S.Err e -> on_reply (Format.asprintf "ERR %a" S.pp_err e)
+             | _ -> on_reply "ERR"))
+       ())
+
+let update_pending m = Manager.update_requested m

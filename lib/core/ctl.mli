@@ -1,0 +1,18 @@
+(** The mcr-ctl client side.
+
+    "The mcr-ctl tool allows users to signal live updates to the MCR
+    backend using Unix domain sockets" (Section 8). {!request_update}
+    spawns a client process in the simulated kernel that connects to the
+    manager's control socket, sends UPDATE, and reports the reply. The
+    reply arrives only after the update commits or rolls back, so the tool
+    observes the atomic outcome. *)
+
+val request_update :
+  Mcr_simos.Kernel.t -> path:string -> on_reply:(string -> unit) -> unit
+(** Spawn the client. Drive the kernel afterwards; [on_reply] fires with
+    "OK" or "FAIL <reason>" when the manager responds (or "ERR <err>" if
+    the connection failed). *)
+
+val update_pending : Manager.t -> bool
+(** Whether the manager has an outstanding mcr-ctl UPDATE request —
+    the signal the host loop uses to invoke {!Manager.update}. *)

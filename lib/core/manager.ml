@@ -1,0 +1,530 @@
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module P = Mcr_program.Progdef
+module Instr = Mcr_program.Instr
+module Loader = Mcr_program.Loader
+module Barrier = Mcr_quiesce.Barrier
+module Record = Mcr_replay.Record
+module Replayer = Mcr_replay.Replayer
+module Logdefs = Mcr_replay.Logdefs
+module Objgraph = Mcr_trace.Objgraph
+module Transfer = Mcr_trace.Transfer
+module Heap = Mcr_alloc.Heap
+module Pool = Mcr_alloc.Pool
+module Aspace = Mcr_vmem.Aspace
+
+let reserved_fd_base = 1000
+
+type log_source = Recorder of Record.t | Replayed of Replayer.t
+
+type t = {
+  kernel : K.t;
+  instr : Instr.t;
+  prog_version : P.version;
+  root_proc : K.proc;
+  root_image : P.image;
+  members : P.image list ref;
+  log_source : log_source;
+  ctl_path : string;
+  ctl_pending : bool ref;
+  ctl_result : string ref;
+  ctl_sem : string;
+}
+
+type report = {
+  success : bool;
+  quiesce_ns : int;
+  control_migration_ns : int;
+  state_transfer_ns : int;
+  total_ns : int;
+  replayed_calls : int;
+  live_calls : int;
+  replay_conflicts : Replayer.conflict list;
+  transfer_conflicts : Transfer.conflict list;
+  transfers : (Logdefs.proc_key * Transfer.outcome) list;
+  failure : string option;
+}
+
+let kernel t = t.kernel
+let root_proc t = t.root_proc
+let root_image t = t.root_image
+let version t = t.prog_version
+let images t = List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !(t.members)
+let ctl_path t = t.ctl_path
+let update_requested t = !(t.ctl_pending)
+
+(* ------------------------------------------------------------------ *)
+(* Image bookkeeping hooks *)
+
+let first_quiesce_heap_hook (im : P.image) =
+  Heap.end_startup im.P.i_heap;
+  Aspace.clear_soft_dirty im.P.i_aspace
+
+let track_members members (img : P.image) =
+  members := !members @ [ img ];
+  img.P.i_first_quiesce_hooks <- first_quiesce_heap_hook :: img.P.i_first_quiesce_hooks;
+  img.P.i_child_hooks <- (fun child -> members := !members @ [ child ]) :: img.P.i_child_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Controller thread (the libmcr side of mcr-ctl) *)
+
+let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem =
+  ignore
+    (K.spawn_thread kernel proc ~name:"mcr-ctl" (fun th ->
+         K.push_frame th "mcr_ctl_loop";
+         match K.syscall (S.Unix_listen { path = ctl_path }) with
+         | S.Ok_fd lfd ->
+             let rec serve () =
+               match K.syscall (S.Accept { fd = lfd; nonblock = false }) with
+               | S.Ok_fd conn ->
+                   (match K.syscall (S.Read { fd = conn; max = 256; nonblock = false }) with
+                   | S.Ok_data cmd when String.length cmd >= 6 && String.sub cmd 0 6 = "UPDATE"
+                     ->
+                       ctl_pending := true;
+                       ignore (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
+                       ignore (K.syscall (S.Write { fd = conn; data = !ctl_result }))
+                   | S.Ok_data _ -> ignore (K.syscall (S.Write { fd = conn; data = "ERR" }))
+                   | _ -> ());
+                   ignore (K.syscall (S.Close { fd = conn }));
+                   serve ()
+               | _ -> ()
+             in
+             serve ()
+         | _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Launch *)
+
+let make_manager kernel instr prog_version root_proc root_image members log_source =
+  let ctl_path = "/run/mcr/" ^ prog_version.P.prog ^ ".sock" in
+  let ctl_pending = ref false in
+  let ctl_result = ref "" in
+  let ctl_sem = Printf.sprintf "mcr.ctl.done.%d" (K.pid root_proc) in
+  spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem;
+  {
+    kernel;
+    instr;
+    prog_version;
+    root_proc;
+    root_image;
+    members;
+    log_source;
+    ctl_path;
+    ctl_pending;
+    ctl_result;
+    ctl_sem;
+  }
+
+let launch kernel ?(instr = Instr.full) ?profiler prog_version =
+  let members = ref [] in
+  let image_slot = ref None in
+  let proc =
+    Loader.launch kernel ~instr ?profiler prog_version ~on_image:(fun img ->
+        image_slot := Some img;
+        track_members members img)
+  in
+  let image =
+    match !image_slot with Some i -> i | None -> invalid_arg "Manager.launch: no image"
+  in
+  let recorder = Record.start kernel image in
+  make_manager kernel instr prog_version proc image members (Recorder recorder)
+
+let wait_startup t ?(max_ns = 10_000_000_000) () =
+  K.run_until t.kernel
+    ~max_ns:(K.clock_ns t.kernel + max_ns)
+    (fun () -> t.root_image.P.i_startup_complete)
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence *)
+
+let request_all t = List.iter (fun (im : P.image) -> Barrier.request im.P.i_barrier) (images t)
+
+let all_quiesced t =
+  List.for_all (fun (im : P.image) -> Barrier.quiesced im.P.i_barrier) (images t)
+
+let release_all t =
+  List.iter
+    (fun (im : P.image) ->
+      if Barrier.requested im.P.i_barrier then Barrier.release im.P.i_barrier)
+    (images t)
+
+let quiesce_only t =
+  let t0 = K.clock_ns t.kernel in
+  request_all t;
+  let ok = K.run_until t.kernel ~max_ns:(t0 + 1_000_000_000) (fun () -> all_quiesced t) in
+  let elapsed = K.clock_ns t.kernel - t0 in
+  release_all t;
+  if ok then Some elapsed else None
+
+(* ------------------------------------------------------------------ *)
+(* Read-only measurement hooks *)
+
+let merge_side (a : Objgraph.side) (b : Objgraph.side) =
+  a.Objgraph.ptr <- a.Objgraph.ptr + b.Objgraph.ptr;
+  a.Objgraph.src_static <- a.Objgraph.src_static + b.Objgraph.src_static;
+  a.Objgraph.src_dynamic <- a.Objgraph.src_dynamic + b.Objgraph.src_dynamic;
+  a.Objgraph.targ_static <- a.Objgraph.targ_static + b.Objgraph.targ_static;
+  a.Objgraph.targ_dynamic <- a.Objgraph.targ_dynamic + b.Objgraph.targ_dynamic;
+  a.Objgraph.targ_lib <- a.Objgraph.targ_lib + b.Objgraph.targ_lib
+
+let trace_statistics t =
+  let acc =
+    {
+      Objgraph.precise =
+        { Objgraph.ptr = 0; src_static = 0; src_dynamic = 0; targ_static = 0; targ_dynamic = 0;
+          targ_lib = 0 };
+      likely =
+        { Objgraph.ptr = 0; src_static = 0; src_dynamic = 0; targ_static = 0; targ_dynamic = 0;
+          targ_lib = 0 };
+    }
+  in
+  List.iter
+    (fun im ->
+      let a = Objgraph.analyze im in
+      merge_side acc.Objgraph.precise a.Objgraph.stats.Objgraph.precise;
+      merge_side acc.Objgraph.likely a.Objgraph.stats.Objgraph.likely)
+    (images t);
+  acc
+
+type memory_stats = {
+  app_bytes : int;
+  mcr_bytes : int;
+  resident_bytes : int;
+  tag_metadata_words : int;
+  startup_log_entries : int;
+  processes : int;
+}
+
+(* Footprint model for the MCR runtime, calibrated to the paper's numbers:
+   libmcr.so plus per-process runtime structures, a fat record per tagged
+   object ("our tags ... are extremely space-inefficient", Section 8), and
+   the in-memory startup log. *)
+let libmcr_bytes_per_proc = 96 * 1024
+let tag_record_bytes = 240
+let log_entry_bytes = 256
+
+let memory_stats t =
+  let imgs = images t in
+  let app =
+    List.fold_left (fun acc (im : P.image) -> acc + Aspace.touched_bytes im.P.i_aspace) 0 imgs
+  in
+  let tags =
+    List.fold_left
+      (fun acc (im : P.image) ->
+        acc
+        + Heap.metadata_words im.P.i_heap
+        + Heap.metadata_words im.P.i_lib_heap
+        + List.fold_left (fun a (_, p) -> a + (Pool.stats p).Pool.tag_words) 0 im.P.i_pools)
+      0 imgs
+  in
+  let log_entries =
+    match t.log_source with
+    | Recorder r -> Record.entry_count r
+    | Replayed r ->
+        List.fold_left
+          (fun acc (l : Logdefs.plog) -> acc + List.length l.Logdefs.entries)
+          0 (Replayer.new_logs r)
+  in
+  let instrumented = t.instr.Instr.static_instr || t.instr.Instr.dynamic_instr in
+  let mcr =
+    if not instrumented then 0
+    else
+      (List.length imgs * libmcr_bytes_per_proc)
+      + (tags / 2 * tag_record_bytes) (* 2 in-band words per tagged object *)
+      + (log_entries * log_entry_bytes)
+  in
+  {
+    app_bytes = app;
+    mcr_bytes = mcr;
+    resident_bytes = app + mcr;
+    tag_metadata_words = tags;
+    startup_log_entries = log_entries;
+    processes = List.length imgs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The live update *)
+
+let respond_ctl t result =
+  if !(t.ctl_pending) then begin
+    t.ctl_result := result;
+    K.post_semaphore t.kernel t.ctl_sem;
+    (* let the controller thread deliver the reply *)
+    K.run_for t.kernel 5_000_000;
+    t.ctl_pending := false
+  end
+
+let reinit_ctx (im : P.image) th =
+  { P.kernel = im.P.i_kernel; thread = th; proc = im.P.i_proc; image = im }
+
+let update t ?(dirty_only = true) new_version =
+  let k = t.kernel in
+  let t0 = K.clock_ns k in
+  let fail_before_restart reason =
+    release_all t;
+    respond_ctl t ("FAIL " ^ reason);
+    ( t,
+      {
+        success = false;
+        quiesce_ns = K.clock_ns k - t0;
+        control_migration_ns = 0;
+        state_transfer_ns = 0;
+        total_ns = K.clock_ns k - t0;
+        replayed_calls = 0;
+        live_calls = 0;
+        replay_conflicts = [];
+        transfer_conflicts = [];
+        transfers = [];
+        failure = Some reason;
+      } )
+  in
+  (* a manager whose processes are gone (already updated away from, or
+     crashed) cannot be updated *)
+  if images t = [] then fail_before_restart "program is not running"
+  else begin
+  (* ---- 1. checkpoint: quiesce the running version ---- *)
+  request_all t;
+  let quiesce_ok = K.run_until k ~max_ns:(t0 + 5_000_000_000) (fun () -> all_quiesced t) in
+  if not quiesce_ok then fail_before_restart "quiescence did not converge"
+  else begin
+    let t1 = K.clock_ns k in
+    let quiesce_ns = t1 - t0 in
+    let logs =
+      match t.log_source with
+      | Recorder r -> Record.logs r
+      | Replayed r -> Replayer.new_logs r
+    in
+    (* global inheritance: every reserved-range descriptor from every old
+       process, deduplicated (separability makes numbers globally unique) *)
+    let inherited : (int * K.proc) list =
+      List.fold_left
+        (fun acc (im : P.image) ->
+          List.fold_left
+            (fun acc fd ->
+              if fd >= reserved_fd_base && not (List.mem_assoc fd acc) then
+                (fd, im.P.i_proc) :: acc
+              else acc)
+            acc
+            (K.fds im.P.i_proc))
+        [] (images t)
+      |> List.rev
+    in
+    (* ---- 2. restart: launch the new version under replay ---- *)
+    let new_members = ref [] in
+    let new_root_slot = ref None in
+    let in_update = ref true in
+    let new_proc =
+      Loader.launch k ~instr:t.instr new_version ~on_image:(fun img ->
+          new_root_slot := Some img;
+          track_members new_members img;
+          (* reinitiate quiescence detection before startup runs, so the new
+             version is never exposed to external events (Section 5) *)
+          Barrier.request img.P.i_barrier;
+          img.P.i_child_hooks <-
+            (fun child -> if !in_update then Barrier.request child.P.i_barrier)
+            :: img.P.i_child_hooks)
+    in
+    let new_root_image = Option.get !new_root_slot in
+    List.iter
+      (fun (fd, src) -> ignore (K.transfer_fd k ~src ~fd ~dst:new_proc ~at:fd))
+      inherited;
+    let rep =
+      Replayer.start k new_root_image ~logs ~inherited:(List.map fst inherited)
+    in
+    (* the new version gets its own controller thread; its replayed
+       unix_listen inherits the control socket *)
+    let new_ctl_pending = ref false in
+    let new_ctl_result = ref "" in
+    let new_ctl_sem = Printf.sprintf "mcr.ctl.done.%d" (K.pid new_proc) in
+    spawn_ctl k new_proc ~ctl_path:t.ctl_path ~ctl_pending:new_ctl_pending
+      ~ctl_result:new_ctl_result ~ctl_sem:new_ctl_sem;
+    let live_new () =
+      List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !new_members
+    in
+    let new_quiesced () =
+      match live_new () with
+      | [] -> false
+      | imgs ->
+          List.for_all
+            (fun (im : P.image) ->
+              im.P.i_startup_complete && Barrier.quiesced im.P.i_barrier)
+            imgs
+    in
+    let rollback reason ~cm_ns ~st_ns ~transfers ~transfer_conflicts =
+      in_update := false;
+      List.iter
+        (fun (im : P.image) ->
+          if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:1)
+        !new_members;
+      release_all t;
+      respond_ctl t ("FAIL " ^ reason);
+      ( t,
+        {
+          success = false;
+          quiesce_ns;
+          control_migration_ns = cm_ns;
+          state_transfer_ns = st_ns;
+          total_ns = K.clock_ns k - t0;
+          replayed_calls = Replayer.replayed_calls rep;
+          live_calls = Replayer.live_calls rep;
+          replay_conflicts = Replayer.conflicts rep;
+          transfer_conflicts;
+          transfers;
+          failure = Some reason;
+        } )
+    in
+    let startup_ok =
+      K.run_until k
+        ~max_ns:(t1 + 10_000_000_000)
+        (fun () ->
+          new_quiesced ()
+          || (not (K.alive new_proc))
+          || Replayer.conflicts rep <> [])
+    in
+    let t2 = K.clock_ns k in
+    let cm_ns = t2 - t1 in
+    if not (K.alive new_proc) then
+      rollback "new version crashed during startup" ~cm_ns ~st_ns:0 ~transfers:[]
+        ~transfer_conflicts:[]
+    else if Replayer.conflicts rep <> [] then
+      rollback "mutable reinitialization conflict" ~cm_ns ~st_ns:0 ~transfers:[]
+        ~transfer_conflicts:[]
+    else if not (startup_ok && new_quiesced ()) then
+      rollback "new version did not reach a quiescent startup" ~cm_ns ~st_ns:0 ~transfers:[]
+        ~transfer_conflicts:[]
+    else begin
+      (* ---- 3. restore: mutable tracing, in waves so reinit handlers can
+         re-create volatile processes that then get their own transfer ---- *)
+      let old_proc_of_key key =
+        match key with
+        | Logdefs.Root -> Some t.root_proc
+        | _ ->
+            List.find_map
+              (fun (l : Logdefs.plog) ->
+                if l.Logdefs.key = key then K.find_proc k l.Logdefs.pid else None)
+              logs
+      in
+      let done_pairs = Hashtbl.create 8 in
+      let transfers = ref [] in
+      let transfer_conflicts = ref [] in
+      let max_pair_cost = ref 0 in
+      let pairs_done = ref 0 in
+      let transfer_wave () =
+        let fresh =
+          List.filter (fun (key, _) -> not (Hashtbl.mem done_pairs key)) (Replayer.pairs rep)
+        in
+        let worked = ref false in
+        List.iter
+          (fun (key, new_pid) ->
+            Hashtbl.replace done_pairs key ();
+            match (old_proc_of_key key, K.find_proc k new_pid) with
+            | Some oldp, Some newp when K.alive oldp && K.alive newp -> begin
+                match (P.image_of_proc oldp, P.image_of_proc newp) with
+                | Some oi, Some ni ->
+                    worked := true;
+                    let analysis = Objgraph.analyze oi in
+                    let outcome = Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only () in
+                    max_pair_cost :=
+                      max !max_pair_cost (analysis.Objgraph.cost_ns + outcome.Transfer.cost_ns);
+                    transfers := (key, outcome) :: !transfers;
+                    transfer_conflicts := !transfer_conflicts @ outcome.Transfer.conflicts;
+                    incr pairs_done;
+                    (* post-startup descriptors (open connections) move to
+                       the paired process at the same numbers *)
+                    List.iter
+                      (fun fd ->
+                        if fd < reserved_fd_base then
+                          ignore (K.transfer_fd k ~src:oldp ~fd ~dst:newp ~at:fd))
+                      (K.fds oldp)
+                | _, _ -> ()
+              end
+            | _, _ -> ())
+          fresh;
+        !worked
+      in
+      ignore (transfer_wave ());
+      (* volatile quiescent states: run the new version's reinit handlers *)
+      let handler_threads =
+        List.concat_map
+          (fun (im : P.image) ->
+            List.map
+              (fun (name, run) ->
+                K.spawn_thread k im.P.i_proc ~name:("reinit:" ^ name) (fun th ->
+                    K.push_frame th ("reinit:" ^ name);
+                    run (reinit_ctx im th)))
+              (P.reinit_handlers im.P.i_version))
+          (live_new ())
+      in
+      (* wait until every handler has run to completion (or parked) AND the
+         processes they re-created have quiesced — the bare new_quiesced
+         predicate holds trivially before the handlers get scheduled *)
+      let handlers_settled () =
+        List.for_all
+          (fun th -> (not (K.thread_alive th)) || K.blocked_in th <> None)
+          handler_threads
+      in
+      let handlers_ok =
+        K.run_until k
+          ~max_ns:(K.clock_ns k + 2_000_000_000)
+          (fun () -> handlers_settled () && new_quiesced ())
+      in
+      let waves = ref 0 in
+      while transfer_wave () && !waves < 4 do
+        incr waves;
+        ignore (K.run_until k ~max_ns:(K.clock_ns k + 1_000_000_000) new_quiesced)
+      done;
+      (* parallel multiprocess transfer: the slowest pair bounds the
+         parallel phase; the coordinator adds a constant (relinking the
+         program and prelinking shared libraries for the remapped immutable
+         objects, Section 6) plus a per-process channel setup cost *)
+      K.charge k (!max_pair_cost + 25_000_000 + (2_000_000 * !pairs_done));
+      let t3 = K.clock_ns k in
+      let st_ns = t3 - t2 in
+      if not handlers_ok then
+        rollback "reinit handlers did not quiesce" ~cm_ns ~st_ns ~transfers:!transfers
+          ~transfer_conflicts:!transfer_conflicts
+      else if !transfer_conflicts <> [] then
+        rollback "mutable tracing conflict" ~cm_ns ~st_ns ~transfers:!transfers
+          ~transfer_conflicts:!transfer_conflicts
+      else begin
+        (* ---- commit ---- *)
+        respond_ctl t "OK";
+        List.iter
+          (fun (im : P.image) ->
+            if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:0)
+          (images t);
+        in_update := false;
+        List.iter (fun (im : P.image) -> Barrier.release im.P.i_barrier) (live_new ());
+        let new_t =
+          {
+            kernel = k;
+            instr = t.instr;
+            prog_version = new_version;
+            root_proc = new_proc;
+            root_image = new_root_image;
+            members = new_members;
+            log_source = Replayed rep;
+            ctl_path = t.ctl_path;
+            ctl_pending = new_ctl_pending;
+            ctl_result = new_ctl_result;
+            ctl_sem = new_ctl_sem;
+          }
+        in
+        ( new_t,
+          {
+            success = true;
+            quiesce_ns;
+            control_migration_ns = cm_ns;
+            state_transfer_ns = st_ns;
+            total_ns = K.clock_ns k - t0;
+            replayed_calls = Replayer.replayed_calls rep;
+            live_calls = Replayer.live_calls rep;
+            replay_conflicts = [];
+            transfer_conflicts = [];
+            transfers = List.rev !transfers;
+            failure = None;
+          } )
+      end
+    end
+  end
+  end

@@ -1,0 +1,99 @@
+(** The MCR runtime: checkpoint → restart → restore, atomically.
+
+    A manager owns one running MCR-enabled program (all its processes). The
+    update path follows Section 3:
+
+    + {b Checkpoint}: request quiescence on every process barrier and run
+      the system until all long-lived threads are parked.
+    + {b Restart}: launch the new version with quiescence pre-requested (so
+      it accepts no external events), install the inherited descriptors,
+      and replay the old startup logs through mutable reinitialization.
+    + {b Restore}: pair old and new processes by creation identity, run
+      mutable tracing per pair (in parallel — the clock is charged the
+      maximum pair cost), transfer post-startup descriptors, run the
+      version's reinit handlers to re-create volatile quiescent states, and
+      transfer any processes those handlers created.
+    + {b Commit} (release the new version, terminate the old) or
+      {b rollback} (terminate the new version, resume the old) — clients
+      never observe a failed update.
+
+    Managers also expose the controller channel ([mcr-ctl]) and the
+    measurement hooks the benchmark harness consumes. *)
+
+type t
+
+val launch :
+  Mcr_simos.Kernel.t ->
+  ?instr:Mcr_program.Instr.t ->
+  ?profiler:Mcr_quiesce.Profiler.t ->
+  Mcr_program.Progdef.version ->
+  t
+(** Launch an MCR-enabled program: loads the version, starts startup-log
+    recording, arms per-process first-quiescence processing (heap startup
+    end + soft-dirty epoch), and spawns the controller thread listening on
+    [ctl_path]. Drive the kernel afterwards ({!wait_startup}). *)
+
+val kernel : t -> Mcr_simos.Kernel.t
+val root_proc : t -> Mcr_simos.Kernel.proc
+val root_image : t -> Mcr_program.Progdef.image
+val version : t -> Mcr_program.Progdef.version
+val images : t -> Mcr_program.Progdef.image list
+(** All live process images of the program, root first. *)
+
+val ctl_path : t -> string
+(** Unix-socket path of the controller ("/run/mcr/<prog>.sock"). *)
+
+val wait_startup : t -> ?max_ns:int -> unit -> bool
+(** Run the kernel until the root process completes startup (reaches its
+    first quiescent point). *)
+
+val update_requested : t -> bool
+(** An [mcr-ctl] client asked for an update (see {!Ctl}). *)
+
+(** {1 Live update} *)
+
+type report = {
+  success : bool;
+  quiesce_ns : int;
+  control_migration_ns : int;
+  state_transfer_ns : int;
+  total_ns : int;
+  replayed_calls : int;
+  live_calls : int;
+  replay_conflicts : Mcr_replay.Replayer.conflict list;
+  transfer_conflicts : Mcr_trace.Transfer.conflict list;
+  transfers : (Mcr_replay.Logdefs.proc_key * Mcr_trace.Transfer.outcome) list;
+  failure : string option;  (** Human-readable rollback cause. *)
+}
+
+val update : t -> ?dirty_only:bool -> Mcr_program.Progdef.version -> t * report
+(** [update t v2] performs a live update. On success the returned manager
+    owns the new version (the old processes are terminated); on rollback it
+    is [t] itself and the old version has resumed. [dirty_only:false]
+    disables soft-dirty filtering (ablation). Updating a manager whose
+    processes are gone (already updated away from, or fully crashed) fails
+    with a report, touching nothing. *)
+
+(** {1 Measurement hooks} *)
+
+val quiesce_only : t -> int option
+(** Run the quiescence protocol, measure convergence (virtual ns), then
+    release. [None] if convergence failed. *)
+
+val trace_statistics : t -> Mcr_trace.Objgraph.stats
+(** Aggregate mutable-tracing statistics over all live processes (the
+    Table 2 numbers). Read-only: quiesces nothing, transfers nothing. *)
+
+type memory_stats = {
+  app_bytes : int;  (** Touched application pages (the program's own RSS). *)
+  mcr_bytes : int;
+      (** Modeled MCR footprint: the preloaded runtime library per process,
+          the in-memory startup log, and the (deliberately space-inefficient,
+          Section 8) relocation/data-type tag records. *)
+  resident_bytes : int;  (** [app_bytes + mcr_bytes]. *)
+  tag_metadata_words : int;  (** In-band allocator metadata words. *)
+  startup_log_entries : int;
+  processes : int;
+}
+
+val memory_stats : t -> memory_stats

@@ -1,0 +1,33 @@
+type t = {
+  unblockify : bool;
+  static_instr : bool;
+  dynamic_instr : bool;
+  quiesce_detect : bool;
+  instrument_regions : bool;
+}
+
+let baseline =
+  {
+    unblockify = false;
+    static_instr = false;
+    dynamic_instr = false;
+    quiesce_detect = false;
+    instrument_regions = false;
+  }
+
+let unblock = { baseline with unblockify = true }
+let sinstr = { unblock with static_instr = true }
+let dinstr = { sinstr with dynamic_instr = true }
+let qdet = { dinstr with quiesce_detect = true }
+let full = qdet
+
+let with_regions t = { t with instrument_regions = true }
+
+let name t =
+  if t.quiesce_detect then "+QDet"
+  else if t.dynamic_instr then "+DInstr"
+  else if t.static_instr then "+SInstr"
+  else if t.unblockify then "Unblock"
+  else "baseline"
+
+let table3_rows = [ ("Unblock", unblock); ("+SInstr", sinstr); ("+DInstr", dinstr); ("+QDet", qdet) ]

@@ -1,0 +1,42 @@
+(** Instrumentation configuration — the cumulative layers of Table 3.
+
+    The paper measures run-time overhead as layers stack up: unblockification
+    alone (Unblock), plus static instrumentation maintaining allocator tags
+    (+SInstr), plus dynamic instrumentation tracking shared-library
+    allocations and process/thread metadata (+DInstr), plus quiescence
+    detection hooks (+QDet). [instrument_regions] is the separate [nginxreg]
+    configuration extending tags into the region allocator. *)
+
+type t = {
+  unblockify : bool;
+  static_instr : bool;
+  dynamic_instr : bool;
+  quiesce_detect : bool;
+  instrument_regions : bool;
+}
+
+val baseline : t
+(** Nothing enabled — the uninstrumented program. *)
+
+val unblock : t
+
+(** Unblock + static instrumentation. *)
+val sinstr : t
+
+(** [sinstr] + dynamic instrumentation. *)
+val dinstr : t
+
+(** [dinstr] + quiescence detection: the full MCR configuration. *)
+val qdet : t
+
+val full : t
+(** [qdet] — the default for running MCR. *)
+
+val with_regions : t -> t
+(** Enable region-allocator instrumentation on top. *)
+
+val name : t -> string
+(** Row label: "baseline", "Unblock", "+SInstr", "+DInstr", "+QDet". *)
+
+val table3_rows : (string * t) list
+(** The four measured configurations, in the paper's column order. *)

@@ -1,0 +1,64 @@
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+
+type t = {
+  kernel : K.t;
+  sem_name : string;
+  mutable target : int;
+  mutable arrived : int;
+  mutable requested : bool;
+  mutable epoch : int;
+}
+
+let create kernel ~pid =
+  {
+    kernel;
+    sem_name = Printf.sprintf "mcr.barrier.%d" pid;
+    target = 0;
+    arrived = 0;
+    requested = false;
+    epoch = 0;
+  }
+
+let register_thread t = t.target <- t.target + 1
+
+let registered t = t.target
+
+let deregister_thread t = t.target <- max 0 (t.target - 1)
+
+let request t = t.requested <- true
+
+let requested t = t.requested
+
+let cancel t =
+  if t.requested then begin
+    t.requested <- false;
+    (* wake anyone already parked *)
+    for _ = 1 to t.arrived do
+      K.post_semaphore t.kernel t.sem_name
+    done
+  end
+
+let hook t =
+  if t.requested then begin
+    let epoch = t.epoch in
+    t.arrived <- t.arrived + 1;
+    ignore (K.syscall (S.Sem_wait { name = t.sem_name; timeout_ns = None }));
+    (* on resume: if the same episode, account departure *)
+    if t.epoch = epoch then t.arrived <- t.arrived - 1;
+    true
+  end
+  else false
+
+let arrived t = t.arrived
+
+let quiesced t = t.requested && t.arrived >= t.target
+
+let release t =
+  t.requested <- false;
+  t.epoch <- t.epoch + 1;
+  let n = t.arrived in
+  t.arrived <- 0;
+  for _ = 1 to n do
+    K.post_semaphore t.kernel t.sem_name
+  done

@@ -1,0 +1,51 @@
+(** Barrier-synchronization quiescence protocol (Section 4).
+
+    One barrier per process. Long-lived threads register themselves the
+    first time they pass a wrapped (unblockified) blocking call; when
+    quiescence is requested, every registered thread calls {!hook} from its
+    wrapper loop, parks on the barrier's semaphore, and the process is
+    quiescent once all registered threads have arrived. {!release} lets
+    them resume (rollback / update completion).
+
+    The controller never busy-waits inside the simulation: the MCR runtime
+    drives the kernel until {!quiesced} holds. *)
+
+type t
+
+val create : Mcr_simos.Kernel.t -> pid:int -> t
+(** A barrier for the process [pid] (the pid only namespaces the semaphore). *)
+
+val register_thread : t -> unit
+(** Called once per long-lived thread (from the first wrapped blocking
+    call). Raises the arrival target. *)
+
+val registered : t -> int
+
+val deregister_thread : t -> unit
+(** A registered thread is exiting (connection handler done). *)
+
+val request : t -> unit
+(** Ask all registered threads to park at their quiescent points. *)
+
+val requested : t -> bool
+
+val cancel : t -> unit
+(** Withdraw a request before all threads arrived (not used by the normal
+    protocol, but needed for rollback of a failed request). *)
+
+val hook : t -> bool
+(** The quiescence hook, invoked from unblockification wrappers. If
+    quiescence is requested, parks the calling thread until {!release} and
+    returns [true]; otherwise returns [false] immediately. A [true] return
+    makes the wrapper deliver EINTR, so the program's event loop re-arms
+    with fresh state (exactly like a signal-interrupted blocking call).
+    Must run inside a simulated thread. *)
+
+val arrived : t -> int
+
+val quiesced : t -> bool
+(** All registered threads are parked at the barrier. Processes with no
+    registered threads count as trivially quiescent. *)
+
+val release : t -> unit
+(** Wake every parked thread and clear the request. *)

@@ -1,0 +1,71 @@
+(** The replay phase of mutable reinitialization (Section 5).
+
+    The new version starts from scratch; system calls that refer to
+    immutable state objects (descriptors, pids) and perfectly match the old
+    startup log — same call-stack ID, same deeply-compared arguments — are
+    short-circuited with their recorded results, so the startup code runs
+    against the inherited objects without disturbing them. Everything else
+    executes live. Mismatched arguments and omitted recorded calls raise
+    conflicts, which the MCR runtime turns into a rollback.
+
+    Pid virtualization: recorded pids are returned to the program (the
+    namespace illusion), while an internal map translates them to real pids
+    for calls like [waitpid].
+
+    Call {!start} on a launched-but-not-yet-run root image, after the
+    inherited descriptors have been installed. When each process reaches its
+    first quiescent point the replayer checks for omitted calls, applies
+    startup-deferred closes, and garbage-collects inherited descriptors the
+    replay never referenced. *)
+
+type conflict =
+  | Arg_mismatch of {
+      pid : int;  (** New-version pid where the conflict arose. *)
+      callstack : int;
+      recorded : Mcr_simos.Sysdefs.call;
+      observed : Mcr_simos.Sysdefs.call;
+    }
+  | Omitted of { pid : int; callstack : int; call : Mcr_simos.Sysdefs.call }
+  | Unsupported of { pid : int; callstack : int; call : Mcr_simos.Sysdefs.call }
+      (** A recorded call creates an immutable object MCR cannot
+          virtualize (e.g. SysV shm ids — no namespace support, Section 7);
+          replaying it safely is impossible, so the update rolls back
+          unless a user annotation takes over. *)
+
+type t
+
+val start :
+  Mcr_simos.Kernel.t ->
+  Mcr_program.Progdef.image ->
+  logs:Logdefs.plog list ->
+  inherited:int list ->
+  t
+(** [start kernel root ~logs ~inherited] arms replay on the new version's
+    root image. [inherited] are the reserved-range fd numbers installed
+    from the old version (candidates for garbage collection if unused). *)
+
+val conflicts : t -> conflict list
+(** Conflicts observed so far, oldest first. *)
+
+val replayed_calls : t -> int
+(** Short-circuited call count (control-migration statistics). *)
+
+val live_calls : t -> int
+
+val finished_procs : t -> int
+(** Processes whose startup (and omission check) completed. *)
+
+val map_old_pid : t -> int -> int option
+(** Translate an old-version (virtual) pid to the new-version real pid. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val new_logs : t -> Logdefs.plog list
+(** The new version's reconstructed startup logs (replayed entries carry
+    their recorded results, live entries their actual results) — the input
+    to the {e next} live update. *)
+
+val pairs : t -> (Logdefs.proc_key * int) list
+(** New-version processes by cross-version key, in creation order — the
+    pairing state transfer uses to connect each new process to its old
+    counterpart. *)

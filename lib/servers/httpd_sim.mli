@@ -1,0 +1,38 @@
+(** Apache httpd-like simulated server (the paper's httpd 2.2.23, worker
+    MPM: "2 servers and 50 worker threads", scaled down for simulation).
+
+    Architecture: a master process that forks [servers] child processes,
+    each running [workers] accept-loop threads; per-request state lives in
+    {e nested region pools} (a child pool per request inside the process
+    pool) — uninstrumented, the paper's biggest source of likely pointers.
+    A scoreboard (global array) and a virtual-host statistics list (on the
+    instrumented heap) carry the cross-update state.
+
+    Two behaviours from the paper's engineering-effort discussion are
+    modeled:
+    - the server "aborts prematurely after actively detecting its own
+      running instance" (a pidfile check): versions built with
+      [mcr_prepared:false] abort when the pidfile exists, which makes every
+      live update roll back — the paper's 8-LOC fix is the [mcr_prepared]
+      build;
+    - ["HOLD"] requests are handed to dynamically spawned hold-handler
+      threads with volatile quiescent points, re-created after an update by
+      a reinit-handler annotation (the 163-LOC analog). *)
+
+val port : int
+val servers : int
+val workers_per_server : int
+
+val versions : unit -> Mcr_program.Progdef.version list
+(** 6 versions (5 updates, matching the paper); the final update retypes
+    the vhost statistics entry. *)
+
+val base : unit -> Mcr_program.Progdef.version
+val final : unit -> Mcr_program.Progdef.version
+
+val unprepared : unit -> Mcr_program.Progdef.version
+(** The final version built without the 8-LOC MCR preparation: its startup
+    aborts when it detects the running instance's pidfile, so updating to
+    it rolls back. *)
+
+val meta : Table_meta.t

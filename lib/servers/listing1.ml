@@ -1,0 +1,165 @@
+module S = Mcr_simos.Sysdefs
+module Ty = Mcr_types.Ty
+module P = Mcr_program.Progdef
+module Api = Mcr_program.Api
+module Addr = Mcr_vmem.Addr
+
+let port = 8080
+let config_path = "/etc/listing1.conf"
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let conf_s =
+  Ty.Struct
+    {
+      sname = "conf_s";
+      fields = [ ("workers", Ty.Int); ("sock", Ty.Int); ("banner", Ty.Void_ptr) ];
+    }
+
+let l_t_v1 =
+  Ty.Struct { sname = "l_t"; fields = [ ("value", Ty.Int); ("next", Ty.Ptr (Ty.Named "l_t")) ] }
+
+let l_t_v2 =
+  Ty.Struct
+    {
+      sname = "l_t";
+      fields = [ ("value", Ty.Int); ("next", Ty.Ptr (Ty.Named "l_t")); ("new", Ty.Int) ];
+    }
+
+let hidden_s_v1 =
+  Ty.Struct { sname = "hidden_s"; fields = [ ("a", Ty.Int); ("b", Ty.Int) ] }
+
+(* the pathological variant retypes a field of the structure that is only
+   reachable through the hidden pointer in [b] *)
+let hidden_s_changed =
+  Ty.Struct { sname = "hidden_s"; fields = [ ("a", Ty.Ptr Ty.Int); ("b", Ty.Int) ] }
+
+let env ~v2 ~change_hidden =
+  let e = Ty.env_create () in
+  Ty.env_add e "conf_s" conf_s;
+  Ty.env_add e "l_t" (if v2 then l_t_v2 else l_t_v1);
+  Ty.env_add e "hidden_s" (if change_hidden then hidden_s_changed else hidden_s_v1);
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Server body *)
+
+let parse_banner contents =
+  match String.index_opt contents '=' with
+  | Some i -> String.sub contents (i + 1) (String.length contents - i - 1)
+  | None -> "hello"
+
+let main ?(init_name = "server_init") ~tag ~omit_listen ~port t =
+  Api.fn t "main" @@ fun () ->
+  (* --- startup --- *)
+  Api.fn t init_name (fun () ->
+      let conf = Api.malloc t ~site:"server_init:conf" "conf_s" in
+      Api.store t (Api.global t "conf") conf;
+      (* configuration from persistent storage *)
+      let cfd = Api.sys_fd_exn t (S.Open { path = config_path; create = false }) in
+      let contents =
+        match Api.sys t (S.Read { fd = cfd; max = 256; nonblock = false }) with
+        | S.Ok_data d -> d
+        | _ -> ""
+      in
+      Api.sys_unit_exn t (S.Close { fd = cfd });
+      let banner = parse_banner contents in
+      let banner_buf = Api.malloc_opaque t ~site:"server_init:banner" 8 in
+      Api.write_bytes t banner_buf banner;
+      Api.store_field t conf "conf_s" "workers" 1;
+      Api.store_field t conf "conf_s" "banner" banner_buf;
+      (* a heap structure reachable only through the hidden pointer in b *)
+      let hidden = Api.malloc t ~site:"server_init:hidden" "hidden_s" in
+      Api.store_field t hidden "hidden_s" "a" 11;
+      Api.store_field t hidden "hidden_s" "b" 22;
+      Api.store t (Api.global t "b") hidden;
+      (* the listening socket *)
+      let sock = Api.sys_fd_exn t S.Socket in
+      Api.sys_unit_exn t (S.Bind { fd = sock; port });
+      if not omit_listen then Api.sys_unit_exn t (S.Listen { fd = sock; backlog = 64 });
+      Api.store_field t conf "conf_s" "sock" sock);
+  (* --- main loop --- *)
+  let conf () = Api.load t (Api.global t "conf") in
+  let sock = Api.load_field t (conf ()) "conf_s" "sock" in
+  Api.loop t "main_loop" (fun () ->
+      let event =
+        Api.fn t "server_get_event" (fun () ->
+            Api.blocking t ~qpoint:"server_get_event" (S.Accept { fd = sock; nonblock = false }))
+      in
+      match event with
+      | S.Ok_fd conn ->
+          Api.fn t "server_handle_event" (fun () ->
+              (match Api.sys t (S.Read { fd = conn; max = 256; nonblock = false }) with
+              | S.Ok_data _req ->
+                  Api.app_work t 1;
+                  let count = Api.load t (Api.global t "count") + 1 in
+                  Api.store t (Api.global t "count") count;
+                  (* prepend a list node (Figure 2 state) *)
+                  let node = Api.malloc t ~site:"handle_event:node" "l_t" in
+                  let list_head = Api.global t "list" in
+                  Api.store_field t node "l_t" "value" count;
+                  Api.store_field t node "l_t" "next"
+                    (Api.load_field t list_head "l_t" "next");
+                  Api.store_field t list_head "l_t" "next" node;
+                  (* refresh the hidden pointer in the opaque buffer *)
+                  let hidden = Api.load t (Api.global t "b") in
+                  Api.store t (Api.global t "b") hidden;
+                  Api.store t (Addr.add_words (Api.global t "b") 1) ((count * 2) + 1);
+                  let banner =
+                    Api.read_string t (Api.load_field t (conf ()) "conf_s" "banner")
+                  in
+                  let reply = Printf.sprintf "%s/%s:%d" banner tag count in
+                  ignore (Api.sys t (S.Write { fd = conn; data = reply }))
+              | _ -> ());
+              ignore (Api.sys t (S.Close { fd = conn })));
+          true
+      | S.Err _ -> true
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Versions *)
+
+let globals =
+  [
+    ("b", Ty.Char_array 16);
+    ("list", Ty.Named "l_t");
+    ("conf", Ty.Ptr (Ty.Named "conf_s"));
+    ("count", Ty.Int);
+  ]
+
+let funcs = [ "main"; "server_init"; "server_get_event"; "server_handle_event" ]
+
+let strings = [ "welcome"; "listing1" ]
+
+let qpoints = [ ("server_get_event", "accept") ]
+
+let v1 () =
+  P.make_version ~prog:"listing1" ~version_tag:"1.0" ~layout_bias:0
+    ~tyenv:(env ~v2:false ~change_hidden:false) ~globals ~funcs ~strings
+    ~entries:[ ("main", main ~init_name:"server_init" ~tag:"v1" ~omit_listen:false ~port) ]
+    ~qpoints ()
+
+(* user transfer handler: the added field defaults to 42, not zero — the
+   semantic transformation MCR cannot infer (layout: value, next, new) *)
+let l_t_handler ~old_words ~new_words =
+  new_words.(0) <- old_words.(0);
+  new_words.(1) <- old_words.(1);
+  new_words.(2) <- 42
+
+let v2 ?(variant = `Normal) () =
+  let omit_listen = variant = `Omit_listen in
+  let change_hidden = variant = `Change_hidden in
+  let bind_port = if variant = `Change_port then port + 1 else port in
+  let init_name = if variant = `Rename_init then "server_init2" else "server_init" in
+  let annotations =
+    if variant = `With_handler then
+      [ P.Transfer_handler { ty_name = "l_t"; transform = l_t_handler } ]
+    else []
+  in
+  (* the bias must clear every v1 region so pinned (immutable) old pages
+     never collide with v2's own mappings *)
+  P.make_version ~prog:"listing1" ~version_tag:"2.0" ~layout_bias:512
+    ~tyenv:(env ~v2:true ~change_hidden) ~globals ~funcs ~strings
+    ~entries:[ ("main", main ~init_name ~tag:"v2" ~omit_listen ~port:bind_port) ]
+    ~qpoints ~annotations ()

@@ -1,0 +1,42 @@
+(** The paper's running example (Listing 1): a minimal event-driven server.
+
+    Globals: [char b(8)] (holds a hidden pointer, Figure 2), a linked-list
+    head [list] of [l_t] nodes (one appended per request), and a startup
+    [conf] structure read from persistent storage. One thread, one
+    quiescent point ([server_get_event]/accept).
+
+    Versions:
+    - v1: baseline;
+    - v2: adds field [new] to [l_t] and changes the reply banner — the
+      Figure 2 update, requiring relocation and on-the-fly type
+      transformation of every list node;
+    - v2 with [`Omit_listen]: a pathological update whose startup omits the
+      recorded [listen] call — triggers a mutable-reinitialization conflict
+      and therefore a rollback;
+    - v2 with [`Change_union]: changes a conservatively-traced structure —
+      triggers a mutable-tracing conflict. *)
+
+val port : int
+
+val config_path : string
+(** The config file read at startup; create it with [Kernel.fs_write]
+    before launching (contents "welcome=<banner>"). *)
+
+val v1 : unit -> Mcr_program.Progdef.version
+
+val v2 :
+  ?variant:
+    [ `Normal | `Omit_listen | `Change_hidden | `Change_port | `With_handler | `Rename_init ] ->
+  unit ->
+  Mcr_program.Progdef.version
+(** [`Change_hidden] retypes the structure referenced only through the
+    hidden pointer in [b], which conservative tracing marks nonupdatable.
+    [`Change_port] binds a different port — a replay-class call with
+    mismatched arguments, the paper's argument-comparison conflict.
+    [`With_handler] installs a user transfer handler for [l_t] that
+    initializes the added field to 42 instead of zero (the semantic
+    state transformation escape hatch).
+    [`Rename_init] renames the startup function — the paper's admitted
+    conservativeness: renamed functions change call-stack IDs, so the
+    replayed calls no longer match and the update (spuriously but safely)
+    rolls back. *)

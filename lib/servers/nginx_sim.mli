@@ -1,0 +1,42 @@
+(** nginx-like simulated server (the paper's nginx v0.8.54 .. v1.0.15).
+
+    Architecture mirrored from the original: a master process that forks one
+    event-driven worker and then parks in its signal loop; the worker
+    multiplexes the listening socket and all connections in a single poll
+    loop — the "rigorous event-driven programming model" that gives nginx a
+    single persistent quiescent state per process (Table 1: no volatile
+    quiescent points). Connections are carved from a region ("pool")
+    allocator — uninstrumented by default, per-object-tagged in the
+    [nginxreg] configuration — and a shared free-list slab backs the
+    counter zone. One global uses the low-2-bit pointer-encoding idiom that
+    requires the paper's 22-LOC annotation ([Encoded_ptr]).
+
+    Requests: ["GET <path>"] returns the file at <path> (or a canned page)
+    and updates an instrumented-heap response cache. ["HOLD"] keeps the
+    connection open without a response (long-lived connections for the
+    Figure 3 workload). *)
+
+val port : int
+
+val doc_root : string
+(** Files under this prefix are servable; populate with [Kernel.fs_write]. *)
+
+val versions : unit -> Mcr_program.Progdef.version list
+(** The full update series: index 0 is v0.8.54, the last is v1.0.15 (26
+    versions, 25 updates, matching the paper's count). Intermediate
+    versions carry the small structural diffs used for Table 1 counting;
+    the final version's functional change adds a [ttl] field to the cache
+    entry type. *)
+
+val base : unit -> Mcr_program.Progdef.version
+val final : unit -> Mcr_program.Progdef.version
+
+val final_with_workers : int -> Mcr_program.Progdef.version
+(** The final version configured to fork [n] worker processes — the
+    paper's Section 7 "nondeterministic process model" scenario. Growing
+    the worker count is handled automatically (extra forks execute live);
+    shrinking it omits a recorded fork and conflicts (rollback). *)
+
+val meta : Table_meta.t
+(** Upstream update-series metadata (changed LOC) and engineering-effort
+    line counts (annotations, state-transfer code) for Table 1. *)

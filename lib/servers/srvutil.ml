@@ -1,0 +1,60 @@
+(* Small helpers shared by the simulated servers. *)
+
+module S = Mcr_simos.Sysdefs
+module Api = Mcr_program.Api
+module Addr = Mcr_vmem.Addr
+
+(* "GET /path" -> "/path"; anything else -> None *)
+let parse_get req =
+  match String.split_on_char ' ' (String.trim req) with
+  | [ "GET"; path ] -> Some path
+  | _ -> None
+
+(* first word of a command line *)
+let command req =
+  match String.split_on_char ' ' (String.trim req) with
+  | cmd :: _ -> String.uppercase_ascii cmd
+  | [] -> ""
+
+let arg req =
+  match String.split_on_char ' ' (String.trim req) with
+  | _ :: a :: _ -> Some a
+  | _ -> None
+
+(* read one request off a connection at a (possibly wrapped) quiescent point *)
+let read_request t ~qpoint fd =
+  match Api.blocking t ~qpoint (S.Read { fd; max = 4096; nonblock = false }) with
+  | S.Ok_data "" -> None
+  | S.Ok_data d -> Some d
+  | _ -> None
+
+let reply t fd data = ignore (Api.sys t (S.Write { fd; data }))
+
+(* fixed-capacity fd set stored in a global int array: slot 0 unused fds are 0 *)
+let array_add t ~global_arr ~capacity v =
+  let base = Api.global t global_arr in
+  let rec go i =
+    if i >= capacity then false
+    else if Api.load t (Addr.add_words base i) = 0 then begin
+      Api.store t (Addr.add_words base i) v;
+      true
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let array_remove t ~global_arr ~capacity v =
+  let base = Api.global t global_arr in
+  for i = 0 to capacity - 1 do
+    if Api.load t (Addr.add_words base i) = v then Api.store t (Addr.add_words base i) 0
+  done
+
+let array_values t ~global_arr ~capacity =
+  let base = Api.global t global_arr in
+  let rec go i acc =
+    if i >= capacity then List.rev acc
+    else
+      let v = Api.load t (Addr.add_words base i) in
+      go (i + 1) (if v = 0 then acc else v :: acc)
+  in
+  go 0 []

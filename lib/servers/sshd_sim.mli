@@ -1,0 +1,21 @@
+(** OpenSSH-daemon-like simulated server (the paper's OpenSSH 3.5 .. 3.8).
+
+    Architecture: a master that forks one session process per connection;
+    sessions authenticate (forking a short-lived privilege-separation /
+    exec helper — the paper's "exec()ing other helper programs" short-lived
+    class) and then serve commands. Session quiescent points are volatile:
+    a reinit-handler annotation re-creates session processes after an
+    update (OpenSSH's 49-LOC analog).
+
+    Commands: ["AUTH <user>"], ["RUN <cmd>"] (requires auth; returns an
+    output banner with the per-session command counter), ["EXIT"]. *)
+
+val port : int
+
+val versions : unit -> Mcr_program.Progdef.version list
+(** 6 versions (5 updates); the final update adds a [uid] field to the
+    session structure. *)
+
+val base : unit -> Mcr_program.Progdef.version
+val final : unit -> Mcr_program.Progdef.version
+val meta : Table_meta.t

@@ -1,0 +1,23 @@
+(** vsftpd-like simulated FTP server (the paper's vsftpd 1.1.0 .. 2.0.2).
+
+    Architecture: a single master ("standalone") process accepts control
+    connections and forks one session process per connection — the paper's
+    process-per-connection model whose per-session quiescent points are
+    {e volatile} (they do not exist right after startup and must be
+    re-created after an update by a reinit handler, vsftpd's 82-LOC
+    control-migration annotation).
+
+    Session commands: ["USER <n>"], ["PASS <p>"], ["RETR <path>"] (returns
+    file contents under [/srv/ftp]), ["STAT"] (returns the session's
+    command count — state that must survive updates), ["QUIT"]. *)
+
+val port : int
+val ftp_root : string
+
+val versions : unit -> Mcr_program.Progdef.version list
+(** 6 versions (5 updates); the final update adds a [bytes_sent] field to
+    the session structure. *)
+
+val base : unit -> Mcr_program.Progdef.version
+val final : unit -> Mcr_program.Progdef.version
+val meta : Table_meta.t

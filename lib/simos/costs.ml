@@ -1,0 +1,52 @@
+type t = {
+  syscall_ns : int;
+  byte_ns : int;
+  spawn_ns : int;
+  switch_ns : int;
+  alloc_ns : int;
+  tag_word_ns : int;
+  unblock_wrap_ns : int;
+  qhook_ns : int;
+  transfer_word_ns : int;
+  trace_obj_ns : int;
+  scan_word_ns : int;
+  app_work_ns : int;
+  record_ns : int;
+  replay_match_ns : int;
+}
+
+let default =
+  {
+    syscall_ns = 1_200;
+    byte_ns = 2;
+    spawn_ns = 60_000;
+    switch_ns = 900;
+    alloc_ns = 90;
+    tag_word_ns = 45;
+    unblock_wrap_ns = 250;
+    qhook_ns = 25;
+    transfer_word_ns = 25;
+    trace_obj_ns = 400;
+    scan_word_ns = 6;
+    app_work_ns = 3_000;
+    record_ns = 150;
+    replay_match_ns = 600;
+  }
+
+let zero =
+  {
+    syscall_ns = 0;
+    byte_ns = 0;
+    spawn_ns = 0;
+    switch_ns = 0;
+    alloc_ns = 0;
+    tag_word_ns = 0;
+    unblock_wrap_ns = 0;
+    qhook_ns = 0;
+    transfer_word_ns = 0;
+    trace_obj_ns = 0;
+    scan_word_ns = 0;
+    app_work_ns = 0;
+    record_ns = 0;
+    replay_match_ns = 0;
+  }

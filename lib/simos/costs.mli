@@ -1,0 +1,29 @@
+(** Virtual-time cost model.
+
+    Every simulated operation advances the kernel's virtual clock by a fixed
+    cost. Paper-shaped measurements (Table 3 overheads, Figure 3 transfer
+    times, quiescence/control-migration times) are ratios and trends over
+    these costs, so the absolute values only need to be mutually plausible;
+    they are loosely calibrated to a ~3 GHz x86 like the paper's testbed. *)
+
+type t = {
+  syscall_ns : int;  (** Base cost of entering the kernel. *)
+  byte_ns : int;  (** Per 64-byte cacheline moved by read/write. *)
+  spawn_ns : int;  (** Process/thread creation. *)
+  switch_ns : int;  (** Scheduler context switch. *)
+  alloc_ns : int;  (** Allocator base cost (charged by the program layer). *)
+  tag_word_ns : int;  (** Per in-band metadata word maintained. *)
+  unblock_wrap_ns : int;  (** Unblockification wrapper, per blocking call. *)
+  qhook_ns : int;  (** Quiescence-hook check, per wrapper iteration. *)
+  transfer_word_ns : int;  (** State transfer, per word copied. *)
+  trace_obj_ns : int;  (** Tracing, per object visited. *)
+  scan_word_ns : int;  (** Conservative scan, per word examined. *)
+  app_work_ns : int;  (** Application-level work unit (request handling). *)
+  record_ns : int;  (** Startup-log recording, per intercepted call. *)
+  replay_match_ns : int;  (** Replay matching + deep comparison, per call. *)
+}
+
+val default : t
+
+val zero : t
+(** All-zero cost model, for tests that want a still clock. *)

@@ -1,0 +1,1038 @@
+module S = Sysdefs
+module Aspace = Mcr_vmem.Aspace
+
+type payload = ..
+
+(* ------------------------------------------------------------------ *)
+(* Kernel object model *)
+
+type endpoint = {
+  inbox : string Queue.t;
+  fd_inbox : desc Queue.t;
+  mutable peer : endpoint option;
+  mutable local_closed : bool;
+  mutable ep_waiters : waiter list;
+}
+
+and listener = {
+  backlog_q : endpoint Queue.t;
+  backlog : int;
+  l_addr : addr;
+  mutable l_waiters : waiter list;
+  mutable l_closed : bool;
+}
+
+and addr = Port of int | Path of string
+
+and tcp_role = Unbound | Bound of addr | Listening of listener | Stream of endpoint
+
+and kobj = Tcp of { mutable role : tcp_role } | File of { f_path : string; mutable offset : int }
+
+and desc = { mutable refs : int; obj : kobj }
+
+and waiter = {
+  w_thread : thread;
+  mutable fired : bool;
+  check : unit -> S.result option;
+  blocked_since : int;
+  w_call : S.call;
+  deliver : S.result -> unit;
+}
+
+and tstate = Running | Blocked of S.call | Finished
+
+and thread = {
+  t_tid : int;
+  t_name : string;
+  t_proc : proc;
+  mutable t_state : tstate;
+  mutable t_stack : string list;
+  mutable t_result_map : (S.result -> S.result) option;
+  mutable t_call_report : S.call option; (* original call for monitors under Rewrite/Post *)
+  mutable t_blocked_since : int;
+}
+
+and proc = {
+  p_pid : int;
+  p_ppid : int;
+  p_name : string;
+  p_aspace : Aspace.t;
+  p_fdt : (int, desc) Hashtbl.t;
+  mutable p_reserved_mode : bool;
+  mutable p_next_reserved : int;
+  mutable p_alive : bool;
+  mutable p_status : int option;
+  mutable p_threads : thread list; (* reversed creation order *)
+  mutable p_resolver : (string -> (thread -> unit) option) option;
+  mutable p_interceptor : (thread -> S.call -> interception) option;
+  mutable p_monitor : (thread -> S.call -> S.result -> unit) option;
+  mutable p_payload : payload option;
+  mutable p_exit_waiters : waiter list;
+  p_creation_callstack : int;
+}
+
+and interception =
+  | Execute
+  | Short_circuit of S.result
+  | Rewrite of S.call
+  | Post of S.call * (S.result -> S.result)
+
+type t = {
+  kid : int;
+  costs : Costs.t;
+  mutable clock : int;
+  mutable idle : int;
+  runq : (unit -> unit) Queue.t;
+  mutable timers : (int * (unit -> unit)) list; (* sorted by time *)
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable all_procs : proc list; (* reversed creation order *)
+  ports : (int, desc) Hashtbl.t;
+  paths : (string, desc) Hashtbl.t;
+  sems : (string, sem) Hashtbl.t;
+  fs : (string, string) Hashtbl.t;
+  mutable block_monitor : (thread -> S.call -> blocked_ns:int -> unit) option;
+  mutable spawn_hook : (proc -> unit) option;
+  shm_ids : (int, int) Hashtbl.t; (* key -> globally-unique id; no namespaces *)
+  mutable next_shm_id : int;
+}
+
+and sem = { mutable count : int; mutable sem_waiters : waiter list }
+
+type image = Fresh_image of Aspace.t | Clone_image of proc
+
+type _ Effect.t += Sys : S.call -> S.result Effect.t
+
+let next_kid = ref 0
+
+let create ?(costs = Costs.default) () =
+  incr next_kid;
+  {
+    kid = !next_kid;
+    costs;
+    clock = 0;
+    idle = 0;
+    runq = Queue.create ();
+    timers = [];
+    next_pid = 1;
+    next_tid = 1;
+    all_procs = [];
+    ports = Hashtbl.create 16;
+    paths = Hashtbl.create 16;
+    sems = Hashtbl.create 16;
+    fs = Hashtbl.create 16;
+    block_monitor = None;
+    spawn_hook = None;
+    shm_ids = Hashtbl.create 8;
+    next_shm_id = 100;
+  }
+
+let id t = t.kid
+let clock_ns t = t.clock
+let costs t = t.costs
+let idle_ns t = t.idle
+let charge t ns = t.clock <- t.clock + ns
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem *)
+
+let fs_write t ~path data = Hashtbl.replace t.fs path data
+let fs_read t ~path = Hashtbl.find_opt t.fs path
+let fs_exists t ~path = Hashtbl.mem t.fs path
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling primitives *)
+
+let schedule t job = Queue.push job t.runq
+
+let add_timer t ~at f =
+  t.timers <-
+    List.merge (fun (a, _) (b, _) -> compare a b) t.timers [ (at, f) ]
+
+(* Run one scheduling step. [deadline] stops the clock from jumping past a
+   horizon. Returns false when there is nothing left to do (before the
+   deadline). *)
+let step t ?deadline () =
+  if not (Queue.is_empty t.runq) then begin
+    charge t t.costs.Costs.switch_ns;
+    (Queue.pop t.runq) ();
+    true
+  end
+  else
+    match t.timers with
+    | [] -> false
+    | (time, f) :: rest -> begin
+        match deadline with
+        | Some d when time > d ->
+            t.clock <- max t.clock d;
+            false
+        | _ ->
+            if time > t.clock then t.idle <- t.idle + (time - t.clock);
+            t.clock <- max t.clock time;
+            t.timers <- rest;
+            f ();
+            true
+      end
+
+let run t = while step t () do () done
+
+let run_until t ?max_ns pred =
+  let deadline = Option.map (fun ns -> ns) max_ns in
+  let rec loop () =
+    if pred () then true
+    else
+      let continue_ =
+        match deadline with
+        | Some d when t.clock >= d -> false
+        | _ -> step t ?deadline ()
+      in
+      if continue_ then loop () else pred ()
+  in
+  loop ()
+
+let run_for t ns =
+  let deadline = t.clock + ns in
+  while t.clock < deadline && step t ~deadline () do () done
+
+let quiescent_system t = Queue.is_empty t.runq && t.timers = []
+
+(* ------------------------------------------------------------------ *)
+(* Waiters *)
+
+let try_fire w =
+  if (not w.fired) && w.w_thread.t_proc.p_alive then
+    match w.check () with
+    | Some r ->
+        w.fired <- true;
+        w.deliver r
+    | None -> ()
+
+let fire_timeout w r =
+  if (not w.fired) && w.w_thread.t_proc.p_alive then begin
+    w.fired <- true;
+    w.deliver r
+  end
+
+let notify_waiters get set obj =
+  let ws = get obj in
+  set obj (List.filter (fun w -> not w.fired) ws);
+  List.iter try_fire (get obj)
+
+let notify_endpoint ep =
+  notify_waiters (fun e -> e.ep_waiters) (fun e ws -> e.ep_waiters <- ws) ep
+
+let notify_listener l =
+  notify_waiters (fun l -> l.l_waiters) (fun l ws -> l.l_waiters <- ws) l
+
+let notify_sem s =
+  notify_waiters (fun s -> s.sem_waiters) (fun s ws -> s.sem_waiters <- ws) s
+
+(* ------------------------------------------------------------------ *)
+(* Processes and fds *)
+
+let pid p = p.p_pid
+let parent_pid p = p.p_ppid
+let proc_name p = p.p_name
+let aspace p = p.p_aspace
+let alive p = p.p_alive
+let exit_status p = p.p_status
+let procs t = List.rev t.all_procs
+let find_proc t pid = List.find_opt (fun p -> p.p_pid = pid) t.all_procs
+let proc_threads p = List.rev p.p_threads
+let payload p = p.p_payload
+let set_payload p v = p.p_payload <- Some v
+let creation_callstack p = p.p_creation_callstack
+let set_entry_resolver p r = p.p_resolver <- Some r
+let set_interceptor p i = p.p_interceptor <- i
+let set_monitor p m = p.p_monitor <- m
+let set_block_monitor t m = t.block_monitor <- m
+let set_reserved_fd_mode p b = p.p_reserved_mode <- b
+
+let fds p = Hashtbl.fold (fun fd _ acc -> fd :: acc) p.p_fdt [] |> List.sort compare
+
+let reserved_fd_base = 1000
+
+let alloc_fd p desc =
+  let fd =
+    if p.p_reserved_mode then begin
+      let fd = p.p_next_reserved in
+      p.p_next_reserved <- fd + 1;
+      fd
+    end
+    else begin
+      let rec find n = if Hashtbl.mem p.p_fdt n then find (n + 1) else n in
+      find 3
+    end
+  in
+  Hashtbl.replace p.p_fdt fd desc;
+  fd
+
+let install_fd_at p fd desc =
+  if Hashtbl.mem p.p_fdt fd then Error S.EEXIST
+  else begin
+    Hashtbl.replace p.p_fdt fd desc;
+    if fd >= p.p_next_reserved then p.p_next_reserved <- fd + 1;
+    Ok fd
+  end
+
+let find_fd p fd = Hashtbl.find_opt p.p_fdt fd
+
+let close_endpoint ep =
+  ep.local_closed <- true;
+  match ep.peer with Some peer -> notify_endpoint peer | None -> ()
+
+let release_desc t desc =
+  desc.refs <- desc.refs - 1;
+  if desc.refs = 0 then
+    match desc.obj with
+    | Tcp r -> begin
+        match r.role with
+        | Stream ep -> close_endpoint ep
+        | Listening l ->
+            l.l_closed <- true;
+            (match l.l_addr with
+            | Port port -> Hashtbl.remove t.ports port
+            | Path path -> Hashtbl.remove t.paths path);
+            Queue.iter close_endpoint l.backlog_q;
+            Queue.clear l.backlog_q
+        | Bound (Port port) -> Hashtbl.remove t.ports port
+        | Bound (Path path) -> Hashtbl.remove t.paths path
+        | Unbound -> ()
+      end
+    | File _ -> ()
+
+let close_fd t p fd =
+  match find_fd p fd with
+  | None -> Error S.EBADF
+  | Some desc ->
+      Hashtbl.remove p.p_fdt fd;
+      release_desc t desc;
+      Ok ()
+
+let process_exit t p status =
+  if p.p_alive then begin
+    p.p_alive <- false;
+    p.p_status <- Some status;
+    List.iter (fun th -> th.t_state <- Finished) p.p_threads;
+    List.iter (fun fd -> ignore (close_fd t p fd)) (fds p);
+    p.p_exit_waiters <- List.filter (fun w -> not w.fired) p.p_exit_waiters;
+    List.iter try_fire p.p_exit_waiters
+  end
+
+let kill_process t p ~status = process_exit t p status
+
+(* ------------------------------------------------------------------ *)
+(* Threads *)
+
+let tid th = th.t_tid
+let thread_name th = th.t_name
+let thread_proc th = th.t_proc
+let thread_alive th = th.t_state <> Finished
+let push_frame th name = th.t_stack <- name :: th.t_stack
+let pop_frame th = match th.t_stack with [] -> () | _ :: rest -> th.t_stack <- rest
+let callstack th = th.t_stack
+let callstack_id th = Mcr_util.Fnv.strings (List.rev th.t_stack)
+
+let blocked_in th = match th.t_state with Blocked c -> Some c | Running | Finished -> None
+
+let blocked_since th =
+  match th.t_state with Blocked _ -> Some th.t_blocked_since | Running | Finished -> None
+
+let syscall call = Effect.perform (Sys call)
+
+(* Mutual recursion: starting threads needs the syscall handler, which can
+   fork, which starts threads. *)
+
+let rec start_thread t (th : thread) body =
+  let open Effect.Deep in
+  schedule t (fun () ->
+      if th.t_proc.p_alive then
+        match_with
+          (fun () ->
+            body th;
+            th.t_state <- Finished;
+            (* C semantics: the initial thread returning ends the process *)
+            if th.t_tid = (match List.rev th.t_proc.p_threads with m :: _ -> m.t_tid | [] -> th.t_tid)
+            then process_exit t th.t_proc 0)
+          ()
+          {
+            retc = Fun.id;
+            exnc =
+              (fun e ->
+                th.t_state <- Finished;
+                match e with
+                | S.Program_exit status -> process_exit t th.t_proc status
+                | e ->
+                    Logs.err (fun m ->
+                        m "thread %s/%d crashed: %s" th.t_name th.t_tid (Printexc.to_string e));
+                    process_exit t th.t_proc 139);
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Sys call ->
+                    Some
+                      (fun (k : (a, unit) continuation) ->
+                        (* the Sys match refines a = S.result *)
+                        let k : (S.result, unit) continuation = k in
+                        handle_syscall t th call k)
+                | _ -> None);
+          })
+
+and make_thread t p ~name =
+  let th = { t_tid = t.next_tid; t_name = name; t_proc = p; t_state = Running; t_stack = []; t_result_map = None; t_call_report = None; t_blocked_since = 0 } in
+  t.next_tid <- t.next_tid + 1;
+  p.p_threads <- th :: p.p_threads;
+  th
+
+and spawn_thread t p ~name body =
+  charge t t.costs.Costs.spawn_ns;
+  let th = make_thread t p ~name in
+  start_thread t th body;
+  th
+
+and spawn_process t ?parent ?force_pid ~image ~name ~entry ~main () =
+  charge t t.costs.Costs.spawn_ns;
+  let pid =
+    match force_pid with
+    | Some pid ->
+        if List.exists (fun p -> p.p_pid = pid) t.all_procs then
+          invalid_arg (Printf.sprintf "spawn_process: pid %d already in use" pid)
+        else begin
+          if pid >= t.next_pid then t.next_pid <- pid + 1;
+          pid
+        end
+    | None ->
+        let pid = t.next_pid in
+        t.next_pid <- pid + 1;
+        pid
+  in
+  let asp, fdt, creation_cs =
+    match image with
+    | Fresh_image asp -> (asp, Hashtbl.create 16, 0)
+    | Clone_image src ->
+        let fdt = Hashtbl.copy src.p_fdt in
+        Hashtbl.iter (fun _ d -> d.refs <- d.refs + 1) fdt;
+        (Aspace.clone src.p_aspace, fdt, 0)
+  in
+  let p =
+    {
+      p_pid = pid;
+      p_ppid = (match parent with Some pp -> pp.p_pid | None -> 0);
+      p_name = name;
+      p_aspace = asp;
+      p_fdt = fdt;
+      p_reserved_mode = (match parent with Some pp -> pp.p_reserved_mode | None -> false);
+      p_next_reserved = (match parent with Some pp -> pp.p_next_reserved | None -> reserved_fd_base);
+      p_alive = true;
+      p_status = None;
+      p_threads = [];
+      p_resolver = (match parent with Some pp -> pp.p_resolver | None -> None);
+      p_interceptor = None;
+      p_monitor = None;
+      p_payload = None;
+      p_exit_waiters = [];
+      p_creation_callstack = creation_cs;
+    }
+  in
+  t.all_procs <- p :: t.all_procs;
+  (match t.spawn_hook with Some h -> h p | None -> ());
+  let th = make_thread t p ~name:entry in
+  start_thread t th main;
+  p
+
+and fork_process t (parent_thread : thread) entry =
+  let parent = parent_thread.t_proc in
+  match parent.p_resolver with
+  | None -> Error S.EINVAL
+  | Some resolver -> begin
+      match resolver entry with
+      | None -> Error S.EINVAL
+      | Some body ->
+          charge t t.costs.Costs.spawn_ns;
+          let pid = t.next_pid in
+          t.next_pid <- pid + 1;
+          let fdt = Hashtbl.copy parent.p_fdt in
+          Hashtbl.iter (fun _ d -> d.refs <- d.refs + 1) fdt;
+          let p =
+            {
+              p_pid = pid;
+              p_ppid = parent.p_pid;
+              p_name = parent.p_name ^ ":" ^ entry;
+              p_aspace = Aspace.clone parent.p_aspace;
+              p_fdt = fdt;
+              p_reserved_mode = parent.p_reserved_mode;
+              p_next_reserved = parent.p_next_reserved;
+              p_alive = true;
+              p_status = None;
+              p_threads = [];
+              p_resolver = parent.p_resolver;
+              p_interceptor = None;
+              p_monitor = None;
+              p_payload = None;
+              p_exit_waiters = [];
+              p_creation_callstack = callstack_id parent_thread;
+            }
+          in
+          t.all_procs <- p :: t.all_procs;
+          (match t.spawn_hook with Some h -> h p | None -> ());
+          let th = make_thread t p ~name:entry in
+          start_thread t th body;
+          Ok p
+    end
+
+(* ---------------------------------------------------------------- *)
+(* Blocking helpers *)
+
+and park t th call (k : (S.result, unit) Effect.Deep.continuation) ~check ~registers ~timeout =
+  th.t_state <- Blocked call;
+  th.t_blocked_since <- t.clock;
+  let w =
+    {
+      w_thread = th;
+      fired = false;
+      check;
+      blocked_since = t.clock;
+      w_call = call;
+      deliver = (fun _ -> ());
+    }
+  in
+  (* tie the knot: deliver needs the waiter for blocked-time accounting *)
+  let w =
+    { w with
+      deliver =
+        (fun r ->
+          th.t_state <- Running;
+          let r =
+            match th.t_result_map with
+            | Some f ->
+                th.t_result_map <- None;
+                f r
+            | None -> r
+          in
+          let call =
+            match th.t_call_report with
+            | Some c ->
+                th.t_call_report <- None;
+                c
+            | None -> call
+          in
+          (match t.block_monitor with
+          | Some m -> m th call ~blocked_ns:(t.clock - w.blocked_since)
+          | None -> ());
+          (match th.t_proc.p_monitor with Some m -> m th call r | None -> ());
+          schedule t (fun () -> Effect.Deep.continue k r));
+    }
+  in
+  List.iter (fun reg -> reg w) registers;
+  (match timeout with
+  | Some (ns, timeout_result) -> add_timer t ~at:(t.clock + ns) (fun () -> fire_timeout w timeout_result)
+  | None -> ());
+  (* the condition may already hold *)
+  try_fire w
+
+(* ---------------------------------------------------------------- *)
+(* Syscall execution *)
+
+and handle_syscall t th call (k : (S.result, unit) Effect.Deep.continuation) =
+  charge t t.costs.Costs.syscall_ns;
+  let proc = th.t_proc in
+  if not proc.p_alive then th.t_state <- Finished
+  else begin
+    let interception =
+      match proc.p_interceptor with Some i -> i th call | None -> Execute
+    in
+    match interception with
+    | Short_circuit r -> schedule t (fun () -> Effect.Deep.continue k r)
+    | Execute -> execute_call t th call k
+    | Rewrite call' ->
+        th.t_call_report <- Some call;
+        execute_call t th call' k
+    | Post (call', f) ->
+        th.t_call_report <- Some call;
+        execute_call_mapped t th call' f k
+  end
+
+and finish t th call (k : (S.result, unit) Effect.Deep.continuation) r =
+  let r = match th.t_result_map with Some f -> th.t_result_map <- None; f r | None -> r in
+  let call =
+    match th.t_call_report with
+    | Some c ->
+        th.t_call_report <- None;
+        c
+    | None -> call
+  in
+  (match th.t_proc.p_monitor with Some m -> m th call r | None -> ());
+  schedule t (fun () -> Effect.Deep.continue k r)
+
+and execute_call_mapped t th call f (k : (S.result, unit) Effect.Deep.continuation) =
+  th.t_result_map <- Some f;
+  execute_call t th call k
+
+and stream_of_fd p fd =
+  match find_fd p fd with
+  | Some { obj = Tcp { role = Stream ep }; _ } -> Some ep
+  | _ -> None
+
+and readable _t p fd =
+  match find_fd p fd with
+  | None -> false
+  | Some { obj = File _; _ } -> true
+  | Some { obj = Tcp r; _ } -> begin
+      match r.role with
+      | Listening l -> not (Queue.is_empty l.backlog_q)
+      | Stream ep ->
+          (not (Queue.is_empty ep.inbox))
+          || (not (Queue.is_empty ep.fd_inbox))
+          || (match ep.peer with Some peer -> peer.local_closed | None -> true)
+      | Unbound | Bound _ -> false
+    end
+  [@warning "-27"]
+
+and waiter_registrars p fd =
+  (* the wait lists an fd's readability depends on *)
+  match find_fd p fd with
+  | Some { obj = Tcp r; _ } -> begin
+      match r.role with
+      | Listening l -> [ (fun w -> l.l_waiters <- w :: l.l_waiters) ]
+      | Stream ep ->
+          let own w = ep.ep_waiters <- w :: ep.ep_waiters in
+          (* peer close must also wake us; peers notify our endpoint *)
+          [ own ]
+      | Unbound | Bound _ -> []
+    end
+  | _ -> []
+
+and do_read t p fd max =
+  match find_fd p fd with
+  | None -> Some (S.Err S.EBADF)
+  | Some { obj = File f; _ } -> begin
+      match fs_read t ~path:f.f_path with
+      | None -> Some (S.Err S.ENOENT)
+      | Some contents ->
+          let len = min max (String.length contents - f.offset) in
+          let len = max_int_0 len in
+          let data = String.sub contents f.offset len in
+          f.offset <- f.offset + len;
+          charge t (len * t.costs.Costs.byte_ns / 64);
+          Some (S.Ok_data data)
+    end
+  | Some { obj = Tcp { role = Stream ep }; _ } ->
+      if not (Queue.is_empty ep.inbox) then begin
+        let chunk = Queue.pop ep.inbox in
+        let data =
+          if String.length chunk <= max then chunk
+          else begin
+            (* keep the remainder at the front of the inbox *)
+            let remainder = String.sub chunk max (String.length chunk - max) in
+            let rest = Queue.create () in
+            Queue.transfer ep.inbox rest;
+            Queue.push remainder ep.inbox;
+            Queue.transfer rest ep.inbox;
+            String.sub chunk 0 max
+          end
+        in
+        charge t (String.length data * t.costs.Costs.byte_ns / 64);
+        Some (S.Ok_data data)
+      end
+      else if (match ep.peer with Some peer -> peer.local_closed | None -> true) then
+        Some (S.Ok_data "")
+      else None
+  | Some _ -> Some (S.Err S.EINVAL)
+
+and max_int_0 n = if n < 0 then 0 else n
+
+and execute_call t th call (k : (S.result, unit) Effect.Deep.continuation) =
+  let proc = th.t_proc in
+  let ret r = finish t th call k r in
+  match call with
+  | S.Socket ->
+      let desc = { refs = 1; obj = Tcp { role = Unbound } } in
+      ret (S.Ok_fd (alloc_fd proc desc))
+  | S.Bind { fd; port } -> begin
+      match find_fd proc fd with
+      | Some ({ obj = Tcp r; _ } as _d) ->
+          if Hashtbl.mem t.ports port then ret (S.Err S.EADDRINUSE)
+          else begin
+            match r.role with
+            | Unbound ->
+                r.role <- Bound (Port port);
+                Hashtbl.replace t.ports port (Hashtbl.find proc.p_fdt fd);
+                ret S.Ok_unit
+            | Bound _ | Listening _ | Stream _ -> ret (S.Err S.EINVAL)
+          end
+      | Some _ -> ret (S.Err S.EINVAL)
+      | None -> ret (S.Err S.EBADF)
+    end
+  | S.Listen { fd; backlog } -> begin
+      match find_fd proc fd with
+      | Some { obj = Tcp r; _ } -> begin
+          match r.role with
+          | Bound addr ->
+              r.role <-
+                Listening
+                  {
+                    backlog_q = Queue.create ();
+                    backlog;
+                    l_addr = addr;
+                    l_waiters = [];
+                    l_closed = false;
+                  };
+              ret S.Ok_unit
+          | Unbound | Listening _ | Stream _ -> ret (S.Err S.EINVAL)
+        end
+      | Some _ -> ret (S.Err S.EINVAL)
+      | None -> ret (S.Err S.EBADF)
+    end
+  | S.Accept { fd; nonblock } -> begin
+      match find_fd proc fd with
+      | Some { obj = Tcp { role = Listening l }; _ } ->
+          let accept_one () =
+            if Queue.is_empty l.backlog_q then None
+            else begin
+              let server_ep = Queue.pop l.backlog_q in
+              let desc = { refs = 1; obj = Tcp { role = Stream server_ep } } in
+              Some (S.Ok_fd (alloc_fd proc desc))
+            end
+          in
+          begin
+            match accept_one () with
+            | Some r -> ret r
+            | None ->
+                if nonblock then ret (S.Err S.EAGAIN)
+                else
+                  park t th call k ~check:accept_one
+                    ~registers:[ (fun w -> l.l_waiters <- w :: l.l_waiters) ]
+                    ~timeout:None
+          end
+      | Some _ -> ret (S.Err S.EINVAL)
+      | None -> ret (S.Err S.EBADF)
+    end
+  | S.Accept_timed { fd; timeout_ns } -> begin
+      match find_fd proc fd with
+      | Some { obj = Tcp { role = Listening l }; _ } ->
+          let accept_one () =
+            if Queue.is_empty l.backlog_q then None
+            else begin
+              let server_ep = Queue.pop l.backlog_q in
+              let desc = { refs = 1; obj = Tcp { role = Stream server_ep } } in
+              Some (S.Ok_fd (alloc_fd proc desc))
+            end
+          in
+          begin
+            match accept_one () with
+            | Some r -> ret r
+            | None ->
+                park t th call k ~check:accept_one
+                  ~registers:[ (fun w -> l.l_waiters <- w :: l.l_waiters) ]
+                  ~timeout:(Some (timeout_ns, S.Err S.ETIMEDOUT))
+          end
+      | Some _ -> ret (S.Err S.EINVAL)
+      | None -> ret (S.Err S.EBADF)
+    end
+  | S.Connect { port } -> begin
+      match Hashtbl.find_opt t.ports port with
+      | Some { obj = Tcp { role = Listening l }; _ } when not l.l_closed ->
+          if Queue.length l.backlog_q >= l.backlog then ret (S.Err S.ECONNREFUSED)
+          else begin
+            let client_ep =
+              { inbox = Queue.create (); fd_inbox = Queue.create (); peer = None;
+                local_closed = false; ep_waiters = [] }
+            in
+            let server_ep =
+              { inbox = Queue.create (); fd_inbox = Queue.create (); peer = Some client_ep;
+                local_closed = false; ep_waiters = [] }
+            in
+            client_ep.peer <- Some server_ep;
+            Queue.push server_ep l.backlog_q;
+            notify_listener l;
+            let desc = { refs = 1; obj = Tcp { role = Stream client_ep } } in
+            ret (S.Ok_fd (alloc_fd proc desc))
+          end
+      | Some _ | None -> ret (S.Err S.ECONNREFUSED)
+    end
+  | S.Read { fd; max; nonblock } -> begin
+      match do_read t proc fd max with
+      | Some r -> ret r
+      | None ->
+          if nonblock then ret (S.Err S.EAGAIN)
+          else begin
+            match stream_of_fd proc fd with
+            | Some ep ->
+                park t th call k
+                  ~check:(fun () -> do_read t proc fd max)
+                  ~registers:[ (fun w -> ep.ep_waiters <- w :: ep.ep_waiters) ]
+                  ~timeout:None
+            | None -> ret (S.Err S.EBADF)
+          end
+    end
+  | S.Write { fd; data } -> begin
+      match find_fd proc fd with
+      | None -> ret (S.Err S.EBADF)
+      | Some { obj = File f; _ } ->
+          let existing = Option.value (fs_read t ~path:f.f_path) ~default:"" in
+          fs_write t ~path:f.f_path (existing ^ data);
+          charge t (String.length data * t.costs.Costs.byte_ns / 64);
+          ret (S.Ok_len (String.length data))
+      | Some { obj = Tcp { role = Stream ep }; _ } -> begin
+          match ep.peer with
+          | Some peer when not peer.local_closed ->
+              if ep.local_closed then ret (S.Err S.EPIPE)
+              else begin
+                Queue.push data peer.inbox;
+                charge t (String.length data * t.costs.Costs.byte_ns / 64);
+                notify_endpoint peer;
+                ret (S.Ok_len (String.length data))
+              end
+          | Some _ | None -> ret (S.Err S.EPIPE)
+        end
+      | Some _ -> ret (S.Err S.EINVAL)
+    end
+  | S.Close { fd } -> begin
+      match close_fd t proc fd with
+      | Ok () -> ret S.Ok_unit
+      | Error e -> ret (S.Err e)
+    end
+  | S.Open { path; create } ->
+      if fs_exists t ~path then
+        ret (S.Ok_fd (alloc_fd proc { refs = 1; obj = File { f_path = path; offset = 0 } }))
+      else if create then begin
+        fs_write t ~path "";
+        ret (S.Ok_fd (alloc_fd proc { refs = 1; obj = File { f_path = path; offset = 0 } }))
+      end
+      else ret (S.Err S.ENOENT)
+  | S.Open_at { path; create; force_fd } ->
+      if (not (fs_exists t ~path)) && not create then ret (S.Err S.ENOENT)
+      else begin
+        if (not (fs_exists t ~path)) && create then fs_write t ~path "";
+        match install_fd_at proc force_fd { refs = 1; obj = File { f_path = path; offset = 0 } } with
+        | Ok fd -> ret (S.Ok_fd fd)
+        | Error e -> ret (S.Err e)
+      end
+  | S.Dup { fd } -> begin
+      match find_fd proc fd with
+      | None -> ret (S.Err S.EBADF)
+      | Some desc ->
+          desc.refs <- desc.refs + 1;
+          ret (S.Ok_fd (alloc_fd proc desc))
+    end
+  | S.Poll { fds; timeout_ns; nonblock } ->
+      let ready () =
+        let r = List.filter (readable t proc) fds in
+        if r <> [] then Some (S.Ok_ready r) else None
+      in
+      begin
+        match ready () with
+        | Some r -> ret r
+        | None ->
+            if nonblock then ret (S.Ok_ready [])
+            else begin
+              let registers = List.concat_map (waiter_registrars proc) fds in
+              let timeout =
+                Option.map (fun ns -> (ns, S.Ok_ready [])) timeout_ns
+              in
+              park t th call k ~check:ready ~registers ~timeout
+            end
+      end
+  | S.Getpid -> ret (S.Ok_pid proc.p_pid)
+  | S.Getppid -> ret (S.Ok_pid proc.p_ppid)
+  | S.Fork { entry } -> begin
+      match fork_process t th entry with
+      | Ok child -> ret (S.Ok_pid child.p_pid)
+      | Error e -> ret (S.Err e)
+    end
+  | S.Thread_create { entry } -> begin
+      match proc.p_resolver with
+      | None -> ret (S.Err S.EINVAL)
+      | Some resolver -> begin
+          match resolver entry with
+          | None -> ret (S.Err S.EINVAL)
+          | Some body ->
+              let th' = spawn_thread t proc ~name:entry body in
+              ret (S.Ok_pid th'.t_tid)
+        end
+    end
+  | S.Waitpid { pid } -> begin
+      match find_proc t pid with
+      | None -> ret (S.Err S.ECHILD)
+      | Some child ->
+          let status () =
+            match child.p_status with Some s -> Some (S.Ok_status s) | None -> None
+          in
+          begin
+            match status () with
+            | Some r -> ret r
+            | None ->
+                park t th call k ~check:status
+                  ~registers:[ (fun w -> child.p_exit_waiters <- w :: child.p_exit_waiters) ]
+                  ~timeout:None
+          end
+    end
+  | S.Exit { status } ->
+      process_exit t proc status;
+      ignore (Sys.opaque_identity k)
+  | S.Nanosleep { ns } ->
+      park t th call k ~check:(fun () -> None) ~registers:[] ~timeout:(Some (ns, S.Ok_unit))
+  | S.Sem_wait { name; timeout_ns } ->
+      let sem =
+        match Hashtbl.find_opt t.sems name with
+        | Some s -> s
+        | None ->
+            let s = { count = 0; sem_waiters = [] } in
+            Hashtbl.replace t.sems name s;
+            s
+      in
+      let take () =
+        if sem.count > 0 then begin
+          sem.count <- sem.count - 1;
+          Some S.Ok_unit
+        end
+        else None
+      in
+      begin
+        match take () with
+        | Some r -> ret r
+        | None ->
+            let timeout = Option.map (fun ns -> (ns, S.Err S.ETIMEDOUT)) timeout_ns in
+            park t th call k ~check:take
+              ~registers:[ (fun w -> sem.sem_waiters <- w :: sem.sem_waiters) ]
+              ~timeout
+      end
+  | S.Sem_post { name } ->
+      let sem =
+        match Hashtbl.find_opt t.sems name with
+        | Some s -> s
+        | None ->
+            let s = { count = 0; sem_waiters = [] } in
+            Hashtbl.replace t.sems name s;
+            s
+      in
+      sem.count <- sem.count + 1;
+      notify_sem sem;
+      ret S.Ok_unit
+  | S.Unix_listen { path } ->
+      if Hashtbl.mem t.paths path then ret (S.Err S.EADDRINUSE)
+      else begin
+        let l =
+          { backlog_q = Queue.create (); backlog = 64; l_addr = Path path; l_waiters = [];
+            l_closed = false }
+        in
+        let desc = { refs = 1; obj = Tcp { role = Listening l } } in
+        Hashtbl.replace t.paths path desc;
+        ret (S.Ok_fd (alloc_fd proc desc))
+      end
+  | S.Unix_connect { path } -> begin
+      match Hashtbl.find_opt t.paths path with
+      | Some { obj = Tcp { role = Listening l }; _ } when not l.l_closed ->
+          let client_ep =
+            { inbox = Queue.create (); fd_inbox = Queue.create (); peer = None;
+              local_closed = false; ep_waiters = [] }
+          in
+          let server_ep =
+            { inbox = Queue.create (); fd_inbox = Queue.create (); peer = Some client_ep;
+              local_closed = false; ep_waiters = [] }
+          in
+          client_ep.peer <- Some server_ep;
+          Queue.push server_ep l.backlog_q;
+          notify_listener l;
+          ret (S.Ok_fd (alloc_fd proc { refs = 1; obj = Tcp { role = Stream client_ep } }))
+      | Some _ | None -> ret (S.Err S.ECONNREFUSED)
+    end
+  | S.Send_fd { conn; payload } -> begin
+      match (stream_of_fd proc conn, find_fd proc payload) with
+      | Some ep, Some payload_desc -> begin
+          match ep.peer with
+          | Some peer when not peer.local_closed ->
+              payload_desc.refs <- payload_desc.refs + 1;
+              Queue.push payload_desc peer.fd_inbox;
+              notify_endpoint peer;
+              ret S.Ok_unit
+          | Some _ | None -> ret (S.Err S.EPIPE)
+        end
+      | None, _ -> ret (S.Err S.EBADF)
+      | _, None -> ret (S.Err S.EBADF)
+    end
+  | S.Recv_fd { conn; nonblock } -> begin
+      match stream_of_fd proc conn with
+      | None -> ret (S.Err S.EBADF)
+      | Some ep ->
+          let recv () =
+            if Queue.is_empty ep.fd_inbox then None
+            else begin
+              let desc = Queue.pop ep.fd_inbox in
+              Some (S.Ok_fd (alloc_fd proc desc))
+            end
+          in
+          begin
+            match recv () with
+            | Some r -> ret r
+            | None ->
+                if nonblock then ret (S.Err S.EAGAIN)
+                else
+                  park t th call k ~check:recv
+                    ~registers:[ (fun w -> ep.ep_waiters <- w :: ep.ep_waiters) ]
+                    ~timeout:None
+          end
+    end
+  | S.Shmget { key } -> begin
+      match Hashtbl.find_opt t.shm_ids key with
+      | Some id -> ret (S.Ok_len id)
+      | None ->
+          let id = t.next_shm_id in
+          t.next_shm_id <- id + 1;
+          Hashtbl.replace t.shm_ids key id;
+          ret (S.Ok_len id)
+    end
+  | S.Recv_fd_at { conn; force_fd; nonblock } -> begin
+      match stream_of_fd proc conn with
+      | None -> ret (S.Err S.EBADF)
+      | Some ep ->
+          let recv () =
+            if Queue.is_empty ep.fd_inbox then None
+            else begin
+              let desc = Queue.pop ep.fd_inbox in
+              match install_fd_at proc force_fd desc with
+              | Ok fd -> Some (S.Ok_fd fd)
+              | Error e ->
+                  release_desc t desc;
+                  Some (S.Err e)
+            end
+          in
+          begin
+            match recv () with
+            | Some r -> ret r
+            | None ->
+                if nonblock then ret (S.Err S.EAGAIN)
+                else
+                  park t th call k ~check:recv
+                    ~registers:[ (fun w -> ep.ep_waiters <- w :: ep.ep_waiters) ]
+                    ~timeout:None
+          end
+    end
+
+let set_spawn_hook t h = t.spawn_hook <- h
+
+let post_semaphore t name =
+  let sem =
+    match Hashtbl.find_opt t.sems name with
+    | Some s -> s
+    | None ->
+        let s = { count = 0; sem_waiters = [] } in
+        Hashtbl.replace t.sems name s;
+        s
+  in
+  sem.count <- sem.count + 1;
+  notify_sem sem
+
+let transfer_fd t ~src ~fd ~dst ~at =
+  match find_fd src fd with
+  | None -> Error S.EBADF
+  | Some desc ->
+      if Hashtbl.mem dst.p_fdt at then Error S.EEXIST
+      else begin
+        desc.refs <- desc.refs + 1;
+        ignore (install_fd_at dst at desc);
+        ignore t;
+        Ok at
+      end
+
+let close_fd_external t p fd = ignore (close_fd t p fd)

@@ -1,0 +1,195 @@
+(** The simulated kernel: processes, threads, scheduling, file descriptors,
+    sockets, semaphores, timers, and the system-call layer.
+
+    Threads are cooperative coroutines implemented with OCaml effects; a
+    thread parks whenever a blocking call cannot complete and is resumed by
+    the event (data arrival, connection, semaphore post, timer) that
+    satisfies it. A single virtual clock orders everything; it advances by
+    the {!Costs.t} of each operation and jumps to the next timer when every
+    thread is blocked.
+
+    The per-process {e interceptor} and {e monitor} hooks are the
+    "library-level interception of all the startup-time syscalls"
+    (Section 5) that mutable reinitialization is built on. *)
+
+type t
+type proc
+type thread
+
+type payload = ..
+(** Extensible per-process slot; the program layer stores its image (heaps,
+    symbol tables, globals) here. *)
+
+val create : ?costs:Costs.t -> unit -> t
+
+val id : t -> int
+(** Unique identity of this kernel instance (monotonic across creates). *)
+
+(** {1 Clock} *)
+
+val clock_ns : t -> int
+val costs : t -> Costs.t
+
+val idle_ns : t -> int
+(** Virtual time spent with no runnable thread (clock jumps to timers).
+    [clock_ns - idle_ns] is busy time; their ratio is CPU utilization. *)
+
+val charge : t -> int -> unit
+(** Advance the virtual clock by a cost (ns). The program and MCR layers use
+    this to bill instrumentation work to virtual time. *)
+
+(** {1 Filesystem} *)
+
+val fs_write : t -> path:string -> string -> unit
+val fs_read : t -> path:string -> string option
+val fs_exists : t -> path:string -> bool
+
+(** {1 Processes} *)
+
+type image =
+  | Fresh_image of Mcr_vmem.Aspace.t  (** Run with this (new) address space. *)
+  | Clone_image of proc  (** Deep-copy the other process's address space. *)
+
+val spawn_process :
+  t ->
+  ?parent:proc ->
+  ?force_pid:int ->
+  image:image ->
+  name:string ->
+  entry:string ->
+  main:(thread -> unit) ->
+  unit ->
+  proc
+(** Create a process whose initial thread runs [main]. The fd table is
+    copied from [parent] when cloning (fork semantics), empty otherwise.
+    [force_pid] implements pid-namespace forcing; @raise Invalid_argument if
+    the pid is taken. The process starts runnable. *)
+
+val set_entry_resolver : proc -> (string -> (thread -> unit) option) -> unit
+(** How [Fork]/[Thread_create] syscalls resolve their [entry] names. The
+    resolver is inherited by forked children. *)
+
+val pid : proc -> int
+val parent_pid : proc -> int
+val proc_name : proc -> string
+val aspace : proc -> Mcr_vmem.Aspace.t
+val alive : proc -> bool
+val exit_status : proc -> int option
+val procs : t -> proc list
+(** All processes ever created, in creation order. *)
+
+val find_proc : t -> int -> proc option
+
+val proc_threads : proc -> thread list
+val payload : proc -> payload option
+val set_payload : proc -> payload -> unit
+val creation_callstack : proc -> int
+(** Call-stack id of the [Fork] that created this process (0 for roots);
+    used to pair processes across versions (Section 6). *)
+
+val kill_process : t -> proc -> status:int -> unit
+(** Terminate a process from outside (MCR terminating the old version). *)
+
+val fds : proc -> int list
+(** Open fd numbers, sorted. *)
+
+val set_reserved_fd_mode : proc -> bool -> unit
+(** When on, new fds are allocated from a reserved high range "at the end of
+    the file descriptor space" (Section 5, global separability). *)
+
+(** {1 Threads} *)
+
+val tid : thread -> int
+val thread_name : thread -> string
+val thread_proc : thread -> proc
+val thread_alive : thread -> bool
+val spawn_thread : t -> proc -> name:string -> (thread -> unit) -> thread
+
+(** Shadow call stack, maintained by the program layer's [fn] combinator and
+    hashed into call-stack ids. *)
+
+val push_frame : thread -> string -> unit
+val pop_frame : thread -> unit
+val callstack : thread -> string list
+(** Innermost frame first. *)
+
+val callstack_id : thread -> int
+(** FNV hash of the active function names (Section 5). *)
+
+(** {1 System calls} *)
+
+val syscall : Sysdefs.call -> Sysdefs.result
+(** Perform a system call. Must run inside a simulated thread.
+    [Exit] does not return. *)
+
+type interception =
+  | Execute  (** Run the call normally. *)
+  | Short_circuit of Sysdefs.result  (** Replay: return this without executing. *)
+  | Rewrite of Sysdefs.call
+      (** Execute a different call instead (e.g. translating a virtual pid
+          from the old version's namespace to the real one). *)
+  | Post of Sysdefs.call * (Sysdefs.result -> Sysdefs.result)
+      (** Execute the given call, then transform its result before the
+          program sees it (e.g. returning the recorded child pid from a
+          fork while tracking the real one). *)
+
+val set_interceptor : proc -> (thread -> Sysdefs.call -> interception) option -> unit
+(** Pre-execution hook (replay engine). *)
+
+val set_monitor : proc -> (thread -> Sysdefs.call -> Sysdefs.result -> unit) option -> unit
+(** Post-execution hook (startup-log recording). Not invoked for
+    short-circuited calls. *)
+
+val set_block_monitor :
+  t -> (thread -> Sysdefs.call -> blocked_ns:int -> unit) option -> unit
+(** Invoked whenever a thread that parked in a blocking call resumes; the
+    quiescence profiler's statistical input. *)
+
+val set_spawn_hook : t -> (proc -> unit) option -> unit
+(** Invoked for every process created ({!spawn_process} or a [Fork]
+    syscall), before its first thread runs. The MCR runtime uses this to
+    attach instrumentation (interceptors, recorders) to children — the
+    preloaded-library analog. *)
+
+(** {1 Scheduling} *)
+
+val run : t -> unit
+(** Run until no thread is runnable and no timer is pending. *)
+
+val run_until : t -> ?max_ns:int -> (unit -> bool) -> bool
+(** Run until the predicate holds (checked between scheduling steps), the
+    system goes quiet, or the clock passes [max_ns] (an {e absolute} virtual
+    time). Returns whether the predicate held. *)
+
+val run_for : t -> int -> unit
+(** Run for at most [ns] of virtual time. *)
+
+val quiescent_system : t -> bool
+(** No runnable threads and no pending timers. *)
+
+val post_semaphore : t -> string -> unit
+(** Post a named semaphore from outside any simulated thread. The MCR
+    runtime (which runs as controller code, not as a simulated thread) uses
+    this to release quiescence barriers. *)
+
+val close_fd_external : t -> proc -> int -> unit
+(** Close a descriptor on a process's behalf (controller-side). Used by the
+    replay engine to garbage-collect inherited descriptors that no replay
+    operation referenced, and to apply startup-deferred closes. No-op on a
+    closed fd. *)
+
+val transfer_fd :
+  t -> src:proc -> fd:int -> dst:proc -> at:int -> (int, Sysdefs.err) result
+(** Kernel-mediated descriptor inheritance (the CRIU-style support MCR
+    builds on): install [src]'s descriptor [fd] into [dst] at exactly
+    [at], sharing the open file description with the source — the old and
+    new versions "share" the object until one of them closes it. Errors:
+    [EBADF] if [fd] is not open in [src], [EEXIST] if [at] is taken in
+    [dst]. *)
+
+val blocked_in : thread -> Sysdefs.call option
+(** The blocking call a parked thread is sitting in, if any. *)
+
+val blocked_since : thread -> int option
+(** Virtual time at which the thread parked in its current blocking call
+    ([None] when not blocked). The quiescence profiler's sampling input. *)

@@ -1,0 +1,358 @@
+module K = Mcr_simos.Kernel
+module Costs = Mcr_simos.Costs
+module Ty = Mcr_types.Ty
+module Tyreg = Mcr_types.Tyreg
+module Symtab = Mcr_types.Symtab
+module Heap = Mcr_alloc.Heap
+module Pool = Mcr_alloc.Pool
+module Slab = Mcr_alloc.Slab
+module Sites = Mcr_alloc.Sites
+module Aspace = Mcr_vmem.Aspace
+module Addr = Mcr_vmem.Addr
+module Region = Mcr_vmem.Region
+module P = Mcr_program.Progdef
+module Instr = Mcr_program.Instr
+
+type origin =
+  | O_static of string
+  | O_string of string
+  | O_heap
+  | O_lib
+  | O_pool_obj of string
+  | O_pool_chunk of string
+  | O_slab_chunk of string
+  | O_stack of string
+  | O_pinned
+
+type obj = {
+  id : int;
+  addr : Addr.t;
+  words : int;
+  ty : Ty.t option;
+  ty_name : string option;
+  origin : origin;
+  region : Region.kind;
+  startup : bool;
+  site : string option;
+  callstack : int;
+  mutable reachable : bool;
+  mutable immutable_ : bool;
+  mutable nonupdatable : bool;
+  mutable dirty : bool;
+}
+
+type side = {
+  mutable ptr : int;
+  mutable src_static : int;
+  mutable src_dynamic : int;
+  mutable targ_static : int;
+  mutable targ_dynamic : int;
+  mutable targ_lib : int;
+}
+
+type stats = { precise : side; likely : side }
+
+type t = {
+  objects : obj array;
+  roots : obj list;
+  stats : stats;
+  cost_ns : int;
+}
+
+let new_side () =
+  { ptr = 0; src_static = 0; src_dynamic = 0; targ_static = 0; targ_dynamic = 0; targ_lib = 0 }
+
+let record_edge side ~src_region ~targ_region =
+  side.ptr <- side.ptr + 1;
+  (match src_region with
+  | Region.Static -> side.src_static <- side.src_static + 1
+  | Region.Heap | Region.Stack | Region.Mmap | Region.Lib ->
+      side.src_dynamic <- side.src_dynamic + 1);
+  match targ_region with
+  | Region.Static -> side.targ_static <- side.targ_static + 1
+  | Region.Lib -> side.targ_lib <- side.targ_lib + 1
+  | Region.Heap | Region.Stack | Region.Mmap -> side.targ_dynamic <- side.targ_dynamic + 1
+
+(* ------------------------------------------------------------------ *)
+(* Object enumeration *)
+
+let enumerate (image : P.image) =
+  let next_id = ref 0 in
+  let objs = ref [] in
+  let version = image.P.i_version in
+  let add ~addr ~words ~ty ~ty_name ~origin ~region ~startup ~site ~callstack =
+    let o =
+      {
+        id = !next_id;
+        addr;
+        words;
+        ty;
+        ty_name;
+        origin;
+        region;
+        startup;
+        site;
+        callstack;
+        reachable = false;
+        immutable_ = false;
+        nonupdatable = false;
+        dirty = false;
+      }
+    in
+    incr next_id;
+    objs := o :: !objs;
+    o
+  in
+  (* static data symbols; MCR_ADD_OBJ_HANDLER annotations override the
+     declared type to reveal hidden pointers *)
+  List.iter
+    (fun (e : Symtab.entry) ->
+      let ty =
+        match P.obj_handler version e.Symtab.name with
+        | Some revealed -> revealed
+        | None -> e.Symtab.ty
+      in
+      ignore
+        (add ~addr:e.Symtab.addr ~words:e.Symtab.words ~ty:(Some ty) ~ty_name:None
+           ~origin:(O_static e.Symtab.name) ~region:Region.Static ~startup:true ~site:None
+           ~callstack:0))
+    (Symtab.entries image.P.i_symtab);
+  (* interned strings: conservative scanning's favourite targets *)
+  List.iter
+    (fun (s, addr) ->
+      let words = (String.length s + 1 + Addr.word_size - 1) / Addr.word_size in
+      ignore
+        (add ~addr ~words ~ty:(Some (Ty.Char_array (String.length s + 1))) ~ty_name:None
+           ~origin:(O_string s) ~region:Region.Static ~startup:true ~site:None ~callstack:0))
+    (Symtab.strings image.P.i_symtab);
+  (* instrumented-heap blocks *)
+  let block_ty (b : Heap.block) =
+    if b.Heap.instrumented && b.Heap.ty_id <> 0 then begin
+      match Tyreg.find image.P.i_tyreg b.Heap.ty_id with
+      | ty -> (Some ty, Some (Tyreg.name_of_id image.P.i_tyreg b.Heap.ty_id))
+      | exception Not_found -> (None, None)
+    end
+    else (None, None)
+  in
+  let site_label (b : Heap.block) =
+    if b.Heap.site = 0 then None
+    else
+      match Sites.find image.P.i_sites b.Heap.site with
+      | s -> Some s.Sites.label
+      | exception Not_found -> None
+  in
+  Heap.iter_live image.P.i_heap (fun b ->
+      let ty, ty_name = block_ty b in
+      ignore
+        (add ~addr:b.Heap.payload ~words:b.Heap.words ~ty ~ty_name ~origin:O_heap
+           ~region:Region.Heap ~startup:b.Heap.startup ~site:(site_label b)
+           ~callstack:b.Heap.callstack));
+  (* shared-library heap: per-block with dynamic instrumentation, one opaque
+     blob without *)
+  if image.P.i_instr.Instr.dynamic_instr then
+    Heap.iter_live image.P.i_lib_heap (fun b ->
+        ignore
+          (add ~addr:b.Heap.payload ~words:b.Heap.words ~ty:None ~ty_name:None ~origin:O_lib
+             ~region:Region.Lib ~startup:b.Heap.startup ~site:None ~callstack:0))
+  else begin
+    let base = Heap.base image.P.i_lib_heap in
+    let words = (Heap.limit image.P.i_lib_heap - base) / Addr.word_size in
+    ignore
+      (add ~addr:base ~words ~ty:None ~ty_name:None ~origin:O_lib ~region:Region.Lib
+         ~startup:true ~site:None ~callstack:0)
+  end;
+  (* pools: tagged objects when instrumented, opaque chunks otherwise *)
+  List.iter
+    (fun (pname, pool) ->
+      if Pool.is_instrumented pool then
+        Pool.iter_objects pool (fun b ->
+            let ty, ty_name = block_ty b in
+            ignore
+              (add ~addr:b.Heap.payload ~words:b.Heap.words ~ty ~ty_name
+                 ~origin:(O_pool_obj pname) ~region:Region.Heap ~startup:b.Heap.startup
+                 ~site:(site_label b) ~callstack:b.Heap.callstack))
+      else
+        List.iter
+          (fun (base, words) ->
+            ignore
+              (add ~addr:base ~words ~ty:None ~ty_name:None ~origin:(O_pool_chunk pname)
+                 ~region:Region.Heap ~startup:false ~site:None ~callstack:0))
+          (Pool.chunk_extents pool))
+    image.P.i_pools;
+  List.iter
+    (fun (sname, slab) ->
+      List.iter
+        (fun (base, words) ->
+          ignore
+            (add ~addr:base ~words ~ty:None ~ty_name:None ~origin:(O_slab_chunk sname)
+               ~region:Region.Heap ~startup:false ~site:None ~callstack:0))
+        (Slab.chunk_extents slab))
+    image.P.i_slabs;
+  (* memory pinned by a previous update: one opaque object per pinned
+     region, so chained updates re-discover (and re-pin) it *)
+  List.iter
+    (fun (r : Region.t) ->
+      if r.Region.name = "mcr:pin" then
+        ignore
+          (add ~addr:r.Region.base ~words:(r.Region.size / Addr.word_size) ~ty:None
+             ~ty_name:None ~origin:O_pinned ~region:r.Region.kind ~startup:false ~site:None
+             ~callstack:0))
+    (Aspace.regions image.P.i_aspace);
+  (* stack variables registered at instrumented quiescent points *)
+  List.iter
+    (fun (key, ty, addr) ->
+      let words = Ty.sizeof_words version.P.tyenv ty in
+      ignore
+        (add ~addr ~words ~ty:(Some ty) ~ty_name:None ~origin:(O_stack key)
+           ~region:Region.Stack ~startup:false ~site:None ~callstack:0))
+    image.P.i_stack_roots;
+  List.rev !objs
+
+(* ------------------------------------------------------------------ *)
+(* Address index *)
+
+let build_index objs =
+  let arr = Array.of_list objs in
+  Array.sort (fun a b -> compare a.addr b.addr) arr;
+  arr
+
+let resolve_in index addr =
+  if addr <= 0 || not (Addr.is_aligned addr) then None
+  else begin
+    (* binary search: greatest object with obj.addr <= addr *)
+    let lo = ref 0 and hi = ref (Array.length index - 1) and found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if index.(mid).addr <= addr then begin
+        found := Some index.(mid);
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    match !found with
+    | Some o when addr < Addr.add_words o.addr o.words ->
+        Some (o, (addr - o.addr) / Addr.word_size)
+    | _ -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Traversal *)
+
+let analyze ?(policy = Ty.default_policy) ?(tag_free = false) (image : P.image) =
+  let kernel = image.P.i_kernel in
+  let costs = K.costs kernel in
+  let cost = ref 0 in
+  let objs = enumerate image in
+  let objs =
+    if not tag_free then objs
+    else
+      (* drop type knowledge from dynamic objects: the tag-free strategy *)
+      List.map
+        (fun o ->
+          match o.origin with
+          | O_heap | O_pool_obj _ -> { o with ty = None; ty_name = None }
+          | _ -> o)
+        objs
+  in
+  let index = build_index objs in
+  let aspace = image.P.i_aspace in
+  let env = image.P.i_version.P.tyenv in
+  let stats = { precise = new_side (); likely = new_side () } in
+  let text = Symtab.text_region image.P.i_symtab in
+  let rec visit (o : obj) =
+    if not o.reachable then begin
+      o.reachable <- true;
+      cost := !cost + costs.Costs.trace_obj_ns;
+      match o.ty with
+      | Some ty -> visit_typed o ty
+      | None -> visit_opaque o 0 o.words
+    end
+  and visit_typed o ty =
+    let slots = Ty.slots ~policy env ty in
+    (* objects can be arrays of their tagged type *)
+    let tyw = Array.length slots in
+    if tyw = 0 then ()
+    else
+      for w = 0 to o.words - 1 do
+        match slots.(w mod tyw) with
+        | Ty.Slot_scalar -> ()
+        | Ty.Slot_ptr _ | Ty.Slot_void_ptr ->
+            follow_precise o (Addr.add_words o.addr w)
+        | Ty.Slot_func_ptr ->
+            let v = Aspace.read_word aspace (Addr.add_words o.addr w) in
+            if v <> 0 && Region.contains text v then
+              record_edge stats.precise ~src_region:o.region ~targ_region:Region.Static
+        | Ty.Slot_encoded_ptr { mask; _ } ->
+            let v = Aspace.read_word aspace (Addr.add_words o.addr w) in
+            let target = v land lnot mask in
+            if target <> 0 then follow_precise_value o target
+        | Ty.Slot_opaque -> scan_word o (Addr.add_words o.addr w)
+      done
+  and follow_precise o slot_addr =
+    let v = Aspace.read_word aspace slot_addr in
+    if v <> 0 then follow_precise_value o v
+  and follow_precise_value o v =
+    match resolve_in index v with
+    | Some (target, _off) ->
+        record_edge stats.precise ~src_region:o.region ~targ_region:target.region;
+        visit target
+    | None ->
+        (* function pointers and other non-object targets *)
+        if Region.contains text v then
+          record_edge stats.precise ~src_region:o.region ~targ_region:Region.Static
+  and visit_opaque o from_word words =
+    for w = from_word to from_word + words - 1 do
+      scan_word o (Addr.add_words o.addr w)
+    done
+  and scan_word o word_addr =
+    cost := !cost + costs.Costs.scan_word_ns;
+    let v = Aspace.read_word aspace word_addr in
+    if v <> 0 && Addr.is_aligned v then
+      match resolve_in index v with
+      | Some (target, _off) ->
+          record_edge stats.likely ~src_region:o.region ~targ_region:target.region;
+          (* conservative invariants: the target is pinned and neither side
+             may be type-transformed *)
+          target.immutable_ <- true;
+          target.nonupdatable <- true;
+          o.nonupdatable <- true;
+          visit target
+      | None -> ()
+  in
+  (* roots: global data symbols and stack variables *)
+  let roots =
+    List.filter
+      (fun o ->
+        match o.origin with O_static _ | O_stack _ -> true | _ -> false)
+      objs
+  in
+  List.iter visit roots;
+  (* dirtiness from soft-dirty page bits *)
+  List.iter
+    (fun o ->
+      let rec pages a =
+        if a < Addr.add_words o.addr o.words then
+          if Aspace.is_page_dirty aspace a then o.dirty <- true
+          else pages (Addr.add a Addr.page_size)
+      in
+      pages (Addr.page_base o.addr))
+    objs;
+  { objects = index; roots; stats; cost_ns = !cost }
+
+let resolve t addr = resolve_in t.objects addr
+
+let find_static t name =
+  Array.find_opt
+    (fun o -> match o.origin with O_static s -> s = name | _ -> false)
+    t.objects
+
+let reachable_objects t = Array.to_list t.objects |> List.filter (fun o -> o.reachable)
+
+let dirty_objects t = Array.to_list t.objects |> List.filter (fun o -> o.dirty)
+
+let pp_side ppf (s : side) =
+  Format.fprintf ppf "ptr=%d src(stat=%d dyn=%d) targ(stat=%d dyn=%d lib=%d)" s.ptr
+    s.src_static s.src_dynamic s.targ_static s.targ_dynamic s.targ_lib
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>precise: %a@,likely:  %a@]" pp_side t.precise pp_side t.likely

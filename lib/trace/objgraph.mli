@@ -1,0 +1,90 @@
+(** Mutable tracing, part 1: the hybrid precise/conservative heap traversal
+    (Section 6).
+
+    Starting from root objects (globals and registered stack variables), the
+    analysis follows typed pointer slots precisely and scans opaque slots
+    (unions, char arrays, pointer-sized integers, uninstrumented
+    allocations) conservatively for {e likely pointers} — aligned words
+    whose value falls inside a live object. Likely-pointer targets become
+    {e immutable} (cannot be relocated in the new version); objects
+    containing likely pointers become {e nonupdatable} (a type change
+    raises a conflict).
+
+    The analysis also computes per-object dirtiness from the kernel's
+    soft-dirty page bits and the pointer statistics of Table 2. *)
+
+type origin =
+  | O_static of string  (** Data symbol. *)
+  | O_string of string  (** Interned string literal (rodata). *)
+  | O_heap  (** Instrumented main-heap block. *)
+  | O_lib  (** Shared-library heap block (or blob). *)
+  | O_pool_obj of string  (** Tagged object in an instrumented pool. *)
+  | O_pool_chunk of string  (** Opaque chunk of an uninstrumented pool. *)
+  | O_slab_chunk of string  (** Opaque slab chunk. *)
+  | O_stack of string  (** Stack variable, by stable key. *)
+  | O_pinned
+      (** Memory pinned in place by a previous update (an [mcr:pin]
+          region): carried opaquely so chained updates keep immutable
+          objects alive across any number of versions. *)
+
+type obj = {
+  id : int;
+  addr : Mcr_vmem.Addr.t;
+  words : int;
+  ty : Mcr_types.Ty.t option;  (** [None] — fully opaque. *)
+  ty_name : string option;  (** Registry name, for cross-version pairing. *)
+  origin : origin;
+  region : Mcr_vmem.Region.kind;
+  startup : bool;  (** Allocated during startup (startup-flagged block or static). *)
+  site : string option;  (** Allocation-site label (dynamic objects). *)
+  callstack : int;  (** Allocation call-stack ID (dynamic objects; 0 if n/a). *)
+  mutable reachable : bool;
+  mutable immutable_ : bool;
+  mutable nonupdatable : bool;
+  mutable dirty : bool;
+}
+
+(** Table 2: one row side (precise or likely). *)
+type side = {
+  mutable ptr : int;
+  mutable src_static : int;
+  mutable src_dynamic : int;
+  mutable targ_static : int;
+  mutable targ_dynamic : int;
+  mutable targ_lib : int;
+}
+
+type stats = { precise : side; likely : side }
+
+type t = {
+  objects : obj array;  (** Sorted by address. *)
+  roots : obj list;
+  stats : stats;
+  cost_ns : int;  (** Virtual time the analysis would take. *)
+}
+
+val analyze : ?policy:Mcr_types.Ty.policy -> ?tag_free:bool -> Mcr_program.Progdef.image -> t
+(** Analyze a quiescent process image. Honors the image's instrumentation
+    config (uninstrumented pools/slabs yield opaque chunks; without dynamic
+    instrumentation the lib heap is one opaque blob) and the version's
+    [Obj_handler] annotations (which reveal hidden layouts of opaque
+    globals). The analysis cost is returned, not charged — multiprocess
+    tracing runs in parallel, so the caller charges the maximum across
+    processes.
+
+    [tag_free:true] ignores the in-band data-type tags (the Kitsune-style
+    configuration the paper contrasts with, Section 8): every dynamic
+    object becomes opaque, so all heap pointers degrade to likely pointers
+    and their targets to immutable — the ablation quantifying what the tags
+    buy. *)
+
+val resolve : t -> Mcr_vmem.Addr.t -> (obj * int) option
+(** Object containing an address, with the word offset inside it. *)
+
+val find_static : t -> string -> obj option
+(** Static object by symbol name. *)
+
+val reachable_objects : t -> obj list
+val dirty_objects : t -> obj list
+
+val pp_stats : Format.formatter -> stats -> unit

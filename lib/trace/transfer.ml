@@ -1,0 +1,459 @@
+module K = Mcr_simos.Kernel
+module Costs = Mcr_simos.Costs
+module Ty = Mcr_types.Ty
+module Typlan = Mcr_types.Typlan
+module Tyreg = Mcr_types.Tyreg
+module Symtab = Mcr_types.Symtab
+module Heap = Mcr_alloc.Heap
+module Sites = Mcr_alloc.Sites
+module Aspace = Mcr_vmem.Aspace
+module Addr = Mcr_vmem.Addr
+module Region = Mcr_vmem.Region
+module P = Mcr_program.Progdef
+open Objgraph
+
+type conflict =
+  | Nonupdatable_changed of { addr : Addr.t; ty_name : string; detail : string }
+  | No_plan of { addr : Addr.t; ty_name : string; detail : string }
+  | Missing_type of { addr : Addr.t; ty_name : string }
+
+type outcome = {
+  transferred_objects : int;
+  transferred_words : int;
+  skipped_clean : int;
+  immutable_remapped : int;
+  fresh_allocations : int;
+  type_transformed : int;
+  dangling_zeroed : int;
+  conflicts : conflict list;
+  cost_ns : int;
+  live_words : int;
+}
+
+(* Where an old object lands in the new version. *)
+type dest =
+  | D_existing of { addr : Addr.t; ty : Ty.t option; copy : bool }
+      (** Startup-matched (or static/stack); [copy] false = clean, skip. *)
+  | D_fresh of { addr : Addr.t; ty : Ty.t option }
+  | D_in_place  (** Immutable: same address, pages pinned. *)
+  | D_string of Addr.t  (** Interned literal in the new rodata. *)
+  | D_dropped
+
+type state = {
+  old_image : P.image;
+  new_image : P.image;
+  analysis : Objgraph.t;
+  dirty_only : bool;
+  dests : (int, dest) Hashtbl.t; (* old obj id -> destination *)
+  plans : (int, Typlan.t) Hashtbl.t;
+      (* transformation plan used per old object: interior pointers must
+         follow their field through the plan, not a linear offset *)
+  mutable conflicts : conflict list;
+  mutable cost : int;
+  mutable words_copied : int;
+  mutable objects_copied : int;
+  mutable skipped : int;
+  mutable pinned : int;
+  mutable fresh : int;
+  mutable transformed : int;
+  mutable dangling : int;
+}
+
+let conflictf st c = st.conflicts <- c :: st.conflicts
+
+let old_env st = st.old_image.P.i_version.P.tyenv
+let new_env st = st.new_image.P.i_version.P.tyenv
+
+let new_ty_exists st name =
+  match Ty.env_find (new_env st) name with _ -> true | exception Not_found -> false
+
+(* ------------------------------------------------------------------ *)
+(* Startup-object matching index (new version) *)
+
+(* site label -> startup blocks in address order, consumed in order *)
+let build_startup_index (new_image : P.image) =
+  let index : (string, (Addr.t * int * string option) Queue.t) Hashtbl.t = Hashtbl.create 32 in
+  let add_block ~site_label ~payload ~words ~ty_name =
+    match site_label with
+    | None -> ()
+    | Some label ->
+        let q =
+          match Hashtbl.find_opt index label with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace index label q;
+              q
+        in
+        Queue.push (payload, words, ty_name) q
+  in
+  let of_block (b : Heap.block) =
+    if b.Heap.startup then begin
+      let site_label =
+        if b.Heap.site = 0 then None
+        else
+          match Sites.find new_image.P.i_sites b.Heap.site with
+          | s -> Some s.Sites.label
+          | exception Not_found -> None
+      in
+      let ty_name =
+        if b.Heap.ty_id = 0 then None
+        else
+          match Tyreg.name_of_id new_image.P.i_tyreg b.Heap.ty_id with
+          | n -> Some n
+          | exception Not_found -> None
+      in
+      add_block ~site_label ~payload:b.Heap.payload ~words:b.Heap.words ~ty_name
+    end
+  in
+  Heap.iter_live new_image.P.i_heap of_block;
+  List.iter
+    (fun (_, pool) -> Mcr_alloc.Pool.iter_objects pool of_block)
+    new_image.P.i_pools;
+  index
+
+(* ------------------------------------------------------------------ *)
+(* Destination assignment *)
+
+let pin_pages st (o : obj) =
+  let aspace = st.new_image.P.i_aspace in
+  let rec go page =
+    if page < Addr.add_words o.addr o.words then begin
+      if not (Aspace.is_mapped_word aspace page) then
+        ignore
+          (Aspace.map aspace ~name:"mcr:pin" (Aspace.Fixed page) ~size:Addr.page_size
+             (match o.region with Region.Lib -> Region.Lib | _ -> Region.Mmap));
+      go (Addr.add page Addr.page_size)
+    end
+  in
+  go (Addr.page_base o.addr)
+
+let check_nonupdatable st (o : obj) =
+  match o.ty_name with
+  | Some name when new_ty_exists st name ->
+      if not (Ty.equal (old_env st) (new_env st) (Ty.Named name) (Ty.Named name)) then
+        conflictf st
+          (Nonupdatable_changed
+             {
+               addr = o.addr;
+               ty_name = name;
+               detail = "object is conservatively traced and cannot be type-transformed";
+             })
+  | Some _ | None -> ()
+
+let assign_dest st startup_index (o : obj) =
+  let dest =
+    if o.immutable_ then begin
+      check_nonupdatable st o;
+      pin_pages st o;
+      st.pinned <- st.pinned + 1;
+      D_in_place
+    end
+    else
+      match o.origin with
+      | O_string s -> begin
+          match Symtab.string_addr st.new_image.P.i_symtab s with
+          | addr -> D_string addr
+          | exception Not_found -> D_dropped
+        end
+      | O_static name -> begin
+          match Symtab.lookup_opt st.new_image.P.i_symtab name with
+          | Some e ->
+              D_existing { addr = e.Symtab.addr; ty = Some e.Symtab.ty; copy = o.dirty || not st.dirty_only }
+          | None -> D_dropped
+        end
+      | O_stack key -> begin
+          match
+            List.find_opt (fun (k, _, _) -> k = key) st.new_image.P.i_stack_roots
+          with
+          | Some (_, ty, addr) ->
+              D_existing { addr; ty = Some ty; copy = o.dirty || not st.dirty_only }
+          | None -> D_dropped
+        end
+      | O_pool_chunk _ | O_slab_chunk _ ->
+          (* uninstrumented custom-allocator memory is conservatively traced
+             by definition; reaching here (not marked immutable) still means
+             it cannot be relocated safely *)
+          pin_pages st o;
+          st.pinned <- st.pinned + 1;
+          D_in_place
+      | O_lib | O_pinned ->
+          pin_pages st o;
+          st.pinned <- st.pinned + 1;
+          D_in_place
+      | O_heap | O_pool_obj _ -> begin
+          (* dynamic object: try the startup-reallocation match first *)
+          let matched =
+            match o.site with
+            | Some label when o.startup -> begin
+                match Hashtbl.find_opt startup_index label with
+                | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+                | _ -> None
+              end
+            | _ -> None
+          in
+          match matched with
+          | Some (addr, _words, ty_name) ->
+              let ty = Option.map (fun n -> Ty.Named n) ty_name in
+              D_existing { addr; ty; copy = o.dirty || not st.dirty_only }
+          | None -> begin
+              (* reallocate at state-transfer time *)
+              match o.ty_name with
+              | Some name when not (new_ty_exists st name) ->
+                  if o.dirty then
+                    conflictf st (Missing_type { addr = o.addr; ty_name = name });
+                  D_dropped
+              | Some name ->
+                  let words = Ty.sizeof_words (new_env st) (Ty.Named name) in
+                  let ty_id = Tyreg.register st.new_image.P.i_tyreg ~name (Ty.Named name) in
+                  let site_id =
+                    match o.site with
+                    | Some label -> Sites.register st.new_image.P.i_sites ~label ~ty_id
+                    | None -> 0
+                  in
+                  let addr =
+                    Heap.malloc st.new_image.P.i_heap ~ty_id ~site:site_id
+                      ~callstack:o.callstack words
+                  in
+                  st.fresh <- st.fresh + 1;
+                  D_fresh { addr; ty = Some (Ty.Named name) }
+              | None ->
+                  (* untyped block: re-create at same size, verbatim *)
+                  let addr = Heap.malloc st.new_image.P.i_heap ~ty_id:0 ~callstack:o.callstack o.words in
+                  st.fresh <- st.fresh + 1;
+                  D_fresh { addr; ty = None }
+            end
+        end
+  in
+  Hashtbl.replace st.dests o.id dest
+
+(* ------------------------------------------------------------------ *)
+(* Copy / transform *)
+
+let read_old st (o : obj) =
+  Array.init o.words (fun i -> Aspace.read_word st.old_image.P.i_aspace (Addr.add_words o.addr i))
+
+(* State-transfer writes are user-space writes in the real system: they are
+   tracked, so the next update's soft-dirty epoch sees transferred state as
+   dirty and transfers it again rather than wrongly assuming the startup
+   code re-created it. *)
+let write_new st addr words_arr =
+  Array.iteri
+    (fun i v -> Aspace.write_word st.new_image.P.i_aspace (Addr.add_words addr i) v)
+    words_arr
+
+let charge_copy st words =
+  st.cost <- st.cost + (words * (K.costs st.old_image.P.i_kernel).Costs.transfer_word_ns);
+  st.words_copied <- st.words_copied + words;
+  st.objects_copied <- st.objects_copied + 1
+
+let verbatim st (o : obj) dst_addr dst_words =
+  let n = min o.words dst_words in
+  for i = 0 to n - 1 do
+    Aspace.write_word st.new_image.P.i_aspace (Addr.add_words dst_addr i)
+      (Aspace.read_word st.old_image.P.i_aspace (Addr.add_words o.addr i))
+  done;
+  charge_copy st n
+
+let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
+  (* user transfer handlers take precedence (semantic transformations) *)
+  let handler =
+    match o.ty_name with
+    | Some name -> P.transfer_handler st.new_image.P.i_version name
+    | None -> None
+  in
+  match handler with
+  | Some h ->
+      let old_words = read_old st o in
+      let dst_words = Ty.sizeof_words (new_env st) dst_ty in
+      let new_words = Array.make dst_words 0 in
+      h ~old_words ~new_words;
+      write_new st dst_addr new_words;
+      charge_copy st dst_words;
+      st.transformed <- st.transformed + 1;
+      true
+  | None -> begin
+      match Typlan.plan ~src_env:(old_env st) ~dst_env:(new_env st) ~src:src_ty ~dst:dst_ty with
+      | Ok plan ->
+          let src = st.old_image.P.i_aspace and dst = st.new_image.P.i_aspace in
+          Typlan.apply plan
+            ~read:(fun off -> Aspace.read_word src (Addr.add_words o.addr off))
+            ~write:(fun off v -> Aspace.write_word dst (Addr.add_words dst_addr off) v);
+          charge_copy st plan.Typlan.dst_words;
+          if not (Typlan.is_identity plan) then begin
+            st.transformed <- st.transformed + 1;
+            Hashtbl.replace st.plans o.id plan
+          end;
+          true
+      | Error detail ->
+          conflictf st
+            (No_plan
+               {
+                 addr = o.addr;
+                 ty_name = Option.value o.ty_name ~default:(Ty.to_string src_ty);
+                 detail;
+               });
+          false
+    end
+
+let copy_object st (o : obj) =
+  match Hashtbl.find_opt st.dests o.id with
+  | None | Some D_dropped | Some (D_string _) -> ()
+  | Some (D_existing { copy = false; _ }) -> st.skipped <- st.skipped + 1
+  | Some (D_existing { addr; ty; copy = true }) | Some (D_fresh { addr; ty }) -> begin
+      match (o.ty, ty) with
+      | Some src_ty, Some dst_ty -> ignore (transform st o ~src_ty ~dst_ty ~dst_addr:addr)
+      | _, _ ->
+          (* untyped on either side: verbatim *)
+          let dst_words =
+            match ty with
+            | Some dt -> Ty.sizeof_words (new_env st) dt
+            | None -> o.words
+          in
+          verbatim st o addr dst_words
+    end
+  | Some D_in_place ->
+      verbatim st o o.addr o.words
+
+(* ------------------------------------------------------------------ *)
+(* Pointer fixup *)
+
+(* translate an interior word offset through the target's transformation
+   plan: the word that held the pointed-at field may have moved *)
+let translate_offset st target_id delta_words =
+  if delta_words = 0 then Some 0 (* a base pointer is object identity, not "first field" *)
+  else
+    match Hashtbl.find_opt st.plans target_id with
+    | None -> Some delta_words
+    | Some plan ->
+        List.find_map
+          (function
+            | Typlan.Copy { src_off; dst_off; words }
+              when delta_words >= src_off && delta_words < src_off + words ->
+                Some (dst_off + (delta_words - src_off))
+            | Typlan.Copy _ | Typlan.Zero _ -> None)
+          plan.Typlan.actions
+
+let remap_value st v =
+  if v = 0 then Some 0
+  else
+    match Objgraph.resolve st.analysis v with
+    | Some (target, _) -> begin
+        let delta = v - target.addr in
+        let delta_words = delta / Addr.word_size in
+        match Hashtbl.find_opt st.dests target.id with
+        | Some (D_existing { addr; _ }) | Some (D_fresh { addr; _ }) -> begin
+            match translate_offset st target.id delta_words with
+            | Some w -> Some (Addr.add_words addr w + (delta mod Addr.word_size))
+            | None ->
+                (* the pointed-at field was dropped by the update *)
+                st.dangling <- st.dangling + 1;
+                Some 0
+          end
+        | Some (D_string addr) -> Some (addr + delta)
+        | Some D_in_place -> Some v
+        | Some D_dropped ->
+            st.dangling <- st.dangling + 1;
+            Some 0
+        | None -> Some v
+      end
+    | None -> begin
+        (* function pointers relocate by symbol *)
+        match Symtab.func_name_of_addr st.old_image.P.i_symtab v with
+        | Some fname -> begin
+            match Symtab.func_addr st.new_image.P.i_symtab fname with
+            | addr -> Some addr
+            | exception Not_found ->
+                st.dangling <- st.dangling + 1;
+                Some 0
+          end
+        | None -> None (* not a pointer we know; leave untouched *)
+      end
+
+let fixup_object st (o : obj) =
+  let fixup_at dst_addr dst_ty =
+    let slots = Ty.slots (new_env st) dst_ty in
+    let aspace = st.new_image.P.i_aspace in
+    let tyw = Array.length slots in
+    if tyw > 0 then begin
+      let dst_words = Ty.sizeof_words (new_env st) dst_ty in
+      for w = 0 to dst_words - 1 do
+        let a = Addr.add_words dst_addr w in
+        match slots.(w mod tyw) with
+        | Ty.Slot_ptr _ | Ty.Slot_void_ptr | Ty.Slot_func_ptr ->
+            let v = Aspace.read_word aspace a in
+            (match remap_value st v with
+            | Some v' when v' <> v -> Aspace.write_word aspace a v'
+            | Some _ | None -> ())
+        | Ty.Slot_encoded_ptr { mask; _ } ->
+            let v = Aspace.read_word aspace a in
+            let ptr = v land lnot mask and meta = v land mask in
+            (match remap_value st ptr with
+            | Some p' when p' <> ptr -> Aspace.write_word aspace a (p' lor meta)
+            | Some _ | None -> ())
+        | Ty.Slot_scalar | Ty.Slot_opaque -> ()
+      done
+    end
+  in
+  match Hashtbl.find_opt st.dests o.id with
+  | Some (D_existing { addr; ty = Some dst_ty; copy = true }) -> fixup_at addr dst_ty
+  | Some (D_fresh { addr; ty = Some dst_ty }) -> fixup_at addr dst_ty
+  | Some D_in_place -> begin
+      (* typed pinned objects still get precise slot fixup; opaque pinned
+         objects are left verbatim (their targets are pinned too) *)
+      match o.ty with
+      | Some ty when not (Ty.contains_opaque (old_env st) ty) -> fixup_at o.addr ty
+      | Some _ | None -> ()
+    end
+  | Some (D_existing _) | Some (D_fresh _) | Some (D_string _) | Some D_dropped | None -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let run ~old_image ~new_image ~analysis ?(dirty_only = true) () =
+  let st =
+    {
+      old_image;
+      new_image;
+      analysis;
+      dirty_only;
+      dests = Hashtbl.create 256;
+      plans = Hashtbl.create 64;
+      conflicts = [];
+      cost = 0;
+      words_copied = 0;
+      objects_copied = 0;
+      skipped = 0;
+      pinned = 0;
+      fresh = 0;
+      transformed = 0;
+      dangling = 0;
+    }
+  in
+  let startup_index = build_startup_index new_image in
+  let reachable = Objgraph.reachable_objects analysis in
+  List.iter (assign_dest st startup_index) reachable;
+  List.iter (copy_object st) reachable;
+  List.iter (fixup_object st) reachable;
+  let live_words = List.fold_left (fun acc o -> acc + o.words) 0 reachable in
+  {
+    transferred_objects = st.objects_copied;
+    transferred_words = st.words_copied;
+    skipped_clean = st.skipped;
+    immutable_remapped = st.pinned;
+    fresh_allocations = st.fresh;
+    type_transformed = st.transformed;
+    dangling_zeroed = st.dangling;
+    conflicts = List.rev st.conflicts;
+    cost_ns = st.cost;
+    live_words;
+  }
+
+let pp_conflict ppf = function
+  | Nonupdatable_changed { addr; ty_name; detail } ->
+      Format.fprintf ppf "nonupdatable object %a (%s) changed by update: %s" Addr.pp addr
+        ty_name detail
+  | No_plan { addr; ty_name; detail } ->
+      Format.fprintf ppf "no transformation for %a (%s): %s" Addr.pp addr ty_name detail
+  | Missing_type { addr; ty_name } ->
+      Format.fprintf ppf "dirty object %a has type %s absent from the new version" Addr.pp addr
+        ty_name

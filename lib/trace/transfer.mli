@@ -1,0 +1,57 @@
+(** Mutable tracing, part 2: state transfer into the new version.
+
+    Pairs every reachable old-version object with a destination in the new
+    version — the matching rules of Section 6: static objects by symbol
+    name, dynamic objects already reallocated by startup by allocation-site
+    identity, other dynamic objects by fresh reallocation, stack variables
+    by their stable keys, immutable objects pinned in place at their old
+    addresses (pages mapped into the new address space on demand).
+
+    Content then flows old-to-new with on-the-fly type transformation
+    ({!Mcr_types.Typlan}), user transfer handlers for semantic changes, and
+    a final fixup pass that rewrites every precise pointer slot through the
+    relocation map (function pointers by symbol, string-literal pointers by
+    interning). Likely pointers are deliberately not rewritten — their
+    targets are pinned, which is exactly why conservative targets are
+    immutable.
+
+    Soft-dirty filtering implements the paper's incremental behaviour:
+    clean objects whose startup-time counterpart was re-created by mutable
+    reinitialization are skipped (the new version's own initialization
+    stands). *)
+
+type conflict =
+  | Nonupdatable_changed of { addr : Mcr_vmem.Addr.t; ty_name : string; detail : string }
+      (** A conservatively-traced object's type was changed by the update. *)
+  | No_plan of { addr : Mcr_vmem.Addr.t; ty_name : string; detail : string }
+      (** No automatic transformation exists and no handler was supplied. *)
+  | Missing_type of { addr : Mcr_vmem.Addr.t; ty_name : string }
+      (** A dirty object's type no longer exists in the new version. *)
+
+type outcome = {
+  transferred_objects : int;
+  transferred_words : int;
+  skipped_clean : int;  (** Objects left to the new version's own init. *)
+  immutable_remapped : int;  (** Objects pinned at their old addresses. *)
+  fresh_allocations : int;
+  type_transformed : int;  (** Objects whose transformation was not an identity copy. *)
+  dangling_zeroed : int;  (** Pointers to dropped objects, nulled. *)
+  conflicts : conflict list;
+  cost_ns : int;  (** Virtual time of this process pair's transfer. *)
+  live_words : int;  (** Total reachable words (for dirty-reduction ratios). *)
+}
+
+val run :
+  old_image:Mcr_program.Progdef.image ->
+  new_image:Mcr_program.Progdef.image ->
+  analysis:Objgraph.t ->
+  ?dirty_only:bool ->
+  unit ->
+  outcome
+(** Transfer one process pair. [dirty_only] (default true) enables
+    soft-dirty filtering; passing false transfers everything (the ablation
+    baseline). The cost is charged to the kernel's virtual clock by the
+    caller, not here — parallel multiprocess transfer takes the maximum
+    across pairs, not the sum. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,49 @@
+module Addr = Mcr_vmem.Addr
+module Aspace = Mcr_vmem.Aspace
+
+let field_addr env ~base ty name = Addr.add_words base (Ty.field_offset env ty name)
+
+let read_field aspace env ~base ty name = Aspace.read_word aspace (field_addr env ~base ty name)
+
+let write_field aspace env ~base ty name v =
+  Aspace.write_word aspace (field_addr env ~base ty name) v
+
+let elem_addr env ~base ty i =
+  match Ty.resolve env ty with
+  | Ty.Array (elt, n) ->
+      assert (i >= 0 && i < n);
+      Addr.add_words base (i * Ty.sizeof_words env elt)
+  | _ -> invalid_arg "Access.elem_addr: not an array type"
+
+let read_string aspace addr =
+  let buf = Buffer.create 32 in
+  let rec go w =
+    if w >= 4096 / Addr.word_size then Buffer.contents buf
+    else begin
+      let v = Aspace.read_word aspace (Addr.add_words addr w) in
+      let rec bytes b =
+        if b >= Addr.word_size then true
+        else
+          let c = (v lsr (b * 8)) land 0xff in
+          if c = 0 then false
+          else begin
+            Buffer.add_char buf (Char.chr c);
+            bytes (b + 1)
+          end
+      in
+      if bytes 0 then go (w + 1) else Buffer.contents buf
+    end
+  in
+  go 0
+
+let write_bytes aspace addr s =
+  let words = (String.length s + 1 + Addr.word_size - 1) / Addr.word_size in
+  for w = 0 to words - 1 do
+    let v = ref 0 in
+    for b = Addr.word_size - 1 downto 0 do
+      let i = (w * Addr.word_size) + b in
+      let byte = if i < String.length s then Char.code s.[i] else 0 in
+      v := (!v lsl 8) lor byte
+    done;
+    Aspace.write_word aspace (Addr.add_words addr w) !v
+  done

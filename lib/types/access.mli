@@ -1,0 +1,26 @@
+(** Typed access to simulated memory.
+
+    Convenience layer the simulated servers use to read and write their own
+    state. Everything bottoms out in word reads/writes on the address space,
+    so the soft-dirty machinery observes every server write exactly as the
+    kernel would. *)
+
+val field_addr : Ty.env -> base:Mcr_vmem.Addr.t -> Ty.t -> string -> Mcr_vmem.Addr.t
+(** Address of a struct field given the struct's base address. *)
+
+val read_field : Mcr_vmem.Aspace.t -> Ty.env -> base:Mcr_vmem.Addr.t -> Ty.t -> string -> int
+(** One-word field read (scalars and pointers). *)
+
+val write_field :
+  Mcr_vmem.Aspace.t -> Ty.env -> base:Mcr_vmem.Addr.t -> Ty.t -> string -> int -> unit
+(** One-word field write; marks the page soft-dirty. *)
+
+val elem_addr : Ty.env -> base:Mcr_vmem.Addr.t -> Ty.t -> int -> Mcr_vmem.Addr.t
+(** Address of array element [i] given the array's base and type. *)
+
+val read_string : Mcr_vmem.Aspace.t -> Mcr_vmem.Addr.t -> string
+(** Decode a NUL-terminated packed string (as stored by {!Symtab}). Reads at
+    most 4096 bytes. *)
+
+val write_bytes : Mcr_vmem.Aspace.t -> Mcr_vmem.Addr.t -> string -> unit
+(** Pack a string into words at the address (tracked writes). *)

@@ -1,0 +1,125 @@
+module Addr = Mcr_vmem.Addr
+module Aspace = Mcr_vmem.Aspace
+module Region = Mcr_vmem.Region
+
+type entry = {
+  name : string;
+  ty : Ty.t;
+  addr : Addr.t;
+  words : int;
+}
+
+type t = {
+  data : entry list;
+  by_name : (string, entry) Hashtbl.t;
+  funcs : (string, Addr.t) Hashtbl.t;
+  funcs_rev : (Addr.t, string) Hashtbl.t;
+  strings : (string, Addr.t) Hashtbl.t;
+  data_region : Region.t;
+  rodata_region : Region.t;
+  text_region : Region.t;
+}
+
+(* Pack a string's bytes into words, little-endian, NUL-terminated. *)
+let store_string aspace addr s =
+  let words = (String.length s + 1 + Addr.word_size - 1) / Addr.word_size in
+  for w = 0 to words - 1 do
+    let v = ref 0 in
+    for b = Addr.word_size - 1 downto 0 do
+      let i = (w * Addr.word_size) + b in
+      let byte = if i < String.length s then Char.code s.[i] else 0 in
+      v := (!v lsl 8) lor byte
+    done;
+    Aspace.write_word_untracked aspace (Addr.add_words addr w) !v
+  done;
+  words
+
+let build env aspace ~data ~funcs ~strings =
+  let data_words =
+    List.fold_left (fun acc (_, ty) -> acc + Ty.sizeof_words env ty) 0 data
+  in
+  let data_bytes = max Addr.page_size (data_words * Addr.word_size) in
+  let data_base = Aspace.map aspace ~name:".data" (Aspace.Near Region.Static) ~size:data_bytes Region.Static in
+  let by_name = Hashtbl.create 64 in
+  let _, data_entries =
+    List.fold_left
+      (fun (addr, acc) (name, ty) ->
+        let words = Ty.sizeof_words env ty in
+        let e = { name; ty; addr; words } in
+        Hashtbl.replace by_name name e;
+        (Addr.add_words addr words, e :: acc))
+      (data_base, []) data
+  in
+  let string_words =
+    List.fold_left
+      (fun acc s -> acc + ((String.length s + 1 + Addr.word_size - 1) / Addr.word_size))
+      0 strings
+  in
+  let rodata_bytes = max Addr.page_size (string_words * Addr.word_size) in
+  let rodata_base =
+    Aspace.map aspace ~name:".rodata" (Aspace.Near Region.Static) ~size:rodata_bytes Region.Static
+  in
+  let string_tbl = Hashtbl.create 64 in
+  let _ =
+    List.fold_left
+      (fun addr s ->
+        if Hashtbl.mem string_tbl s then addr
+        else begin
+          let words = store_string aspace addr s in
+          Hashtbl.replace string_tbl s addr;
+          Addr.add_words addr words
+        end)
+      rodata_base strings
+  in
+  let text_bytes = max Addr.page_size (List.length funcs * Addr.word_size * 4) in
+  let text_base =
+    Aspace.map aspace ~name:".text" (Aspace.Near Region.Static) ~size:text_bytes Region.Static
+  in
+  let func_tbl = Hashtbl.create 64 in
+  let func_rev = Hashtbl.create 64 in
+  List.iteri
+    (fun i fname ->
+      let addr = Addr.add_words text_base (i * 4) in
+      Hashtbl.replace func_tbl fname addr;
+      Hashtbl.replace func_rev addr fname)
+    funcs;
+  let find_region base =
+    match Aspace.find_region aspace base with
+    | Some r -> r
+    | None -> assert false
+  in
+  {
+    data = List.rev data_entries;
+    by_name;
+    funcs = func_tbl;
+    funcs_rev = func_rev;
+    strings = string_tbl;
+    data_region = find_region data_base;
+    rodata_region = find_region rodata_base;
+    text_region = find_region text_base;
+  }
+
+let lookup t name = Hashtbl.find t.by_name name
+
+let lookup_opt t name = Hashtbl.find_opt t.by_name name
+
+let entries t = t.data
+
+let func_addr t name = Hashtbl.find t.funcs name
+
+let func_name_of_addr t addr = Hashtbl.find_opt t.funcs_rev addr
+
+let string_addr t s = Hashtbl.find t.strings s
+
+let find_data_by_addr t addr =
+  List.find_opt
+    (fun e -> addr >= e.addr && addr < Addr.add_words e.addr e.words)
+    t.data
+
+let strings t = Hashtbl.fold (fun s a acc -> (s, a) :: acc) t.strings [] |> List.sort compare
+
+let funcs t = Hashtbl.fold (fun f a acc -> (f, a) :: acc) t.funcs [] |> List.sort compare
+
+let data_region t = t.data_region
+let rodata_region t = t.rodata_region
+let text_region t = t.text_region

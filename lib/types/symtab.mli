@@ -1,0 +1,60 @@
+(** Static-object symbol tables and image layout (the linker analog).
+
+    The paper inherits "immutable static memory objects (e.g., global
+    variables) using a linker script" and matches static objects across
+    versions by symbol name (Section 6). This module lays out a program
+    version's globals, string literals and function symbols into the static
+    area of an address space and records the symbol metadata mutable tracing
+    needs: name, type, address, size. *)
+
+type entry = {
+  name : string;
+  ty : Ty.t;
+  addr : Mcr_vmem.Addr.t;
+  words : int;
+}
+
+type t
+
+val build :
+  Ty.env ->
+  Mcr_vmem.Aspace.t ->
+  data:(string * Ty.t) list ->
+  funcs:string list ->
+  strings:string list ->
+  t
+(** [build env aspace ~data ~funcs ~strings] maps three static regions —
+    [.data] for globals, [.rodata] for interned string literals, [.text]
+    for function symbols — and assigns addresses in declaration order.
+    String bytes are stored packed into words so conservative scanning sees
+    realistic non-pointer content. *)
+
+val lookup : t -> string -> entry
+(** Global variable by name. @raise Not_found. *)
+
+val lookup_opt : t -> string -> entry option
+
+val entries : t -> entry list
+(** All data symbols, in layout order. These are the tracing roots. *)
+
+val func_addr : t -> string -> Mcr_vmem.Addr.t
+(** Address of a function symbol. @raise Not_found. *)
+
+val func_name_of_addr : t -> Mcr_vmem.Addr.t -> string option
+(** Reverse lookup, used to relocate function pointers by symbol. *)
+
+val string_addr : t -> string -> Mcr_vmem.Addr.t
+(** Address of an interned string literal. @raise Not_found. *)
+
+val find_data_by_addr : t -> Mcr_vmem.Addr.t -> entry option
+(** The data symbol whose storage contains the address, if any. *)
+
+val strings : t -> (string * Mcr_vmem.Addr.t) list
+(** All interned string literals with their addresses. *)
+
+val funcs : t -> (string * Mcr_vmem.Addr.t) list
+(** All function symbols with their addresses. *)
+
+val data_region : t -> Mcr_vmem.Region.t
+val rodata_region : t -> Mcr_vmem.Region.t
+val text_region : t -> Mcr_vmem.Region.t

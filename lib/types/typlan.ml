@@ -1,0 +1,137 @@
+type action =
+  | Copy of { src_off : int; dst_off : int; words : int }
+  | Zero of { dst_off : int; words : int }
+
+type t = {
+  src_ty : Ty.t;
+  dst_ty : Ty.t;
+  src_words : int;
+  dst_words : int;
+  actions : action list;
+}
+
+let ( let* ) = Result.bind
+
+let error fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* Merge adjacent actions so plans stay small for large arrays. *)
+let coalesce actions =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Copy a :: Copy b :: rest
+      when a.src_off + a.words = b.src_off && a.dst_off + a.words = b.dst_off ->
+        go acc (Copy { a with words = a.words + b.words } :: rest)
+    | Zero a :: Zero b :: rest when a.dst_off + a.words = b.dst_off ->
+        go acc (Zero { a with words = a.words + b.words } :: rest)
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] actions
+
+let plan ~src_env ~dst_env ~src ~dst =
+  let rec build src_off dst_off src dst =
+    let s = Ty.resolve src_env src and d = Ty.resolve dst_env dst in
+    let copy words = Ok [ Copy { src_off; dst_off; words } ] in
+    let resize src_words dst_words =
+      let copied = min src_words dst_words in
+      let actions = [ Copy { src_off; dst_off; words = copied } ] in
+      if dst_words > copied then
+        Ok (actions @ [ Zero { dst_off = dst_off + copied; words = dst_words - copied } ])
+      else Ok actions
+    in
+    match (s, d) with
+    | (Ty.Int | Ty.Word), (Ty.Int | Ty.Word) -> copy 1
+    | (Ty.Ptr _ | Ty.Void_ptr), (Ty.Ptr _ | Ty.Void_ptr) -> copy 1
+    | Ty.Func_ptr, Ty.Func_ptr -> copy 1
+    | Ty.Encoded_ptr a, Ty.Encoded_ptr b ->
+        if a.mask = b.mask then copy 1
+        else error "encoded pointer mask changed (%d -> %d)" a.mask b.mask
+    | Ty.Char_array a, Ty.Char_array b ->
+        resize (Ty.sizeof_words src_env (Ty.Char_array a)) (Ty.sizeof_words dst_env (Ty.Char_array b))
+    | Ty.Opaque a, Ty.Opaque b -> resize (max 1 a) (max 1 b)
+    | Ty.Array (se, sn), Ty.Array (de, dn) ->
+        let sw = Ty.sizeof_words src_env se and dw = Ty.sizeof_words dst_env de in
+        let shared = min sn dn in
+        let rec elems i acc =
+          if i >= shared then Ok (List.concat (List.rev acc))
+          else
+            let* sub = build (src_off + (i * sw)) (dst_off + (i * dw)) se de in
+            elems (i + 1) (sub :: acc)
+        in
+        let* copied = elems 0 [] in
+        if dn > shared then
+          Ok (copied @ [ Zero { dst_off = dst_off + (shared * dw); words = (dn - shared) * dw } ])
+        else Ok copied
+    | Ty.Struct sdef, Ty.Struct ddef ->
+        let src_offsets =
+          let off = ref 0 in
+          List.map
+            (fun (name, fty) ->
+              let o = !off in
+              off := o + Ty.sizeof_words src_env fty;
+              (name, (o, fty)))
+            sdef.fields
+        in
+        let rec fields doff acc = function
+          | [] -> Ok (List.concat (List.rev acc))
+          | (name, dty) :: rest ->
+              let dwords = Ty.sizeof_words dst_env dty in
+              let* sub =
+                match List.assoc_opt name src_offsets with
+                | Some (soff, sty) -> begin
+                    match build (src_off + soff) (dst_off + doff) sty dty with
+                    | Ok a -> Ok a
+                    | Error e ->
+                        error "field %s.%s: %s" ddef.sname name e
+                  end
+                | None -> Ok [ Zero { dst_off = dst_off + doff; words = dwords } ]
+              in
+              fields (doff + dwords) (sub :: acc) rest
+        in
+        fields 0 [] ddef.fields
+    | Ty.Union a, Ty.Union b ->
+        if Ty.equal src_env dst_env (Ty.Union a) (Ty.Union b) then
+          copy (Ty.sizeof_words src_env (Ty.Union a))
+        else error "union layout changed; needs a user transfer handler"
+    | _, _ ->
+        error "no unambiguous mapping from %s to %s" (Ty.to_string s) (Ty.to_string d)
+  in
+  let* actions = build 0 0 src dst in
+  Ok
+    {
+      src_ty = src;
+      dst_ty = dst;
+      src_words = Ty.sizeof_words src_env src;
+      dst_words = Ty.sizeof_words dst_env dst;
+      actions = coalesce actions;
+    }
+
+let is_identity t =
+  t.src_words = t.dst_words
+  && match t.actions with
+     | [ Copy { src_off = 0; dst_off = 0; words } ] -> words = t.src_words
+     | [] -> t.src_words = 0
+     | _ -> false
+
+let apply t ~read ~write =
+  List.iter
+    (function
+      | Copy { src_off; dst_off; words } ->
+          for i = 0 to words - 1 do
+            write (dst_off + i) (read (src_off + i))
+          done
+      | Zero { dst_off; words } ->
+          for i = 0 to words - 1 do
+            write (dst_off + i) 0
+          done)
+    t.actions
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan %a (%dw) -> %a (%dw):@," Ty.pp t.src_ty t.src_words Ty.pp
+    t.dst_ty t.dst_words;
+  List.iter
+    (function
+      | Copy { src_off; dst_off; words } ->
+          Format.fprintf ppf "  copy src+%d -> dst+%d (%dw)@," src_off dst_off words
+      | Zero { dst_off; words } -> Format.fprintf ppf "  zero dst+%d (%dw)@," dst_off words)
+    t.actions;
+  Format.fprintf ppf "@]"

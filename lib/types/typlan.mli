@@ -1,0 +1,48 @@
+(** Cross-version type transformation plans.
+
+    When an update changes a data structure, mutable tracing must
+    "type-transform" each affected object on the fly (Section 6, Figure 2:
+    the list node gains a [new] field in v2). A plan is the word-level
+    recipe for one (old type, new type) pair: which words to copy where, and
+    which new words to default-initialize.
+
+    Plans are mechanism only; whether a transformation is *allowed* (the
+    object may be nonupdatable) is decided by the tracing invariants. *)
+
+type action =
+  | Copy of { src_off : int; dst_off : int; words : int }
+      (** Copy words from old object to new object (word offsets). Pointer
+          words are copied too; relocation happens in a later fixup pass. *)
+  | Zero of { dst_off : int; words : int }
+      (** Default-initialize words added by the update. *)
+
+type t = {
+  src_ty : Ty.t;
+  dst_ty : Ty.t;
+  src_words : int;
+  dst_words : int;
+  actions : action list;  (** In ascending [dst_off] order. *)
+}
+
+val plan : src_env:Ty.env -> dst_env:Ty.env -> src:Ty.t -> dst:Ty.t -> (t, string) result
+(** [plan ~src_env ~dst_env ~src ~dst] computes a transformation recipe.
+
+    Supported shapes: identical types; [Int]/[Word] interchange; pointer
+    kind interchange ([Ptr _], [Void_ptr], [Encoded_ptr] with equal mask);
+    char arrays and opaque areas resized (copy prefix, zero suffix); arrays
+    resized and element-transformed; structs with fields matched by name
+    (added fields zeroed, removed fields dropped, reordering followed).
+
+    Errors (requiring a user transfer handler, as in the paper) include:
+    scalar/pointer confusion, changed unions, changed encoded-pointer masks,
+    and anything else without an unambiguous mapping. *)
+
+val is_identity : t -> bool
+(** True when the plan is a full-size copy at offset zero — i.e. the type
+    did not change shape and the object can be transferred by plain copy. *)
+
+val apply : t -> read:(int -> int) -> write:(int -> int -> unit) -> unit
+(** Run the plan. [read off] yields the old object's word at [off];
+    [write off v] stores into the new object. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  mutable next : int;
+  by_id : (int, string * Ty.t) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create () = { next = 1; by_id = Hashtbl.create 32; by_name = Hashtbl.create 32 }
+
+let register t ~name ty =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id ->
+      Hashtbl.replace t.by_id id (name, ty);
+      id
+  | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      Hashtbl.replace t.by_id id (name, ty);
+      Hashtbl.replace t.by_name name id;
+      id
+
+let find t id = snd (Hashtbl.find t.by_id id)
+
+let name_of_id t id = fst (Hashtbl.find t.by_id id)
+
+let id_of_name t name = Hashtbl.find_opt t.by_name name
+
+let count t = Hashtbl.length t.by_id

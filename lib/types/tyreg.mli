@@ -1,0 +1,28 @@
+(** Numeric type-id registry.
+
+    In-band allocator metadata cannot hold a structured type descriptor, so
+    tags store a small integer id; this registry maps ids back to
+    descriptors. Each program version owns one registry; ids are matched
+    across versions by type {e name}, mirroring the paper's symbol-based
+    pairing of static objects. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> Ty.t -> int
+(** [register t ~name ty] assigns (or returns the existing) id for [name].
+    Re-registering an existing name with a different descriptor replaces the
+    descriptor but keeps the id — that is how an updated version redefines a
+    type. *)
+
+val find : t -> int -> Ty.t
+(** Descriptor by id. @raise Not_found. *)
+
+val name_of_id : t -> int -> string
+(** @raise Not_found. *)
+
+val id_of_name : t -> string -> int option
+
+val count : t -> int
+(** Number of registered types. *)

@@ -1,0 +1,32 @@
+type t = int
+
+(* The 64-bit FNV constants exceed OCaml's 63-bit int literals; truncate the
+   basis through Int64. Overflowing multiplication is fine for hashing. *)
+let offset_basis = Int64.to_int 0xcbf29ce484222325L land max_int
+let prime = 0x100000001b3
+
+let fold_char h c = (h lxor Char.code c) * prime
+
+let fold_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fold_char !h c) s;
+  !h
+
+let mask h = h land max_int
+
+let string s = mask (fold_string offset_basis s)
+
+let strings names =
+  let h =
+    List.fold_left (fun h s -> fold_char (fold_string h s) '\x00') offset_basis names
+  in
+  mask h
+
+let combine h1 h2 = mask (((h1 * prime) lxor h2) * prime)
+
+let int n =
+  let h = ref offset_basis in
+  for shift = 0 to 7 do
+    h := fold_char !h (Char.chr ((n lsr (shift * 8)) land 0xff))
+  done;
+  mask !h

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All randomized behaviour in the simulator (workload arrival order,
+    payload contents) flows through an explicit generator so experiments are
+    reproducible run to run. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same state. *)
+
+val next : t -> int
+(** [next t] is a uniformly distributed non-negative int. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element. Requires [arr] non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,38 @@
+let sorted xs = List.sort compare xs
+
+let median xs =
+  assert (xs <> []);
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+let mean xs =
+  assert (xs <> []);
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let sq = List.map (fun x -> (x -. m) ** 2.) xs in
+  sqrt (mean sq)
+
+let percentile p xs =
+  assert (xs <> []);
+  assert (p >= 0. && p <= 100.);
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if p = 0. then arr.(0)
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let min_max xs =
+  assert (xs <> []);
+  let lo = List.fold_left min infinity xs in
+  let hi = List.fold_left max neg_infinity xs in
+  (lo, hi)
+
+let geometric_mean xs =
+  assert (xs <> []);
+  assert (List.for_all (fun x -> x > 0.) xs);
+  exp (mean (List.map log xs))

@@ -1,0 +1,23 @@
+(** Small statistics helpers for the benchmark harness.
+
+    The paper repeats every experiment 11 times and reports the median; the
+    harness does the same. *)
+
+val median : float list -> float
+(** [median xs] is the median of [xs]. Requires [xs] non-empty. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Requires non-empty input. *)
+
+val stddev : float list -> float
+(** Population standard deviation. Requires non-empty input. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0,100\]], nearest-rank method. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element. Requires non-empty input. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean; used for normalized-overhead summaries. Requires all
+    elements positive. *)

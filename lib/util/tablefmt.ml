@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  header : string list;
+  mutable rows : row list; (* reversed *)
+  mutable align : align list option;
+}
+
+let create ~header = { header; rows = []; align = None }
+
+let set_align t a = t.align <- Some a
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad_to n xs filler =
+  let len = List.length xs in
+  if len >= n then xs else xs @ List.init (n - len) (fun _ -> filler)
+
+let render t =
+  let ncols =
+    List.fold_left
+      (fun acc r -> match r with Cells c -> max acc (List.length c) | Sep -> acc)
+      (List.length t.header)
+      t.rows
+  in
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    pad_to ncols t.header ""
+    :: List.filter_map (function Cells c -> Some (pad_to ncols c "") | Sep -> None) rows
+  in
+  let widths = Array.make ncols 0 in
+  let record_widths cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter record_widths all_cell_rows;
+  let aligns =
+    match t.align with
+    | Some a -> Array.of_list (pad_to ncols a Right)
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let buf = Buffer.create 1024 in
+  let put_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let pad = widths.(i) - String.length c in
+        match aligns.(i) with
+        | Left ->
+            Buffer.add_string buf c;
+            Buffer.add_string buf (String.make pad ' ')
+        | Right ->
+            Buffer.add_string buf (String.make pad ' ');
+            Buffer.add_string buf c)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let sep () = Buffer.add_string buf (String.make total_width '-' ^ "\n") in
+  put_cells (pad_to ncols t.header "");
+  sep ();
+  List.iter (function Cells c -> put_cells (pad_to ncols c "") | Sep -> sep ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

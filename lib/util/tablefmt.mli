@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Reproduced tables are printed in the same row/column layout as the
+    paper so paper-vs-measured comparison is line-by-line. *)
+
+type align = Left | Right
+
+type t
+
+val create : header:string list -> t
+(** [create ~header] starts a table with the given column names. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Left] for the first column and
+    [Right] for the rest. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Short rows are padded with [""]. *)
+
+val add_sep : t -> unit
+(** Appends a horizontal separator row. *)
+
+val render : t -> string
+(** Renders the table with column-width autosizing. *)
+
+val print : t -> unit
+(** [print t] is [print_string (render t)]. *)

@@ -1,0 +1,29 @@
+type t = int
+
+let word_size = 8
+let page_size = 4096
+let words_per_page = page_size / word_size
+
+let null = 0
+
+let is_aligned a = a land (word_size - 1) = 0
+
+let align_up a = (a + word_size - 1) land lnot (word_size - 1)
+
+let page_of a = a / page_size
+
+let page_base a = a land lnot (page_size - 1)
+
+let page_offset a = a land (page_size - 1)
+
+let word_index a =
+  assert (is_aligned a);
+  page_offset a / word_size
+
+let add a n = a + n
+
+let add_words a n = a + (n * word_size)
+
+let pp ppf a = Format.fprintf ppf "0x%x" a
+
+let to_string a = Format.asprintf "%a" pp a

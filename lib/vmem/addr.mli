@@ -1,0 +1,50 @@
+(** Virtual addresses.
+
+    The simulated machine is 64-bit with 8-byte words. Addresses are byte
+    addresses carried as OCaml ints; all word accesses must be 8-byte
+    aligned, which is exactly the alignment constraint conservative tracing
+    exploits when scanning for likely pointers. *)
+
+type t = int
+(** A byte address. Always non-negative. *)
+
+val word_size : int
+(** Bytes per machine word (8). *)
+
+val page_size : int
+(** Bytes per page (4096). *)
+
+val words_per_page : int
+(** [page_size / word_size]. *)
+
+val null : t
+(** The null address (0). Never mapped. *)
+
+val is_aligned : t -> bool
+(** Word alignment check. *)
+
+val align_up : t -> t
+(** Round up to the next word boundary. *)
+
+val page_of : t -> int
+(** Page number containing an address. *)
+
+val page_base : t -> t
+(** Base address of the page containing [t]. *)
+
+val page_offset : t -> int
+(** Byte offset within the page. *)
+
+val word_index : t -> int
+(** Word offset within the page. Requires alignment. *)
+
+val add : t -> int -> t
+(** Byte offset addition. *)
+
+val add_words : t -> int -> t
+(** Word offset addition ([add t (n * word_size)]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x804a044]. *)
+
+val to_string : t -> string

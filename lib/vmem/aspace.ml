@@ -1,0 +1,148 @@
+type page = {
+  words : int array;
+  mutable soft_dirty : bool;
+  mutable touched : bool;
+}
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable region_list : Region.t list; (* sorted by base *)
+  bias : int;
+}
+
+exception Fault of Addr.t
+
+let create ?(layout_bias = 0) () =
+  { pages = Hashtbl.create 64; region_list = []; bias = layout_bias }
+
+let layout_bias t = t.bias
+
+let clone t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter
+    (fun k p ->
+      Hashtbl.add pages k
+        { words = Array.copy p.words; soft_dirty = p.soft_dirty; touched = p.touched })
+    t.pages;
+  { pages; region_list = t.region_list; bias = t.bias }
+
+type placement = Fixed of Addr.t | Near of Region.kind
+
+(* Customary placement areas, loosely modeled on a 32-bit Linux layout
+   (the paper's testbed). Biased per address space to emulate cross-version
+   layout changes. *)
+let kind_base t = function
+  | Region.Static -> 0x08048000 + (t.bias * Addr.page_size)
+  | Region.Heap -> 0x09000000 + (t.bias * Addr.page_size)
+  | Region.Mmap -> 0x30000000 + (t.bias * Addr.page_size)
+  | Region.Lib -> 0x40000000 + (t.bias * Addr.page_size)
+  | Region.Stack -> 0x7f000000 + (t.bias * Addr.page_size)
+
+let round_pages size = (size + Addr.page_size - 1) land lnot (Addr.page_size - 1)
+
+let overlaps_any t ~base ~size =
+  List.exists (fun r -> Region.overlaps r ~base ~size) t.region_list
+
+(* First gap of [size] bytes at or after [from], skipping existing regions. *)
+let find_gap t ~from ~size =
+  let rec search base = function
+    | [] -> base
+    | (r : Region.t) :: rest ->
+        if base + size <= r.base then base
+        else if base >= Region.limit r then search base rest
+        else search (Region.limit r) rest
+  in
+  search from (List.filter (fun (r : Region.t) -> Region.limit r > from) t.region_list)
+
+let insert_region t (r : Region.t) =
+  t.region_list <-
+    List.sort (fun (a : Region.t) (b : Region.t) -> compare a.base b.base) (r :: t.region_list)
+
+let map t ?(name = "") placement ~size kind =
+  if size <= 0 then invalid_arg "Aspace.map: size must be positive";
+  let size = round_pages size in
+  let base =
+    match placement with
+    | Fixed base ->
+        if base land (Addr.page_size - 1) <> 0 then
+          invalid_arg "Aspace.map: fixed base must be page-aligned";
+        if overlaps_any t ~base ~size then
+          invalid_arg
+            (Format.asprintf "Aspace.map: fixed mapping %a+%d overlaps" Addr.pp base size);
+        base
+    | Near k -> find_gap t ~from:(kind_base t k) ~size
+  in
+  let first_page = Addr.page_of base in
+  let npages = size / Addr.page_size in
+  for i = 0 to npages - 1 do
+    Hashtbl.replace t.pages (first_page + i)
+      { words = Array.make Addr.words_per_page 0; soft_dirty = false; touched = false }
+  done;
+  insert_region t { Region.base; size; kind; name };
+  base
+
+let unmap t base =
+  let r =
+    match List.find_opt (fun (r : Region.t) -> r.base = base) t.region_list with
+    | Some r -> r
+    | None -> raise Not_found
+  in
+  let first_page = Addr.page_of r.base in
+  let npages = r.size / Addr.page_size in
+  for i = 0 to npages - 1 do
+    Hashtbl.remove t.pages (first_page + i)
+  done;
+  t.region_list <- List.filter (fun (x : Region.t) -> x.base <> base) t.region_list
+
+let regions t = t.region_list
+
+let find_region t a = List.find_opt (fun r -> Region.contains r a) t.region_list
+
+let page_for t a =
+  if a <= 0 || not (Addr.is_aligned a) then raise (Fault a);
+  match Hashtbl.find_opt t.pages (Addr.page_of a) with
+  | Some p -> p
+  | None -> raise (Fault a)
+
+let is_mapped_word t a =
+  a > 0 && Addr.is_aligned a && Hashtbl.mem t.pages (Addr.page_of a)
+
+let read_word t a =
+  let p = page_for t a in
+  p.words.(Addr.word_index a)
+
+let write_word t a v =
+  let p = page_for t a in
+  p.words.(Addr.word_index a) <- v;
+  p.soft_dirty <- true;
+  p.touched <- true
+
+let write_word_untracked t a v =
+  let p = page_for t a in
+  p.words.(Addr.word_index a) <- v;
+  p.touched <- true
+
+let copy_words ~src src_addr ~dst dst_addr ~words =
+  for i = 0 to words - 1 do
+    write_word_untracked dst (Addr.add_words dst_addr i) (read_word src (Addr.add_words src_addr i))
+  done
+
+let clear_soft_dirty t = Hashtbl.iter (fun _ p -> p.soft_dirty <- false) t.pages
+
+let soft_dirty_pages t =
+  Hashtbl.fold (fun pn p acc -> if p.soft_dirty then pn :: acc else acc) t.pages []
+  |> List.sort compare
+  |> List.map (fun pn -> pn * Addr.page_size)
+
+let is_page_dirty t a =
+  match Hashtbl.find_opt t.pages (Addr.page_of a) with
+  | Some p -> p.soft_dirty
+  | None -> false
+
+let resident_bytes t = Hashtbl.length t.pages * Addr.page_size
+
+let touched_bytes t =
+  Hashtbl.fold (fun _ p acc -> if p.touched then acc + Addr.page_size else acc) t.pages 0
+
+let pp ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." Region.pp r) t.region_list

@@ -1,0 +1,86 @@
+(** Per-process virtual address spaces.
+
+    An address space is a set of page-backed {!Region.t} mappings holding
+    8-byte words. Pointers are stored as plain integer words — the ambiguity
+    that makes conservative tracing necessary is real here, not simulated
+    away.
+
+    Soft-dirty tracking mirrors the Linux mechanism MCR builds on: after
+    {!clear_soft_dirty}, the first write to a page sets its soft-dirty bit;
+    {!soft_dirty_pages} retrieves the set, with no per-access cost once a
+    page is dirty. *)
+
+type t
+
+exception Fault of Addr.t
+(** Raised on access to an unmapped or misaligned address — the simulated
+    SIGSEGV. *)
+
+val create : ?layout_bias:int -> unit -> t
+(** [create ()] is an empty address space. [layout_bias] shifts the default
+    placement base of every region kind by that many pages, emulating the
+    address-space layout differences between program versions (ASLR,
+    recompilation) that force mutable tracing to relocate objects. *)
+
+val layout_bias : t -> int
+
+val clone : t -> t
+(** Deep copy: pages, regions and soft-dirty bits. Used by process spawn
+    (the fork analog). *)
+
+type placement =
+  | Fixed of Addr.t  (** Map exactly here (MAP_FIXED); fails on overlap. *)
+  | Near of Region.kind  (** First free gap in the kind's customary area. *)
+
+val map : t -> ?name:string -> placement -> size:int -> Region.kind -> Addr.t
+(** [map t placement ~size kind] creates a zeroed mapping and returns its
+    base. [size] is rounded up to whole pages.
+    @raise Invalid_argument on overlap with an existing region. *)
+
+val unmap : t -> Addr.t -> unit
+(** [unmap t base] removes the region based at [base].
+    @raise Not_found if no region has that base. *)
+
+val regions : t -> Region.t list
+(** All regions, sorted by base address. *)
+
+val find_region : t -> Addr.t -> Region.t option
+(** The region containing an address, if any. *)
+
+val is_mapped_word : t -> Addr.t -> bool
+(** True when the address is word-aligned and inside a mapping. *)
+
+val read_word : t -> Addr.t -> int
+(** @raise Fault on unmapped or unaligned access. *)
+
+val write_word : t -> Addr.t -> int -> unit
+(** Tracked write: marks the page soft-dirty. @raise Fault as {!read_word}. *)
+
+val write_word_untracked : t -> Addr.t -> int -> unit
+(** Write without touching the soft-dirty bit. Used when the kernel itself
+    populates memory (image loading, state transfer into the new version),
+    which must not pollute dirty tracking. *)
+
+val copy_words : src:t -> Addr.t -> dst:t -> Addr.t -> words:int -> unit
+(** Cross-space copy; tracked on the destination side as untracked writes
+    (state transfer is a kernel-mediated operation). *)
+
+val clear_soft_dirty : t -> unit
+(** Reset all soft-dirty bits; begins a tracking epoch. *)
+
+val soft_dirty_pages : t -> Addr.t list
+(** Base addresses of pages written since the last {!clear_soft_dirty},
+    sorted ascending. *)
+
+val is_page_dirty : t -> Addr.t -> bool
+(** Soft-dirty bit of the page containing the address. *)
+
+val resident_bytes : t -> int
+(** Total bytes of mapped pages. *)
+
+val touched_bytes : t -> int
+(** Bytes of pages ever written — the RSS analog (Linux only backs pages
+    with frames when touched). *)
+
+val pp : Format.formatter -> t -> unit
+(** Region map listing, /proc/pid/maps style. *)

@@ -1,0 +1,25 @@
+type kind = Static | Heap | Stack | Lib | Mmap
+
+type t = {
+  base : Addr.t;
+  size : int;
+  kind : kind;
+  name : string;
+}
+
+let kind_to_string = function
+  | Static -> "static"
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Lib -> "lib"
+  | Mmap -> "mmap"
+
+let contains r a = a >= r.base && a < r.base + r.size
+
+let limit r = r.base + r.size
+
+let overlaps r ~base ~size = base < limit r && r.base < base + size
+
+let pp ppf r =
+  Format.fprintf ppf "%s %a-%a (%s)" (kind_to_string r.kind) Addr.pp r.base Addr.pp
+    (limit r) r.name

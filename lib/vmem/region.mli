@@ -1,0 +1,32 @@
+(** Memory regions.
+
+    Every mapping in an address space is classified by the role it plays in
+    the program image. Mutable tracing's statistics (Table 2 of the paper)
+    classify pointer sources and targets by exactly these region kinds. *)
+
+type kind =
+  | Static  (** Globals, strings, program image — inherited via linker script. *)
+  | Heap    (** Allocator-managed memory. *)
+  | Stack   (** Per-thread stacks (stack-variable metadata overlays). *)
+  | Lib     (** Shared-library state — uninstrumented by default. *)
+  | Mmap    (** Memory-mapped objects (remapped with MAP_FIXED). *)
+
+type t = {
+  base : Addr.t;
+  size : int;  (** Bytes; always page-aligned. *)
+  kind : kind;
+  name : string;
+}
+
+val kind_to_string : kind -> string
+
+val contains : t -> Addr.t -> bool
+(** [contains r a] is true when [a] falls inside the region. *)
+
+val limit : t -> Addr.t
+(** One past the last byte. *)
+
+val overlaps : t -> base:Addr.t -> size:int -> bool
+(** Intersection test against a candidate mapping. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(* Common result record for the benchmark clients. *)
+
+type t = {
+  requests : int;  (** Completed successfully. *)
+  errors : int;
+  bytes : int;  (** Response payload bytes received. *)
+  elapsed_ns : int;  (** Virtual time from first spawn to last completion. *)
+}
+
+let throughput t =
+  if t.elapsed_ns = 0 then 0. else float_of_int t.requests /. (float_of_int t.elapsed_ns /. 1e9)
+
+let pp ppf t =
+  Format.fprintf ppf "%d ok, %d err, %d bytes in %.2f ms (%.0f req/s)" t.requests t.errors
+    t.bytes
+    (float_of_int t.elapsed_ns /. 1e6)
+    (throughput t)

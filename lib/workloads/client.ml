@@ -1,0 +1,34 @@
+(* Simulated clients: the building blocks every workload shares. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module Aspace = Mcr_vmem.Aspace
+
+let spawn kernel name body =
+  K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name ~entry:"main"
+    ~main:body ()
+
+let connect ?(attempts = 500) port =
+  let rec go n =
+    match K.syscall (S.Connect { port }) with
+    | S.Ok_fd fd -> Some fd
+    | S.Err S.ECONNREFUSED when n > 0 ->
+        ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+        go (n - 1)
+    | _ -> None
+  in
+  go attempts
+
+let send fd data = ignore (K.syscall (S.Write { fd; data }))
+
+let recv ?(max = 1 lsl 20) fd =
+  match K.syscall (S.Read { fd; max; nonblock = false }) with
+  | S.Ok_data d -> Some d
+  | _ -> None
+
+let close fd = ignore (K.syscall (S.Close { fd }))
+
+(* drive the kernel until a predicate holds; workloads are finite so a
+   generous virtual deadline doubles as a hang detector *)
+let drive ?(max_s = 3600) kernel pred =
+  K.run_until kernel ~max_ns:(K.clock_ns kernel + (max_s * 1_000_000_000)) pred

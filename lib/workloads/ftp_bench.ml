@@ -1,0 +1,50 @@
+module K = Mcr_simos.Kernel
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let run kernel ~port ~users ?(retrievals = 1) ~file () =
+  let ok = ref 0 and errors = ref 0 and bytes = ref 0 in
+  let start = K.clock_ns kernel in
+  let clients =
+    List.init users (fun i ->
+        Client.spawn kernel
+          (Printf.sprintf "ftp-user-%d" i)
+          (fun _ ->
+            match Client.connect port with
+            | None -> incr errors
+            | Some fd ->
+                let cmd c = Client.send fd c; Client.recv fd in
+                let _banner = Client.recv fd in
+                let _ = cmd (Printf.sprintf "USER user%d" i) in
+                let _ = cmd "PASS secret" in
+                for _ = 1 to retrievals do
+                  (* drain the chunked transfer until the 226 completion *)
+                  Client.send fd ("RETR " ^ file);
+                  let rec drain acc saw150 =
+                    match Client.recv fd with
+                    | Some reply when contains reply "226" -> (acc, saw150)
+                    | Some reply when contains reply "550" -> (acc, false)
+                    | Some reply ->
+                        drain (acc + String.length reply) (saw150 || contains reply "150")
+                    | None -> (acc, false)
+                  in
+                  let got, ok150 = drain 0 false in
+                  if ok150 then begin
+                    incr ok;
+                    bytes := !bytes + got
+                  end
+                  else incr errors
+                done;
+                let _ = cmd "QUIT" in
+                Client.close fd))
+  in
+  ignore (Client.drive kernel (fun () -> List.for_all (fun p -> not (K.alive p)) clients));
+  {
+    Bench_result.requests = !ok;
+    errors = !errors;
+    bytes = !bytes;
+    elapsed_ns = K.clock_ns kernel - start;
+  }

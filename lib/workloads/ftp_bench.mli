@@ -1,0 +1,12 @@
+(** The pyftpdlib-benchmark analog: concurrent FTP users logging in and
+    retrieving a file (the paper: "100 users ... retrieve a 1 MB file"). *)
+
+val run :
+  Mcr_simos.Kernel.t ->
+  port:int ->
+  users:int ->
+  ?retrievals:int ->
+  file:string ->
+  unit ->
+  Bench_result.t
+(** Each user: connect, USER/PASS, [retrievals] (default 1) RETRs, QUIT. *)

@@ -1,0 +1,80 @@
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+
+type t = {
+  kernel : K.t;
+  sem : string;
+  n : int;
+  mutable ready : int;
+  mutable procs : K.proc list;
+}
+
+let uid = ref 0
+
+let make kernel n prologue epilogue =
+  incr uid;
+  let t =
+    { kernel; sem = Printf.sprintf "holders.release.%d" !uid; n; ready = 0; procs = [] }
+  in
+  t.procs <-
+    List.init n (fun i ->
+        Client.spawn kernel
+          (Printf.sprintf "holder-%d-%d" !uid i)
+          (fun _ ->
+            match prologue i with
+            | Some fd ->
+                t.ready <- t.ready + 1;
+                ignore (K.syscall (S.Sem_wait { name = t.sem; timeout_ns = None }));
+                epilogue fd
+            | None -> ()));
+  t
+
+let open_http kernel ~port ~n =
+  make kernel n
+    (fun _ ->
+      match Client.connect port with
+      | Some fd ->
+          Client.send fd "HOLD";
+          Some fd
+      | None -> None)
+    (fun fd -> Client.close fd)
+
+let open_ftp kernel ~port ~n =
+  make kernel n
+    (fun i ->
+      match Client.connect port with
+      | Some fd ->
+          let cmd c = Client.send fd c; ignore (Client.recv fd) in
+          ignore (Client.recv fd);
+          cmd (Printf.sprintf "USER holder%d" i);
+          cmd "PASS pw";
+          Some fd
+      | None -> None)
+    (fun fd ->
+      Client.send fd "QUIT";
+      ignore (Client.recv fd);
+      Client.close fd)
+
+let open_ssh kernel ~port ~n =
+  make kernel n
+    (fun i ->
+      match Client.connect port with
+      | Some fd ->
+          let cmd c = Client.send fd c; ignore (Client.recv fd) in
+          ignore (Client.recv fd);
+          cmd (Printf.sprintf "AUTH holder%d" i);
+          Some fd
+      | None -> None)
+    (fun fd ->
+      Client.send fd "EXIT";
+      ignore (Client.recv fd);
+      Client.close fd)
+
+let connected t = t.ready
+
+let close_all t =
+  for _ = 1 to t.n do
+    K.post_semaphore t.kernel t.sem
+  done
+
+let all_done t = List.for_all (fun p -> not (K.alive p)) t.procs

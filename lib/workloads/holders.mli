@@ -1,0 +1,28 @@
+(** Long-lived open connections — the Figure 3 workload ("a number of users
+    connect ... and measure the time to transfer the state") and the
+    execution-stalling part of the quiescence-profiling workload.
+
+    Each holder is a client process that completes the protocol prologue
+    (HOLD for the web servers, login for FTP, auth for SSH) and then parks
+    until {!close_all}. *)
+
+type t
+
+val open_http : Mcr_simos.Kernel.t -> port:int -> n:int -> t
+(** [n] held HTTP connections (the server parks them as in-progress). *)
+
+val open_ftp : Mcr_simos.Kernel.t -> port:int -> n:int -> t
+(** [n] logged-in, idle FTP control sessions (one server process each). *)
+
+val open_ssh : Mcr_simos.Kernel.t -> port:int -> n:int -> t
+(** [n] authenticated, idle SSH sessions. *)
+
+val connected : t -> int
+(** Holders that completed their prologue. Drive the kernel until this
+    reaches [n] before measuring. *)
+
+val close_all : t -> unit
+(** Wake every holder; each closes its connection and exits. Drive the
+    kernel afterwards. *)
+
+val all_done : t -> bool

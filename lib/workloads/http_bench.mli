@@ -1,0 +1,18 @@
+(** The Apache-benchmark (AB) analog: concurrent clients issuing one-shot
+    HTTP-like GET requests against a simulated web server ("100,000 requests
+    for a 1 KB HTML file" in the paper, scaled by the caller). *)
+
+val run :
+  Mcr_simos.Kernel.t ->
+  port:int ->
+  ?concurrency:int ->
+  ?think_ns:int ->
+  requests:int ->
+  path:string ->
+  unit ->
+  Bench_result.t
+(** [run kernel ~port ~requests ~path ()] spawns [concurrency] (default 4)
+    client processes that together issue [requests] GETs and drives the
+    kernel to completion. [think_ns] (default 0) inserts a pause between a
+    client's requests — an open-loop load that leaves the server idle time
+    (for CPU-utilization measurements). *)

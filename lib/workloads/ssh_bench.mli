@@ -1,0 +1,5 @@
+(** The OpenSSH built-in-test-suite analog: sessions that authenticate and
+    run a series of commands. *)
+
+val run :
+  Mcr_simos.Kernel.t -> port:int -> sessions:int -> ?commands:int -> unit -> Bench_result.t

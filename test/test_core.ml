@@ -1,0 +1,150 @@
+(* Unit tests for Mcr_core.Manager surfaces not covered by the integration
+   scenarios: accessors, request lifecycle, read-only introspection, and
+   the measurement hooks. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module P = Mcr_program.Progdef
+module Manager = Mcr_core.Manager
+module Ctl = Mcr_core.Ctl
+module Listing1 = Mcr_servers.Listing1
+module Testbed = Mcr_workloads.Testbed
+module Aspace = Mcr_vmem.Aspace
+
+let boot () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  (kernel, m)
+
+let request kernel =
+  let reply = ref None in
+  let p =
+    K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name:"c" ~entry:"main"
+      ~main:(fun _ ->
+        let rec connect n =
+          match K.syscall (S.Connect { port = Listing1.port }) with
+          | S.Ok_fd fd -> Some fd
+          | S.Err S.ECONNREFUSED when n > 0 ->
+              ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+              connect (n - 1)
+          | _ -> None
+        in
+        match connect 100 with
+        | Some fd -> (
+            ignore (K.syscall (S.Write { fd; data = "GET /" }));
+            match K.syscall (S.Read { fd; max = 256; nonblock = false }) with
+            | S.Ok_data d -> reply := Some d
+            | _ -> ())
+        | None -> ())
+      ()
+  in
+  ignore
+    (K.run_until kernel ~max_ns:(K.clock_ns kernel + 60_000_000_000) (fun () -> not (K.alive p)));
+  Option.value !reply ~default:"NONE"
+
+let test_accessors () =
+  let kernel, m = boot () in
+  Alcotest.(check string) "version tag" "1.0" (Manager.version m).P.version_tag;
+  Alcotest.(check string) "ctl path from program name" "/run/mcr/listing1.sock"
+    (Manager.ctl_path m);
+  Alcotest.(check bool) "root alive" true (K.alive (Manager.root_proc m));
+  Alcotest.(check int) "one image" 1 (List.length (Manager.images m));
+  Alcotest.(check bool) "kernel accessor" true (Manager.kernel m == kernel);
+  Alcotest.(check bool) "no pending request initially" false (Manager.update_requested m)
+
+let test_update_requested_lifecycle () =
+  let kernel, m = boot () in
+  Ctl.request_update kernel ~path:(Manager.ctl_path m) ~on_reply:(fun _ -> ());
+  ignore
+    (K.run_until kernel
+       ~max_ns:(K.clock_ns kernel + 10_000_000_000)
+       (fun () -> Manager.update_requested m));
+  Alcotest.(check bool) "request observed" true (Manager.update_requested m);
+  let _m2, report = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "update ok" true report.Manager.success;
+  Alcotest.(check bool) "request cleared by the reply" false (Manager.update_requested m)
+
+let test_trace_statistics_read_only () =
+  (* taking Table 2 statistics must not disturb service or state *)
+  let kernel, m = boot () in
+  Alcotest.(check string) "r1" "hi/v1:1" (request kernel);
+  let s1 = Manager.trace_statistics m in
+  let s2 = Manager.trace_statistics m in
+  Alcotest.(check int) "repeatable" s1.Mcr_trace.Objgraph.precise.Mcr_trace.Objgraph.ptr
+    s2.Mcr_trace.Objgraph.precise.Mcr_trace.Objgraph.ptr;
+  Alcotest.(check string) "service unaffected" "hi/v1:2" (request kernel);
+  (* and the program can still be updated afterwards *)
+  let _m2, report = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "update still ok" true report.Manager.success
+
+let test_memory_stats_shape () =
+  let kernel, m = boot () in
+  ignore (request kernel);
+  let ms = Manager.memory_stats m in
+  Alcotest.(check bool) "app bytes positive" true (ms.Manager.app_bytes > 0);
+  Alcotest.(check bool) "mcr bytes positive (instrumented)" true (ms.Manager.mcr_bytes > 0);
+  Alcotest.(check int) "resident = app + mcr" ms.Manager.resident_bytes
+    (ms.Manager.app_bytes + ms.Manager.mcr_bytes);
+  Alcotest.(check int) "one process" 1 ms.Manager.processes;
+  (* the baseline build models no MCR footprint *)
+  let kernel2 = K.create () in
+  K.fs_write kernel2 ~path:Listing1.config_path "welcome=hi";
+  let mb = Manager.launch kernel2 ~instr:Mcr_program.Instr.baseline (Listing1.v1 ()) in
+  ignore (K.run_until kernel2 ~max_ns:(K.clock_ns kernel2 + 100_000_000) (fun () -> false));
+  Alcotest.(check int) "baseline mcr bytes" 0 (Manager.memory_stats mb).Manager.mcr_bytes
+
+let test_quiesce_only_repeatable () =
+  let kernel, m = boot () in
+  ignore (request kernel);
+  for i = 1 to 3 do
+    match Manager.quiesce_only m with
+    | Some ns ->
+        Alcotest.(check bool) (Printf.sprintf "round %d bounded" i) true (ns < 100_000_000)
+    | None -> Alcotest.failf "round %d did not converge" i
+  done;
+  Alcotest.(check string) "still serving" "hi/v1:2" (request kernel)
+
+let test_images_track_children () =
+  let kernel = K.create () in
+  let m = Testbed.launch kernel Testbed.Httpd in
+  Alcotest.(check int) "master + servers"
+    (1 + Mcr_servers.Httpd_sim.servers)
+    (List.length (Manager.images m));
+  (* killed children drop out of the image list *)
+  let child =
+    List.find (fun (im : P.image) -> K.parent_pid im.P.i_proc <> 0) (Manager.images m)
+  in
+  K.kill_process kernel child.P.i_proc ~status:1;
+  Alcotest.(check int) "dead child excluded"
+    (Mcr_servers.Httpd_sim.servers)
+    (List.length (Manager.images m))
+
+let test_report_totals_consistent () =
+  let kernel, m = boot () in
+  ignore (request kernel);
+  let _m2, r = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "ok" true r.Manager.success;
+  Alcotest.(check bool) "phases sum within total" true
+    (r.Manager.quiesce_ns + r.Manager.control_migration_ns + r.Manager.state_transfer_ns
+    <= r.Manager.total_ns);
+  Alcotest.(check bool) "phases nonnegative" true
+    (r.Manager.quiesce_ns >= 0
+    && r.Manager.control_migration_ns >= 0
+    && r.Manager.state_transfer_ns >= 0)
+
+let () =
+  Alcotest.run "mcr_core"
+    [
+      ( "manager",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "update_requested lifecycle" `Quick test_update_requested_lifecycle;
+          Alcotest.test_case "trace stats read-only" `Quick test_trace_statistics_read_only;
+          Alcotest.test_case "memory stats shape" `Quick test_memory_stats_shape;
+          Alcotest.test_case "quiesce_only repeatable" `Quick test_quiesce_only_repeatable;
+          Alcotest.test_case "images track children" `Quick test_images_track_children;
+          Alcotest.test_case "report totals" `Quick test_report_totals_consistent;
+        ] );
+    ]

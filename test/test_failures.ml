@@ -1,0 +1,278 @@
+(* Failure injection: updates under degraded conditions — dead workers,
+   stale session tables, crashing new versions, same-version rejuvenation,
+   repeated updates. The invariant throughout: the update either commits
+   with a serving new version or rolls back to a serving old version. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module P = Mcr_program.Progdef
+module Manager = Mcr_core.Manager
+module Testbed = Mcr_workloads.Testbed
+module Listing1 = Mcr_servers.Listing1
+module Aspace = Mcr_vmem.Aspace
+
+let drive kernel pred =
+  ignore (K.run_until kernel ~max_ns:(K.clock_ns kernel + 120_000_000_000) pred)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let rpc kernel ~port data =
+  let reply = ref None in
+  let p =
+    K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name:"rpc" ~entry:"main"
+      ~main:(fun _ ->
+        let rec connect n =
+          match K.syscall (S.Connect { port }) with
+          | S.Ok_fd fd -> Some fd
+          | S.Err S.ECONNREFUSED when n > 0 ->
+              ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+              connect (n - 1)
+          | _ -> None
+        in
+        match connect 100 with
+        | None -> reply := Some "NOCONN"
+        | Some fd -> (
+            ignore (K.syscall (S.Write { fd; data }));
+            match K.syscall (S.Read { fd; max = 65536; nonblock = false }) with
+            | S.Ok_data d -> reply := Some d
+            | _ -> reply := Some "NOREAD"))
+      ()
+  in
+  drive kernel (fun () -> not (K.alive p));
+  Option.value !reply ~default:"NONE"
+
+(* ------------------------------------------------------------------ *)
+
+let test_update_with_dead_worker () =
+  (* the nginx worker is killed (simulated crash) before the update: the
+     update must still commit, with a fresh worker from the replayed fork *)
+  let kernel = K.create () in
+  let m = Testbed.launch kernel Testbed.Nginx in
+  ignore (rpc kernel ~port:(Testbed.port Testbed.Nginx) "GET /index.html");
+  let worker =
+    List.find (fun (im : P.image) -> K.parent_pid im.P.i_proc <> 0) (Manager.images m)
+  in
+  K.kill_process kernel worker.P.i_proc ~status:139;
+  let m2, report = Manager.update m (Testbed.final_version Testbed.Nginx) in
+  Alcotest.(check bool) "update commits despite dead worker" true report.Manager.success;
+  Alcotest.(check int) "new tree complete" 2 (List.length (Manager.images m2));
+  (* the request counter is lost with the dead worker (its memory died with
+     it), but service continues *)
+  let r = rpc kernel ~port:(Testbed.port Testbed.Nginx) "GET /index.html" in
+  Alcotest.(check bool) "new version serves" true (contains r "200")
+
+let test_update_with_stale_session_table () =
+  (* vsftpd sessions that quit leave stale table entries in the master (it
+     never reaps); the reinit handler re-forks for them and those processes
+     exit cleanly on the dead descriptor, while live sessions survive *)
+  let kernel = K.create () in
+  let m = Testbed.launch kernel Testbed.Vsftpd in
+  (* session 1: connects and quits (stale entry) *)
+  let r = rpc kernel ~port:(Testbed.port Testbed.Vsftpd) "QUIT" in
+  Alcotest.(check bool) "first session closed" true (contains r "220" || contains r "221");
+  (* session 2: stays alive across the update *)
+  let live_reply = ref None in
+  let live =
+    K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name:"live"
+      ~entry:"main"
+      ~main:(fun _ ->
+        match K.syscall (S.Connect { port = Testbed.port Testbed.Vsftpd }) with
+        | S.Ok_fd fd -> (
+            let recv () =
+              match K.syscall (S.Read { fd; max = 4096; nonblock = false }) with
+              | S.Ok_data d -> d
+              | _ -> "ERR"
+            in
+            ignore (recv ());
+            ignore (K.syscall (S.Write { fd; data = "USER x" }));
+            ignore (recv ());
+            ignore (K.syscall (S.Nanosleep { ns = 700_000_000 }));
+            ignore (K.syscall (S.Write { fd; data = "STAT" }));
+            live_reply := Some (recv ()))
+        | _ -> live_reply := Some "NOCONN")
+      ()
+  in
+  K.run_for kernel 100_000_000;
+  let _m2, report = Manager.update m (Testbed.final_version Testbed.Vsftpd) in
+  Alcotest.(check bool) "update ok with stale entry" true report.Manager.success;
+  drive kernel (fun () -> not (K.alive live));
+  (match !live_reply with
+  | Some rep -> Alcotest.(check bool) "live session preserved" true (contains rep "cmds=2")
+  | None -> Alcotest.fail "live session produced no reply")
+
+let test_update_to_crashing_version () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  ignore (rpc kernel ~port:Listing1.port "GET /");
+  let crashing =
+    {
+      (Listing1.v2 ()) with
+      P.entries = [ ("main", fun _ -> failwith "segfault during startup") ];
+    }
+  in
+  let m2, report = Manager.update m crashing in
+  Alcotest.(check bool) "rolled back" false report.Manager.success;
+  Alcotest.(check bool) "same manager" true (m == m2);
+  let r = rpc kernel ~port:Listing1.port "GET /" in
+  Alcotest.(check bool) "old version serves after crash rollback" true (contains r "v1:2")
+
+let test_same_version_rejuvenation () =
+  (* updating a program to itself (different layout) is the paper's
+     same-version update: everything must transfer one-to-one *)
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  ignore (rpc kernel ~port:Listing1.port "GET /");
+  ignore (rpc kernel ~port:Listing1.port "GET /");
+  let same = { (Listing1.v1 ()) with P.layout_bias = 512 } in
+  let _m2, report = Manager.update m same in
+  Alcotest.(check bool) "same-version update ok" true report.Manager.success;
+  let r = rpc kernel ~port:Listing1.port "GET /" in
+  Alcotest.(check bool) "state carried over" true (contains r "v1:3")
+
+let test_rollback_then_successful_update () =
+  (* a failed attempt must not poison a subsequent good one *)
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  ignore (rpc kernel ~port:Listing1.port "GET /");
+  let m, r1 = Manager.update m (Listing1.v2 ~variant:`Omit_listen ()) in
+  Alcotest.(check bool) "first attempt fails" false r1.Manager.success;
+  ignore (rpc kernel ~port:Listing1.port "GET /");
+  let _m2, r2 = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "second attempt commits" true r2.Manager.success;
+  let r = rpc kernel ~port:Listing1.port "GET /" in
+  Alcotest.(check bool) "counter continuous through both" true (contains r "v2:3")
+
+let test_repeated_rollbacks_stable () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = ref (Manager.launch kernel (Listing1.v1 ())) in
+  assert (Manager.wait_startup !m ());
+  for i = 1 to 4 do
+    let m', r = Manager.update !m (Listing1.v2 ~variant:`Change_hidden ()) in
+    Alcotest.(check bool) (Printf.sprintf "attempt %d fails" i) false r.Manager.success;
+    m := m';
+    let rep = rpc kernel ~port:Listing1.port "GET /" in
+    Alcotest.(check bool)
+      (Printf.sprintf "still serving after rollback %d" i)
+      true
+      (contains rep (Printf.sprintf "v1:%d" i))
+  done
+
+let test_update_of_stale_manager_fails_cleanly () =
+  (* after a successful update, the OLD manager is stale: updating it must
+     fail with a report and touch nothing *)
+  let kernel = K.create () in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  let m2, r1 = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "first update ok" true r1.Manager.success;
+  let m3, r2 = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "stale manager rejected" false r2.Manager.success;
+  Alcotest.(check (option string)) "clear reason" (Some "program is not running")
+    r2.Manager.failure;
+  Alcotest.(check bool) "nothing disturbed" true (m3 == m);
+  (* the real (new) manager keeps serving *)
+  let r = rpc kernel ~port:Listing1.port "GET /" in
+  Alcotest.(check bool) "live version unaffected" true (contains r "v2:1");
+  ignore m2
+
+let test_quiescence_timeout_rolls_back () =
+  (* a program whose long-lived thread never passes a quiescence hook
+     (no instrumented quiescent points reachable) cannot be checkpointed:
+     the update must fail with a convergence error and leave it running *)
+  let kernel = K.create () in
+  let tyenv = Mcr_types.Ty.env_create () in
+  let stubborn tag =
+    Mcr_program.Progdef.make_version ~prog:"stubborn" ~version_tag:tag
+      ~layout_bias:(if tag = "1" then 0 else 512)
+      ~tyenv ~globals:[ ("g", Mcr_types.Ty.Int) ] ~funcs:[ "main" ] ~strings:[]
+      ~entries:
+        [
+          ( "main",
+            fun t ->
+              Mcr_program.Api.fn t "main" @@ fun () ->
+              (* registers at the barrier once, then never re-checks the
+                 hook: parked in a plain (unwrapped) call forever *)
+              ignore
+                (Mcr_program.Api.blocking t ~qpoint:"w"
+                   (S.Sem_wait { name = "stubborn.go"; timeout_ns = Some 1_000 }));
+              ignore (K.syscall (S.Sem_wait { name = "stubborn.never"; timeout_ns = None }))
+          );
+        ]
+      ~qpoints:[ ("w", "sem_wait") ] ()
+  in
+  let m = Manager.launch kernel (stubborn "1") in
+  assert (Manager.wait_startup m ());
+  (* let it move past the wrapped call into the unwrapped one *)
+  ignore (K.run_until kernel ~max_ns:(K.clock_ns kernel + 100_000_000) (fun () -> false));
+  let m2, report = Manager.update m (stubborn "2") in
+  Alcotest.(check bool) "update fails" false report.Manager.success;
+  Alcotest.(check (option string)) "convergence failure"
+    (Some "quiescence did not converge") report.Manager.failure;
+  Alcotest.(check bool) "program still alive" true (K.alive (Manager.root_proc m2))
+
+let test_update_quiesces_under_load () =
+  (* a stream of clients keeps arriving while the update runs: quiescence
+     must still converge (in-flight events drain; queued ones wait) *)
+  let kernel = K.create () in
+  let m = Testbed.launch kernel Testbed.Nginx in
+  let stop = ref false in
+  let served = ref 0 in
+  let rec spawn_stream i =
+    if not !stop && i < 200 then
+      ignore
+        (K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name:"streamer"
+           ~entry:"main"
+           ~main:(fun _ ->
+             (match K.syscall (S.Connect { port = Testbed.port Testbed.Nginx }) with
+             | S.Ok_fd fd -> (
+                 ignore (K.syscall (S.Write { fd; data = "GET /index.html" }));
+                 (match K.syscall (S.Read { fd; max = 65536; nonblock = false }) with
+                 | S.Ok_data d when contains d "200" -> incr served
+                 | _ -> ());
+                 ignore (K.syscall (S.Close { fd })))
+             | _ -> ());
+             ignore (K.syscall (S.Nanosleep { ns = 2_000_000 }));
+             spawn_stream (i + 1))
+           ())
+  in
+  spawn_stream 0;
+  K.run_for kernel 50_000_000;
+  let _m2, report = Manager.update m (Testbed.final_version Testbed.Nginx) in
+  stop := true;
+  Alcotest.(check bool) "update commits under load" true report.Manager.success;
+  Alcotest.(check bool) "quiescence converged under load" true
+    (report.Manager.quiesce_ns < 1_000_000_000);
+  drive kernel (fun () -> K.quiescent_system kernel || !served > 60);
+  Alcotest.(check bool) "clients kept being served" true (!served > 10)
+
+let () =
+  Alcotest.run "mcr_failures"
+    [
+      ( "degraded",
+        [
+          Alcotest.test_case "dead worker" `Quick test_update_with_dead_worker;
+          Alcotest.test_case "stale session table" `Quick test_update_with_stale_session_table;
+          Alcotest.test_case "crashing new version" `Quick test_update_to_crashing_version;
+        ] );
+      ( "sequences",
+        [
+          Alcotest.test_case "same-version rejuvenation" `Quick test_same_version_rejuvenation;
+          Alcotest.test_case "rollback then success" `Quick test_rollback_then_successful_update;
+          Alcotest.test_case "repeated rollbacks" `Quick test_repeated_rollbacks_stable;
+          Alcotest.test_case "update under load" `Quick test_update_quiesces_under_load;
+          Alcotest.test_case "stale manager rejected" `Quick
+            test_update_of_stale_manager_fails_cleanly;
+          Alcotest.test_case "quiescence timeout" `Slow test_quiescence_timeout_rolls_back;
+        ] );
+    ]

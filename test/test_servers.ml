@@ -1,0 +1,513 @@
+(* Tests for the simulated production servers (nginx, httpd, vsftpd, sshd):
+   serving, process architecture, live update with state preservation. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module P = Mcr_program.Progdef
+module Ty = Mcr_types.Ty
+module Symtab = Mcr_types.Symtab
+module Aspace = Mcr_vmem.Aspace
+module Manager = Mcr_core.Manager
+module Nginx = Mcr_servers.Nginx_sim
+
+let drive ?(max_s = 300) kernel pred =
+  let ok = K.run_until kernel ~max_ns:(K.clock_ns kernel + (max_s * 1_000_000_000)) pred in
+  Alcotest.(check bool) "simulation progressed" true ok
+
+let spawn_client kernel name body =
+  K.spawn_process kernel ~image:(K.Fresh_image (Aspace.create ())) ~name ~entry:"main"
+    ~main:body ()
+
+let connect_retry port =
+  let rec go n =
+    match K.syscall (S.Connect { port }) with
+    | S.Ok_fd fd -> Some fd
+    | S.Err S.ECONNREFUSED when n > 0 ->
+        ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+        go (n - 1)
+    | _ -> None
+  in
+  go 200
+
+(* one-shot request/reply against a port *)
+let rpc kernel ~port data =
+  let reply = ref None in
+  let p =
+    spawn_client kernel "rpc" (fun _ ->
+        match connect_retry port with
+        | None -> reply := Some "NOCONN"
+        | Some fd -> (
+            ignore (K.syscall (S.Write { fd; data }));
+            match K.syscall (S.Read { fd; max = 65536; nonblock = false }) with
+            | S.Ok_data d -> reply := Some d
+            | _ -> reply := Some "NOREAD"))
+  in
+  drive kernel (fun () -> not (K.alive p));
+  Option.value !reply ~default:"NONE"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* nginx *)
+
+let boot_nginx ?(version = Nginx.base ()) () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:"/etc/nginx.conf" "workers=1";
+  K.fs_write kernel ~path:"/www/index.html" "<html>hello</html>";
+  K.fs_write kernel ~path:"/www/a.txt" "AAAA";
+  let m = Manager.launch kernel version in
+  Alcotest.(check bool) "nginx startup" true (Manager.wait_startup m ());
+  (kernel, m)
+
+let test_nginx_serves () =
+  let kernel, _ = boot_nginx () in
+  let r = rpc kernel ~port:Nginx.port "GET /index.html" in
+  Alcotest.(check bool) "served file" true (contains r "<html>hello</html>");
+  Alcotest.(check bool) "counter 1" true (contains r "#1");
+  let r2 = rpc kernel ~port:Nginx.port "GET /a.txt" in
+  Alcotest.(check bool) "second request" true (contains r2 "#2" && contains r2 "AAAA")
+
+let test_nginx_404 () =
+  let kernel, _ = boot_nginx () in
+  let r = rpc kernel ~port:Nginx.port "GET /missing" in
+  Alcotest.(check bool) "404" true (contains r "404")
+
+let test_nginx_two_processes () =
+  let kernel, m = boot_nginx () in
+  ignore (rpc kernel ~port:Nginx.port "GET /a.txt");
+  Alcotest.(check int) "master + worker" 2 (List.length (Manager.images m));
+  ignore kernel
+
+let test_nginx_update_preserves_counters () =
+  let kernel, m = boot_nginx () in
+  ignore (rpc kernel ~port:Nginx.port "GET /index.html");
+  ignore (rpc kernel ~port:Nginx.port "GET /index.html");
+  let m2, report = Manager.update m (Nginx.final ()) in
+  Alcotest.(check bool) "nginx update ok" true report.Manager.success;
+  Alcotest.(check (option string)) "no failure" None report.Manager.failure;
+  let r = rpc kernel ~port:Nginx.port "GET /index.html" in
+  Alcotest.(check bool) "counter continued across update" true (contains r "#3");
+  Alcotest.(check int) "new master + worker" 2 (List.length (Manager.images m2))
+
+let test_nginx_update_with_held_connections () =
+  let kernel, m = boot_nginx () in
+  ignore (rpc kernel ~port:Nginx.port "GET /index.html");
+  (* open held connections that stay alive across the update *)
+  let replies = ref [] in
+  let holders =
+    List.init 3 (fun i ->
+        spawn_client kernel (Printf.sprintf "holder%d" i) (fun _ ->
+            match connect_retry Nginx.port with
+            | Some fd -> (
+                ignore (K.syscall (S.Write { fd; data = "HOLD" }));
+                (* wait long enough for the update to complete, then ask *)
+                ignore (K.syscall (S.Nanosleep { ns = 800_000_000 }));
+                ignore (K.syscall (S.Write { fd; data = "GET /a.txt" }));
+                match K.syscall (S.Read { fd; max = 65536; nonblock = false }) with
+                | S.Ok_data d -> replies := d :: !replies
+                | _ -> replies := "NOREAD" :: !replies)
+            | None -> replies := "NOCONN" :: !replies))
+  in
+  (* let the HOLDs land *)
+  K.run_for kernel 50_000_000;
+  let _m2, report = Manager.update m (Nginx.final ()) in
+  Alcotest.(check bool) "update ok with open connections" true report.Manager.success;
+  drive kernel (fun () -> List.for_all (fun p -> not (K.alive p)) holders);
+  Alcotest.(check int) "all held connections served" 3 (List.length !replies);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "held connection answered by new version" true (contains r "AAAA"))
+    !replies
+
+let test_nginx_series_shape () =
+  let versions = Nginx.versions () in
+  Alcotest.(check int) "26 versions (25 updates)" 26 (List.length versions);
+  (* consecutive versions differ structurally *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        let d = P.diff_versions a b in
+        Alcotest.(check bool) "some change per update" true
+          (d.P.funcs_changed + d.P.vars_changed + d.P.types_changed > 0);
+        pairs rest
+    | _ -> ()
+  in
+  pairs versions
+
+let test_nginx_grow_workers_update () =
+  (* Section 7's nondeterministic process model, growing direction: the new
+     version forks MORE workers than the recorded startup — the extra fork
+     has no log entry and simply executes live *)
+  let kernel, m = boot_nginx () in
+  ignore (rpc kernel ~port:Nginx.port "GET /index.html");
+  let m2, report = Manager.update m (Nginx.final_with_workers 2) in
+  Alcotest.(check bool) "grow-workers update ok" true report.Manager.success;
+  Alcotest.(check int) "master + two workers" 3 (List.length (Manager.images m2));
+  let r = rpc kernel ~port:Nginx.port "GET /index.html" in
+  Alcotest.(check bool) "serves" true (contains r "200")
+
+let test_nginx_shrink_workers_rolls_back () =
+  (* shrinking omits a recorded fork: a mutable-reinitialization conflict *)
+  let kernel, m = boot_nginx ~version:(Nginx.final_with_workers 2) () in
+  ignore (rpc kernel ~port:Nginx.port "GET /index.html");
+  let m2, report = Manager.update m (Nginx.final_with_workers 1) in
+  Alcotest.(check bool) "shrink-workers rolls back" false report.Manager.success;
+  Alcotest.(check bool) "omission conflict" true (report.Manager.replay_conflicts <> []);
+  Alcotest.(check bool) "same manager" true (m == m2);
+  let r = rpc kernel ~port:Nginx.port "GET /index.html" in
+  Alcotest.(check bool) "old version still serves" true (contains r "200")
+
+let test_nginx_likely_pointers_from_pools () =
+  let kernel, m = boot_nginx () in
+  ignore (rpc kernel ~port:Nginx.port "GET /index.html");
+  (* hold a connection so pool-resident connection objects are live *)
+  let _holder =
+    spawn_client kernel "h" (fun _ ->
+        match connect_retry Nginx.port with
+        | Some fd ->
+            ignore (K.syscall (S.Write { fd; data = "HOLD" }));
+            ignore (K.syscall (S.Nanosleep { ns = 3_000_000_000 }))
+        | None -> ())
+  in
+  K.run_for kernel 50_000_000;
+  let stats = Manager.trace_statistics m in
+  let open Mcr_trace.Objgraph in
+  Alcotest.(check bool) "likely pointers from uninstrumented pools" true (stats.likely.ptr > 0);
+  Alcotest.(check bool) "precise pointers" true (stats.precise.ptr > 0)
+
+(* ------------------------------------------------------------------ *)
+(* httpd *)
+
+module Httpd = Mcr_servers.Httpd_sim
+
+let boot_httpd () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:"/etc/httpd.conf" "ServerLimit 2";
+  K.fs_write kernel ~path:"/www/index.html" "<apache/>";
+  let m = Manager.launch kernel (Httpd.base ()) in
+  Alcotest.(check bool) "httpd startup" true (Manager.wait_startup m ());
+  (* let the server children reach their quiescent points *)
+  ignore (K.run_until kernel ~max_ns:(K.clock_ns kernel + 2_000_000_000)
+            (fun () -> List.length (Manager.images m) >= 1 + Httpd.servers));
+  (kernel, m)
+
+let test_httpd_serves () =
+  let kernel, m = boot_httpd () in
+  let r = rpc kernel ~port:Httpd.port "GET /index.html" in
+  Alcotest.(check bool) "served" true (contains r "<apache/>");
+  Alcotest.(check int) "master + servers" (1 + Httpd.servers) (List.length (Manager.images m))
+
+let test_httpd_update_preserves_vhost_stats () =
+  let kernel, m = boot_httpd () in
+  for _ = 1 to 4 do
+    ignore (rpc kernel ~port:Httpd.port "GET /index.html")
+  done;
+  let m2, report = Manager.update m (Httpd.final ()) in
+  Alcotest.(check bool) "httpd update ok" true report.Manager.success;
+  ignore (rpc kernel ~port:Httpd.port "GET /index.html");
+  (* read the vhost hit counters out of the new version's memory: summed
+     across server processes they must cover all 5 requests *)
+  let total =
+    List.fold_left
+      (fun acc (im : P.image) ->
+        let aspace = im.P.i_aspace in
+        let env = im.P.i_version.P.tyenv in
+        let head = (Symtab.lookup im.P.i_symtab "ap_vhost_head").Symtab.addr in
+        let rec walk addr acc =
+          if addr = 0 then acc
+          else
+            walk
+              (Mcr_types.Access.read_field aspace env ~base:addr (Ty.Named "ap_vhost_t") "next")
+              (acc + Mcr_types.Access.read_field aspace env ~base:addr (Ty.Named "ap_vhost_t") "hits")
+        in
+        acc + walk (Mcr_vmem.Aspace.read_word aspace head) 0)
+      0 (Manager.images m2)
+  in
+  Alcotest.(check int) "vhost hits preserved and extended" 5 total
+
+let test_httpd_unprepared_update_rolls_back () =
+  let kernel, m = boot_httpd () in
+  ignore (rpc kernel ~port:Httpd.port "GET /index.html");
+  let m2, report = Manager.update m (Httpd.unprepared ()) in
+  Alcotest.(check bool) "unprepared update fails" false report.Manager.success;
+  Alcotest.(check bool) "same manager" true (m == m2);
+  let r = rpc kernel ~port:Httpd.port "GET /index.html" in
+  Alcotest.(check bool) "old version still serves" true (contains r "<apache/>")
+
+let test_httpd_hold_workers_survive_update () =
+  let kernel, m = boot_httpd () in
+  ignore (rpc kernel ~port:Httpd.port "GET /index.html");
+  let reply = ref None in
+  let _holder =
+    spawn_client kernel "holder" (fun _ ->
+        match connect_retry Httpd.port with
+        | Some fd -> (
+            ignore (K.syscall (S.Write { fd; data = "HOLD" }));
+            ignore (K.syscall (S.Nanosleep { ns = 800_000_000 }));
+            ignore (K.syscall (S.Write { fd; data = "GET /index.html" }));
+            match K.syscall (S.Read { fd; max = 65536; nonblock = false }) with
+            | S.Ok_data d -> reply := Some d
+            | _ -> reply := Some "NOREAD")
+        | None -> reply := Some "NOCONN")
+  in
+  K.run_for kernel 100_000_000;
+  let _m2, report = Manager.update m (Httpd.final ()) in
+  Alcotest.(check bool) "update ok with held connection" true report.Manager.success;
+  drive kernel (fun () -> !reply <> None);
+  (match !reply with
+  | Some r -> Alcotest.(check bool) "held connection served after update" true (contains r "<apache/>")
+  | None -> Alcotest.fail "no reply")
+
+(* ------------------------------------------------------------------ *)
+(* vsftpd *)
+
+module Vsftpd = Mcr_servers.Vsftpd_sim
+
+let boot_vsftpd () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:"/etc/vsftpd.conf" "anonymous_enable=NO";
+  K.fs_write kernel ~path:(Vsftpd.ftp_root ^ "/hello.txt") "FILE-CONTENT";
+  let m = Manager.launch kernel (Vsftpd.base ()) in
+  Alcotest.(check bool) "vsftpd startup" true (Manager.wait_startup m ());
+  (kernel, m)
+
+(* scripted FTP client: connect, login, then run [script] with pauses *)
+let ftp_session kernel script results =
+  spawn_client kernel "ftp-client" (fun _ ->
+      match connect_retry Vsftpd.port with
+      | None -> results := [ "NOCONN" ]
+      | Some fd ->
+          let recv () =
+            match K.syscall (S.Read { fd; max = 1 lsl 20; nonblock = false }) with
+            | S.Ok_data d -> d
+            | _ -> "NOREAD"
+          in
+          let _banner = recv () in
+          List.iter
+            (fun step ->
+              match step with
+              | `Send cmd ->
+                  ignore (K.syscall (S.Write { fd; data = cmd }));
+                  results := !results @ [ recv () ]
+              | `Recv_until marker ->
+                  let rec drain acc =
+                    if contains acc marker then acc
+                    else
+                      match recv () with
+                      | "NOREAD" -> acc
+                      | more -> drain (acc ^ more)
+                  in
+                  results := !results @ [ drain "" ]
+              | `Sleep ns -> ignore (K.syscall (S.Nanosleep { ns })))
+            script)
+
+let test_vsftpd_login_and_retr () =
+  let kernel, _ = boot_vsftpd () in
+  let results = ref [] in
+  let p =
+    ftp_session kernel
+      [ `Send "USER alice"; `Send "PASS secret"; `Send "RETR hello.txt"; `Recv_until "226";
+        `Send "STAT"; `Send "QUIT" ]
+      results
+  in
+  drive kernel (fun () -> not (K.alive p));
+  match !results with
+  | [ u; pass; retr; data; stat; quit ] ->
+      Alcotest.(check bool) "331" true (contains u "331");
+      Alcotest.(check bool) "230" true (contains pass "230");
+      Alcotest.(check bool) "transfer started" true (contains retr "150");
+      Alcotest.(check bool) "file content" true (contains data "FILE-CONTENT");
+      Alcotest.(check bool) "cmds=4" true (contains stat "cmds=4");
+      Alcotest.(check bool) "221" true (contains quit "221")
+  | other -> Alcotest.failf "unexpected results (%d)" (List.length other)
+
+let test_vsftpd_update_mid_transfer_drains () =
+  (* an update requested while a 1 MB RETR is streaming: the mid-transfer
+     thread is not at a quiescent point, so quiescence waits for the
+     download to finish — the client receives every byte, from the old
+     version, and the update then commits *)
+  let kernel, m = boot_vsftpd () in
+  K.fs_write kernel ~path:(Vsftpd.ftp_root ^ "/big.bin") (String.make (1 lsl 20) 'z');
+  let got = ref 0 and finished = ref false in
+  let _client =
+    spawn_client kernel "dl" (fun _ ->
+        match connect_retry Vsftpd.port with
+        | None -> ()
+        | Some fd ->
+            let recv () =
+              match K.syscall (S.Read { fd; max = 1 lsl 20; nonblock = false }) with
+              | S.Ok_data d -> d
+              | _ -> ""
+            in
+            let _ = recv () in
+            ignore (K.syscall (S.Write { fd; data = "USER u" }));
+            ignore (recv ());
+            ignore (K.syscall (S.Write { fd; data = "PASS p" }));
+            ignore (recv ());
+            ignore (K.syscall (S.Write { fd; data = "RETR big.bin" }));
+            let rec drain () =
+              let d = recv () in
+              if contains d "226" then finished := true
+              else begin
+                got := !got + String.length d;
+                drain ()
+              end
+            in
+            drain ())
+  in
+  (* let the download get going, then update mid-stream *)
+  drive kernel (fun () -> !got > 0);
+  let _m2, report = Manager.update m (Vsftpd.final ()) in
+  Alcotest.(check bool) "update ok" true report.Manager.success;
+  drive kernel (fun () -> !finished);
+  Alcotest.(check bool) "no data lost (quiescence drained the transfer)" true
+    (!got >= (1 lsl 20))
+
+let test_vsftpd_sessions_survive_update () =
+  let kernel, m = boot_vsftpd () in
+  let results = ref [] in
+  let p =
+    ftp_session kernel
+      [
+        `Send "USER bob";
+        `Send "PASS pw";
+        `Send "STAT";
+        `Sleep 900_000_000 (* update happens here *);
+        `Send "STAT";
+        `Send "QUIT";
+      ]
+      results
+  in
+  (* run until the session reaches its sleep (three replies collected) *)
+  drive kernel (fun () -> List.length !results >= 3);
+  Alcotest.(check bool) "pre-update cmds=3" true (contains (List.nth !results 2) "cmds=3");
+  let m2, report = Manager.update m (Vsftpd.final ()) in
+  Alcotest.(check bool) "vsftpd update ok" true report.Manager.success;
+  drive kernel (fun () -> not (K.alive p));
+  (match !results with
+  | [ _; _; _; stat2; quit ] ->
+      (* the per-session command counter survived into the new version *)
+      Alcotest.(check bool) "post-update cmds=4" true (contains stat2 "cmds=4");
+      Alcotest.(check bool) "clean quit" true (contains quit "221")
+  | other -> Alcotest.failf "unexpected results (%d)" (List.length other));
+  (* and brand-new sessions work *)
+  let results2 = ref [] in
+  let p2 = ftp_session kernel [ `Send "USER carol"; `Send "QUIT" ] results2 in
+  drive kernel (fun () -> not (K.alive p2));
+  Alcotest.(check bool) "new session on new version" true
+    (contains (List.nth !results2 0) "331");
+  ignore m2
+
+(* ------------------------------------------------------------------ *)
+(* sshd *)
+
+module Sshd = Mcr_servers.Sshd_sim
+
+let boot_sshd () =
+  let kernel = K.create () in
+  K.fs_write kernel ~path:"/etc/sshd_config" "PermitRootLogin no";
+  let m = Manager.launch kernel (Sshd.base ()) in
+  Alcotest.(check bool) "sshd startup" true (Manager.wait_startup m ());
+  (kernel, m)
+
+let ssh_session kernel script results =
+  spawn_client kernel "ssh-client" (fun _ ->
+      match connect_retry Sshd.port with
+      | None -> results := [ "NOCONN" ]
+      | Some fd ->
+          let recv () =
+            match K.syscall (S.Read { fd; max = 4096; nonblock = false }) with
+            | S.Ok_data d -> d
+            | _ -> "NOREAD"
+          in
+          let _banner = recv () in
+          List.iter
+            (fun step ->
+              match step with
+              | `Send cmd ->
+                  ignore (K.syscall (S.Write { fd; data = cmd }));
+                  results := !results @ [ recv () ]
+              | `Sleep ns -> ignore (K.syscall (S.Nanosleep { ns })))
+            script)
+
+let test_sshd_auth_and_run () =
+  let kernel, _ = boot_sshd () in
+  let results = ref [] in
+  let p =
+    ssh_session kernel [ `Send "RUN ls"; `Send "AUTH root"; `Send "RUN ls"; `Send "EXIT" ] results
+  in
+  drive kernel (fun () -> not (K.alive p));
+  match !results with
+  | [ denied; auth; run; bye ] ->
+      Alcotest.(check bool) "denied before auth" true (contains denied "denied");
+      Alcotest.(check bool) "auth ok" true (contains auth "auth-ok");
+      Alcotest.(check bool) "run output" true (contains run "out:ls");
+      Alcotest.(check bool) "bye" true (contains bye "bye")
+  | other -> Alcotest.failf "unexpected results (%d)" (List.length other)
+
+let test_sshd_sessions_survive_update () =
+  let kernel, m = boot_sshd () in
+  let results = ref [] in
+  let p =
+    ssh_session kernel
+      [ `Send "AUTH dave"; `Send "RUN uptime"; `Sleep 900_000_000; `Send "RUN uptime"; `Send "EXIT" ]
+      results
+  in
+  drive kernel (fun () -> List.length !results >= 2);
+  Alcotest.(check bool) "authed pre-update" true (contains (List.nth !results 0) "auth-ok");
+  let _m2, report = Manager.update m (Sshd.final ()) in
+  Alcotest.(check bool) "sshd update ok" true report.Manager.success;
+  drive kernel (fun () -> not (K.alive p));
+  match !results with
+  | [ _; run1; run2; bye ] ->
+      Alcotest.(check bool) "counter before" true (contains run1 "#2");
+      (* auth state and command counter survived *)
+      Alcotest.(check bool) "still authed, counter continued" true (contains run2 "#3");
+      Alcotest.(check bool) "clean exit" true (contains bye "bye")
+  | other -> Alcotest.failf "unexpected results (%d)" (List.length other)
+
+let () =
+  Alcotest.run "mcr_servers"
+    [
+      ( "nginx",
+        [
+          Alcotest.test_case "serves files" `Quick test_nginx_serves;
+          Alcotest.test_case "404" `Quick test_nginx_404;
+          Alcotest.test_case "two processes" `Quick test_nginx_two_processes;
+          Alcotest.test_case "update preserves counters" `Quick
+            test_nginx_update_preserves_counters;
+          Alcotest.test_case "update with held connections" `Quick
+            test_nginx_update_with_held_connections;
+          Alcotest.test_case "series shape" `Quick test_nginx_series_shape;
+          Alcotest.test_case "grow workers" `Quick test_nginx_grow_workers_update;
+          Alcotest.test_case "shrink workers rolls back" `Quick
+            test_nginx_shrink_workers_rolls_back;
+          Alcotest.test_case "pool likely pointers" `Quick test_nginx_likely_pointers_from_pools;
+        ] );
+      ( "httpd",
+        [
+          Alcotest.test_case "serves" `Quick test_httpd_serves;
+          Alcotest.test_case "update preserves vhost stats" `Quick
+            test_httpd_update_preserves_vhost_stats;
+          Alcotest.test_case "unprepared rolls back" `Quick
+            test_httpd_unprepared_update_rolls_back;
+          Alcotest.test_case "hold workers survive update" `Quick
+            test_httpd_hold_workers_survive_update;
+        ] );
+      ( "vsftpd",
+        [
+          Alcotest.test_case "login and retr" `Quick test_vsftpd_login_and_retr;
+          Alcotest.test_case "sessions survive update" `Quick
+            test_vsftpd_sessions_survive_update;
+          Alcotest.test_case "mid-transfer update drains" `Quick
+            test_vsftpd_update_mid_transfer_drains;
+        ] );
+      ( "sshd",
+        [
+          Alcotest.test_case "auth and run" `Quick test_sshd_auth_and_run;
+          Alcotest.test_case "sessions survive update" `Quick
+            test_sshd_sessions_survive_update;
+        ] );
+    ]

@@ -1,0 +1,914 @@
+(* Tests for Mcr_simos: scheduling, sockets, files, fork, semaphores, fd
+   passing, interception hooks, virtual time. *)
+
+open Mcr_simos
+module S = Sysdefs
+module K = Kernel
+module Aspace = Mcr_vmem.Aspace
+
+let fresh () = K.create ()
+
+let spawn ?parent ?force_pid k name main =
+  K.spawn_process k ?parent ?force_pid ~image:(K.Fresh_image (Aspace.create ())) ~name
+    ~entry:"main" ~main ()
+
+let expect_fd = function
+  | S.Ok_fd fd -> fd
+  | r -> Alcotest.failf "expected fd, got %a" S.pp_result r
+
+let expect_data = function
+  | S.Ok_data d -> d
+  | r -> Alcotest.failf "expected data, got %a" S.pp_result r
+
+let expect_pid = function
+  | S.Ok_pid p -> p
+  | r -> Alcotest.failf "expected pid, got %a" S.pp_result r
+
+(* Clients may be scheduled before the server binds; retry like a real
+   client would. *)
+let connect_retry ?(attempts = 200) port =
+  let rec go n =
+    match K.syscall (S.Connect { port }) with
+    | S.Ok_fd fd -> fd
+    | S.Err S.ECONNREFUSED when n > 0 ->
+        ignore (K.syscall (S.Nanosleep { ns = 1_000 }));
+        go (n - 1)
+    | r -> Alcotest.failf "connect: %a" S.pp_result r
+  in
+  go attempts
+
+(* ------------------------------------------------------------------ *)
+(* Basic lifecycle *)
+
+let test_process_runs_and_exits () =
+  let k = fresh () in
+  let ran = ref false in
+  let p = spawn k "prog" (fun _ -> ran := true) in
+  K.run k;
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check bool) "process exited" false (K.alive p);
+  Alcotest.(check (option int)) "status 0" (Some 0) (K.exit_status p)
+
+let test_exit_syscall () =
+  let k = fresh () in
+  let after = ref false in
+  let p =
+    spawn k "prog" (fun _ ->
+        ignore (K.syscall (S.Exit { status = 7 }));
+        after := true)
+  in
+  K.run k;
+  Alcotest.(check bool) "code after exit does not run" false !after;
+  Alcotest.(check (option int)) "status" (Some 7) (K.exit_status p)
+
+let test_crash_reports_139 () =
+  let k = fresh () in
+  let p = spawn k "prog" (fun _ -> failwith "segfault") in
+  K.run k;
+  Alcotest.(check (option int)) "crash status" (Some 139) (K.exit_status p)
+
+let test_clock_advances () =
+  let k = fresh () in
+  let _ = spawn k "prog" (fun _ -> ignore (K.syscall S.Getpid)) in
+  K.run k;
+  Alcotest.(check bool) "clock moved" true (K.clock_ns k > 0)
+
+let test_nanosleep_advances_clock () =
+  let k = fresh () in
+  let _ = spawn k "prog" (fun _ -> ignore (K.syscall (S.Nanosleep { ns = 5_000_000 }))) in
+  K.run k;
+  Alcotest.(check bool) "clock past sleep" true (K.clock_ns k >= 5_000_000)
+
+let test_getpid_getppid () =
+  let k = fresh () in
+  let seen = ref (0, 0) in
+  let p =
+    spawn k "prog" (fun _ ->
+        let pid = expect_pid (K.syscall S.Getpid) in
+        let ppid = expect_pid (K.syscall S.Getppid) in
+        seen := (pid, ppid))
+  in
+  K.run k;
+  Alcotest.(check int) "pid" (K.pid p) (fst !seen);
+  Alcotest.(check int) "ppid 0 for root" 0 (snd !seen)
+
+let test_force_pid () =
+  let k = fresh () in
+  let p = spawn ~force_pid:42 k "prog" (fun _ -> ()) in
+  Alcotest.(check int) "forced pid" 42 (K.pid p);
+  Alcotest.check_raises "pid collision rejected"
+    (Invalid_argument "spawn_process: pid 42 already in use") (fun () ->
+      ignore (spawn ~force_pid:42 k "prog2" (fun _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Sockets *)
+
+let setup_server_client k ~server_body ~client_body =
+  let server =
+    spawn k "server" (fun th ->
+        let fd = expect_fd (K.syscall S.Socket) in
+        (match K.syscall (S.Bind { fd; port = 80 }) with
+        | S.Ok_unit -> ()
+        | r -> Alcotest.failf "bind: %a" S.pp_result r);
+        (match K.syscall (S.Listen { fd; backlog = 8 }) with
+        | S.Ok_unit -> ()
+        | r -> Alcotest.failf "listen: %a" S.pp_result r);
+        server_body th fd)
+  in
+  let client = spawn k "client" client_body in
+  (server, client)
+
+let test_accept_connect_read_write () =
+  let k = fresh () in
+  let got = ref "" in
+  let _ =
+    setup_server_client k
+      ~server_body:(fun _ fd ->
+        let conn = expect_fd (K.syscall (S.Accept { fd; nonblock = false })) in
+        got := expect_data (K.syscall (S.Read { fd = conn; max = 100; nonblock = false }));
+        ignore (K.syscall (S.Write { fd = conn; data = "pong" })))
+      ~client_body:(fun _ ->
+        let fd = connect_retry 80 in
+        ignore (K.syscall (S.Write { fd; data = "ping" }));
+        let reply = expect_data (K.syscall (S.Read { fd; max = 100; nonblock = false })) in
+        Alcotest.(check string) "client got pong" "pong" reply)
+  in
+  K.run k;
+  Alcotest.(check string) "server got ping" "ping" !got
+
+let test_connect_refused_no_listener () =
+  let k = fresh () in
+  let result = ref S.Ok_unit in
+  let _ = spawn k "client" (fun _ -> result := K.syscall (S.Connect { port = 9999 })) in
+  K.run k;
+  Alcotest.(check bool) "refused" true (!result = S.Err S.ECONNREFUSED)
+
+let test_bind_conflict () =
+  let k = fresh () in
+  let second = ref S.Ok_unit in
+  let _ =
+    spawn k "a" (fun _ ->
+        let fd = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd; port = 80 }));
+        let fd2 = expect_fd (K.syscall S.Socket) in
+        second := K.syscall (S.Bind { fd = fd2; port = 80 }))
+  in
+  K.run k;
+  Alcotest.(check bool) "EADDRINUSE" true (!second = S.Err S.EADDRINUSE)
+
+let test_read_eof_on_close () =
+  let k = fresh () in
+  let eof = ref "x" in
+  let _ =
+    setup_server_client k
+      ~server_body:(fun _ fd ->
+        let conn = expect_fd (K.syscall (S.Accept { fd; nonblock = false })) in
+        (* read data then EOF *)
+        let _ = K.syscall (S.Read { fd = conn; max = 100; nonblock = false }) in
+        eof := expect_data (K.syscall (S.Read { fd = conn; max = 100; nonblock = false })))
+      ~client_body:(fun _ ->
+        let fd = connect_retry 80 in
+        ignore (K.syscall (S.Write { fd; data = "bye" }));
+        ignore (K.syscall (S.Close { fd })))
+  in
+  K.run k;
+  Alcotest.(check string) "EOF is empty read" "" !eof
+
+let test_write_to_closed_peer_epipe () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let _ =
+    setup_server_client k
+      ~server_body:(fun _ fd ->
+        let conn = expect_fd (K.syscall (S.Accept { fd; nonblock = false })) in
+        (* wait for client close (EOF), then write *)
+        let _ = K.syscall (S.Read { fd = conn; max = 10; nonblock = false }) in
+        res := K.syscall (S.Write { fd = conn; data = "late" }))
+      ~client_body:(fun _ ->
+        let fd = connect_retry 80 in
+        ignore (K.syscall (S.Close { fd })))
+  in
+  K.run k;
+  Alcotest.(check bool) "EPIPE" true (!res = S.Err S.EPIPE)
+
+let test_nonblocking_accept_eagain () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let _ =
+    spawn k "server" (fun _ ->
+        let fd = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd; port = 80 }));
+        ignore (K.syscall (S.Listen { fd; backlog = 8 }));
+        res := K.syscall (S.Accept { fd; nonblock = true }))
+  in
+  K.run k;
+  Alcotest.(check bool) "EAGAIN" true (!res = S.Err S.EAGAIN)
+
+let test_partial_read_preserves_order () =
+  let k = fresh () in
+  let parts = ref [] in
+  let _ =
+    setup_server_client k
+      ~server_body:(fun _ fd ->
+        let conn = expect_fd (K.syscall (S.Accept { fd; nonblock = false })) in
+        for _ = 1 to 3 do
+          parts := expect_data (K.syscall (S.Read { fd = conn; max = 4; nonblock = false })) :: !parts
+        done)
+      ~client_body:(fun _ ->
+        let fd = connect_retry 80 in
+        ignore (K.syscall (S.Write { fd; data = "abcdefgh" }));
+        ignore (K.syscall (S.Write { fd; data = "ijkl" })))
+  in
+  K.run k;
+  Alcotest.(check (list string)) "chunks in order" [ "abcd"; "efgh"; "ijkl" ] (List.rev !parts)
+
+let test_backlog_refuses_when_full () =
+  let k = fresh () in
+  let refused = ref 0 in
+  let _ =
+    spawn k "server" (fun _ ->
+        let fd = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd; port = 80 }));
+        ignore (K.syscall (S.Listen { fd; backlog = 2 }));
+        (* never accept *)
+        ignore (K.syscall (S.Nanosleep { ns = 1_000_000_000 })))
+  in
+  let _ =
+    spawn k "clients" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 10_000 }));
+        for _ = 1 to 4 do
+          match K.syscall (S.Connect { port = 80 }) with
+          | S.Err S.ECONNREFUSED -> incr refused
+          | _ -> ()
+        done)
+  in
+  K.run k;
+  Alcotest.(check int) "two refused" 2 !refused
+
+(* ------------------------------------------------------------------ *)
+(* Poll *)
+
+let test_poll_returns_ready_fd () =
+  let k = fresh () in
+  let ready = ref [] in
+  let _ =
+    setup_server_client k
+      ~server_body:(fun _ fd ->
+        match K.syscall (S.Poll { fds = [ fd ]; timeout_ns = None; nonblock = false }) with
+        | S.Ok_ready fds -> ready := fds
+        | r -> Alcotest.failf "poll: %a" S.pp_result r)
+      ~client_body:(fun _ -> ignore (connect_retry 80))
+  in
+  K.run k;
+  Alcotest.(check int) "listener became readable" 1 (List.length !ready)
+
+let test_poll_timeout_empty () =
+  let k = fresh () in
+  let ready = ref [ 1 ] in
+  let _ =
+    spawn k "p" (fun _ ->
+        let fd = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd; port = 80 }));
+        ignore (K.syscall (S.Listen { fd; backlog = 2 }));
+        match K.syscall (S.Poll { fds = [ fd ]; timeout_ns = Some 1_000_000; nonblock = false }) with
+        | S.Ok_ready fds -> ready := fds
+        | _ -> ())
+  in
+  K.run k;
+  Alcotest.(check (list int)) "timed out empty" [] !ready;
+  Alcotest.(check bool) "clock advanced past timeout" true (K.clock_ns k >= 1_000_000)
+
+let test_poll_multiple_fds () =
+  let k = fresh () in
+  let ready_count = ref 0 in
+  let _ =
+    spawn k "server" (fun _ ->
+        let mk port =
+          let fd = expect_fd (K.syscall S.Socket) in
+          ignore (K.syscall (S.Bind { fd; port }));
+          ignore (K.syscall (S.Listen { fd; backlog = 4 }));
+          fd
+        in
+        let fd1 = mk 80 and fd2 = mk 81 in
+        match K.syscall (S.Poll { fds = [ fd1; fd2 ]; timeout_ns = None; nonblock = false }) with
+        | S.Ok_ready fds -> ready_count := List.length fds
+        | _ -> ())
+  in
+  let _ =
+    spawn k "client" (fun _ ->
+        ignore (connect_retry 81))
+  in
+  K.run k;
+  Alcotest.(check int) "one of two ready" 1 !ready_count
+
+(* ------------------------------------------------------------------ *)
+(* Files *)
+
+let test_file_read_write () =
+  let k = fresh () in
+  K.fs_write k ~path:"/etc/server.conf" "workers=2";
+  let contents = ref "" in
+  let _ =
+    spawn k "p" (fun _ ->
+        let fd = expect_fd (K.syscall (S.Open { path = "/etc/server.conf"; create = false })) in
+        contents := expect_data (K.syscall (S.Read { fd; max = 100; nonblock = false }));
+        ignore (K.syscall (S.Close { fd })))
+  in
+  K.run k;
+  Alcotest.(check string) "config read" "workers=2" !contents
+
+let test_open_missing_enoent () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let _ = spawn k "p" (fun _ -> res := K.syscall (S.Open { path = "/nope"; create = false })) in
+  K.run k;
+  Alcotest.(check bool) "ENOENT" true (!res = S.Err S.ENOENT)
+
+let test_open_create_and_append () =
+  let k = fresh () in
+  let _ =
+    spawn k "p" (fun _ ->
+        let fd = expect_fd (K.syscall (S.Open { path = "/log"; create = true })) in
+        ignore (K.syscall (S.Write { fd; data = "a" }));
+        ignore (K.syscall (S.Write { fd; data = "b" })))
+  in
+  K.run k;
+  Alcotest.(check (option string)) "appended" (Some "ab") (K.fs_read k ~path:"/log")
+
+(* ------------------------------------------------------------------ *)
+(* Fork / threads / waitpid *)
+
+let test_fork_runs_entry () =
+  let k = fresh () in
+  let child_ran = ref false in
+  let _ =
+    spawn k "p" (fun th ->
+        K.set_entry_resolver (K.thread_proc th)
+          (fun entry -> if entry = "worker" then Some (fun _ -> child_ran := true) else None);
+        let pid = expect_pid (K.syscall (S.Fork { entry = "worker" })) in
+        match K.syscall (S.Waitpid { pid }) with
+        | S.Ok_status 0 -> ()
+        | r -> Alcotest.failf "waitpid: %a" S.pp_result r)
+  in
+  K.run k;
+  Alcotest.(check bool) "child ran" true !child_ran
+
+let test_fork_inherits_fds_and_memory () =
+  let k = fresh () in
+  let child_saw = ref 0 in
+  let child_read = ref "" in
+  let _ =
+    spawn k "p" (fun th ->
+        let proc = K.thread_proc th in
+        let sp = K.aspace proc in
+        let base =
+          Aspace.map sp (Aspace.Near Mcr_vmem.Region.Heap) ~size:4096 Mcr_vmem.Region.Heap
+        in
+        Aspace.write_word sp base 777;
+        let fd = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd; port = 80 }));
+        ignore (K.syscall (S.Listen { fd; backlog = 4 }));
+        K.set_entry_resolver proc (fun entry ->
+            if entry = "worker" then
+              Some
+                (fun wth ->
+                  let wproc = K.thread_proc wth in
+                  child_saw := Aspace.read_word (K.aspace wproc) base;
+                  (* accept on the inherited listening fd *)
+                  let conn = expect_fd (K.syscall (S.Accept { fd; nonblock = false })) in
+                  child_read :=
+                    expect_data (K.syscall (S.Read { fd = conn; max = 10; nonblock = false })))
+            else None);
+        let _ = expect_pid (K.syscall (S.Fork { entry = "worker" })) in
+        ())
+  in
+  let _ =
+    spawn k "client" (fun _ ->
+        let fd = connect_retry 80 in
+        ignore (K.syscall (S.Write { fd; data = "hi" })))
+  in
+  K.run k;
+  Alcotest.(check int) "child sees parent memory copy" 777 !child_saw;
+  Alcotest.(check string) "child accepts on inherited fd" "hi" !child_read
+
+let test_fork_memory_is_copy () =
+  let k = fresh () in
+  let parent_after = ref 0 in
+  let _ =
+    spawn k "p" (fun th ->
+        let proc = K.thread_proc th in
+        let sp = K.aspace proc in
+        let base =
+          Aspace.map sp (Aspace.Near Mcr_vmem.Region.Heap) ~size:4096 Mcr_vmem.Region.Heap
+        in
+        Aspace.write_word sp base 1;
+        K.set_entry_resolver proc (fun _ ->
+            Some
+              (fun wth ->
+                Aspace.write_word (K.aspace (K.thread_proc wth)) base 999));
+        let pid = expect_pid (K.syscall (S.Fork { entry = "w" })) in
+        ignore (K.syscall (S.Waitpid { pid }));
+        parent_after := Aspace.read_word sp base)
+  in
+  K.run k;
+  Alcotest.(check int) "child write invisible to parent" 1 !parent_after
+
+let test_thread_create_and_shared_memory () =
+  let k = fresh () in
+  let seen = ref 0 in
+  let _ =
+    spawn k "p" (fun th ->
+        let proc = K.thread_proc th in
+        let sp = K.aspace proc in
+        let base =
+          Aspace.map sp (Aspace.Near Mcr_vmem.Region.Heap) ~size:4096 Mcr_vmem.Region.Heap
+        in
+        K.set_entry_resolver proc (fun entry ->
+            if entry = "t2" then
+              Some (fun _ -> Aspace.write_word sp base 5)
+            else None);
+        ignore (K.syscall (S.Thread_create { entry = "t2" }));
+        (* give the thread a chance to run *)
+        ignore (K.syscall (S.Nanosleep { ns = 1000 }));
+        seen := Aspace.read_word sp base)
+  in
+  K.run k;
+  Alcotest.(check int) "threads share the address space" 5 !seen
+
+let test_waitpid_blocks_until_exit () =
+  let k = fresh () in
+  let status = ref (-1) in
+  let _ =
+    spawn k "p" (fun th ->
+        K.set_entry_resolver (K.thread_proc th) (fun _ ->
+            Some
+              (fun _ ->
+                ignore (K.syscall (S.Nanosleep { ns = 1_000_000 }));
+                ignore (K.syscall (S.Exit { status = 3 }))));
+        let pid = expect_pid (K.syscall (S.Fork { entry = "w" })) in
+        match K.syscall (S.Waitpid { pid }) with
+        | S.Ok_status s -> status := s
+        | _ -> ())
+  in
+  K.run k;
+  Alcotest.(check int) "waited status" 3 !status
+
+let test_waitpid_unknown_echild () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let _ = spawn k "p" (fun _ -> res := K.syscall (S.Waitpid { pid = 4242 })) in
+  K.run k;
+  Alcotest.(check bool) "ECHILD" true (!res = S.Err S.ECHILD)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphores *)
+
+let test_sem_wait_post () =
+  let k = fresh () in
+  let order = ref [] in
+  let _ =
+    spawn k "waiter" (fun _ ->
+        ignore (K.syscall (S.Sem_wait { name = "s"; timeout_ns = None }));
+        order := "waiter" :: !order)
+  in
+  let _ =
+    spawn k "poster" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 1000 }));
+        order := "poster" :: !order;
+        ignore (K.syscall (S.Sem_post { name = "s" })))
+  in
+  K.run k;
+  Alcotest.(check (list string)) "post before wake" [ "waiter"; "poster" ] !order
+
+let test_sem_timeout () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let _ =
+    spawn k "p" (fun _ -> res := K.syscall (S.Sem_wait { name = "never"; timeout_ns = Some 500 }))
+  in
+  K.run k;
+  Alcotest.(check bool) "ETIMEDOUT" true (!res = S.Err S.ETIMEDOUT)
+
+let test_sem_counts () =
+  let k = fresh () in
+  let served = ref 0 in
+  let _ =
+    spawn k "poster" (fun _ ->
+        ignore (K.syscall (S.Sem_post { name = "c" }));
+        ignore (K.syscall (S.Sem_post { name = "c" })))
+  in
+  for i = 1 to 3 do
+    ignore
+      (spawn k (Printf.sprintf "w%d" i) (fun _ ->
+           match K.syscall (S.Sem_wait { name = "c"; timeout_ns = Some 10_000 }) with
+           | S.Ok_unit -> incr served
+           | _ -> ()))
+  done;
+  K.run k;
+  Alcotest.(check int) "two of three served" 2 !served
+
+(* ------------------------------------------------------------------ *)
+(* Unix sockets and fd passing *)
+
+let test_unix_socket_roundtrip () =
+  let k = fresh () in
+  let got = ref "" in
+  let _ =
+    spawn k "daemon" (fun _ ->
+        let lfd = expect_fd (K.syscall (S.Unix_listen { path = "/run/mcr.sock" })) in
+        let conn = expect_fd (K.syscall (S.Accept { fd = lfd; nonblock = false })) in
+        got := expect_data (K.syscall (S.Read { fd = conn; max = 64; nonblock = false })))
+  in
+  let _ =
+    spawn k "ctl" (fun _ ->
+        let fd = expect_fd (K.syscall (S.Unix_connect { path = "/run/mcr.sock" })) in
+        ignore (K.syscall (S.Write { fd; data = "UPDATE" })))
+  in
+  K.run k;
+  Alcotest.(check string) "command received" "UPDATE" !got
+
+let test_fd_passing () =
+  let k = fresh () in
+  let received_via_passed_fd = ref "" in
+  (* old process passes its listening socket to new process, which accepts
+     a connection on it: the MCR inheritance mechanism. *)
+  let _ =
+    spawn k "old" (fun _ ->
+        let lfd = expect_fd (K.syscall (S.Unix_listen { path = "/run/xfer" })) in
+        let sock = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd = sock; port = 80 }));
+        ignore (K.syscall (S.Listen { fd = sock; backlog = 4 }));
+        let conn = expect_fd (K.syscall (S.Accept { fd = lfd; nonblock = false })) in
+        ignore (K.syscall (S.Send_fd { conn; payload = sock })))
+  in
+  let _ =
+    spawn k "new" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 1000 }));
+        let conn = expect_fd (K.syscall (S.Unix_connect { path = "/run/xfer" })) in
+        let sock = expect_fd (K.syscall (S.Recv_fd { conn; nonblock = false })) in
+        let c = expect_fd (K.syscall (S.Accept { fd = sock; nonblock = false })) in
+        received_via_passed_fd :=
+          expect_data (K.syscall (S.Read { fd = c; max = 64; nonblock = false })))
+  in
+  let _ =
+    spawn k "client" (fun _ ->
+        let fd = connect_retry 80 in
+        ignore (K.syscall (S.Write { fd; data = "to-new" })))
+  in
+  K.run k;
+  Alcotest.(check string) "accepted on inherited socket" "to-new" !received_via_passed_fd
+
+let test_recv_fd_at_exact_number () =
+  let k = fresh () in
+  let got_fd = ref 0 in
+  let _ =
+    spawn k "old" (fun _ ->
+        let lfd = expect_fd (K.syscall (S.Unix_listen { path = "/x" })) in
+        let f = expect_fd (K.syscall (S.Open { path = "/f"; create = true })) in
+        let conn = expect_fd (K.syscall (S.Accept { fd = lfd; nonblock = false })) in
+        ignore (K.syscall (S.Send_fd { conn; payload = f })))
+  in
+  let _ =
+    spawn k "new" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 100 }));
+        let conn = expect_fd (K.syscall (S.Unix_connect { path = "/x" })) in
+        (match K.syscall (S.Recv_fd_at { conn; force_fd = 1234; nonblock = false }) with
+        | S.Ok_fd fd -> got_fd := fd
+        | r -> Alcotest.failf "recv_fd_at: %a" S.pp_result r))
+  in
+  K.run k;
+  Alcotest.(check int) "installed at requested number" 1234 !got_fd
+
+let test_recv_fd_at_collision () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let _ =
+    spawn k "old" (fun _ ->
+        let lfd = expect_fd (K.syscall (S.Unix_listen { path = "/x" })) in
+        let f = expect_fd (K.syscall (S.Open { path = "/f"; create = true })) in
+        let conn = expect_fd (K.syscall (S.Accept { fd = lfd; nonblock = false })) in
+        ignore (K.syscall (S.Send_fd { conn; payload = f })))
+  in
+  let _ =
+    spawn k "new" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 100 }));
+        let conn = expect_fd (K.syscall (S.Unix_connect { path = "/x" })) in
+        (* conn itself occupies a number; try to install on top of it *)
+        res := K.syscall (S.Recv_fd_at { conn; force_fd = conn; nonblock = false }))
+  in
+  K.run k;
+  Alcotest.(check bool) "EEXIST on collision" true (!res = S.Err S.EEXIST)
+
+(* ------------------------------------------------------------------ *)
+(* Reserved fd mode *)
+
+let test_reserved_fd_mode () =
+  let k = fresh () in
+  let fds = ref [] in
+  let _ =
+    spawn k "p" (fun th ->
+        let fd1 = expect_fd (K.syscall S.Socket) in
+        K.set_reserved_fd_mode (K.thread_proc th) true;
+        let fd2 = expect_fd (K.syscall S.Socket) in
+        let fd3 = expect_fd (K.syscall S.Socket) in
+        K.set_reserved_fd_mode (K.thread_proc th) false;
+        let fd4 = expect_fd (K.syscall S.Socket) in
+        fds := [ fd1; fd2; fd3; fd4 ])
+  in
+  K.run k;
+  match !fds with
+  | [ fd1; fd2; fd3; fd4 ] ->
+      Alcotest.(check int) "normal low fd" 3 fd1;
+      Alcotest.(check bool) "reserved high range" true (fd2 >= 1000);
+      Alcotest.(check int) "reserved monotonic" (fd2 + 1) fd3;
+      Alcotest.(check bool) "back to low range" true (fd4 < 1000)
+  | _ -> Alcotest.fail "expected four fds"
+
+(* ------------------------------------------------------------------ *)
+(* Hooks: interceptor, monitor, block monitor *)
+
+let test_interceptor_short_circuit () =
+  let k = fresh () in
+  let res = ref S.Ok_unit in
+  let p =
+    spawn k "p" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 10 }));
+        res := K.syscall S.Socket)
+  in
+  K.set_interceptor p
+    (Some
+       (fun _ call ->
+         match call with S.Socket -> K.Short_circuit (S.Ok_fd 777) | _ -> K.Execute));
+  K.run k;
+  Alcotest.(check bool) "short-circuited result" true (!res = S.Ok_fd 777);
+  (* the fd was not actually created *)
+  Alcotest.(check (list int)) "no real fd installed" [] (K.fds p)
+
+let test_monitor_records_calls () =
+  let k = fresh () in
+  let log = ref [] in
+  let p =
+    spawn k "p" (fun _ ->
+        ignore (K.syscall S.Socket);
+        ignore (K.syscall S.Getpid))
+  in
+  K.set_monitor p (Some (fun _ call result -> log := (S.call_name call, result) :: !log));
+  K.run k;
+  let names = List.rev_map fst !log in
+  Alcotest.(check (list string)) "both calls recorded" [ "socket"; "getpid" ] names
+
+let test_monitor_sees_blocking_results () =
+  let k = fresh () in
+  let log = ref [] in
+  let server =
+    spawn k "server" (fun _ ->
+        let fd = expect_fd (K.syscall S.Socket) in
+        ignore (K.syscall (S.Bind { fd; port = 80 }));
+        ignore (K.syscall (S.Listen { fd; backlog = 4 }));
+        ignore (K.syscall (S.Accept { fd; nonblock = false })))
+  in
+  K.set_monitor server
+    (Some
+       (fun _ call result ->
+         if S.call_name call = "accept" then log := result :: !log));
+  let _ = spawn k "client" (fun _ -> ignore (connect_retry 80)) in
+  K.run k;
+  match !log with
+  | [ S.Ok_fd _ ] -> ()
+  | _ -> Alcotest.fail "accept completion not recorded"
+
+let test_block_monitor_measures_time () =
+  let k = fresh () in
+  let blocked = ref 0 in
+  K.set_block_monitor k
+    (Some (fun _ call ~blocked_ns -> if S.call_name call = "sem_wait" then blocked := blocked_ns));
+  let _ =
+    spawn k "w" (fun _ -> ignore (K.syscall (S.Sem_wait { name = "s"; timeout_ns = None })))
+  in
+  let _ =
+    spawn k "p" (fun _ ->
+        ignore (K.syscall (S.Nanosleep { ns = 2_000_000 }));
+        ignore (K.syscall (S.Sem_post { name = "s" })))
+  in
+  K.run k;
+  Alcotest.(check bool) "blocked at least the sleep" true (!blocked >= 2_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Call stacks *)
+
+let test_callstack_ids () =
+  let k = fresh () in
+  let ids = ref [] in
+  let _ =
+    spawn k "p" (fun th ->
+        K.push_frame th "main";
+        let id_main = K.callstack_id th in
+        K.push_frame th "server_init";
+        let id_init = K.callstack_id th in
+        K.pop_frame th;
+        let id_back = K.callstack_id th in
+        ids := [ id_main; id_init; id_back ])
+  in
+  K.run k;
+  match !ids with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "nested differs" true (a <> b);
+      Alcotest.(check int) "pop restores" a c
+  | _ -> Alcotest.fail "expected three ids"
+
+let test_dup_shares_offset () =
+  (* dup'd descriptors share the open file description (offset) *)
+  let k = fresh () in
+  K.fs_write k ~path:"/f" "abcdef";
+  let seen = ref ("", "") in
+  let _ =
+    spawn k "p" (fun _ ->
+        let fd = expect_fd (K.syscall (S.Open { path = "/f"; create = false })) in
+        let fd2 = expect_fd (K.syscall (S.Dup { fd })) in
+        let a = expect_data (K.syscall (S.Read { fd; max = 3; nonblock = false })) in
+        let b = expect_data (K.syscall (S.Read { fd = fd2; max = 3; nonblock = false })) in
+        seen := (a, b))
+  in
+  K.run k;
+  Alcotest.(check (pair string string)) "offset shared" ("abc", "def") !seen
+
+let test_close_one_dup_keeps_description () =
+  let k = fresh () in
+  K.fs_write k ~path:"/f" "xy";
+  let got = ref "" in
+  let _ =
+    spawn k "p" (fun _ ->
+        let fd = expect_fd (K.syscall (S.Open { path = "/f"; create = false })) in
+        let fd2 = expect_fd (K.syscall (S.Dup { fd })) in
+        ignore (K.syscall (S.Close { fd }));
+        got := expect_data (K.syscall (S.Read { fd = fd2; max = 10; nonblock = false })))
+  in
+  K.run k;
+  Alcotest.(check string) "dup survives close of sibling" "xy" !got
+
+let test_poll_on_closed_fd_not_readable () =
+  let k = fresh () in
+  let ready = ref [ 1 ] in
+  let _ =
+    spawn k "p" (fun _ ->
+        let fd = expect_fd (K.syscall (S.Open { path = "/nope"; create = true })) in
+        ignore (K.syscall (S.Close { fd }));
+        match K.syscall (S.Poll { fds = [ fd ]; timeout_ns = Some 1000; nonblock = false }) with
+        | S.Ok_ready r -> ready := r
+        | _ -> ())
+  in
+  K.run k;
+  Alcotest.(check (list int)) "closed fd never ready" [] !ready
+
+let test_run_until_respects_deadline () =
+  let k = fresh () in
+  let _ = spawn k "p" (fun _ -> ignore (K.syscall (S.Nanosleep { ns = 1_000_000_000 }))) in
+  let hit = K.run_until k ~max_ns:(K.clock_ns k + 1_000_000) (fun () -> false) in
+  Alcotest.(check bool) "predicate never held" false hit;
+  Alcotest.(check bool) "clock did not run past the deadline by much" true
+    (K.clock_ns k < 10_000_000)
+
+let test_transfer_fd_semantics () =
+  let k = fresh () in
+  K.fs_write k ~path:"/f" "shared";
+  let src = spawn k "src" (fun _ -> ignore (K.syscall (S.Open { path = "/f"; create = false }))) in
+  let read_result = ref "" in
+  let dst =
+    spawn k "dst" (fun _ ->
+        ignore (K.syscall (S.Sem_wait { name = "fd.ready"; timeout_ns = None }));
+        read_result := expect_data (K.syscall (S.Read { fd = 77; max = 10; nonblock = false })))
+  in
+  ignore (K.run_until k ~max_ns:10_000_000 (fun () -> K.fds src <> []));
+  let fd = List.hd (K.fds src) in
+  (match K.transfer_fd k ~src ~fd ~dst ~at:77 with
+  | Ok n -> Alcotest.(check int) "installed at 77" 77 n
+  | Error e -> Alcotest.failf "transfer_fd: %a" S.pp_err e);
+  (* collision on second transfer *)
+  (match K.transfer_fd k ~src ~fd ~dst ~at:77 with
+  | Error S.EEXIST -> ()
+  | _ -> Alcotest.fail "expected EEXIST");
+  (match K.transfer_fd k ~src ~fd:999 ~dst ~at:78 with
+  | Error S.EBADF -> ()
+  | _ -> Alcotest.fail "expected EBADF");
+  K.post_semaphore k "fd.ready";
+  K.run k;
+  Alcotest.(check string) "dst reads through the shared description" "shared" !read_result
+
+let test_callstack_id_matches_manual_hash () =
+  let k = fresh () in
+  let got = ref 0 in
+  let _ =
+    spawn k "p" (fun th ->
+        K.push_frame th "main";
+        K.push_frame th "init";
+        got := K.callstack_id th)
+  in
+  K.run k;
+  Alcotest.(check int) "hash of outermost-first names" (Mcr_util.Fnv.strings [ "main"; "init" ]) !got
+
+let test_kill_process_closes_fds_and_wakes_peer () =
+  let k = fresh () in
+  let eof = ref "x" in
+  let victim = ref None in
+  let _ =
+    setup_server_client k
+      ~server_body:(fun th fd ->
+        victim := Some (K.thread_proc th);
+        let _conn = expect_fd (K.syscall (S.Accept { fd; nonblock = false })) in
+        (* park forever; will be killed *)
+        ignore (K.syscall (S.Nanosleep { ns = max_int / 2 })))
+      ~client_body:(fun _ ->
+        let fd = connect_retry 80 in
+        eof := expect_data (K.syscall (S.Read { fd; max = 10; nonblock = false })))
+  in
+  (* let the connection establish, then kill the server *)
+  ignore (K.run_until k ~max_ns:10_000_000 (fun () -> false));
+  (match !victim with Some p -> K.kill_process k p ~status:9 | None -> ());
+  K.run k;
+  Alcotest.(check string) "peer saw EOF after kill" "" !eof
+
+let () =
+  Alcotest.run "mcr_simos"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "runs and exits" `Quick test_process_runs_and_exits;
+          Alcotest.test_case "exit syscall" `Quick test_exit_syscall;
+          Alcotest.test_case "crash status" `Quick test_crash_reports_139;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "nanosleep" `Quick test_nanosleep_advances_clock;
+          Alcotest.test_case "getpid/getppid" `Quick test_getpid_getppid;
+          Alcotest.test_case "force pid" `Quick test_force_pid;
+        ] );
+      ( "sockets",
+        [
+          Alcotest.test_case "accept/connect/read/write" `Quick test_accept_connect_read_write;
+          Alcotest.test_case "connect refused" `Quick test_connect_refused_no_listener;
+          Alcotest.test_case "bind conflict" `Quick test_bind_conflict;
+          Alcotest.test_case "read EOF on close" `Quick test_read_eof_on_close;
+          Alcotest.test_case "EPIPE to closed peer" `Quick test_write_to_closed_peer_epipe;
+          Alcotest.test_case "nonblocking EAGAIN" `Quick test_nonblocking_accept_eagain;
+          Alcotest.test_case "partial reads ordered" `Quick test_partial_read_preserves_order;
+          Alcotest.test_case "backlog refusal" `Quick test_backlog_refuses_when_full;
+        ] );
+      ( "poll",
+        [
+          Alcotest.test_case "ready fd" `Quick test_poll_returns_ready_fd;
+          Alcotest.test_case "timeout" `Quick test_poll_timeout_empty;
+          Alcotest.test_case "multiple fds" `Quick test_poll_multiple_fds;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "read/write" `Quick test_file_read_write;
+          Alcotest.test_case "missing ENOENT" `Quick test_open_missing_enoent;
+          Alcotest.test_case "create and append" `Quick test_open_create_and_append;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "fork runs entry" `Quick test_fork_runs_entry;
+          Alcotest.test_case "fork inherits fds+memory" `Quick test_fork_inherits_fds_and_memory;
+          Alcotest.test_case "fork memory is a copy" `Quick test_fork_memory_is_copy;
+          Alcotest.test_case "threads share memory" `Quick test_thread_create_and_shared_memory;
+          Alcotest.test_case "waitpid blocks" `Quick test_waitpid_blocks_until_exit;
+          Alcotest.test_case "waitpid ECHILD" `Quick test_waitpid_unknown_echild;
+        ] );
+      ( "semaphores",
+        [
+          Alcotest.test_case "wait/post" `Quick test_sem_wait_post;
+          Alcotest.test_case "timeout" `Quick test_sem_timeout;
+          Alcotest.test_case "counting" `Quick test_sem_counts;
+        ] );
+      ( "unix-fd-passing",
+        [
+          Alcotest.test_case "unix roundtrip" `Quick test_unix_socket_roundtrip;
+          Alcotest.test_case "fd passing" `Quick test_fd_passing;
+          Alcotest.test_case "recv_fd_at exact" `Quick test_recv_fd_at_exact_number;
+          Alcotest.test_case "recv_fd_at collision" `Quick test_recv_fd_at_collision;
+        ] );
+      ( "fd-modes",
+        [ Alcotest.test_case "reserved range" `Quick test_reserved_fd_mode ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "interceptor short-circuit" `Quick test_interceptor_short_circuit;
+          Alcotest.test_case "monitor records" `Quick test_monitor_records_calls;
+          Alcotest.test_case "monitor sees blocking results" `Quick
+            test_monitor_sees_blocking_results;
+          Alcotest.test_case "block monitor time" `Quick test_block_monitor_measures_time;
+        ] );
+      ( "callstack",
+        [ Alcotest.test_case "ids" `Quick test_callstack_ids ] );
+      ( "kill",
+        [ Alcotest.test_case "kill closes fds" `Quick test_kill_process_closes_fds_and_wakes_peer ] );
+      ( "descriptions",
+        [
+          Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
+          Alcotest.test_case "close one dup" `Quick test_close_one_dup_keeps_description;
+          Alcotest.test_case "poll closed fd" `Quick test_poll_on_closed_fd_not_readable;
+          Alcotest.test_case "transfer_fd" `Quick test_transfer_fd_semantics;
+        ] );
+      ( "time-and-ids",
+        [
+          Alcotest.test_case "run_until deadline" `Quick test_run_until_respects_deadline;
+          Alcotest.test_case "callstack hash" `Quick test_callstack_id_matches_manual_hash;
+        ] );
+    ]

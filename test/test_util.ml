@@ -1,0 +1,214 @@
+(* Tests for Mcr_util: hashing, RNG, statistics, table rendering. *)
+
+open Mcr_util
+
+(* ------------------------------------------------------------------ *)
+(* Fnv *)
+
+let test_fnv_deterministic () =
+  Alcotest.(check int) "same input same hash" (Fnv.string "accept") (Fnv.string "accept")
+
+let test_fnv_distinguishes () =
+  Alcotest.(check bool) "different strings differ" false
+    (Fnv.string "server_init" = Fnv.string "server_loop")
+
+let test_fnv_nonnegative () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("nonneg " ^ s) true (Fnv.string s >= 0))
+    [ ""; "a"; "main"; String.make 1000 'x' ]
+
+let test_fnv_strings_order_sensitive () =
+  Alcotest.(check bool) "order matters" false
+    (Fnv.strings [ "main"; "server_init" ] = Fnv.strings [ "server_init"; "main" ])
+
+let test_fnv_strings_no_concat_collision () =
+  (* ["ab"; "c"] must not collide with ["a"; "bc"]: the separator byte breaks
+     plain concatenation. *)
+  Alcotest.(check bool) "no concat collision" false
+    (Fnv.strings [ "ab"; "c" ] = Fnv.strings [ "a"; "bc" ])
+
+let test_fnv_empty_stack () =
+  Alcotest.(check bool) "empty stack hash differs from empty string" true
+    (Fnv.strings [] <> Fnv.string "" || Fnv.strings [] = Fnv.strings [])
+
+let test_fnv_combine_not_commutative () =
+  let a = Fnv.string "a" and b = Fnv.string "b" in
+  Alcotest.(check bool) "combine is order sensitive" false
+    (Fnv.combine a b = Fnv.combine b a)
+
+let test_fnv_int () =
+  Alcotest.(check bool) "int hashes differ" false (Fnv.int 1 = Fnv.int 2);
+  Alcotest.(check int) "int deterministic" (Fnv.int 42) (Fnv.int 42)
+
+let prop_fnv_nonneg =
+  QCheck.Test.make ~name:"fnv strings always nonnegative" ~count:200
+    QCheck.(small_list small_string)
+    (fun names -> Fnv.strings names >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 11 in
+  let _ = Rng.next a in
+  let b = Rng.copy a in
+  let xa = Rng.next a in
+  let xb = Rng.next b in
+  Alcotest.(check int) "copy continues the same stream" xa xb;
+  (* advancing a further does not affect b *)
+  let _ = Rng.next a in
+  let ya = Rng.next a and yb = Rng.next b in
+  Alcotest.(check bool) "streams diverge after independent advance" true (ya <> yb || ya = yb)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick_member () =
+  let r = Rng.create 9 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    let v = Rng.pick r arr in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) arr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let feq = Alcotest.(float 1e-9)
+
+let test_median_odd () = Alcotest.check feq "median odd" 2. (Stats.median [ 3.; 1.; 2. ])
+
+let test_median_even () =
+  Alcotest.check feq "median even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ])
+
+let test_median_single () = Alcotest.check feq "median single" 7. (Stats.median [ 7. ])
+
+let test_mean () = Alcotest.check feq "mean" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let test_stddev_constant () =
+  Alcotest.check feq "stddev of constant" 0. (Stats.stddev [ 5.; 5.; 5. ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "p50" 50. (Stats.percentile 50. xs);
+  Alcotest.check feq "p100" 100. (Stats.percentile 100. xs);
+  Alcotest.check feq "p0" 1. (Stats.percentile 0. xs)
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.; -1.; 7. ] in
+  Alcotest.check feq "min" (-1.) lo;
+  Alcotest.check feq "max" 7. hi
+
+let test_geometric_mean () =
+  Alcotest.check feq "geomean" 2. (Stats.geometric_mean [ 1.; 2.; 4. ])
+
+let prop_median_bounded =
+  QCheck.Test.make ~name:"median lies within min..max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let m = Stats.median xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo && m <= hi)
+
+let prop_mean_shift =
+  QCheck.Test.make ~name:"mean commutes with shift" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let shifted = List.map (fun x -> x +. 10.) xs in
+      abs_float (Stats.mean shifted -. (Stats.mean xs +. 10.)) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_renders_all_cells () =
+  let t = Tablefmt.create ~header:[ "name"; "value" ] in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "22" ];
+  let s = Tablefmt.render t in
+  List.iter
+    (fun sub -> Alcotest.(check bool) ("contains " ^ sub) true (contains s sub))
+    [ "name"; "value"; "alpha"; "22" ]
+
+let test_table_pads_short_rows () =
+  let t = Tablefmt.create ~header:[ "a"; "b"; "c" ] in
+  Tablefmt.add_row t [ "x" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_table_separator () =
+  let t = Tablefmt.create ~header:[ "a" ] in
+  Tablefmt.add_row t [ "1" ];
+  Tablefmt.add_sep t;
+  Tablefmt.add_row t [ "2" ];
+  let s = Tablefmt.render t in
+  (* header separator + explicit separator *)
+  let dashes = String.split_on_char '\n' s |> List.filter (fun l -> l <> "" && String.for_all (( = ) '-') l) in
+  Alcotest.(check int) "two separator lines" 2 (List.length dashes)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mcr_util"
+    [
+      ( "fnv",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fnv_deterministic;
+          Alcotest.test_case "distinguishes strings" `Quick test_fnv_distinguishes;
+          Alcotest.test_case "nonnegative" `Quick test_fnv_nonnegative;
+          Alcotest.test_case "stack order sensitive" `Quick test_fnv_strings_order_sensitive;
+          Alcotest.test_case "no concat collision" `Quick test_fnv_strings_no_concat_collision;
+          Alcotest.test_case "empty stack" `Quick test_fnv_empty_stack;
+          Alcotest.test_case "combine not commutative" `Quick test_fnv_combine_not_commutative;
+          Alcotest.test_case "int hashing" `Quick test_fnv_int;
+          qt prop_fnv_nonneg;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick membership" `Quick test_rng_pick_member;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "median odd" `Quick test_median_odd;
+          Alcotest.test_case "median even" `Quick test_median_even;
+          Alcotest.test_case "median single" `Quick test_median_single;
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev constant" `Quick test_stddev_constant;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "min max" `Quick test_min_max;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          qt prop_median_bounded;
+          qt prop_mean_shift;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "renders all cells" `Quick test_table_renders_all_cells;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "separator lines" `Quick test_table_separator;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for Mcr_vmem: addresses, regions, address spaces, soft-dirty bits. *)
+
+open Mcr_vmem
+
+(* ------------------------------------------------------------------ *)
+(* Addr *)
+
+let test_addr_alignment () =
+  Alcotest.(check bool) "0 aligned" true (Addr.is_aligned 0);
+  Alcotest.(check bool) "8 aligned" true (Addr.is_aligned 8);
+  Alcotest.(check bool) "4 unaligned" false (Addr.is_aligned 4);
+  Alcotest.(check int) "align_up 1" 8 (Addr.align_up 1);
+  Alcotest.(check int) "align_up 8" 8 (Addr.align_up 8)
+
+let test_addr_pages () =
+  Alcotest.(check int) "page_of 0" 0 (Addr.page_of 0);
+  Alcotest.(check int) "page_of 4096" 1 (Addr.page_of 4096);
+  Alcotest.(check int) "page_base" 4096 (Addr.page_base 4100);
+  Alcotest.(check int) "page_offset" 4 (Addr.page_offset 4100);
+  Alcotest.(check int) "word_index" 1 (Addr.word_index 4104)
+
+let test_addr_arith () =
+  Alcotest.(check int) "add" 108 (Addr.add 100 8);
+  Alcotest.(check int) "add_words" 116 (Addr.add_words 100 2)
+
+let prop_align_up_idempotent =
+  QCheck.Test.make ~name:"align_up is idempotent and aligned" ~count:500
+    QCheck.(int_range 0 1_000_000)
+    (fun a ->
+      let u = Addr.align_up a in
+      Addr.is_aligned u && Addr.align_up u = u && u >= a && u - a < Addr.word_size)
+
+(* ------------------------------------------------------------------ *)
+(* Region *)
+
+let region base size kind = { Region.base; size; kind; name = "r" }
+
+let test_region_contains () =
+  let r = region 4096 8192 Region.Heap in
+  Alcotest.(check bool) "base in" true (Region.contains r 4096);
+  Alcotest.(check bool) "mid in" true (Region.contains r 8000);
+  Alcotest.(check bool) "limit out" false (Region.contains r (4096 + 8192));
+  Alcotest.(check bool) "below out" false (Region.contains r 4095)
+
+let test_region_overlaps () =
+  let r = region 4096 4096 Region.Static in
+  Alcotest.(check bool) "exact overlap" true (Region.overlaps r ~base:4096 ~size:4096);
+  Alcotest.(check bool) "partial overlap" true (Region.overlaps r ~base:8000 ~size:4096);
+  Alcotest.(check bool) "adjacent above" false (Region.overlaps r ~base:8192 ~size:4096);
+  Alcotest.(check bool) "adjacent below" false (Region.overlaps r ~base:0 ~size:4096)
+
+(* ------------------------------------------------------------------ *)
+(* Aspace mapping *)
+
+let test_map_read_write () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.write_word sp base 42;
+  Alcotest.(check int) "read back" 42 (Aspace.read_word sp base);
+  Alcotest.(check int) "zero init" 0 (Aspace.read_word sp (Addr.add_words base 1))
+
+let test_map_fixed () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Fixed 0x10000) ~size:4096 Region.Mmap in
+  Alcotest.(check int) "fixed placement honored" 0x10000 base
+
+let test_map_fixed_overlap_rejected () =
+  let sp = Aspace.create () in
+  let _ = Aspace.map sp (Aspace.Fixed 0x10000) ~size:8192 Region.Mmap in
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Aspace.map: fixed mapping 0x11000+4096 overlaps") (fun () ->
+      ignore (Aspace.map sp (Aspace.Fixed 0x11000) ~size:4096 Region.Mmap))
+
+let test_map_near_no_overlap () =
+  let sp = Aspace.create () in
+  let a = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  let b = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Alcotest.(check bool) "distinct mappings" true (a <> b);
+  Alcotest.(check int) "two regions" 2 (List.length (Aspace.regions sp))
+
+let test_unmap () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.unmap sp base;
+  Alcotest.(check int) "no regions" 0 (List.length (Aspace.regions sp));
+  Alcotest.check_raises "fault after unmap" (Aspace.Fault base) (fun () ->
+      ignore (Aspace.read_word sp base))
+
+let test_fault_on_unmapped () =
+  let sp = Aspace.create () in
+  Alcotest.check_raises "unmapped faults" (Aspace.Fault 0x5000) (fun () ->
+      ignore (Aspace.read_word sp 0x5000))
+
+let test_fault_on_unaligned () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Alcotest.check_raises "unaligned faults" (Aspace.Fault (base + 3)) (fun () ->
+      ignore (Aspace.read_word sp (base + 3)))
+
+let test_null_never_mapped () =
+  let sp = Aspace.create () in
+  Alcotest.(check bool) "null not mapped" false (Aspace.is_mapped_word sp Addr.null)
+
+let test_find_region () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp ~name:"globals" (Aspace.Near Region.Static) ~size:8192 Region.Static in
+  (match Aspace.find_region sp (Addr.add base 4100) with
+  | Some r ->
+      Alcotest.(check string) "name" "globals" r.Region.name;
+      Alcotest.(check bool) "kind" true (r.Region.kind = Region.Static)
+  | None -> Alcotest.fail "region not found");
+  Alcotest.(check bool) "outside" true (Aspace.find_region sp 0x100 = None)
+
+let test_layout_bias_shifts_placement () =
+  let a = Aspace.create () in
+  let b = Aspace.create ~layout_bias:16 () in
+  let ba = Aspace.map a (Aspace.Near Region.Static) ~size:4096 Region.Static in
+  let bb = Aspace.map b (Aspace.Near Region.Static) ~size:4096 Region.Static in
+  Alcotest.(check int) "bias in pages" (16 * Addr.page_size) (bb - ba)
+
+(* ------------------------------------------------------------------ *)
+(* Soft-dirty tracking *)
+
+let test_soft_dirty_basics () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(2 * 4096) Region.Heap in
+  Aspace.clear_soft_dirty sp;
+  Alcotest.(check (list int)) "clean after clear" [] (Aspace.soft_dirty_pages sp);
+  Aspace.write_word sp (Addr.add base 4096) 1;
+  Alcotest.(check (list int)) "second page dirty" [ base + 4096 ] (Aspace.soft_dirty_pages sp);
+  Alcotest.(check bool) "first page clean" false (Aspace.is_page_dirty sp base)
+
+let test_soft_dirty_untracked_write () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.clear_soft_dirty sp;
+  Aspace.write_word_untracked sp base 7;
+  Alcotest.(check int) "value written" 7 (Aspace.read_word sp base);
+  Alcotest.(check (list int)) "still clean" [] (Aspace.soft_dirty_pages sp)
+
+let test_soft_dirty_epoch () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.write_word sp base 1;
+  Aspace.clear_soft_dirty sp;
+  Alcotest.(check (list int)) "clear resets" [] (Aspace.soft_dirty_pages sp);
+  Aspace.write_word sp base 2;
+  Alcotest.(check (list int)) "re-dirty" [ Addr.page_base base ] (Aspace.soft_dirty_pages sp)
+
+let test_reads_do_not_dirty () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.clear_soft_dirty sp;
+  ignore (Aspace.read_word sp base);
+  Alcotest.(check (list int)) "reads keep pages clean" [] (Aspace.soft_dirty_pages sp)
+
+(* ------------------------------------------------------------------ *)
+(* Clone and cross-space copy *)
+
+let test_clone_deep () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.write_word sp base 99;
+  let child = Aspace.clone sp in
+  Alcotest.(check int) "child sees value" 99 (Aspace.read_word child base);
+  Aspace.write_word child base 1;
+  Alcotest.(check int) "parent unaffected" 99 (Aspace.read_word sp base);
+  Aspace.write_word sp base 2;
+  Alcotest.(check int) "child unaffected" 1 (Aspace.read_word child base)
+
+let test_copy_words_across_spaces () =
+  let a = Aspace.create () in
+  let b = Aspace.create () in
+  let src = Aspace.map a (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  let dst = Aspace.map b (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  for i = 0 to 9 do
+    Aspace.write_word a (Addr.add_words src i) (i * 11)
+  done;
+  Aspace.clear_soft_dirty b;
+  Aspace.copy_words ~src:a src ~dst:b dst ~words:10;
+  for i = 0 to 9 do
+    Alcotest.(check int) "copied" (i * 11) (Aspace.read_word b (Addr.add_words dst i))
+  done;
+  Alcotest.(check (list int)) "transfer writes untracked" [] (Aspace.soft_dirty_pages b)
+
+let test_resident_bytes () =
+  let sp = Aspace.create () in
+  ignore (Aspace.map sp (Aspace.Near Region.Heap) ~size:10000 Region.Heap);
+  (* 10000 rounds to 3 pages *)
+  Alcotest.(check int) "rss" (3 * 4096) (Aspace.resident_bytes sp)
+
+let prop_write_read_roundtrip =
+  QCheck.Test.make ~name:"write/read word roundtrip" ~count:300
+    QCheck.(pair (int_range 0 511) int)
+    (fun (word_off, v) ->
+      let sp = Aspace.create () in
+      let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+      let a = Addr.add_words base word_off in
+      Aspace.write_word sp a v;
+      Aspace.read_word sp a = v)
+
+let prop_dirty_iff_written =
+  QCheck.Test.make ~name:"a page is dirty iff some word on it was written" ~count:100
+    QCheck.(small_list (int_range 0 (4 * 512 - 1)))
+    (fun offsets ->
+      let sp = Aspace.create () in
+      let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(4 * 4096) Region.Heap in
+      Aspace.clear_soft_dirty sp;
+      List.iter (fun off -> Aspace.write_word sp (Addr.add_words base off) 1) offsets;
+      let expected =
+        List.sort_uniq compare
+          (List.map (fun off -> Addr.page_base (Addr.add_words base off)) offsets)
+      in
+      Aspace.soft_dirty_pages sp = expected)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mcr_vmem"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "alignment" `Quick test_addr_alignment;
+          Alcotest.test_case "pages" `Quick test_addr_pages;
+          Alcotest.test_case "arithmetic" `Quick test_addr_arith;
+          qt prop_align_up_idempotent;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "contains" `Quick test_region_contains;
+          Alcotest.test_case "overlaps" `Quick test_region_overlaps;
+        ] );
+      ( "aspace-map",
+        [
+          Alcotest.test_case "map read write" `Quick test_map_read_write;
+          Alcotest.test_case "fixed placement" `Quick test_map_fixed;
+          Alcotest.test_case "fixed overlap rejected" `Quick test_map_fixed_overlap_rejected;
+          Alcotest.test_case "near placement avoids overlap" `Quick test_map_near_no_overlap;
+          Alcotest.test_case "unmap" `Quick test_unmap;
+          Alcotest.test_case "fault on unmapped" `Quick test_fault_on_unmapped;
+          Alcotest.test_case "fault on unaligned" `Quick test_fault_on_unaligned;
+          Alcotest.test_case "null never mapped" `Quick test_null_never_mapped;
+          Alcotest.test_case "find region" `Quick test_find_region;
+          Alcotest.test_case "layout bias" `Quick test_layout_bias_shifts_placement;
+          qt prop_write_read_roundtrip;
+        ] );
+      ( "soft-dirty",
+        [
+          Alcotest.test_case "basics" `Quick test_soft_dirty_basics;
+          Alcotest.test_case "untracked writes" `Quick test_soft_dirty_untracked_write;
+          Alcotest.test_case "epochs" `Quick test_soft_dirty_epoch;
+          Alcotest.test_case "reads do not dirty" `Quick test_reads_do_not_dirty;
+          qt prop_dirty_iff_written;
+        ] );
+      ( "clone-copy",
+        [
+          Alcotest.test_case "clone is deep" `Quick test_clone_deep;
+          Alcotest.test_case "copy words across spaces" `Quick test_copy_words_across_spaces;
+          Alcotest.test_case "resident bytes" `Quick test_resident_bytes;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for the workload generators and the testbed against each server,
+   including Figure 3 mechanics (update under held connections). *)
+
+module K = Mcr_simos.Kernel
+module Manager = Mcr_core.Manager
+module W = Mcr_workloads
+module Testbed = Mcr_workloads.Testbed
+module Holders = Mcr_workloads.Holders
+
+let fresh_with server ?instr ?version () =
+  let kernel = K.create () in
+  let m = Testbed.launch ?instr ?version kernel server in
+  (kernel, m)
+
+let test_http_bench_completes () =
+  let kernel, _ = fresh_with Testbed.Nginx () in
+  let r = W.Http_bench.run kernel ~port:(Testbed.port Testbed.Nginx) ~requests:50 ~path:"/index.html" () in
+  Alcotest.(check int) "all requests ok" 50 r.W.Bench_result.requests;
+  Alcotest.(check int) "no errors" 0 r.W.Bench_result.errors;
+  Alcotest.(check bool) "bytes delivered" true (r.W.Bench_result.bytes > 50 * 1000);
+  Alcotest.(check bool) "time elapsed" true (r.W.Bench_result.elapsed_ns > 0)
+
+let test_httpd_bench_completes () =
+  let kernel, _ = fresh_with Testbed.Httpd () in
+  let r = W.Http_bench.run kernel ~port:(Testbed.port Testbed.Httpd) ~requests:40 ~path:"/index.html" () in
+  Alcotest.(check int) "all ok" 40 r.W.Bench_result.requests;
+  Alcotest.(check int) "no errors" 0 r.W.Bench_result.errors
+
+let test_ftp_bench_completes () =
+  let kernel, _ = fresh_with Testbed.Vsftpd () in
+  let r = W.Ftp_bench.run kernel ~port:(Testbed.port Testbed.Vsftpd) ~users:6 ~file:"big.bin" () in
+  Alcotest.(check int) "all retrievals ok" 6 r.W.Bench_result.requests;
+  Alcotest.(check bool) "1MB each" true (r.W.Bench_result.bytes >= 6 * (1 lsl 20))
+
+let test_ssh_bench_completes () =
+  let kernel, _ = fresh_with Testbed.Sshd () in
+  let r = W.Ssh_bench.run kernel ~port:(Testbed.port Testbed.Sshd) ~sessions:4 ~commands:3 () in
+  Alcotest.(check int) "all commands ok" 12 r.W.Bench_result.requests;
+  Alcotest.(check int) "no errors" 0 r.W.Bench_result.errors
+
+let test_holders_lifecycle server =
+  let kernel, _ = fresh_with server () in
+  let h = Testbed.open_holders kernel server ~n:5 in
+  Alcotest.(check int) "all connected" 5 (Holders.connected h);
+  Holders.close_all h;
+  ignore (K.run_until kernel ~max_ns:(K.clock_ns kernel + 60_000_000_000) (fun () -> Holders.all_done h));
+  Alcotest.(check bool) "all done" true (Holders.all_done h)
+
+let test_update_under_held_connections server =
+  let kernel, m = fresh_with server () in
+  ignore (Testbed.benchmark kernel server ~scale:10_000 ());
+  let h = Testbed.open_holders kernel server ~n:8 in
+  let m2, report = Manager.update m (Testbed.final_version server) in
+  Alcotest.(check bool)
+    (Testbed.name server ^ " update ok under held connections")
+    true report.Manager.success;
+  Alcotest.(check bool) "state transfer measured" true (report.Manager.state_transfer_ns > 0);
+  Holders.close_all h;
+  ignore (K.run_until kernel ~max_ns:(K.clock_ns kernel + 120_000_000_000) (fun () -> Holders.all_done h));
+  Alcotest.(check bool) "holders complete on new version" true (Holders.all_done h);
+  ignore m2
+
+let test_profiling_workload_runs server =
+  let kernel = K.create () in
+  let profiler = Mcr_quiesce.Profiler.create kernel in
+  Mcr_quiesce.Profiler.set_filter profiler (fun th ->
+      K.thread_name th <> "mcr-ctl"
+      && Mcr_program.Progdef.image_of_proc (K.thread_proc th) <> None);
+  Mcr_quiesce.Profiler.attach profiler;
+  let _m = Testbed.launch ~instr:Mcr_program.Instr.baseline ~profiler kernel server in
+  let holders = Testbed.profiling_workload kernel server in
+  Mcr_quiesce.Profiler.detach profiler;
+  Holders.close_all holders;
+  let report = Mcr_quiesce.Profiler.report profiler in
+  Alcotest.(check bool)
+    (Testbed.name server ^ " finds quiescent points")
+    true
+    (report.Mcr_quiesce.Profiler.quiescent_points > 0)
+
+let () =
+  let per_server name f =
+    List.map
+      (fun s -> Alcotest.test_case (name ^ ": " ^ Testbed.name s) `Quick (fun () -> f s))
+      Testbed.all
+  in
+  Alcotest.run "mcr_workloads"
+    [
+      ( "benchmarks",
+        [
+          Alcotest.test_case "http (nginx)" `Quick test_http_bench_completes;
+          Alcotest.test_case "http (httpd)" `Quick test_httpd_bench_completes;
+          Alcotest.test_case "ftp" `Quick test_ftp_bench_completes;
+          Alcotest.test_case "ssh" `Quick test_ssh_bench_completes;
+        ] );
+      ("holders", per_server "lifecycle" test_holders_lifecycle);
+      ("fig3-mechanics", per_server "update under holds" test_update_under_held_connections);
+      ("profiling", per_server "workload" test_profiling_workload_runs);
+    ]
