@@ -255,7 +255,7 @@ let fig3 ?(step = 20) ?(max_conns = 100) () =
 
 let quiescence ?(repeats = 11) () =
   section "Quiescence time (measured; paper: < 100 ms, workload-independent)";
-  let t = Tablefmt.create ~header:[ "Program"; "median ms"; "max ms"; "converged" ] in
+  let t = Tablefmt.create ~header:[ "Program"; "p50 ms"; "p90 ms"; "max ms"; "converged" ] in
   List.iter
     (fun server ->
       let kernel = K.create () in
@@ -271,14 +271,19 @@ let quiescence ?(repeats = 11) () =
       Holders.close_all holders;
       let ok = List.filter_map Fun.id samples in
       let converged = List.length ok = repeats in
-      let msl = List.map (fun ns -> ms ns) ok in
-      Tablefmt.add_row t
-        [
-          Testbed.name server;
-          (if ok = [] then "-" else Printf.sprintf "%.1f" (Stats.median msl));
-          (if ok = [] then "-" else Printf.sprintf "%.1f" (snd (Stats.min_max msl)));
-          string_of_bool converged;
-        ])
+      if ok = [] then
+        Tablefmt.add_row t [ Testbed.name server; "-"; "-"; "-"; string_of_bool converged ]
+      else begin
+        let s = Stats.summary (List.map (fun ns -> ms ns) ok) in
+        Tablefmt.add_row t
+          [
+            Testbed.name server;
+            Printf.sprintf "%.1f" s.Stats.p50;
+            Printf.sprintf "%.1f" s.Stats.p90;
+            Printf.sprintf "%.1f" s.Stats.max;
+            string_of_bool converged;
+          ]
+      end)
     Testbed.all;
   Tablefmt.print t
 
@@ -670,20 +675,64 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 (* Update-time summary (the < 1 s claim) *)
 
-let update_time () =
+let slug = function
+  | Testbed.Nginx -> "nginx"
+  | Testbed.Httpd -> "httpd"
+  | Testbed.Vsftpd -> "vsftpd"
+  | Testbed.Sshd -> "sshd"
+
+let write_file path data =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* [trace_dir] (or $MCR_TRACE_DIR): write one Chrome trace-event file per
+   server, covering its whole launch/workload/update run. [json_path] (or
+   $MCR_BENCH_JSON): write the per-stage timings as a JSON array, for
+   machine consumption alongside the printed table. *)
+let update_time ?trace_dir ?json_path () =
+  let trace_dir =
+    match trace_dir with Some d -> Some d | None -> Sys.getenv_opt "MCR_TRACE_DIR"
+  in
+  let json_path =
+    match json_path with Some p -> Some p | None -> Sys.getenv_opt "MCR_BENCH_JSON"
+  in
   section "End-to-end update time (measured; paper: < 1 s)";
   let t =
     Tablefmt.create
       ~header:[ "Program"; "quiesce ms"; "CM ms"; "ST ms"; "total ms"; "replayed"; "live" ]
   in
+  let json_rows = ref [] in
   List.iter
     (fun server ->
       let kernel = K.create () in
-      let m = Testbed.launch kernel server in
+      let trace =
+        match trace_dir with
+        | Some _ -> Some (Mcr_obs.Trace.create ~clock:(fun () -> K.clock_ns kernel) ())
+        | None -> None
+      in
+      let m = Testbed.launch ?trace kernel server in
       ignore (Testbed.benchmark kernel server ~scale:2000 ());
       let holders = Testbed.open_holders kernel server ~n:10 in
       let _, r = Manager.update m (Testbed.final_version server) in
       Holders.close_all holders;
+      (match (trace_dir, trace) with
+      | Some dir, Some tr ->
+          write_file
+            (Filename.concat dir (slug server ^ ".trace.json"))
+            (Mcr_obs.Export.chrome_json tr)
+      | _ -> ());
+      json_rows :=
+        Printf.sprintf
+          "  {\"server\": %S, \"success\": %b, \"quiesce_ns\": %d, \
+           \"control_migration_ns\": %d, \"state_transfer_ns\": %d, \"total_ns\": %d, \
+           \"replayed_calls\": %d, \"live_calls\": %d}"
+          (slug server) r.Manager.success r.Manager.quiesce_ns
+          r.Manager.control_migration_ns r.Manager.state_transfer_ns r.Manager.total_ns
+          r.Manager.replayed_calls r.Manager.live_calls
+        :: !json_rows;
       if r.Manager.success then
         Tablefmt.add_row t
           [
@@ -700,4 +749,9 @@ let update_time () =
           [ Testbed.name server; "-"; "-"; "-";
             "FAIL: " ^ Option.value r.Manager.failure ~default:"?"; "-"; "-" ])
     Testbed.all;
-  Tablefmt.print t
+  Tablefmt.print t;
+  match json_path with
+  | Some p ->
+      write_file p ("[\n" ^ String.concat ",\n" (List.rev !json_rows) ^ "\n]\n");
+      Printf.printf "wrote %s\n" p
+  | None -> ()

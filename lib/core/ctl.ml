@@ -1,7 +1,7 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 
-let request_update kernel ~path ~on_reply =
+let request kernel ~path ~command ~on_reply =
   ignore
     (K.spawn_process kernel ~image:(K.Fresh_image (Mcr_vmem.Aspace.create ())) ~name:"mcr-ctl"
        ~entry:"main"
@@ -17,11 +17,13 @@ let request_update kernel ~path ~on_reply =
          match connect 100 with
          | None -> on_reply "ERR ECONNREFUSED"
          | Some fd -> (
-             ignore (K.syscall (S.Write { fd; data = "UPDATE" }));
-             match K.syscall (S.Read { fd = fd; max = 4096; nonblock = false }) with
+             ignore (K.syscall (S.Write { fd; data = command }));
+             match K.syscall (S.Read { fd = fd; max = 65536; nonblock = false }) with
              | S.Ok_data reply -> on_reply reply
              | S.Err e -> on_reply (Format.asprintf "ERR %a" S.pp_err e)
              | _ -> on_reply "ERR"))
        ())
 
+let request_update kernel ~path ~on_reply = request kernel ~path ~command:"UPDATE" ~on_reply
+let request_stats kernel ~path ~on_reply = request kernel ~path ~command:"STATS" ~on_reply
 let update_pending m = Manager.update_requested m

@@ -5,13 +5,26 @@
     spawns a client process in the simulated kernel that connects to the
     manager's control socket, sends UPDATE, and reports the reply. The
     reply arrives only after the update commits or rolls back, so the tool
-    observes the atomic outcome. *)
+    observes the atomic outcome. {!request_stats} sends STATS instead and
+    receives the manager's current metrics snapshot immediately — it never
+    waits on an update. *)
+
+val request :
+  Mcr_simos.Kernel.t -> path:string -> command:string -> on_reply:(string -> unit) -> unit
+(** Spawn a client process that sends [command] over the control socket and
+    passes the reply to [on_reply] (or "ERR <err>" if the connection
+    failed). Drive the kernel afterwards. *)
 
 val request_update :
   Mcr_simos.Kernel.t -> path:string -> on_reply:(string -> unit) -> unit
 (** Spawn the client. Drive the kernel afterwards; [on_reply] fires with
     "OK" or "FAIL <reason>" when the manager responds (or "ERR <err>" if
     the connection failed). *)
+
+val request_stats :
+  Mcr_simos.Kernel.t -> path:string -> on_reply:(string -> unit) -> unit
+(** Ask the manager for a rendered metrics snapshot ({!Mcr_obs.Metrics.render}).
+    Replies immediately even while an update is in flight. *)
 
 val update_pending : Manager.t -> bool
 (** Whether the manager has an outstanding mcr-ctl UPDATE request —

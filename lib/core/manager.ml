@@ -12,10 +12,53 @@ module Transfer = Mcr_trace.Transfer
 module Heap = Mcr_alloc.Heap
 module Pool = Mcr_alloc.Pool
 module Aspace = Mcr_vmem.Aspace
+module Trace = Mcr_obs.Trace
+module Metrics = Mcr_obs.Metrics
 
 let reserved_fd_base = 1000
 
 type log_source = Recorder of Record.t | Replayed of Replayer.t
+
+(* The manager's metric instruments; the registry itself travels across
+   updates, so counters accumulate over the whole manager lineage. *)
+type mset = {
+  m_updates : Metrics.counter;
+  m_commits : Metrics.counter;
+  m_rollbacks : Metrics.counter;
+  m_replayed : Metrics.counter;
+  m_live : Metrics.counter;
+  m_replay_conflicts : Metrics.counter;
+  m_transfer_conflicts : Metrics.counter;
+  m_transfer_pairs : Metrics.counter;
+  m_transferred_objects : Metrics.counter;
+  m_transferred_words : Metrics.counter;
+  m_processes : Metrics.gauge;
+  m_quiesce_h : Metrics.histogram;
+  m_cm_h : Metrics.histogram;
+  m_st_h : Metrics.histogram;
+  m_total_h : Metrics.histogram;
+  m_pair_cost_h : Metrics.histogram;
+}
+
+let make_mset metrics =
+  {
+    m_updates = Metrics.counter metrics "mcr_updates_total";
+    m_commits = Metrics.counter metrics "mcr_update_commits_total";
+    m_rollbacks = Metrics.counter metrics "mcr_update_rollbacks_total";
+    m_replayed = Metrics.counter metrics "mcr_replayed_calls_total";
+    m_live = Metrics.counter metrics "mcr_live_calls_total";
+    m_replay_conflicts = Metrics.counter metrics "mcr_replay_conflicts_total";
+    m_transfer_conflicts = Metrics.counter metrics "mcr_transfer_conflicts_total";
+    m_transfer_pairs = Metrics.counter metrics "mcr_transfer_pairs_total";
+    m_transferred_objects = Metrics.counter metrics "mcr_transferred_objects_total";
+    m_transferred_words = Metrics.counter metrics "mcr_transferred_words_total";
+    m_processes = Metrics.gauge metrics "mcr_processes";
+    m_quiesce_h = Metrics.histogram metrics "mcr_quiesce_ns";
+    m_cm_h = Metrics.histogram metrics "mcr_control_migration_ns";
+    m_st_h = Metrics.histogram metrics "mcr_state_transfer_ns";
+    m_total_h = Metrics.histogram metrics "mcr_update_total_ns";
+    m_pair_cost_h = Metrics.histogram metrics "mcr_pair_cost_ns";
+  }
 
 type t = {
   kernel : K.t;
@@ -29,6 +72,9 @@ type t = {
   ctl_pending : bool ref;
   ctl_result : string ref;
   ctl_sem : string;
+  trace : Trace.t option;
+  metrics : Metrics.t;
+  mset : mset;
 }
 
 type report = {
@@ -43,6 +89,7 @@ type report = {
   transfer_conflicts : Transfer.conflict list;
   transfers : (Logdefs.proc_key * Transfer.outcome) list;
   failure : string option;
+  metrics : Metrics.snapshot;
 }
 
 let kernel t = t.kernel
@@ -52,6 +99,12 @@ let version t = t.prog_version
 let images t = List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !(t.members)
 let ctl_path t = t.ctl_path
 let update_requested t = !(t.ctl_pending)
+let trace t = t.trace
+let metrics (t : t) = t.metrics
+
+let metrics_snapshot (t : t) =
+  Metrics.set t.mset.m_processes (List.length (images t));
+  Metrics.snapshot t.metrics
 
 (* ------------------------------------------------------------------ *)
 (* Image bookkeeping hooks *)
@@ -60,15 +113,20 @@ let first_quiesce_heap_hook (im : P.image) =
   Heap.end_startup im.P.i_heap;
   Aspace.clear_soft_dirty im.P.i_aspace
 
-let track_members members (img : P.image) =
+let track_members ?trace members (img : P.image) =
   members := !members @ [ img ];
+  Barrier.set_trace img.P.i_barrier trace;
   img.P.i_first_quiesce_hooks <- first_quiesce_heap_hook :: img.P.i_first_quiesce_hooks;
-  img.P.i_child_hooks <- (fun child -> members := !members @ [ child ]) :: img.P.i_child_hooks
+  img.P.i_child_hooks <-
+    (fun child ->
+      members := !members @ [ child ];
+      Barrier.set_trace child.P.i_barrier trace)
+    :: img.P.i_child_hooks
 
 (* ------------------------------------------------------------------ *)
 (* Controller thread (the libmcr side of mcr-ctl) *)
 
-let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem =
+let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats =
   ignore
     (K.spawn_thread kernel proc ~name:"mcr-ctl" (fun th ->
          K.push_frame th "mcr_ctl_loop";
@@ -83,6 +141,11 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem =
                        ctl_pending := true;
                        ignore (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
                        ignore (K.syscall (S.Write { fd = conn; data = !ctl_result }))
+                   | S.Ok_data cmd when String.length cmd >= 5 && String.sub cmd 0 5 = "STATS"
+                     ->
+                       (* metrics snapshots are cheap and never block on the
+                          update semaphore: reply immediately *)
+                       ignore (K.syscall (S.Write { fd = conn; data = stats () }))
                    | S.Ok_data _ -> ignore (K.syscall (S.Write { fd = conn; data = "ERR" }))
                    | _ -> ());
                    ignore (K.syscall (S.Close { fd = conn }));
@@ -95,12 +158,20 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem =
 (* ------------------------------------------------------------------ *)
 (* Launch *)
 
-let make_manager kernel instr prog_version root_proc root_image members log_source =
+let stats_text ~metrics ~mset ~live () =
+  Metrics.set mset.m_processes (List.length (live ()));
+  Metrics.render (Metrics.snapshot metrics)
+
+let make_manager kernel instr prog_version root_proc root_image members log_source ~trace
+    ~metrics =
+  let mset = make_mset metrics in
   let ctl_path = "/run/mcr/" ^ prog_version.P.prog ^ ".sock" in
   let ctl_pending = ref false in
   let ctl_result = ref "" in
   let ctl_sem = Printf.sprintf "mcr.ctl.done.%d" (K.pid root_proc) in
-  spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem;
+  let live () = List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !members in
+  spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem
+    ~stats:(stats_text ~metrics ~mset ~live);
   {
     kernel;
     instr;
@@ -113,21 +184,25 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
     ctl_pending;
     ctl_result;
     ctl_sem;
+    trace;
+    metrics;
+    mset;
   }
 
-let launch kernel ?(instr = Instr.full) ?profiler prog_version =
+let launch kernel ?(instr = Instr.full) ?profiler ?trace prog_version =
   let members = ref [] in
   let image_slot = ref None in
   let proc =
     Loader.launch kernel ~instr ?profiler prog_version ~on_image:(fun img ->
         image_slot := Some img;
-        track_members members img)
+        track_members ?trace members img)
   in
   let image =
     match !image_slot with Some i -> i | None -> invalid_arg "Manager.launch: no image"
   in
   let recorder = Record.start kernel image in
-  make_manager kernel instr prog_version proc image members (Recorder recorder)
+  make_manager kernel instr prog_version proc image members (Recorder recorder) ~trace
+    ~metrics:(Metrics.create ())
 
 let wait_startup t ?(max_ns = 10_000_000_000) () =
   K.run_until t.kernel
@@ -260,9 +335,21 @@ let reinit_ctx (im : P.image) th =
 let update t ?(dirty_only = true) new_version =
   let k = t.kernel in
   let t0 = K.clock_ns k in
+  let tr = t.trace in
+  let mpid = K.pid t.root_proc in
+  Metrics.incr t.mset.m_updates;
+  Trace.span_begin tr ~pid:mpid ~cat:"stage"
+    ~args:
+      [ ("from", t.prog_version.P.version_tag); ("to", new_version.P.version_tag);
+        ("prog", t.prog_version.P.prog) ]
+    "update";
   let fail_before_restart reason =
     release_all t;
     respond_ctl t ("FAIL " ^ reason);
+    Metrics.incr t.mset.m_rollbacks;
+    Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
+    Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "update.fail";
+    Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
     ( t,
       {
         success = false;
@@ -276,6 +363,7 @@ let update t ?(dirty_only = true) new_version =
         transfer_conflicts = [];
         transfers = [];
         failure = Some reason;
+        metrics = metrics_snapshot t;
       } )
   in
   (* a manager whose processes are gone (already updated away from, or
@@ -283,12 +371,17 @@ let update t ?(dirty_only = true) new_version =
   if images t = [] then fail_before_restart "program is not running"
   else begin
   (* ---- 1. checkpoint: quiesce the running version ---- *)
+  Trace.span_begin tr ~pid:mpid ~cat:"stage" "quiesce";
   request_all t;
   let quiesce_ok = K.run_until k ~max_ns:(t0 + 5_000_000_000) (fun () -> all_quiesced t) in
+  Trace.span_end tr ~pid:mpid ~cat:"stage"
+    ~args:[ ("converged", (if quiesce_ok then "yes" else "no")) ]
+    "quiesce";
   if not quiesce_ok then fail_before_restart "quiescence did not converge"
   else begin
     let t1 = K.clock_ns k in
     let quiesce_ns = t1 - t0 in
+    Metrics.observe t.mset.m_quiesce_h quiesce_ns;
     let logs =
       match t.log_source with
       | Recorder r -> Record.logs r
@@ -310,13 +403,14 @@ let update t ?(dirty_only = true) new_version =
       |> List.rev
     in
     (* ---- 2. restart: launch the new version under replay ---- *)
+    Trace.span_begin tr ~pid:mpid ~cat:"stage" "restart_replay";
     let new_members = ref [] in
     let new_root_slot = ref None in
     let in_update = ref true in
     let new_proc =
       Loader.launch k ~instr:t.instr new_version ~on_image:(fun img ->
           new_root_slot := Some img;
-          track_members new_members img;
+          track_members ?trace:tr new_members img;
           (* reinitiate quiescence detection before startup runs, so the new
              version is never exposed to external events (Section 5) *)
           Barrier.request img.P.i_barrier;
@@ -329,18 +423,19 @@ let update t ?(dirty_only = true) new_version =
       (fun (fd, src) -> ignore (K.transfer_fd k ~src ~fd ~dst:new_proc ~at:fd))
       inherited;
     let rep =
-      Replayer.start k new_root_image ~logs ~inherited:(List.map fst inherited)
+      Replayer.start k ?trace:tr new_root_image ~logs ~inherited:(List.map fst inherited)
     in
     (* the new version gets its own controller thread; its replayed
        unix_listen inherits the control socket *)
     let new_ctl_pending = ref false in
     let new_ctl_result = ref "" in
     let new_ctl_sem = Printf.sprintf "mcr.ctl.done.%d" (K.pid new_proc) in
-    spawn_ctl k new_proc ~ctl_path:t.ctl_path ~ctl_pending:new_ctl_pending
-      ~ctl_result:new_ctl_result ~ctl_sem:new_ctl_sem;
     let live_new () =
       List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !new_members
     in
+    spawn_ctl k new_proc ~ctl_path:t.ctl_path ~ctl_pending:new_ctl_pending
+      ~ctl_result:new_ctl_result ~ctl_sem:new_ctl_sem
+      ~stats:(stats_text ~metrics:t.metrics ~mset:t.mset ~live:live_new);
     let new_quiesced () =
       match live_new () with
       | [] -> false
@@ -352,12 +447,22 @@ let update t ?(dirty_only = true) new_version =
     in
     let rollback reason ~cm_ns ~st_ns ~transfers ~transfer_conflicts =
       in_update := false;
+      Trace.span_begin tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "rollback";
       List.iter
         (fun (im : P.image) ->
           if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:1)
         !new_members;
       release_all t;
       respond_ctl t ("FAIL " ^ reason);
+      Metrics.incr t.mset.m_rollbacks;
+      Metrics.incr ~by:(Replayer.replayed_calls rep) t.mset.m_replayed;
+      Metrics.incr ~by:(Replayer.live_calls rep) t.mset.m_live;
+      Metrics.incr ~by:(List.length (Replayer.conflicts rep)) t.mset.m_replay_conflicts;
+      Metrics.incr ~by:(List.length transfer_conflicts) t.mset.m_transfer_conflicts;
+      Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
+      Trace.span_end tr ~pid:mpid ~cat:"stage" "rollback";
+      Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "update.fail";
+      Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
       ( t,
         {
           success = false;
@@ -371,6 +476,7 @@ let update t ?(dirty_only = true) new_version =
           transfer_conflicts;
           transfers;
           failure = Some reason;
+          metrics = metrics_snapshot t;
         } )
     in
     let startup_ok =
@@ -383,6 +489,8 @@ let update t ?(dirty_only = true) new_version =
     in
     let t2 = K.clock_ns k in
     let cm_ns = t2 - t1 in
+    Trace.span_end tr ~pid:mpid ~cat:"stage" "restart_replay";
+    Metrics.observe t.mset.m_cm_h cm_ns;
     if not (K.alive new_proc) then
       rollback "new version crashed during startup" ~cm_ns ~st_ns:0 ~transfers:[]
         ~transfer_conflicts:[]
@@ -395,6 +503,7 @@ let update t ?(dirty_only = true) new_version =
     else begin
       (* ---- 3. restore: mutable tracing, in waves so reinit handlers can
          re-create volatile processes that then get their own transfer ---- *)
+      Trace.span_begin tr ~pid:mpid ~cat:"stage" "state_transfer";
       let old_proc_of_key key =
         match key with
         | Logdefs.Root -> Some t.root_proc
@@ -422,13 +531,32 @@ let update t ?(dirty_only = true) new_version =
                 match (P.image_of_proc oldp, P.image_of_proc newp) with
                 | Some oi, Some ni ->
                     worked := true;
-                    let analysis = Objgraph.analyze oi in
-                    let outcome = Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only () in
-                    max_pair_cost :=
-                      max !max_pair_cost (analysis.Objgraph.cost_ns + outcome.Transfer.cost_ns);
+                    let analysis = Objgraph.analyze ?trace:tr oi in
+                    let outcome =
+                      Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only
+                        ?trace:tr ()
+                    in
+                    let pair_cost = analysis.Objgraph.cost_ns + outcome.Transfer.cost_ns in
+                    max_pair_cost := max !max_pair_cost pair_cost;
                     transfers := (key, outcome) :: !transfers;
                     transfer_conflicts := !transfer_conflicts @ outcome.Transfer.conflicts;
                     incr pairs_done;
+                    Metrics.incr t.mset.m_transfer_pairs;
+                    Metrics.incr ~by:outcome.Transfer.transferred_objects
+                      t.mset.m_transferred_objects;
+                    Metrics.incr ~by:outcome.Transfer.transferred_words
+                      t.mset.m_transferred_words;
+                    Metrics.observe t.mset.m_pair_cost_h pair_cost;
+                    (* pair transfers run in parallel — the charged time is
+                       the max across pairs, so a begin/end pair cannot
+                       represent one; a Complete event carries the pair's
+                       own duration instead *)
+                    Trace.complete tr ~pid:new_pid ~cat:"stage"
+                      ~args:
+                        [ ("pair", Format.asprintf "%a" Logdefs.pp_key key);
+                          ("words", string_of_int outcome.Transfer.transferred_words);
+                          ("objects", string_of_int outcome.Transfer.transferred_objects) ]
+                      ~dur_ns:pair_cost "transfer.pair";
                     (* post-startup descriptors (open connections) move to
                        the paired process at the same numbers *)
                     List.iter
@@ -480,6 +608,10 @@ let update t ?(dirty_only = true) new_version =
       K.charge k (!max_pair_cost + 25_000_000 + (2_000_000 * !pairs_done));
       let t3 = K.clock_ns k in
       let st_ns = t3 - t2 in
+      Trace.span_end tr ~pid:mpid ~cat:"stage"
+        ~args:[ ("pairs", string_of_int !pairs_done) ]
+        "state_transfer";
+      Metrics.observe t.mset.m_st_h st_ns;
       if not handlers_ok then
         rollback "reinit handlers did not quiesce" ~cm_ns ~st_ns ~transfers:!transfers
           ~transfer_conflicts:!transfer_conflicts
@@ -488,6 +620,7 @@ let update t ?(dirty_only = true) new_version =
           ~transfer_conflicts:!transfer_conflicts
       else begin
         (* ---- commit ---- *)
+        Trace.span_begin tr ~pid:mpid ~cat:"stage" "commit";
         respond_ctl t "OK";
         List.iter
           (fun (im : P.image) ->
@@ -508,8 +641,17 @@ let update t ?(dirty_only = true) new_version =
             ctl_pending = new_ctl_pending;
             ctl_result = new_ctl_result;
             ctl_sem = new_ctl_sem;
+            trace = tr;
+            metrics = t.metrics;
+            mset = t.mset;
           }
         in
+        Metrics.incr t.mset.m_commits;
+        Metrics.incr ~by:(Replayer.replayed_calls rep) t.mset.m_replayed;
+        Metrics.incr ~by:(Replayer.live_calls rep) t.mset.m_live;
+        Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
+        Trace.span_end tr ~pid:mpid ~cat:"stage" "commit";
+        Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
         ( new_t,
           {
             success = true;
@@ -523,6 +665,7 @@ let update t ?(dirty_only = true) new_version =
             transfer_conflicts = [];
             transfers = List.rev !transfers;
             failure = None;
+            metrics = metrics_snapshot new_t;
           } )
       end
     end

@@ -18,7 +18,19 @@
       never observe a failed update.
 
     Managers also expose the controller channel ([mcr-ctl]) and the
-    measurement hooks the benchmark harness consumes. *)
+    measurement hooks the benchmark harness consumes.
+
+    {b Observability}: every manager owns a {!Mcr_obs.Metrics} registry
+    (always on — snapshots are attached to each update {!report} and served
+    over the control socket by the [STATS] command), and optionally an
+    {!Mcr_obs.Trace} sink ([?trace] at {!launch}) into which the update
+    pipeline emits nested stage spans ([update] ⊃ [quiesce],
+    [restart_replay], [state_transfer] ⊃ per-pair [transfer.pair],
+    [commit]/[rollback]) and the instrumented layers emit their instants.
+    The sink is threaded through to the barriers, the replayer, the object
+    graph analysis and the transfer engine of both program versions.
+    Tracing never charges virtual time, so enabling it changes no measured
+    number. *)
 
 type t
 
@@ -26,12 +38,15 @@ val launch :
   Mcr_simos.Kernel.t ->
   ?instr:Mcr_program.Instr.t ->
   ?profiler:Mcr_quiesce.Profiler.t ->
+  ?trace:Mcr_obs.Trace.t ->
   Mcr_program.Progdef.version ->
   t
 (** Launch an MCR-enabled program: loads the version, starts startup-log
     recording, arms per-process first-quiescence processing (heap startup
     end + soft-dirty epoch), and spawns the controller thread listening on
-    [ctl_path]. Drive the kernel afterwards ({!wait_startup}). *)
+    [ctl_path]. Drive the kernel afterwards ({!wait_startup}). [?trace]
+    enables event tracing for this manager and every manager descended
+    from it by updates. *)
 
 val kernel : t -> Mcr_simos.Kernel.t
 val root_proc : t -> Mcr_simos.Kernel.proc
@@ -50,6 +65,20 @@ val wait_startup : t -> ?max_ns:int -> unit -> bool
 val update_requested : t -> bool
 (** An [mcr-ctl] client asked for an update (see {!Ctl}). *)
 
+(** {1 Observability} *)
+
+val trace : t -> Mcr_obs.Trace.t option
+(** The event sink passed at {!launch}, if any. *)
+
+val metrics : t -> Mcr_obs.Metrics.t
+(** The manager's metrics registry. Shared across updates: the manager
+    returned by a successful {!update} keeps the same registry, so counters
+    accumulate over the whole lineage. *)
+
+val metrics_snapshot : t -> Mcr_obs.Metrics.snapshot
+(** Deterministic snapshot of the registry (refreshes the process gauge
+    first). *)
+
 (** {1 Live update} *)
 
 type report = {
@@ -64,6 +93,9 @@ type report = {
   transfer_conflicts : Mcr_trace.Transfer.conflict list;
   transfers : (Mcr_replay.Logdefs.proc_key * Mcr_trace.Transfer.outcome) list;
   failure : string option;  (** Human-readable rollback cause. *)
+  metrics : Mcr_obs.Metrics.snapshot;
+      (** Registry snapshot taken when the update finished (every exit
+          path, success or rollback). *)
 }
 
 val update : t -> ?dirty_only:bool -> Mcr_program.Progdef.version -> t * report

@@ -1,0 +1,156 @@
+module T = Trace
+
+(* Chrome trace-event timestamps are microseconds; keep full nanosecond
+   precision as a fixed-point decimal so the output is deterministic (no
+   float formatting involved). *)
+let us_of_ns ns =
+  if ns < 0 then Printf.sprintf "-%d.%03d" (-ns / 1000) (-ns mod 1000)
+  else Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_json buf (e : T.event) =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+       (json_escape e.T.name) (json_escape e.T.cat) (T.phase_name e.T.phase)
+       (us_of_ns e.T.ts_ns) e.T.pid e.T.tid);
+  (match e.T.phase with
+  | T.Complete dur -> Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (us_of_ns dur))
+  | T.Instant -> Buffer.add_string buf ",\"s\":\"t\""
+  | T.Begin | T.End -> ());
+  Buffer.add_string buf (Printf.sprintf ",\"args\":{\"seq\":%d" e.T.seq);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    e.T.args;
+  Buffer.add_string buf "}}"
+
+let chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      event_json buf e)
+    (T.events t);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let timeline t =
+  let module Tf = Mcr_util.Tablefmt in
+  let tab = Tf.create ~header:[ "ts ms"; "ph"; "cat"; "pid"; "tid"; "name"; "args" ] in
+  Tf.set_align tab [ Tf.Right; Tf.Left; Tf.Left; Tf.Right; Tf.Right; Tf.Left; Tf.Left ];
+  List.iter
+    (fun (e : T.event) ->
+      let args =
+        (match e.T.phase with
+        | T.Complete dur -> [ Printf.sprintf "dur=%.3fms" (float_of_int dur /. 1e6) ]
+        | _ -> [])
+        @ List.map (fun (k, v) -> k ^ "=" ^ v) e.T.args
+      in
+      Tf.add_row tab
+        [
+          Printf.sprintf "%d.%06d" (e.T.ts_ns / 1_000_000) (e.T.ts_ns mod 1_000_000);
+          T.phase_name e.T.phase;
+          e.T.cat;
+          string_of_int e.T.pid;
+          string_of_int e.T.tid;
+          e.T.name;
+          String.concat " " args;
+        ])
+    (T.events t);
+  let header =
+    Printf.sprintf "trace: %d event(s), %d dropped\n" (T.length t) (T.dropped t)
+  in
+  header ^ Tf.render tab
+
+(* ------------------------------------------------------------------ *)
+(* Span reconstruction (structure checks, per-stage rollups) *)
+
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_pid : int;
+  s_tid : int;
+  s_begin_ns : int;
+  s_end_ns : int;
+  s_depth : int;  (* nesting depth on its (pid, tid) track, 0 = top *)
+}
+
+let spans t =
+  let stacks : (int * int, (T.event * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun (e : T.event) ->
+      let key = (e.T.pid, e.T.tid) in
+      let stack =
+        match Hashtbl.find_opt stacks key with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.replace stacks key s;
+            s
+      in
+      match e.T.phase with
+      | T.Begin -> stack := (e, List.length !stack) :: !stack
+      | T.End -> (
+          match !stack with
+          | (b, depth) :: rest when b.T.name = e.T.name ->
+              stack := rest;
+              out :=
+                {
+                  s_name = b.T.name;
+                  s_cat = b.T.cat;
+                  s_pid = e.T.pid;
+                  s_tid = e.T.tid;
+                  s_begin_ns = b.T.ts_ns;
+                  s_end_ns = e.T.ts_ns;
+                  s_depth = depth;
+                }
+                :: !out
+          | (b, _) :: _ ->
+              errors :=
+                Printf.sprintf "end %S closes open span %S on pid=%d tid=%d" e.T.name b.T.name
+                  e.T.pid e.T.tid
+                :: !errors
+          | [] ->
+              errors :=
+                Printf.sprintf "end %S with no open span on pid=%d tid=%d" e.T.name e.T.pid
+                  e.T.tid
+                :: !errors)
+      | T.Complete dur ->
+          out :=
+            {
+              s_name = e.T.name;
+              s_cat = e.T.cat;
+              s_pid = e.T.pid;
+              s_tid = e.T.tid;
+              s_begin_ns = e.T.ts_ns;
+              s_end_ns = e.T.ts_ns + dur;
+              s_depth = List.length !stack;
+            }
+            :: !out
+      | T.Instant -> ())
+    (T.events t);
+  Hashtbl.iter
+    (fun (pid, tid) stack ->
+      List.iter
+        (fun ((b : T.event), _) ->
+          errors := Printf.sprintf "span %S never ended on pid=%d tid=%d" b.T.name pid tid :: !errors)
+        !stack)
+    stacks;
+  (List.rev !out, List.rev !errors)

@@ -1,0 +1,40 @@
+(** Trace exporters.
+
+    Both exporters are deterministic functions of the event list: fixed
+    field order, fixed-point decimal timestamps (no float printing), and
+    per-sink sequence numbers carried in [args.seq] so equal-timestamp
+    events keep a stable total order in any viewer. *)
+
+val chrome_json : Trace.t -> string
+(** Chrome trace-event JSON (object format, [traceEvents] array) —
+    loadable by Perfetto ([ui.perfetto.dev]) and [chrome://tracing].
+    Span begin/end map to ["B"]/["E"], instants to ["i"], explicit-duration
+    events to ["X"]. Timestamps are microseconds with nanosecond
+    precision. *)
+
+val timeline : Trace.t -> string
+(** Plain-text event timeline via {!Mcr_util.Tablefmt}: one row per event,
+    oldest first — the no-tooling view of the same data. *)
+
+(** {1 Span reconstruction} *)
+
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_pid : int;
+  s_tid : int;
+  s_begin_ns : int;
+  s_end_ns : int;
+  s_depth : int;  (** Nesting depth on the (pid, tid) track; 0 = top level. *)
+}
+
+val spans : Trace.t -> span list * string list
+(** Reconstruct completed spans by matching Begin/End per (pid, tid) track
+    (Complete events yield spans directly). The second component lists
+    structural violations — mismatched, unopened, or never-closed spans —
+    and is empty for a well-nested trace. *)
+
+val us_of_ns : int -> string
+(** Nanoseconds as a fixed-point microsecond decimal ("12.345"). *)
+
+val json_escape : string -> string

@@ -1,24 +1,33 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
+module Trace = Mcr_obs.Trace
 
 type t = {
   kernel : K.t;
+  pid : int;
   sem_name : string;
   mutable target : int;
   mutable arrived : int;
   mutable requested : bool;
   mutable epoch : int;
+  mutable trace : Trace.t option;
 }
 
 let create kernel ~pid =
   {
     kernel;
+    pid;
     sem_name = Printf.sprintf "mcr.barrier.%d" pid;
     target = 0;
     arrived = 0;
     requested = false;
     epoch = 0;
+    trace = None;
   }
+
+let set_trace t trace = t.trace <- trace
+
+let counts t = [ ("arrived", string_of_int t.arrived); ("target", string_of_int t.target) ]
 
 let register_thread t = t.target <- t.target + 1
 
@@ -26,13 +35,16 @@ let registered t = t.target
 
 let deregister_thread t = t.target <- max 0 (t.target - 1)
 
-let request t = t.requested <- true
+let request t =
+  t.requested <- true;
+  Trace.instant t.trace ~pid:t.pid ~cat:"barrier" "barrier.request" ~args:(counts t)
 
 let requested t = t.requested
 
 let cancel t =
   if t.requested then begin
     t.requested <- false;
+    Trace.instant t.trace ~pid:t.pid ~cat:"barrier" "barrier.cancel" ~args:(counts t);
     (* wake anyone already parked *)
     for _ = 1 to t.arrived do
       K.post_semaphore t.kernel t.sem_name
@@ -43,6 +55,9 @@ let hook t =
   if t.requested then begin
     let epoch = t.epoch in
     t.arrived <- t.arrived + 1;
+    Trace.instant t.trace ~pid:t.pid ~cat:"barrier" "barrier.arrive" ~args:(counts t);
+    if t.arrived >= t.target then
+      Trace.instant t.trace ~pid:t.pid ~cat:"barrier" "barrier.quiesced" ~args:(counts t);
     ignore (K.syscall (S.Sem_wait { name = t.sem_name; timeout_ns = None }));
     (* on resume: if the same episode, account departure *)
     if t.epoch = epoch then t.arrived <- t.arrived - 1;
@@ -57,6 +72,7 @@ let quiesced t = t.requested && t.arrived >= t.target
 let release t =
   t.requested <- false;
   t.epoch <- t.epoch + 1;
+  Trace.instant t.trace ~pid:t.pid ~cat:"barrier" "barrier.release" ~args:(counts t);
   let n = t.arrived in
   t.arrived <- 0;
   for _ = 1 to n do

@@ -15,6 +15,14 @@ type t
 val create : Mcr_simos.Kernel.t -> pid:int -> t
 (** A barrier for the process [pid] (the pid only namespaces the semaphore). *)
 
+val set_trace : t -> Mcr_obs.Trace.t option -> unit
+(** Attach (or detach) an observability sink. With a sink installed the
+    barrier emits instant events for every protocol transition —
+    [barrier.request], [barrier.arrive] (per parking thread, with
+    arrived/target counts), [barrier.quiesced], [barrier.release],
+    [barrier.cancel] — under the process's pid, category ["barrier"].
+    Default: no sink, zero overhead. *)
+
 val register_thread : t -> unit
 (** Called once per long-lived thread (from the first wrapped blocking
     call). Raises the arrival target. *)

@@ -1,5 +1,7 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
+module Stats = Mcr_util.Stats
+module Trace = Mcr_obs.Trace
 
 type block_stat = { mutable ns : int; mutable hits : int }
 
@@ -10,6 +12,7 @@ type trec = {
   born_ns : int;
   mutable died_ns : int option;
   blocked : (string * string, block_stat) Hashtbl.t;
+  blocked_hist : Stats.hist;  (* all blocking durations, any site *)
   loops : (string, loop_rec) Hashtbl.t;
   mutable cur_depth : int;
 }
@@ -21,6 +24,7 @@ type t = {
   mutable main_tid : int option; (* the program's initial thread *)
   mutable attached : bool;
   mutable filter : K.thread -> bool;
+  mutable trace : Trace.t option;
 }
 
 let create kernel =
@@ -31,9 +35,11 @@ let create kernel =
     main_tid = None;
     attached = false;
     filter = (fun _ -> true);
+    trace = None;
   }
 
 let set_filter t f = t.filter <- f
+let set_trace t trace = t.trace <- trace
 
 let trec_for t th =
   match Hashtbl.find_opt t.threads (K.tid th) with
@@ -45,6 +51,7 @@ let trec_for t th =
           born_ns = K.clock_ns t.kernel;
           died_ns = None;
           blocked = Hashtbl.create 8;
+          blocked_hist = Stats.hist_create ~bounds:Stats.default_ns_bounds;
           loops = Hashtbl.create 4;
           cur_depth = 0;
         }
@@ -65,7 +72,8 @@ let add_block_stat t th call ns =
         s
   in
   stat.ns <- stat.ns + ns;
-  stat.hits <- stat.hits + 1
+  stat.hits <- stat.hits + 1;
+  Stats.hist_observe r.blocked_hist ns
 
 let on_block t th call ~blocked_ns =
   if not (t.filter th) then ()
@@ -87,10 +95,18 @@ let detach t =
 
 let note_thread_start t th =
   if t.main_tid = None then t.main_tid <- Some (K.tid th);
+  Trace.instant t.trace
+    ~pid:(K.pid (K.thread_proc th))
+    ~tid:(K.tid th) ~cat:"profiler" "thread.start"
+    ~args:[ ("class", K.thread_name th) ];
   ignore (trec_for t th)
 
 let note_thread_end t th =
   let r = trec_for t th in
+  Trace.instant t.trace
+    ~pid:(K.pid (K.thread_proc th))
+    ~tid:(K.tid th) ~cat:"profiler" "thread.end"
+    ~args:[ ("class", K.thread_name th) ];
   r.died_ns <- Some (K.clock_ns t.kernel)
 
 let note_loop_enter t th name =
@@ -124,6 +140,9 @@ type thread_class = {
   persistent : bool;
   quiescent_point : qpoint option;
   long_lived_loops : string list;
+  blocked_p50_ns : int;
+  blocked_p90_ns : int;
+  blocked_p99_ns : int;
 }
 
 type report = {
@@ -209,6 +228,12 @@ let report t =
           Hashtbl.fold (fun name d acc -> if d = max_depth then name :: acc else acc) loop_best []
           |> List.sort compare
         in
+        let class_hist =
+          List.fold_left
+            (fun acc r -> Stats.hist_merge acc r.blocked_hist)
+            (Stats.hist_create ~bounds:Stats.default_ns_bounds)
+            recs
+        in
         {
           cls;
           instances = List.length recs;
@@ -216,6 +241,9 @@ let report t =
           persistent;
           quiescent_point;
           long_lived_loops;
+          blocked_p50_ns = Stats.hist_percentile class_hist 50.;
+          blocked_p90_ns = Stats.hist_percentile class_hist 90.;
+          blocked_p99_ns = Stats.hist_percentile class_hist 99.;
         }
         :: acc)
       by_class []
@@ -255,6 +283,11 @@ let pp_report ppf r =
             (float_of_int q.blocked_ns /. 1e6)
             q.hits
       | None -> ());
+      if c.blocked_p50_ns > 0 then
+        Format.fprintf ppf " blocked p50/p90/p99=%.1f/%.1f/%.1f ms"
+          (float_of_int c.blocked_p50_ns /. 1e6)
+          (float_of_int c.blocked_p90_ns /. 1e6)
+          (float_of_int c.blocked_p99_ns /. 1e6);
       (match c.long_lived_loops with
       | [] -> ()
       | loops -> Format.fprintf ppf " loops=[%s]" (String.concat ";" loops));

@@ -22,6 +22,11 @@ val set_filter : t -> (Mcr_simos.Kernel.thread -> bool) -> unit
 (** Restrict profiling to threads satisfying the predicate (e.g. threads of
     the program under test, excluding benchmark clients). Default: all. *)
 
+val set_trace : t -> Mcr_obs.Trace.t option -> unit
+(** Attach an observability sink: thread lifecycle events
+    ([thread.start] / [thread.end], category ["profiler"]) are emitted as
+    instants. Default: no sink. *)
+
 val detach : t -> unit
 
 (** {1 Events from the program layer} *)
@@ -51,6 +56,12 @@ type thread_class = {
   persistent : bool;  (** Class already present right after startup. *)
   quiescent_point : qpoint option;  (** Dominant blocking site (long-lived only). *)
   long_lived_loops : string list;  (** Loops entered but never exited. *)
+  blocked_p50_ns : int;
+  blocked_p90_ns : int;
+  blocked_p99_ns : int;
+      (** Blocking-duration percentiles across all sites and instances of
+          the class, from a shared {!Mcr_util.Stats.hist} (upper-bound
+          estimates; 0 when the class never blocked). *)
 }
 
 type report = {

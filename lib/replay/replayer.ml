@@ -1,6 +1,7 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 module P = Mcr_program.Progdef
+module Trace = Mcr_obs.Trace
 open Logdefs
 
 type conflict =
@@ -34,11 +35,29 @@ type t = {
   mutable replayed : int;
   mutable live : int;
   mutable finished_count : int;
+  trace : Trace.t option;
 }
 
 let reserved_base = 1000
 
-let conflict t c = t.conflicts <- c :: t.conflicts
+let conflict_kind = function
+  | Arg_mismatch _ -> "arg_mismatch"
+  | Omitted _ -> "omitted"
+  | Unsupported _ -> "unsupported"
+
+let conflict t c =
+  (match c with
+  | Arg_mismatch { pid; callstack; observed; _ } ->
+      Trace.instant t.trace ~pid ~cat:"replay" "replay.conflict"
+        ~args:
+          [ ("kind", conflict_kind c); ("call", S.call_name observed);
+            ("callstack", string_of_int callstack) ]
+  | Omitted { pid; callstack; call } | Unsupported { pid; callstack; call } ->
+      Trace.instant t.trace ~pid ~cat:"replay" "replay.conflict"
+        ~args:
+          [ ("kind", conflict_kind c); ("call", S.call_name call);
+            ("callstack", string_of_int callstack) ]);
+  t.conflicts <- c :: t.conflicts
 
 let build_pstate ?parent plog_opt pid key =
   let entries =
@@ -117,6 +136,8 @@ let live_interception t call =
    execute, so they are logged here explicitly. *)
 let replay_effect t ps ~callstack ~proc call (e : entry) =
   t.replayed <- t.replayed + 1;
+  Trace.instant t.trace ~pid:ps.ps_pid ~cat:"replay" "replay.replayed"
+    ~args:[ ("call", S.call_name call); ("callstack", string_of_int callstack) ];
   let short_circuit () =
     out ps ~callstack call e.result;
     K.Short_circuit e.result
@@ -185,10 +206,15 @@ let intercept t ps th call =
     | Some _ ->
         (* live-class entry: consumed for omission accounting, executed live *)
         t.live <- t.live + 1;
+        Trace.instant t.trace ~pid:ps.ps_pid ~cat:"replay" "replay.live"
+          ~args:[ ("call", S.call_name call); ("callstack", string_of_int callstack) ];
         live_interception t call
     | None ->
         (* a call the old version never made: execute live *)
         t.live <- t.live + 1;
+        Trace.instant t.trace ~pid:ps.ps_pid ~cat:"replay" "replay.live"
+          ~args:[ ("call", S.call_name call); ("callstack", string_of_int callstack);
+                  ("recorded", "no") ];
         live_interception t call
   end
 
@@ -239,7 +265,7 @@ let attach_proc t ?parent (image : P.image) plog_opt key =
     :: image.P.i_first_quiesce_hooks;
   ps
 
-let start kernel (root : P.image) ~logs ~inherited =
+let start ?trace kernel (root : P.image) ~logs ~inherited =
   let t =
     {
       kernel;
@@ -252,6 +278,7 @@ let start kernel (root : P.image) ~logs ~inherited =
       replayed = 0;
       live = 0;
       finished_count = 0;
+      trace;
     }
   in
   List.iter (fun fd -> Hashtbl.replace t.inherited fd ()) inherited;

@@ -35,6 +35,7 @@ type conflict =
 type t
 
 val start :
+  ?trace:Mcr_obs.Trace.t ->
   Mcr_simos.Kernel.t ->
   Mcr_program.Progdef.image ->
   logs:Logdefs.plog list ->
@@ -42,7 +43,12 @@ val start :
   t
 (** [start kernel root ~logs ~inherited] arms replay on the new version's
     root image. [inherited] are the reserved-range fd numbers installed
-    from the old version (candidates for garbage collection if unused). *)
+    from the old version (candidates for garbage collection if unused).
+    With [?trace], every replay decision emits an instant event under the
+    new process's pid, category ["replay"]: [replay.replayed] for
+    short-circuited calls, [replay.live] for calls executed live, and
+    [replay.conflict] (with a [kind] argument) for mismatches, omissions,
+    and unsupported objects. *)
 
 val conflicts : t -> conflict list
 (** Conflicts observed so far, oldest first. *)

@@ -12,6 +12,7 @@ module Addr = Mcr_vmem.Addr
 module Region = Mcr_vmem.Region
 module P = Mcr_program.Progdef
 module Instr = Mcr_program.Instr
+module Trace = Mcr_obs.Trace
 
 type origin =
   | O_static of string
@@ -238,7 +239,7 @@ let resolve_in index addr =
 (* ------------------------------------------------------------------ *)
 (* Traversal *)
 
-let analyze ?(policy = Ty.default_policy) ?(tag_free = false) (image : P.image) =
+let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace (image : P.image) =
   let kernel = image.P.i_kernel in
   let costs = K.costs kernel in
   let cost = ref 0 in
@@ -337,6 +338,27 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) (image : P.image) 
       in
       pages (Addr.page_base o.addr))
     objs;
+  let side_args prefix (s : side) =
+    [
+      (prefix ^ "_ptr", string_of_int s.ptr);
+      (prefix ^ "_src_static", string_of_int s.src_static);
+      (prefix ^ "_src_dynamic", string_of_int s.src_dynamic);
+      (prefix ^ "_targ_static", string_of_int s.targ_static);
+      (prefix ^ "_targ_dynamic", string_of_int s.targ_dynamic);
+      (prefix ^ "_targ_lib", string_of_int s.targ_lib);
+    ]
+  in
+  Trace.instant trace
+    ~pid:(K.pid image.P.i_proc)
+    ~cat:"objgraph" "objgraph.edges"
+    ~args:
+      (side_args "precise" stats.precise
+      @ side_args "likely" stats.likely
+      @ [
+          ("reachable", string_of_int (List.length (List.filter (fun o -> o.reachable) objs)));
+          ("pinned", string_of_int (List.length (List.filter (fun o -> o.immutable_) objs)));
+          ("cost_ns", string_of_int !cost);
+        ]);
   { objects = index; roots; stats; cost_ns = !cost }
 
 let resolve t addr = resolve_in t.objects addr

@@ -63,7 +63,12 @@ type t = {
   cost_ns : int;  (** Virtual time the analysis would take. *)
 }
 
-val analyze : ?policy:Mcr_types.Ty.policy -> ?tag_free:bool -> Mcr_program.Progdef.image -> t
+val analyze :
+  ?policy:Mcr_types.Ty.policy ->
+  ?tag_free:bool ->
+  ?trace:Mcr_obs.Trace.t ->
+  Mcr_program.Progdef.image ->
+  t
 (** Analyze a quiescent process image. Honors the image's instrumentation
     config (uninstrumented pools/slabs yield opaque chunks; without dynamic
     instrumentation the lib heap is one opaque blob) and the version's
@@ -76,7 +81,13 @@ val analyze : ?policy:Mcr_types.Ty.policy -> ?tag_free:bool -> Mcr_program.Progd
     configuration the paper contrasts with, Section 8): every dynamic
     object becomes opaque, so all heap pointers degrade to likely pointers
     and their targets to immutable — the ablation quantifying what the tags
-    buy. *)
+    buy.
+
+    With [?trace] the analysis emits one [objgraph.edges] instant event
+    (category ["objgraph"], under the analyzed process's pid) carrying the
+    Table-2 edge classification — precise and likely pointer counts by
+    source/target region — plus reachable/pinned object counts and the
+    analysis cost. *)
 
 val resolve : t -> Mcr_vmem.Addr.t -> (obj * int) option
 (** Object containing an address, with the word offset inside it. *)

@@ -10,6 +10,7 @@ module Aspace = Mcr_vmem.Aspace
 module Addr = Mcr_vmem.Addr
 module Region = Mcr_vmem.Region
 module P = Mcr_program.Progdef
+module Trace = Mcr_obs.Trace
 open Objgraph
 
 type conflict =
@@ -409,7 +410,7 @@ let fixup_object st (o : obj) =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~old_image ~new_image ~analysis ?(dirty_only = true) () =
+let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace () =
   let st =
     {
       old_image;
@@ -435,18 +436,36 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) () =
   List.iter (copy_object st) reachable;
   List.iter (fixup_object st) reachable;
   let live_words = List.fold_left (fun acc o -> acc + o.words) 0 reachable in
-  {
-    transferred_objects = st.objects_copied;
-    transferred_words = st.words_copied;
-    skipped_clean = st.skipped;
-    immutable_remapped = st.pinned;
-    fresh_allocations = st.fresh;
-    type_transformed = st.transformed;
-    dangling_zeroed = st.dangling;
-    conflicts = List.rev st.conflicts;
-    cost_ns = st.cost;
-    live_words;
-  }
+  let outcome =
+    {
+      transferred_objects = st.objects_copied;
+      transferred_words = st.words_copied;
+      skipped_clean = st.skipped;
+      immutable_remapped = st.pinned;
+      fresh_allocations = st.fresh;
+      type_transformed = st.transformed;
+      dangling_zeroed = st.dangling;
+      conflicts = List.rev st.conflicts;
+      cost_ns = st.cost;
+      live_words;
+    }
+  in
+  Trace.instant trace
+    ~pid:(K.pid new_image.P.i_proc)
+    ~cat:"transfer" "transfer.outcome"
+    ~args:
+      [
+        ("objects", string_of_int outcome.transferred_objects);
+        ("words", string_of_int outcome.transferred_words);
+        ("skipped_clean", string_of_int outcome.skipped_clean);
+        ("immutable_remapped", string_of_int outcome.immutable_remapped);
+        ("fresh_allocations", string_of_int outcome.fresh_allocations);
+        ("type_transformed", string_of_int outcome.type_transformed);
+        ("dangling_zeroed", string_of_int outcome.dangling_zeroed);
+        ("conflicts", string_of_int (List.length outcome.conflicts));
+        ("cost_ns", string_of_int outcome.cost_ns);
+      ];
+  outcome
 
 let pp_conflict ppf = function
   | Nonupdatable_changed { addr; ty_name; detail } ->

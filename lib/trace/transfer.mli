@@ -46,12 +46,15 @@ val run :
   new_image:Mcr_program.Progdef.image ->
   analysis:Objgraph.t ->
   ?dirty_only:bool ->
+  ?trace:Mcr_obs.Trace.t ->
   unit ->
   outcome
 (** Transfer one process pair. [dirty_only] (default true) enables
     soft-dirty filtering; passing false transfers everything (the ablation
     baseline). The cost is charged to the kernel's virtual clock by the
     caller, not here — parallel multiprocess transfer takes the maximum
-    across pairs, not the sum. *)
+    across pairs, not the sum. With [?trace], the outcome is emitted as a
+    [transfer.outcome] instant event (category ["transfer"], under the new
+    process's pid). *)
 
 val pp_conflict : Format.formatter -> conflict -> unit

@@ -36,3 +36,99 @@ let geometric_mean xs =
   assert (xs <> []);
   assert (List.for_all (fun x -> x > 0.) xs);
   exp (mean (List.map log xs))
+
+let p50 xs = percentile 50. xs
+let p90 xs = percentile 90. xs
+let p99 xs = percentile 99. xs
+
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+let summary xs =
+  let lo, hi = min_max xs in
+  {
+    n = List.length xs;
+    mean = mean xs;
+    p50 = percentile 50. xs;
+    p90 = percentile 90. xs;
+    p99 = percentile 99. xs;
+    min = lo;
+    max = hi;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-bucket integer histograms (virtual-time durations, sizes).
+   Deterministic by construction: bucket bounds are fixed at creation and
+   observations land by value, never by wall clock. *)
+
+type hist = {
+  bounds : int array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length bounds + 1; last is overflow *)
+  mutable total : int;
+  mutable sum : int;
+}
+
+let hist_create ~bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Stats.hist_create: empty bounds";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Stats.hist_create: bounds must be strictly increasing"
+  done;
+  { bounds = Array.copy bounds; counts = Array.make (n + 1) 0; total = 0; sum = 0 }
+
+(* 1 us .. 10 s, the range of virtual-time stage durations *)
+let default_ns_bounds =
+  [| 1_000; 10_000; 100_000; 1_000_000; 5_000_000; 10_000_000; 50_000_000;
+     100_000_000; 500_000_000; 1_000_000_000; 5_000_000_000; 10_000_000_000 |]
+
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go lo hi =
+    (* first bucket whose bound is >= v, else the overflow bucket *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if h.bounds.(mid) >= v then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let hist_observe h v =
+  h.counts.(bucket_index h v) <- h.counts.(bucket_index h v) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + v
+
+let hist_copy h =
+  { bounds = Array.copy h.bounds; counts = Array.copy h.counts; total = h.total; sum = h.sum }
+
+let hist_merge a b =
+  if a.bounds <> b.bounds then invalid_arg "Stats.hist_merge: bucket bounds differ";
+  let m = hist_copy a in
+  Array.iteri (fun i c -> m.counts.(i) <- m.counts.(i) + c) b.counts;
+  m.total <- a.total + b.total;
+  m.sum <- a.sum + b.sum;
+  m
+
+let hist_percentile h p =
+  assert (p >= 0. && p <= 100.);
+  if h.total = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int h.total)) in
+    let rank = max 1 rank in
+    let n = Array.length h.bounds in
+    let rec go i acc =
+      if i > n then h.bounds.(n - 1)
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then if i < n then h.bounds.(i) else h.bounds.(n - 1)
+        else go (i + 1) acc
+    in
+    go 0 0
+  end

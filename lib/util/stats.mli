@@ -21,3 +21,53 @@ val min_max : float list -> float * float
 val geometric_mean : float list -> float
 (** Geometric mean; used for normalized-overhead summaries. Requires all
     elements positive. *)
+
+val p50 : float list -> float
+val p90 : float list -> float
+
+val p99 : float list -> float
+(** Percentile shorthands (nearest rank). Require non-empty input. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+val summary : float list -> summary
+(** One-shot distribution summary of a sample. Requires non-empty input. *)
+
+(** {1 Fixed-bucket integer histograms}
+
+    Shared by the observability metrics registry ({!Mcr_obs.Metrics}) and
+    the quiescence profiler: deterministic (fixed bounds, no wall clock),
+    mergeable, with nearest-rank percentile estimation that returns the
+    upper bound of the bucket containing the rank. *)
+
+type hist = {
+  bounds : int array;  (** Strictly increasing bucket upper bounds. *)
+  counts : int array;  (** Per-bucket counts; last cell counts overflow. *)
+  mutable total : int;
+  mutable sum : int;
+}
+
+val hist_create : bounds:int array -> hist
+
+val default_ns_bounds : int array
+(** 1 us .. 10 s — the range virtual-time stage durations fall in. *)
+
+val hist_observe : hist -> int -> unit
+
+val hist_copy : hist -> hist
+
+val hist_merge : hist -> hist -> hist
+(** Pointwise sum. @raise Invalid_argument when the bounds differ. *)
+
+val hist_percentile : hist -> float -> int
+(** [hist_percentile h p] is the upper bound of the bucket holding the
+    nearest-rank [p]-th percentile (saturating at the last finite bound);
+    0 when the histogram is empty. *)

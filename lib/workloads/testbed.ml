@@ -67,10 +67,10 @@ let expected_procs = function
   | Httpd -> 1 + Httpd.servers
   | Vsftpd | Sshd -> 1
 
-let launch ?instr ?profiler ?version kernel server =
+let launch ?instr ?profiler ?version ?trace kernel server =
   prepare_fs kernel server;
   let version = Option.value version ~default:(base_version server) in
-  let m = Manager.launch kernel ?instr ?profiler version in
+  let m = Manager.launch kernel ?instr ?profiler ?trace version in
   (* With quiescence instrumentation on, startup completion is observable;
      baseline/profiling runs just advance time until the tree settles. *)
   ignore

@@ -22,12 +22,14 @@ val launch :
   ?instr:Mcr_program.Instr.t ->
   ?profiler:Mcr_quiesce.Profiler.t ->
   ?version:Mcr_program.Progdef.version ->
+  ?trace:Mcr_obs.Trace.t ->
   Mcr_simos.Kernel.t ->
   server ->
   Mcr_core.Manager.t
 (** Prepare the fs, launch, and drive the kernel until the whole process
     tree has settled (children created and quiescent-ready). Works for both
-    instrumented and baseline/profiling configurations. *)
+    instrumented and baseline/profiling configurations. [?trace] threads an
+    observability sink into the manager ({!Mcr_core.Manager.launch}). *)
 
 val benchmark : Mcr_simos.Kernel.t -> server -> ?scale:int -> unit -> Bench_result.t
 (** The paper's benchmark: AB (100k requests, 1 KB file) for the web

@@ -121,6 +121,42 @@ let test_images_track_children () =
     (Mcr_servers.Httpd_sim.servers)
     (List.length (Manager.images m))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_stats_command () =
+  let kernel, m = boot () in
+  ignore (request kernel);
+  (* before any update: counters registered, zero updates *)
+  let reply = ref None in
+  Ctl.request_stats kernel ~path:(Manager.ctl_path m) ~on_reply:(fun x -> reply := Some x);
+  ignore
+    (K.run_until kernel ~max_ns:(K.clock_ns kernel + 10_000_000_000) (fun () -> !reply <> None));
+  let text = Option.value !reply ~default:"" in
+  Alcotest.(check bool) "reply mentions update counter" true
+    (contains text "mcr_updates_total");
+  Alcotest.(check bool) "reply mentions process gauge" true
+    (contains text "mcr_processes");
+  (* after an update the snapshot reflects the committed update, and the new
+     manager's controller serves STATS on the same socket *)
+  let m2, r = Manager.update m (Listing1.v2 ()) in
+  Alcotest.(check bool) "update ok" true r.Manager.success;
+  let snap = r.Manager.metrics in
+  Alcotest.(check (option int)) "updates counted"
+    (Some 1)
+    (List.assoc_opt "mcr_updates_total" snap.Mcr_obs.Metrics.counters);
+  Alcotest.(check (option int)) "commit counted"
+    (Some 1)
+    (List.assoc_opt "mcr_update_commits_total" snap.Mcr_obs.Metrics.counters);
+  let reply2 = ref None in
+  Ctl.request_stats kernel ~path:(Manager.ctl_path m2) ~on_reply:(fun x -> reply2 := Some x);
+  ignore
+    (K.run_until kernel ~max_ns:(K.clock_ns kernel + 10_000_000_000) (fun () -> !reply2 <> None));
+  Alcotest.(check bool) "post-update STATS served" true
+    (contains (Option.value !reply2 ~default:"") "mcr_update_commits_total")
+
 let test_report_totals_consistent () =
   let kernel, m = boot () in
   ignore (request kernel);
@@ -145,6 +181,7 @@ let () =
           Alcotest.test_case "memory stats shape" `Quick test_memory_stats_shape;
           Alcotest.test_case "quiesce_only repeatable" `Quick test_quiesce_only_repeatable;
           Alcotest.test_case "images track children" `Quick test_images_track_children;
+          Alcotest.test_case "STATS ctl command" `Quick test_stats_command;
           Alcotest.test_case "report totals" `Quick test_report_totals_consistent;
         ] );
     ]

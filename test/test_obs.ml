@@ -1,0 +1,222 @@
+(* Tests for the observability subsystem (lib/obs): ring-buffer sink,
+   metrics registry, deterministic exports, and the span structure of a
+   full live update. *)
+
+module K = Mcr_simos.Kernel
+module Manager = Mcr_core.Manager
+module Listing1 = Mcr_servers.Listing1
+module Trace = Mcr_obs.Trace
+module Metrics = Mcr_obs.Metrics
+module Export = Mcr_obs.Export
+
+(* ------------------------------------------------------------------ *)
+(* Sink unit tests *)
+
+let mk_sink ?capacity clock_val =
+  Trace.create ?capacity ~clock:(fun () -> !clock_val) ()
+
+let test_ring_order_and_overflow () =
+  let clock = ref 0 in
+  let t = mk_sink ~capacity:4 clock in
+  for i = 1 to 6 do
+    clock := i * 10;
+    Trace.emit t Trace.Instant (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "emitted" 6 (Trace.emitted t);
+  Alcotest.(check int) "length capped" 4 (Trace.length t);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+  let names = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events t) in
+  Alcotest.(check (list string)) "oldest dropped, order kept"
+    [ "e3"; "e4"; "e5"; "e6" ] names;
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) (Trace.events t) in
+  Alcotest.(check (list int)) "seqs dense and increasing" [ 2; 3; 4; 5 ] seqs;
+  Trace.clear t;
+  Alcotest.(check int) "clear empties" 0 (Trace.length t)
+
+let test_option_emitters () =
+  (* a None sink must be a no-op, not an error *)
+  Trace.span_begin None "x";
+  Trace.span_end None "x";
+  Trace.instant None "x";
+  Trace.complete None ~dur_ns:5 "x";
+  let clock = ref 7 in
+  let t = mk_sink clock in
+  Trace.span_begin (Some t) ~pid:1 ~tid:2 ~cat:"c" "s";
+  Trace.complete (Some t) ~dur_ns:5 "x";
+  match Trace.events t with
+  | [ b; c ] ->
+      Alcotest.(check int) "ts from clock" 7 b.Trace.ts_ns;
+      Alcotest.(check int) "pid" 1 b.Trace.pid;
+      Alcotest.(check bool) "begin phase" true (b.Trace.phase = Trace.Begin);
+      Alcotest.(check bool) "complete phase" true (c.Trace.phase = Trace.Complete 5)
+  | _ -> Alcotest.fail "expected 2 events"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics unit tests *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c_total" in
+  let c' = Metrics.counter m "c_total" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c';
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 3;
+  Metrics.set g 9;
+  let h = Metrics.histogram m "h" in
+  Metrics.observe h 500;
+  Metrics.observe h 2_000_000;
+  (match Metrics.counter m "g" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash must raise");
+  let s = Metrics.snapshot m in
+  Alcotest.(check (option int)) "counter re-registration shares state" (Some 5)
+    (List.assoc_opt "c_total" s.Metrics.counters);
+  Alcotest.(check (option int)) "gauge keeps last" (Some 9)
+    (List.assoc_opt "g" s.Metrics.gauges);
+  (match List.assoc_opt "h" s.Metrics.histograms with
+  | Some hs ->
+      Alcotest.(check int) "hist total" 2 hs.Metrics.total;
+      Alcotest.(check int) "hist sum" 2_000_500 hs.Metrics.sum
+  | None -> Alcotest.fail "histogram missing from snapshot");
+  (* diff subtracts counters and histogram cells, keeps latest gauges *)
+  Metrics.incr ~by:2 c;
+  Metrics.observe h 100;
+  let s2 = Metrics.snapshot m in
+  let d = Metrics.diff ~latest:s2 ~earlier:s in
+  Alcotest.(check (option int)) "diff counter" (Some 2)
+    (List.assoc_opt "c_total" d.Metrics.counters);
+  (match List.assoc_opt "h" d.Metrics.histograms with
+  | Some hs -> Alcotest.(check int) "diff hist total" 1 hs.Metrics.total
+  | None -> Alcotest.fail "diff histogram missing")
+
+let test_render_deterministic () =
+  let m = Metrics.create () in
+  (* registration order differs from name order; render must sort *)
+  Metrics.set (Metrics.gauge m "zz") 1;
+  Metrics.incr (Metrics.counter m "aa_total");
+  let r1 = Metrics.render (Metrics.snapshot m) in
+  let r2 = Metrics.render (Metrics.snapshot m) in
+  Alcotest.(check string) "render stable" r1 r2;
+  Alcotest.(check string) "empty registry" "(no metrics)\n"
+    (Metrics.render (Metrics.snapshot (Metrics.create ())))
+
+(* ------------------------------------------------------------------ *)
+(* Full-pipeline determinism and span structure *)
+
+let run_update ~with_trace () =
+  let kernel = K.create () in
+  let trace =
+    if with_trace then Some (Trace.create ~clock:(fun () -> K.clock_ns kernel) ())
+    else None
+  in
+  K.fs_write kernel ~path:Listing1.config_path "welcome=hi";
+  let m = Manager.launch kernel ?trace (Listing1.v1 ()) in
+  assert (Manager.wait_startup m ());
+  ignore
+    (Mcr_workloads.Http_bench.run kernel ~port:Listing1.port ~requests:3 ~path:"/" ());
+  let _m2, report = Manager.update m (Listing1.v2 ()) in
+  (kernel, trace, report)
+
+let test_chrome_export_byte_identical () =
+  let _, tr1, r1 = run_update ~with_trace:true () in
+  let _, tr2, r2 = run_update ~with_trace:true () in
+  Alcotest.(check bool) "both updates committed" true
+    (r1.Manager.success && r2.Manager.success);
+  let j1 = Export.chrome_json (Option.get tr1) in
+  let j2 = Export.chrome_json (Option.get tr2) in
+  Alcotest.(check bool) "export non-trivial" true (String.length j1 > 200);
+  Alcotest.(check string) "chrome exports byte-identical" j1 j2;
+  Alcotest.(check string) "timelines byte-identical"
+    (Export.timeline (Option.get tr1))
+    (Export.timeline (Option.get tr2))
+
+let test_disabled_sink_changes_nothing () =
+  let k1, _, r1 = run_update ~with_trace:true () in
+  let k2, _, r2 = run_update ~with_trace:false () in
+  Alcotest.(check int) "total_ns identical" r2.Manager.total_ns r1.Manager.total_ns;
+  Alcotest.(check int) "quiesce_ns identical" r2.Manager.quiesce_ns r1.Manager.quiesce_ns;
+  Alcotest.(check int) "state_transfer_ns identical" r2.Manager.state_transfer_ns
+    r1.Manager.state_transfer_ns;
+  Alcotest.(check int) "final virtual clock identical" (K.clock_ns k2) (K.clock_ns k1)
+
+let stage_lines trace =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      if e.Trace.cat = "stage" then
+        Some (Trace.phase_name e.Trace.phase ^ " " ^ e.Trace.name)
+      else None)
+    (Trace.events trace)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_span_structure_golden () =
+  let _, trace, r = run_update ~with_trace:true () in
+  Alcotest.(check bool) "committed" true r.Manager.success;
+  let trace = Option.get trace in
+  Alcotest.(check (list string)) "stage event structure matches golden"
+    (read_lines "golden/obs_spans.golden")
+    (stage_lines trace);
+  (* structural reconstruction: no unbalanced begin/end, and the four
+     stages nest directly under the update span *)
+  let spans, errors = Export.spans trace in
+  Alcotest.(check (list string)) "no structural violations" [] errors;
+  let find name =
+    match List.find_opt (fun (s : Export.span) -> s.Export.s_name = name) spans with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s missing" name
+  in
+  let update = find "update" in
+  Alcotest.(check int) "update at depth 0" 0 update.Export.s_depth;
+  List.iter
+    (fun stage ->
+      let s = find stage in
+      Alcotest.(check int) (stage ^ " nested in update") 1 s.Export.s_depth;
+      Alcotest.(check bool) (stage ^ " inside update interval") true
+        (s.Export.s_begin_ns >= update.Export.s_begin_ns
+        && s.Export.s_end_ns <= update.Export.s_end_ns))
+    [ "quiesce"; "restart_replay"; "state_transfer"; "commit" ];
+  (* the per-pair transfer rides along as a Complete event *)
+  let pair_events =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.name = "transfer.pair"
+        && match e.Trace.phase with Trace.Complete _ -> true | _ -> false)
+      (Trace.events trace)
+  in
+  Alcotest.(check bool) "at least one transfer.pair X event" true (pair_events <> []);
+  (* metrics snapshot attached to the report agrees with the trace *)
+  Alcotest.(check (option int)) "one commit counted" (Some 1)
+    (List.assoc_opt "mcr_update_commits_total" r.Manager.metrics.Metrics.counters)
+
+let () =
+  Alcotest.run "mcr_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring order and overflow" `Quick test_ring_order_and_overflow;
+          Alcotest.test_case "option emitters" `Quick test_option_emitters;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "render deterministic" `Quick test_render_deterministic;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "chrome export byte-identical" `Quick
+            test_chrome_export_byte_identical;
+          Alcotest.test_case "disabled sink changes nothing" `Quick
+            test_disabled_sink_changes_nothing;
+          Alcotest.test_case "span structure golden" `Quick test_span_structure_golden;
+        ] );
+    ]

@@ -120,6 +120,46 @@ let test_min_max () =
 let test_geometric_mean () =
   Alcotest.check feq "geomean" 2. (Stats.geometric_mean [ 1.; 2.; 4. ])
 
+let test_summary () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  let s = Stats.summary xs in
+  Alcotest.(check int) "n" 100 s.Stats.n;
+  Alcotest.check feq "p50" (Stats.p50 xs) s.Stats.p50;
+  Alcotest.check feq "p90" 90. s.Stats.p90;
+  Alcotest.check feq "p99" 99. s.Stats.p99;
+  Alcotest.check feq "min" 1. s.Stats.min;
+  Alcotest.check feq "max" 100. s.Stats.max
+
+let test_hist_observe_percentile () =
+  let h = Stats.hist_create ~bounds:[| 10; 100; 1000 |] in
+  Alcotest.(check int) "empty percentile" 0 (Stats.hist_percentile h 99.);
+  List.iter (Stats.hist_observe h) [ 5; 7; 50; 200; 5000 ];
+  Alcotest.(check int) "total" 5 h.Stats.total;
+  Alcotest.(check int) "sum" 5262 h.Stats.sum;
+  (* counts: <=10 -> 2, <=100 -> 1, <=1000 -> 1, overflow -> 1 *)
+  Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1; 1 |] h.Stats.counts;
+  Alcotest.(check int) "p50 = bucket upper bound" 100 (Stats.hist_percentile h 50.);
+  (* overflow observations saturate at the last finite bound *)
+  Alcotest.(check int) "p99 saturates" 1000 (Stats.hist_percentile h 99.)
+
+let test_hist_merge () =
+  let a = Stats.hist_create ~bounds:[| 10; 100 |] in
+  let b = Stats.hist_create ~bounds:[| 10; 100 |] in
+  Stats.hist_observe a 5;
+  Stats.hist_observe b 50;
+  Stats.hist_observe b 5000;
+  let m = Stats.hist_merge a b in
+  Alcotest.(check int) "merged total" 3 m.Stats.total;
+  Alcotest.(check (array int)) "merged counts" [| 1; 1; 1 |] m.Stats.counts;
+  (* merge leaves the inputs alone *)
+  Alcotest.(check int) "a untouched" 1 a.Stats.total;
+  (match Stats.hist_merge a (Stats.hist_create ~bounds:[| 1 |]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bounds mismatch must raise");
+  match Stats.hist_create ~bounds:[| 10; 10 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing bounds must raise"
+
 let prop_median_bounded =
   QCheck.Test.make ~name:"median lies within min..max" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
@@ -202,6 +242,9 @@ let () =
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "min max" `Quick test_min_max;
           Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "hist observe/percentile" `Quick test_hist_observe_percentile;
+          Alcotest.test_case "hist merge" `Quick test_hist_merge;
           qt prop_median_bounded;
           qt prop_mean_shift;
         ] );
