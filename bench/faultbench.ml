@@ -1,0 +1,80 @@
+(* fault-matrix: the rollback guarantee, measured.
+
+   One row per (injection stage x server): inject the fault with
+   deadlines armed, record the rollback reason and the rollback latency
+   (virtual ns from the update call to the resumed old version). Stages
+   marked "guaranteed" must roll back — a commit there is a harness bug
+   and the run exits nonzero, which is what CI keys on ([--smoke] runs a
+   reduced, still fully deterministic subset). Syscall faults are best
+   effort: replayed calls can mask them, so their rows report whatever
+   outcome occurred. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module Manager = Mcr_core.Manager
+module Fault = Mcr_fault.Fault
+module Testbed = Mcr_workloads.Testbed
+
+(* name, plan, quiescence deadline, rollback guaranteed *)
+let stages =
+  [
+    ("quiesce-refusal", [ Fault.Quiesce_refusal ], Some 1_000_000_000, true);
+    ("replay-conflict", [ Fault.Replay_conflict ], None, true);
+    ("startup-crash", [ Fault.Startup_crash ], None, true);
+    ("startup-hang", [ Fault.Startup_hang ], None, true);
+    ("reinit-hang", [ Fault.Reinit_hang ], None, true);
+    ("transfer-conflict", [ Fault.Transfer_conflict ], None, true);
+    ("likely-misclass", [ Fault.Likely_misclassification ], None, true);
+    ( "syscall-enospc",
+      [ Fault.Syscall_failure { call = "open_at"; err = S.ENOSPC; after = 0 } ],
+      None,
+      false );
+    ( "syscall-connreset",
+      [ Fault.Syscall_failure { call = "read"; err = S.ECONNRESET; after = 0 } ],
+      None,
+      false );
+  ]
+
+let smoke_stages = [ "quiesce-refusal"; "startup-crash"; "transfer-conflict" ]
+
+let run ?(smoke = false) () =
+  let servers = if smoke then [ Testbed.Httpd ] else Testbed.all in
+  let stages =
+    if smoke then List.filter (fun (n, _, _, _) -> List.mem n smoke_stages) stages
+    else stages
+  in
+  Printf.printf "\n== fault-matrix%s: rollback latency per injection stage ==\n"
+    (if smoke then " (smoke)" else "");
+  Printf.printf "%-18s %-14s %-42s %12s\n" "stage" "server" "outcome" "latency(ms)";
+  let violations = ref 0 in
+  List.iter
+    (fun (stage, plan, qdl, guaranteed) ->
+      List.iter
+        (fun server ->
+          let kernel = K.create () in
+          let m = Testbed.launch kernel server in
+          let m2, report =
+            Manager.update m ?quiesce_deadline_ns:qdl
+              ~update_deadline_ns:20_000_000_000 ~fault:(Fault.script plan)
+              (Testbed.final_version server)
+          in
+          let outcome =
+            if report.Manager.success then "COMMIT"
+            else Option.value report.Manager.failure ~default:"<no reason>"
+          in
+          let old_ok = K.alive (Manager.root_proc m2) in
+          if guaranteed && (report.Manager.success || not old_ok) then begin
+            incr violations;
+            Printf.printf "%-18s %-14s %-42s %12s  <-- GUARANTEE VIOLATED\n" stage
+              (Testbed.name server) outcome "-"
+          end
+          else
+            Printf.printf "%-18s %-14s %-42s %12.2f\n" stage (Testbed.name server)
+              outcome
+              (float_of_int report.Manager.total_ns /. 1e6))
+        servers)
+    stages;
+  if !violations > 0 then begin
+    Printf.printf "\nfault-matrix: %d rollback-guarantee violation(s)\n" !violations;
+    exit 1
+  end

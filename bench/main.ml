@@ -5,7 +5,10 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table3  # one experiment
    Experiments: table1 table2 table3 fig3 quiescence control-migration
-                update-time memory spec dirty-reduction ablation micro *)
+                update-time memory spec dirty-reduction ablation micro
+                fault-matrix (accepts --smoke: reduced deterministic subset) *)
+
+let smoke = ref false
 
 let experiments =
   [
@@ -22,6 +25,7 @@ let experiments =
     ("dirty-reduction", fun () -> Experiments.dirty_reduction ());
     ("ablation", fun () -> Experiments.ablation ());
     ("micro", fun () -> Micro.run ());
+    ("fault-matrix", fun () -> Faultbench.run ~smoke:!smoke ());
   ]
 
 let usage () =
@@ -32,6 +36,8 @@ let usage () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  smoke := List.mem "--smoke" args;
+  let args = List.filter (fun a -> a <> "--smoke") args in
   match args with
   | [] | [ "all" ] ->
       print_endline "MCR reproduction harness: all experiments";

@@ -3,7 +3,8 @@
    workflow of Figure 1 in one command.
 
      dune exec bin/mcr_demo.exe -- --server nginx --requests 200 --conns 10
-     dune exec bin/mcr_demo.exe -- --server httpd --fail  # rollback demo *)
+     dune exec bin/mcr_demo.exe -- --server httpd --fail  # rollback demo
+     dune exec bin/mcr_demo.exe -- --fault-seed 7 --quiesce-deadline-ms 500 *)
 
 module K = Mcr_simos.Kernel
 module Manager = Mcr_core.Manager
@@ -18,7 +19,8 @@ let server_of_string = function
   | "sshd" -> Ok Testbed.Sshd
   | s -> Error (`Msg ("unknown server " ^ s ^ " (nginx|httpd|vsftpd|sshd)"))
 
-let run server requests conns fail_update verbose =
+let run server requests conns fail_update fault_seed quiesce_deadline_ms update_deadline_ms
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -51,7 +53,23 @@ let run server requests conns fail_update verbose =
     (K.run_until kernel
        ~max_ns:(K.clock_ns kernel + 10_000_000_000)
        (fun () -> Manager.update_requested m));
-  let m2, report = Manager.update m target in
+  let fault =
+    Option.map
+      (fun seed ->
+        let f = Mcr_fault.Fault.of_seed seed in
+        List.iter
+          (fun p -> Format.printf "  fault armed (seed %d): %a@." seed Mcr_fault.Fault.pp_point p)
+          (Mcr_fault.Fault.armed f);
+        f)
+      fault_seed
+  in
+  let ns_of_ms = Option.map (fun ms -> ms * 1_000_000) in
+  let m2, report =
+    Manager.update m
+      ?quiesce_deadline_ns:(ns_of_ms quiesce_deadline_ms)
+      ?update_deadline_ns:(ns_of_ms update_deadline_ms)
+      ?fault target
+  in
   ignore
     (K.run_until kernel ~max_ns:(K.clock_ns kernel + 10_000_000_000) (fun () -> !reply <> None));
   Printf.printf "  mcr-ctl reply: %s\n" (Option.value !reply ~default:"(none)");
@@ -108,11 +126,24 @@ let conns =
 let fail_update =
   Arg.(value & flag & info [ "fail" ] ~doc:"Update to a version that conflicts (rollback demo; httpd).")
 
+let fault_seed =
+  Arg.(value & opt (some int) None
+       & info [ "fault-seed" ] ~doc:"Arm a seeded fault plan for the update (deterministic).")
+
+let quiesce_deadline_ms =
+  Arg.(value & opt (some int) None
+       & info [ "quiesce-deadline-ms" ] ~doc:"Quiescence deadline (virtual ms); blowing it rolls back.")
+
+let update_deadline_ms =
+  Arg.(value & opt (some int) None
+       & info [ "update-deadline-ms" ] ~doc:"Whole-update deadline (virtual ms); blowing it rolls back.")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
   Cmd.v
     (Cmd.info "mcr-demo" ~doc:"Live-update a simulated server with MCR")
-    Term.(const run $ server $ requests $ conns $ fail_update $ verbose)
+    Term.(const run $ server $ requests $ conns $ fail_update $ fault_seed
+          $ quiesce_deadline_ms $ update_deadline_ms $ verbose)
 
 let () = exit (Cmd.eval cmd)

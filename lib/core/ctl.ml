@@ -26,4 +26,21 @@ let request kernel ~path ~command ~on_reply =
 
 let request_update kernel ~path ~on_reply = request kernel ~path ~command:"UPDATE" ~on_reply
 let request_stats kernel ~path ~on_reply = request kernel ~path ~command:"STATS" ~on_reply
+
+let ns_arg = function None -> "-" | Some ns -> string_of_int ns
+
+let request_deadlines kernel ~path ~quiesce_ns ~update_ns ~on_reply =
+  request kernel ~path
+    ~command:(Printf.sprintf "DEADLINES %s %s" (ns_arg quiesce_ns) (ns_arg update_ns))
+    ~on_reply
+
+let request_retry kernel ~path ~retries ~backoff_ns ~on_reply =
+  request kernel ~path ~command:(Printf.sprintf "RETRY %d %d" retries backoff_ns) ~on_reply
+
+let request_fault kernel ~path ~seed ~on_reply =
+  let command =
+    match seed with None -> "FAULT OFF" | Some s -> Printf.sprintf "FAULT %d" s
+  in
+  request kernel ~path ~command ~on_reply
+
 let update_pending m = Manager.update_requested m

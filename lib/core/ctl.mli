@@ -26,6 +26,35 @@ val request_stats :
 (** Ask the manager for a rendered metrics snapshot ({!Mcr_obs.Metrics.render}).
     Replies immediately even while an update is in flight. *)
 
+val request_deadlines :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  quiesce_ns:int option ->
+  update_ns:int option ->
+  on_reply:(string -> unit) ->
+  unit
+(** Set the manager's default quiescence / whole-update deadlines
+    ([DEADLINES <q|-> <u|->]; [None] clears one). Replies "OK" or
+    "ERR usage: ...". *)
+
+val request_retry :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  retries:int ->
+  backoff_ns:int ->
+  on_reply:(string -> unit) ->
+  unit
+(** Set the manager's default retry policy ([RETRY <n> <backoff_ns>]). *)
+
+val request_fault :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  seed:int option ->
+  on_reply:(string -> unit) ->
+  unit
+(** Arm ([FAULT <seed>]) or disarm ([FAULT OFF]) a seeded fault plan for
+    subsequent updates — {!Mcr_fault.Fault.of_seed} applied per update. *)
+
 val update_pending : Manager.t -> bool
 (** Whether the manager has an outstanding mcr-ctl UPDATE request —
     the signal the host loop uses to invoke {!Manager.update}. *)

@@ -14,6 +14,7 @@ module Pool = Mcr_alloc.Pool
 module Aspace = Mcr_vmem.Aspace
 module Trace = Mcr_obs.Trace
 module Metrics = Mcr_obs.Metrics
+module Fault = Mcr_fault.Fault
 
 let reserved_fd_base = 1000
 
@@ -60,6 +61,26 @@ let make_mset metrics =
     m_pair_cost_h = Metrics.histogram metrics "mcr_pair_cost_ns";
   }
 
+(* Deadline/retry/fault policy. Shared (and mutable) across the manager
+   lineage — mcr-ctl commands adjust it between updates, and the manager a
+   commit returns keeps honouring it. *)
+type policy = {
+  mutable p_quiesce_deadline_ns : int option;
+  mutable p_update_deadline_ns : int option;
+  mutable p_retries : int;
+  mutable p_retry_backoff_ns : int;
+  mutable p_fault_seed : int option;
+}
+
+let default_policy () =
+  {
+    p_quiesce_deadline_ns = None;
+    p_update_deadline_ns = None;
+    p_retries = 0;
+    p_retry_backoff_ns = 100_000_000;
+    p_fault_seed = None;
+  }
+
 type t = {
   kernel : K.t;
   instr : Instr.t;
@@ -75,6 +96,7 @@ type t = {
   trace : Trace.t option;
   metrics : Metrics.t;
   mset : mset;
+  policy : policy;
 }
 
 type report = {
@@ -126,7 +148,61 @@ let track_members ?trace members (img : P.image) =
 (* ------------------------------------------------------------------ *)
 (* Controller thread (the libmcr side of mcr-ctl) *)
 
-let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats =
+(* Policy commands accepted over the control socket. [None] means the
+   command is not a policy command (generic ERR). *)
+let policy_command policy cmd =
+  let words =
+    String.split_on_char ' ' (String.trim cmd) |> List.filter (fun s -> s <> "")
+  in
+  let ns_opt = function
+    | "-" -> Ok None
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok (Some n)
+        | _ -> Error ())
+  in
+  match words with
+  | "DEADLINES" :: rest -> begin
+      match rest with
+      | [ q; u ] -> begin
+          match (ns_opt q, ns_opt u) with
+          | Ok q, Ok u ->
+              policy.p_quiesce_deadline_ns <- q;
+              policy.p_update_deadline_ns <- u;
+              Some "OK"
+          | _ -> Some "ERR usage: DEADLINES <quiesce_ns|-> <update_ns|->"
+        end
+      | _ -> Some "ERR usage: DEADLINES <quiesce_ns|-> <update_ns|->"
+    end
+  | "RETRY" :: rest -> begin
+      match rest with
+      | [ n; b ] -> begin
+          match (int_of_string_opt n, int_of_string_opt b) with
+          | Some n, Some b when n >= 0 && b >= 0 ->
+              policy.p_retries <- n;
+              policy.p_retry_backoff_ns <- b;
+              Some "OK"
+          | _ -> Some "ERR usage: RETRY <count> <backoff_ns>"
+        end
+      | _ -> Some "ERR usage: RETRY <count> <backoff_ns>"
+    end
+  | "FAULT" :: rest -> begin
+      match rest with
+      | [ "OFF" ] ->
+          policy.p_fault_seed <- None;
+          Some "OK"
+      | [ s ] -> begin
+          match int_of_string_opt s with
+          | Some seed ->
+              policy.p_fault_seed <- Some seed;
+              Some "OK"
+          | None -> Some "ERR usage: FAULT <seed>|OFF"
+        end
+      | _ -> Some "ERR usage: FAULT <seed>|OFF"
+    end
+  | _ -> None
+
+let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~policy =
   ignore
     (K.spawn_thread kernel proc ~name:"mcr-ctl" (fun th ->
          K.push_frame th "mcr_ctl_loop";
@@ -146,7 +222,12 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats =
                        (* metrics snapshots are cheap and never block on the
                           update semaphore: reply immediately *)
                        ignore (K.syscall (S.Write { fd = conn; data = stats () }))
-                   | S.Ok_data _ -> ignore (K.syscall (S.Write { fd = conn; data = "ERR" }))
+                   | S.Ok_data cmd -> begin
+                       match policy_command policy cmd with
+                       | Some reply ->
+                           ignore (K.syscall (S.Write { fd = conn; data = reply }))
+                       | None -> ignore (K.syscall (S.Write { fd = conn; data = "ERR" }))
+                     end
                    | _ -> ());
                    ignore (K.syscall (S.Close { fd = conn }));
                    serve ()
@@ -163,15 +244,20 @@ let stats_text ~metrics ~mset ~live () =
   Metrics.render (Metrics.snapshot metrics)
 
 let make_manager kernel instr prog_version root_proc root_image members log_source ~trace
-    ~metrics =
+    ~metrics ~policy =
   let mset = make_mset metrics in
   let ctl_path = "/run/mcr/" ^ prog_version.P.prog ^ ".sock" in
   let ctl_pending = ref false in
   let ctl_result = ref "" in
   let ctl_sem = Printf.sprintf "mcr.ctl.done.%d" (K.pid root_proc) in
   let live () = List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !members in
+  (* an unclean exit leaves the previous incarnation's socket name behind
+     (AF_UNIX names survive close); binding over a live listener is still
+     refused *)
+  if not (K.path_active kernel ~path:ctl_path) then K.unlink_path kernel ~path:ctl_path;
   spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem
-    ~stats:(stats_text ~metrics ~mset ~live);
+    ~stats:(stats_text ~metrics ~mset ~live)
+    ~policy;
   {
     kernel;
     instr;
@@ -187,9 +273,11 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
     trace;
     metrics;
     mset;
+    policy;
   }
 
-let launch kernel ?(instr = Instr.full) ?profiler ?trace prog_version =
+let launch kernel ?(instr = Instr.full) ?profiler ?trace ?quiesce_deadline_ns
+    ?update_deadline_ns ?(retries = 0) ?(retry_backoff_ns = 100_000_000) prog_version =
   let members = ref [] in
   let image_slot = ref None in
   let proc =
@@ -201,8 +289,13 @@ let launch kernel ?(instr = Instr.full) ?profiler ?trace prog_version =
     match !image_slot with Some i -> i | None -> invalid_arg "Manager.launch: no image"
   in
   let recorder = Record.start kernel image in
+  let policy = default_policy () in
+  policy.p_quiesce_deadline_ns <- quiesce_deadline_ns;
+  policy.p_update_deadline_ns <- update_deadline_ns;
+  policy.p_retries <- retries;
+  policy.p_retry_backoff_ns <- retry_backoff_ns;
   make_manager kernel instr prog_version proc image members (Recorder recorder) ~trace
-    ~metrics:(Metrics.create ())
+    ~metrics:(Metrics.create ()) ~policy
 
 let wait_startup t ?(max_ns = 10_000_000_000) () =
   K.run_until t.kernel
@@ -332,11 +425,26 @@ let respond_ctl t result =
 let reinit_ctx (im : P.image) th =
   { P.kernel = im.P.i_kernel; thread = th; proc = im.P.i_proc; image = im }
 
-let update t ?(dirty_only = true) new_version =
+(* Rollback reasons double as metric names, so every distinct failure mode
+   is countable from a STATS snapshot. *)
+let rollback_reason_metric reason =
+  "mcr_rollback_reason_"
+  ^ String.map (fun c -> if c = ' ' then '_' else c) reason
+  ^ "_total"
+
+let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault new_version =
   let k = t.kernel in
   let t0 = K.clock_ns k in
   let tr = t.trace in
+  (match fault with Some f -> Fault.set_trace f tr | None -> ());
   let mpid = K.pid t.root_proc in
+  let note_rollback reason =
+    Metrics.incr t.mset.m_rollbacks;
+    Metrics.incr (Metrics.counter t.metrics (rollback_reason_metric reason))
+  in
+  let deadline_exceeded () =
+    match update_deadline_ns with Some d -> K.clock_ns k - t0 >= d | None -> false
+  in
   Metrics.incr t.mset.m_updates;
   Trace.span_begin tr ~pid:mpid ~cat:"stage"
     ~args:
@@ -346,7 +454,7 @@ let update t ?(dirty_only = true) new_version =
   let fail_before_restart reason =
     release_all t;
     respond_ctl t ("FAIL " ^ reason);
-    Metrics.incr t.mset.m_rollbacks;
+    note_rollback reason;
     Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
     Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "update.fail";
     Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
@@ -372,12 +480,40 @@ let update t ?(dirty_only = true) new_version =
   else begin
   (* ---- 1. checkpoint: quiesce the running version ---- *)
   Trace.span_begin tr ~pid:mpid ~cat:"stage" "quiesce";
+  (* fault injection: while armed, old-version threads decline the barrier *)
+  let set_refusals imgs f =
+    List.iter (fun (im : P.image) -> Barrier.set_refusal im.P.i_barrier f) imgs
+  in
+  (match fault with
+  | Some f when Fault.fires f Fault.Quiesce_refusal ->
+      set_refusals (images t) (Some (fun () -> Fault.fires f Fault.Quiesce_refusal))
+  | _ -> ());
   request_all t;
-  let quiesce_ok = K.run_until k ~max_ns:(t0 + 5_000_000_000) (fun () -> all_quiesced t) in
+  let quiesce_budget =
+    let q = Option.value quiesce_deadline_ns ~default:5_000_000_000 in
+    match update_deadline_ns with Some u -> min q u | None -> q
+  in
+  let quiesce_ok = K.run_until k ~max_ns:(t0 + quiesce_budget) (fun () -> all_quiesced t) in
+  (match fault with
+  | Some f ->
+      ignore (Fault.consume f Fault.Quiesce_refusal);
+      set_refusals (images t) None
+  | None -> ());
   Trace.span_end tr ~pid:mpid ~cat:"stage"
     ~args:[ ("converged", (if quiesce_ok then "yes" else "no")) ]
     "quiesce";
-  if not quiesce_ok then fail_before_restart "quiescence did not converge"
+  if not quiesce_ok then begin
+    let elapsed = K.clock_ns k - t0 in
+    let reason =
+      if deadline_exceeded () then "update deadline exceeded"
+      else
+        match quiesce_deadline_ns with
+        | Some d when elapsed >= d -> "quiescence deadline exceeded"
+        | _ -> "quiescence did not converge"
+    in
+    fail_before_restart reason
+  end
+  else if deadline_exceeded () then fail_before_restart "update deadline exceeded"
   else begin
     let t1 = K.clock_ns k in
     let quiesce_ns = t1 - t0 in
@@ -407,6 +543,14 @@ let update t ?(dirty_only = true) new_version =
     let new_members = ref [] in
     let new_root_slot = ref None in
     let in_update = ref true in
+    (* fault injection: new-version threads decline their startup barrier *)
+    let arm_startup_hang (img : P.image) =
+      match fault with
+      | Some f when Fault.fires f Fault.Startup_hang ->
+          Barrier.set_refusal img.P.i_barrier
+            (Some (fun () -> Fault.fires f Fault.Startup_hang))
+      | _ -> ()
+    in
     let new_proc =
       Loader.launch k ~instr:t.instr new_version ~on_image:(fun img ->
           new_root_slot := Some img;
@@ -414,8 +558,13 @@ let update t ?(dirty_only = true) new_version =
           (* reinitiate quiescence detection before startup runs, so the new
              version is never exposed to external events (Section 5) *)
           Barrier.request img.P.i_barrier;
+          arm_startup_hang img;
           img.P.i_child_hooks <-
-            (fun child -> if !in_update then Barrier.request child.P.i_barrier)
+            (fun child ->
+              if !in_update then begin
+                Barrier.request child.P.i_barrier;
+                arm_startup_hang child
+              end)
             :: img.P.i_child_hooks)
     in
     let new_root_image = Option.get !new_root_slot in
@@ -423,8 +572,24 @@ let update t ?(dirty_only = true) new_version =
       (fun (fd, src) -> ignore (K.transfer_fd k ~src ~fd ~dst:new_proc ~at:fd))
       inherited;
     let rep =
-      Replayer.start k ?trace:tr new_root_image ~logs ~inherited:(List.map fst inherited)
+      Replayer.start k ?trace:tr ?fault new_root_image ~logs
+        ~inherited:(List.map fst inherited)
     in
+    (* fault injection: syscall-level failures, scoped to new-version
+       processes so the serving old version never sees them *)
+    (match fault with
+    | Some f
+      when List.exists
+             (function Fault.Syscall_failure _ -> true | _ -> false)
+             (Fault.armed f) ->
+        K.set_fault_hook k
+          (Some
+             (fun th call ->
+               let pid = K.pid (K.thread_proc th) in
+               if List.exists (fun (im : P.image) -> K.pid im.P.i_proc = pid) !new_members
+               then Fault.syscall_result f ~call
+               else None))
+    | _ -> ());
     (* the new version gets its own controller thread; its replayed
        unix_listen inherits the control socket *)
     let new_ctl_pending = ref false in
@@ -435,7 +600,8 @@ let update t ?(dirty_only = true) new_version =
     in
     spawn_ctl k new_proc ~ctl_path:t.ctl_path ~ctl_pending:new_ctl_pending
       ~ctl_result:new_ctl_result ~ctl_sem:new_ctl_sem
-      ~stats:(stats_text ~metrics:t.metrics ~mset:t.mset ~live:live_new);
+      ~stats:(stats_text ~metrics:t.metrics ~mset:t.mset ~live:live_new)
+      ~policy:t.policy;
     let new_quiesced () =
       match live_new () with
       | [] -> false
@@ -447,6 +613,7 @@ let update t ?(dirty_only = true) new_version =
     in
     let rollback reason ~cm_ns ~st_ns ~transfers ~transfer_conflicts =
       in_update := false;
+      K.set_fault_hook k None;
       Trace.span_begin tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "rollback";
       List.iter
         (fun (im : P.image) ->
@@ -454,7 +621,7 @@ let update t ?(dirty_only = true) new_version =
         !new_members;
       release_all t;
       respond_ctl t ("FAIL " ^ reason);
-      Metrics.incr t.mset.m_rollbacks;
+      note_rollback reason;
       Metrics.incr ~by:(Replayer.replayed_calls rep) t.mset.m_replayed;
       Metrics.incr ~by:(Replayer.live_calls rep) t.mset.m_live;
       Metrics.incr ~by:(List.length (Replayer.conflicts rep)) t.mset.m_replay_conflicts;
@@ -479,14 +646,28 @@ let update t ?(dirty_only = true) new_version =
           metrics = metrics_snapshot t;
         } )
     in
+    (* fault injection: kill the new version mid-startup *)
+    (match fault with
+    | Some f when Fault.consume f Fault.Startup_crash ->
+        ignore (K.run_until k ~max_ns:(K.clock_ns k + 50_000_000) (fun () -> false));
+        if K.alive new_proc then K.kill_process k new_proc ~status:139
+    | _ -> ());
+    let startup_max =
+      let cap = t1 + 10_000_000_000 in
+      match update_deadline_ns with Some d -> min cap (t0 + d) | None -> cap
+    in
     let startup_ok =
-      K.run_until k
-        ~max_ns:(t1 + 10_000_000_000)
-        (fun () ->
+      K.run_until k ~max_ns:startup_max (fun () ->
           new_quiesced ()
           || (not (K.alive new_proc))
           || Replayer.conflicts rep <> [])
     in
+    (match fault with
+    | Some f ->
+        ignore (Fault.consume f Fault.Startup_hang);
+        List.iter (fun (im : P.image) -> Barrier.set_refusal im.P.i_barrier None)
+          !new_members
+    | None -> ());
     let t2 = K.clock_ns k in
     let cm_ns = t2 - t1 in
     Trace.span_end tr ~pid:mpid ~cat:"stage" "restart_replay";
@@ -496,6 +677,9 @@ let update t ?(dirty_only = true) new_version =
         ~transfer_conflicts:[]
     else if Replayer.conflicts rep <> [] then
       rollback "mutable reinitialization conflict" ~cm_ns ~st_ns:0 ~transfers:[]
+        ~transfer_conflicts:[]
+    else if deadline_exceeded () then
+      rollback "update deadline exceeded" ~cm_ns ~st_ns:0 ~transfers:[]
         ~transfer_conflicts:[]
     else if not (startup_ok && new_quiesced ()) then
       rollback "new version did not reach a quiescent startup" ~cm_ns ~st_ns:0 ~transfers:[]
@@ -531,15 +715,18 @@ let update t ?(dirty_only = true) new_version =
                 match (P.image_of_proc oldp, P.image_of_proc newp) with
                 | Some oi, Some ni ->
                     worked := true;
-                    let analysis = Objgraph.analyze ?trace:tr oi in
+                    let analysis = Objgraph.analyze ?trace:tr ?fault oi in
                     let outcome =
                       Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only
-                        ?trace:tr ()
+                        ?trace:tr ?fault ()
                     in
                     let pair_cost = analysis.Objgraph.cost_ns + outcome.Transfer.cost_ns in
                     max_pair_cost := max !max_pair_cost pair_cost;
                     transfers := (key, outcome) :: !transfers;
-                    transfer_conflicts := !transfer_conflicts @ outcome.Transfer.conflicts;
+                    (* O(total-conflicts): accumulate reversed, reverse once
+                       at the consumption points *)
+                    transfer_conflicts :=
+                      List.rev_append outcome.Transfer.conflicts !transfer_conflicts;
                     incr pairs_done;
                     Metrics.incr t.mset.m_transfer_pairs;
                     Metrics.incr ~by:outcome.Transfer.transferred_objects
@@ -573,15 +760,36 @@ let update t ?(dirty_only = true) new_version =
       ignore (transfer_wave ());
       (* volatile quiescent states: run the new version's reinit handlers *)
       let handler_threads =
-        List.concat_map
-          (fun (im : P.image) ->
-            List.map
-              (fun (name, run) ->
-                K.spawn_thread k im.P.i_proc ~name:("reinit:" ^ name) (fun th ->
-                    K.push_frame th ("reinit:" ^ name);
-                    run (reinit_ctx im th)))
-              (P.reinit_handlers im.P.i_version))
-          (live_new ())
+        (* fault injection: a handler that spins forever without blocking.
+           Each iteration makes a syscall (so the thread dies with its
+           process after rollback) and charges time (so the clock reaches
+           the settling horizon) *)
+        let injected =
+          match fault with
+          | Some f when Fault.consume f Fault.Reinit_hang ->
+              [
+                K.spawn_thread k new_root_image.P.i_proc ~name:"reinit:fault-hang"
+                  (fun th ->
+                    K.push_frame th "reinit:fault-hang";
+                    let rec spin () =
+                      ignore (K.syscall S.Getpid);
+                      K.charge k 50_000_000;
+                      spin ()
+                    in
+                    spin ());
+              ]
+          | _ -> []
+        in
+        injected
+        @ List.concat_map
+            (fun (im : P.image) ->
+              List.map
+                (fun (name, run) ->
+                  K.spawn_thread k im.P.i_proc ~name:("reinit:" ^ name) (fun th ->
+                      K.push_frame th ("reinit:" ^ name);
+                      run (reinit_ctx im th)))
+                (P.reinit_handlers im.P.i_version))
+            (live_new ())
       in
       (* wait until every handler has run to completion (or parked) AND the
          processes they re-created have quiesced — the bare new_quiesced
@@ -612,12 +820,15 @@ let update t ?(dirty_only = true) new_version =
         ~args:[ ("pairs", string_of_int !pairs_done) ]
         "state_transfer";
       Metrics.observe t.mset.m_st_h st_ns;
-      if not handlers_ok then
+      if deadline_exceeded () then
+        rollback "update deadline exceeded" ~cm_ns ~st_ns ~transfers:!transfers
+          ~transfer_conflicts:(List.rev !transfer_conflicts)
+      else if not handlers_ok then
         rollback "reinit handlers did not quiesce" ~cm_ns ~st_ns ~transfers:!transfers
-          ~transfer_conflicts:!transfer_conflicts
+          ~transfer_conflicts:(List.rev !transfer_conflicts)
       else if !transfer_conflicts <> [] then
         rollback "mutable tracing conflict" ~cm_ns ~st_ns ~transfers:!transfers
-          ~transfer_conflicts:!transfer_conflicts
+          ~transfer_conflicts:(List.rev !transfer_conflicts)
       else begin
         (* ---- commit ---- *)
         Trace.span_begin tr ~pid:mpid ~cat:"stage" "commit";
@@ -627,6 +838,7 @@ let update t ?(dirty_only = true) new_version =
             if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:0)
           (images t);
         in_update := false;
+        K.set_fault_hook k None;
         List.iter (fun (im : P.image) -> Barrier.release im.P.i_barrier) (live_new ());
         let new_t =
           {
@@ -644,6 +856,7 @@ let update t ?(dirty_only = true) new_version =
             trace = tr;
             metrics = t.metrics;
             mset = t.mset;
+            policy = t.policy;
           }
         in
         Metrics.incr t.mset.m_commits;
@@ -671,3 +884,38 @@ let update t ?(dirty_only = true) new_version =
     end
   end
   end
+
+(* Public entry point: resolve per-call overrides against the manager's
+   policy (settable over the control socket), then run [update_once] with
+   bounded retry. The fault plan is shared across attempts — a fault
+   consumed by attempt [n] is gone on attempt [n+1], so transient injected
+   failures are exactly the ones retry recovers from. *)
+let update t ?(dirty_only = true) ?quiesce_deadline_ns ?update_deadline_ns ?retries
+    ?retry_backoff_ns ?fault new_version =
+  let pol = t.policy in
+  let qdl =
+    match quiesce_deadline_ns with Some _ as s -> s | None -> pol.p_quiesce_deadline_ns
+  in
+  let udl =
+    match update_deadline_ns with Some _ as s -> s | None -> pol.p_update_deadline_ns
+  in
+  let retries = Option.value retries ~default:pol.p_retries in
+  let backoff = Option.value retry_backoff_ns ~default:pol.p_retry_backoff_ns in
+  let fault =
+    match fault with Some _ as s -> s | None -> Option.map Fault.of_seed pol.p_fault_seed
+  in
+  let k = t.kernel in
+  let rec attempt n =
+    let t', rep =
+      update_once t ~dirty_only ?quiesce_deadline_ns:qdl ?update_deadline_ns:udl ?fault
+        new_version
+    in
+    if rep.success || n >= retries then (t', rep)
+    else begin
+      Metrics.incr (Metrics.counter t.metrics "mcr_update_retries_total");
+      (* linear backoff in virtual time before the next attempt *)
+      ignore (K.run_until k ~max_ns:(K.clock_ns k + (backoff * (n + 1))) (fun () -> false));
+      attempt (n + 1)
+    end
+  in
+  attempt 0

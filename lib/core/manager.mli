@@ -39,6 +39,10 @@ val launch :
   ?instr:Mcr_program.Instr.t ->
   ?profiler:Mcr_quiesce.Profiler.t ->
   ?trace:Mcr_obs.Trace.t ->
+  ?quiesce_deadline_ns:int ->
+  ?update_deadline_ns:int ->
+  ?retries:int ->
+  ?retry_backoff_ns:int ->
   Mcr_program.Progdef.version ->
   t
 (** Launch an MCR-enabled program: loads the version, starts startup-log
@@ -46,7 +50,14 @@ val launch :
     end + soft-dirty epoch), and spawns the controller thread listening on
     [ctl_path]. Drive the kernel afterwards ({!wait_startup}). [?trace]
     enables event tracing for this manager and every manager descended
-    from it by updates. *)
+    from it by updates.
+
+    [?quiesce_deadline_ns], [?update_deadline_ns], [?retries] and
+    [?retry_backoff_ns] set the manager's default update policy (see
+    {!update}); the policy is shared across the manager lineage and can be
+    changed at runtime over the control socket ([DEADLINES], [RETRY],
+    [FAULT] — see {!Ctl}). If a stale control-socket file is left at
+    [ctl_path] by an earlier unclean exit, it is unlinked before binding. *)
 
 val kernel : t -> Mcr_simos.Kernel.t
 val root_proc : t -> Mcr_simos.Kernel.proc
@@ -98,13 +109,41 @@ type report = {
           path, success or rollback). *)
 }
 
-val update : t -> ?dirty_only:bool -> Mcr_program.Progdef.version -> t * report
+val update :
+  t ->
+  ?dirty_only:bool ->
+  ?quiesce_deadline_ns:int ->
+  ?update_deadline_ns:int ->
+  ?retries:int ->
+  ?retry_backoff_ns:int ->
+  ?fault:Mcr_fault.Fault.t ->
+  Mcr_program.Progdef.version ->
+  t * report
 (** [update t v2] performs a live update. On success the returned manager
     owns the new version (the old processes are terminated); on rollback it
     is [t] itself and the old version has resumed. [dirty_only:false]
     disables soft-dirty filtering (ablation). Updating a manager whose
     processes are gone (already updated away from, or fully crashed) fails
-    with a report, touching nothing. *)
+    with a report, touching nothing.
+
+    {b Deadlines.} [?quiesce_deadline_ns] bounds the checkpoint stage;
+    blowing it rolls back with reason ["quiescence deadline exceeded"].
+    [?update_deadline_ns] bounds the whole update (virtual time from the
+    call); blowing it rolls back with reason ["update deadline exceeded"],
+    which takes precedence over the quiescence reason when both apply.
+    With no deadlines set, a non-converging quiescence fails with the
+    legacy reason ["quiescence did not converge"] after the built-in 5 s
+    budget. Every rollback increments both [mcr_rollbacks_total] and a
+    per-reason counter [mcr_rollback_reason_<reason with underscores>_total].
+
+    {b Retry.} [?retries] > 0 re-attempts a failed update up to that many
+    times, sleeping [?retry_backoff_ns] × attempt between tries (virtual
+    time) and counting [mcr_update_retries_total]. The fault plan is shared
+    across attempts, so faults consumed by an attempt do not re-fire.
+
+    {b Fault injection.} [?fault] threads a {!Mcr_fault.Fault} plan through
+    the pipeline (see [doc/FAULTS.md]). Unset per-call options default to
+    the manager's policy (set at {!launch} or over the control socket). *)
 
 (** {1 Measurement hooks} *)
 

@@ -1,0 +1,110 @@
+module S = Mcr_simos.Sysdefs
+module Trace = Mcr_obs.Trace
+module Rng = Mcr_util.Rng
+
+type point =
+  | Quiesce_refusal
+  | Replay_conflict
+  | Startup_crash
+  | Startup_hang
+  | Reinit_hang
+  | Transfer_conflict
+  | Likely_misclassification
+  | Syscall_failure of { call : string; err : S.err; after : int }
+
+type t = {
+  mutable armed : point list;
+  mutable fired_rev : string list;
+  mutable syscall_seen : int;
+  mutable trace : Trace.t option;
+}
+
+let point_name = function
+  | Quiesce_refusal -> "quiesce_refusal"
+  | Replay_conflict -> "replay_conflict"
+  | Startup_crash -> "startup_crash"
+  | Startup_hang -> "startup_hang"
+  | Reinit_hang -> "reinit_hang"
+  | Transfer_conflict -> "transfer_conflict"
+  | Likely_misclassification -> "likely_misclassification"
+  | Syscall_failure _ -> "syscall_failure"
+
+let pp_point ppf = function
+  | Syscall_failure { call; err; after } ->
+      Format.fprintf ppf "syscall_failure(%s->%a, after=%d)" call S.pp_err err after
+  | p -> Format.pp_print_string ppf (point_name p)
+
+(* Kind equality ignores the payload: [consume t (Syscall_failure ...)]
+   disarms whatever syscall failure is armed, not a structurally-equal one. *)
+let same_kind a b = String.equal (point_name a) (point_name b)
+
+let script ?trace points =
+  { armed = points; fired_rev = []; syscall_seen = 0; trace }
+
+let of_seed ?trace seed =
+  let rng = Rng.create seed in
+  let point =
+    match Rng.int rng 8 with
+    | 0 -> Quiesce_refusal
+    | 1 -> Replay_conflict
+    | 2 -> Startup_crash
+    | 3 -> Startup_hang
+    | 4 -> Reinit_hang
+    | 5 -> Transfer_conflict
+    | 6 -> Likely_misclassification
+    | _ ->
+        let call = Rng.pick rng [| "read"; "write"; "open_at"; "accept" |] in
+        let err = Rng.pick rng [| S.ENOSPC; S.ECONNRESET |] in
+        let after = Rng.int rng 3 in
+        Syscall_failure { call; err; after }
+  in
+  script ?trace [ point ]
+
+let set_trace t tr = t.trace <- tr
+let armed t = t.armed
+let fired t = List.rev t.fired_rev
+let fires t kind = List.exists (fun p -> same_kind p kind) t.armed
+
+let record t p =
+  t.fired_rev <- point_name p :: t.fired_rev;
+  Trace.instant t.trace ~cat:"fault"
+    ~args:[ ("point", Format.asprintf "%a" pp_point p) ]
+    "fault.inject"
+
+(* Remove the first armed point satisfying [pred], preserving order. *)
+let take t pred =
+  let rec go acc = function
+    | [] -> None
+    | p :: rest when pred p ->
+        t.armed <- List.rev_append acc rest;
+        Some p
+    | p :: rest -> go (p :: acc) rest
+  in
+  go [] t.armed
+
+let consume t kind =
+  match take t (fun p -> same_kind p kind) with
+  | Some p ->
+      record t p;
+      true
+  | None -> false
+
+let syscall_result t ~call =
+  let name = S.call_name call in
+  let matches = function
+    | Syscall_failure { call = c; _ } -> String.equal c name
+    | _ -> false
+  in
+  if not (List.exists matches t.armed) then None
+  else
+    match List.find matches t.armed with
+    | Syscall_failure { err; after; _ } as p ->
+        if t.syscall_seen < after then (
+          t.syscall_seen <- t.syscall_seen + 1;
+          None)
+        else begin
+          (match take t matches with Some _ -> () | None -> assert false);
+          record t p;
+          Some (S.Err err)
+        end
+    | _ -> None

@@ -1,0 +1,96 @@
+(** Deterministic, seedable fault injection for the update pipeline.
+
+    MCR's guarantee is that a conflict at {e any} stage rolls the update
+    back atomically — "clients never observe a failed update" (Section 3).
+    This module is how we systematically produce those conflicts: a
+    {e fault plan} arms injection points at each stage of the pipeline
+    (quiescence, replay, state transfer, reinitialization, and the syscall
+    layer underneath all of them), and the stage owners consult the plan
+    at their injection sites. Plans are plain data built either from an
+    explicit script or from a {!Mcr_util.Rng} seed, so every faulted run
+    is reproducible from one integer — the property suite in
+    [test/test_fault.ml] and the [fault-matrix] bench target both depend
+    on that.
+
+    A plan is consumed destructively: each armed point fires at most once
+    ({!consume} / {!syscall_result} remove it), and {!fired} reports what
+    actually triggered, so a test can distinguish "the update failed
+    because of my fault" from "the fault never got the chance to fire". *)
+
+type point =
+  | Quiesce_refusal
+      (** One old-version thread refuses the quiescence barrier for as
+          long as the point stays armed ({!Mcr_quiesce.Barrier.set_refusal}).
+          Without a quiescence deadline this reproduces the
+          update-hangs-forever bug; with one it must yield the rollback
+          reason ["quiescence deadline exceeded"]. *)
+  | Replay_conflict
+      (** The replay engine reports a synthetic conflict on the next
+          replayed call ({!Mcr_replay.Replayer}, conflict kind
+          ["injected"]). *)
+  | Startup_crash
+      (** The new version is killed mid-startup (manager-side), exercising
+          the ["new version crashed during startup"] rollback path. *)
+  | Startup_hang
+      (** New-version threads refuse their startup quiescence barrier, so
+          the new version never reports quiescent startup. *)
+  | Reinit_hang
+      (** A synthetic reinitialization handler spins forever without
+          blocking, exercising ["reinit handlers did not quiesce"]. *)
+  | Transfer_conflict
+      (** {!Mcr_trace.Transfer.run} reports a synthetic conflict before
+          transferring any state. *)
+  | Likely_misclassification
+      (** {!Mcr_trace.Objgraph.analyze} treats one relocatable heap object
+          as the target of a spurious likely pointer, pinning it
+          non-updatable; the transfer then conflicts on it — the paper's
+          conservative-tracing failure mode, forced. *)
+  | Syscall_failure of { call : string; err : Mcr_simos.Sysdefs.err; after : int }
+      (** The [after]+1-th executed syscall whose {!Mcr_simos.Sysdefs.call_name}
+          equals [call] (counted across the plan's lifetime, new-version
+          processes only) fails with [err] instead of executing —
+          the ENOSPC / ECONNRESET analogs, delivered through
+          {!Mcr_simos.Kernel.set_fault_hook}. *)
+
+type t
+(** A mutable fault plan: a multiset of armed points plus a log of what
+    fired. Not thread-safe — the simulation is cooperative. *)
+
+val script : ?trace:Mcr_obs.Trace.t -> point list -> t
+(** An explicit plan arming exactly [points]. *)
+
+val of_seed : ?trace:Mcr_obs.Trace.t -> int -> t
+(** A single-point plan chosen deterministically from [seed] via
+    {!Mcr_util.Rng} — the property suite's generator. Equal seeds give
+    equal plans. *)
+
+val set_trace : t -> Mcr_obs.Trace.t option -> unit
+(** Route [fault.inject] instants to the given sink (category ["fault"]).
+    The manager points the plan at its own trace so injected faults are
+    visible in the same timeline as the rollback they cause. *)
+
+val armed : t -> point list
+(** Points still armed, in arming order. *)
+
+val fired : t -> string list
+(** {!point_name}s of points that have fired, in firing order. *)
+
+val fires : t -> point -> bool
+(** Whether a point of the same kind as the argument (payload ignored) is
+    still armed. Non-consuming — refusal closures poll this every quiesce
+    tick. *)
+
+val consume : t -> point -> bool
+(** Fire and disarm the first armed point of the same kind as the argument
+    (payload ignored): records it in {!fired}, emits the trace instant,
+    and returns [true]; [false] if no such point is armed. *)
+
+val syscall_result : t -> call:Mcr_simos.Sysdefs.call -> Mcr_simos.Sysdefs.result option
+(** Kernel fault-hook body: if a [Syscall_failure] matching [call]'s name
+    is armed, count the match; once [after] matches have been skipped,
+    fire it and return [Some (Err err)]. [None] otherwise. *)
+
+val point_name : point -> string
+(** Stable kind mnemonic ("quiesce_refusal", "syscall_failure", ...). *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -16,6 +16,7 @@ module Profiler = Mcr_quiesce.Profiler
 open Progdef
 
 exception Sys_error of S.err
+exception Unreachable_after_exit of int
 
 (* Interval between quiescence-hook checks inside unblockified calls. *)
 let qtick_ns = 10_000_000
@@ -42,9 +43,11 @@ let loop t name step =
 
 let app_work t n = charge t (n * (costs t).Costs.app_work_ns)
 
-let exit _t status =
+let exit t status =
   ignore (K.syscall (S.Exit { status }));
-  assert false
+  (* the kernel unwinds the thread inside the Exit effect; returning here
+     means it failed to — surface a diagnosable error, not Assert_failure *)
+  raise (Unreachable_after_exit (K.pid t.proc))
 
 (* ------------------------------------------------------------------ *)
 (* System calls *)

@@ -14,6 +14,10 @@ open Progdef
 exception Sys_error of Mcr_simos.Sysdefs.err
 (** Raised by the [_exn] conveniences on unexpected errors. *)
 
+exception Unreachable_after_exit of int
+(** Raised (with the pid) if control ever returns from {!exit} — a kernel
+    bug; the [Exit] effect must unwind the thread. *)
+
 (** {1 Control} *)
 
 val fn : ctx -> string -> (unit -> 'a) -> 'a
@@ -30,7 +34,8 @@ val app_work : ctx -> int -> unit
     compute). *)
 
 val exit : ctx -> int -> 'a
-(** Terminate the process. *)
+(** Terminate the process. @raise Unreachable_after_exit if the kernel
+    fails to unwind the calling thread. *)
 
 (** {1 System calls} *)
 

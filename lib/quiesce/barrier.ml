@@ -11,6 +11,7 @@ type t = {
   mutable requested : bool;
   mutable epoch : int;
   mutable trace : Trace.t option;
+  mutable refuse : (unit -> bool) option;
 }
 
 let create kernel ~pid =
@@ -23,9 +24,11 @@ let create kernel ~pid =
     requested = false;
     epoch = 0;
     trace = None;
+    refuse = None;
   }
 
 let set_trace t trace = t.trace <- trace
+let set_refusal t f = t.refuse <- f
 
 let counts t = [ ("arrived", string_of_int t.arrived); ("target", string_of_int t.target) ]
 
@@ -51,8 +54,15 @@ let cancel t =
     done
   end
 
+let refusing t = match t.refuse with Some f -> f () | None -> false
+
 let hook t =
-  if t.requested then begin
+  if t.requested && refusing t then
+    (* Fault injection: pretend this thread has no quiescent point right
+       now. No trace instant — the wrapper retries every qtick and would
+       flood the ring buffer. *)
+    false
+  else if t.requested then begin
     let epoch = t.epoch in
     t.arrived <- t.arrived + 1;
     Trace.instant t.trace ~pid:t.pid ~cat:"barrier" "barrier.arrive" ~args:(counts t);

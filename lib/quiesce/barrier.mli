@@ -23,6 +23,13 @@ val set_trace : t -> Mcr_obs.Trace.t option -> unit
     [barrier.cancel] — under the process's pid, category ["barrier"].
     Default: no sink, zero overhead. *)
 
+val set_refusal : t -> (unit -> bool) option -> unit
+(** Fault injection: while the closure returns [true], threads reaching
+    {!hook} decline to park (as if they had no quiescent point) and keep
+    serving — modelling a thread that never quiesces. The closure is
+    polled on every wrapper retry, so disarming the fault lets the next
+    retry arrive normally. Default: no refusal. *)
+
 val register_thread : t -> unit
 (** Called once per long-lived thread (from the first wrapped blocking
     call). Raises the arrival target. *)

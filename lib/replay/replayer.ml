@@ -2,12 +2,14 @@ module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 module P = Mcr_program.Progdef
 module Trace = Mcr_obs.Trace
+module F = Mcr_fault.Fault
 open Logdefs
 
 type conflict =
   | Arg_mismatch of { pid : int; callstack : int; recorded : S.call; observed : S.call }
   | Omitted of { pid : int; callstack : int; call : S.call }
   | Unsupported of { pid : int; callstack : int; call : S.call }
+  | Injected of { pid : int; callstack : int; call : S.call }
 
 type pstate = {
   ps_pid : int;
@@ -36,6 +38,7 @@ type t = {
   mutable live : int;
   mutable finished_count : int;
   trace : Trace.t option;
+  fault : F.t option;
 }
 
 let reserved_base = 1000
@@ -44,6 +47,7 @@ let conflict_kind = function
   | Arg_mismatch _ -> "arg_mismatch"
   | Omitted _ -> "omitted"
   | Unsupported _ -> "unsupported"
+  | Injected _ -> "injected"
 
 let conflict t c =
   (match c with
@@ -52,7 +56,9 @@ let conflict t c =
         ~args:
           [ ("kind", conflict_kind c); ("call", S.call_name observed);
             ("callstack", string_of_int callstack) ]
-  | Omitted { pid; callstack; call } | Unsupported { pid; callstack; call } ->
+  | Omitted { pid; callstack; call }
+  | Unsupported { pid; callstack; call }
+  | Injected { pid; callstack; call } ->
       Trace.instant t.trace ~pid ~cat:"replay" "replay.conflict"
         ~args:
           [ ("kind", conflict_kind c); ("call", S.call_name call);
@@ -194,6 +200,10 @@ let intercept t ps th call =
   else begin
     K.charge t.kernel (K.costs t.kernel).Mcr_simos.Costs.replay_match_ns;
     let callstack = K.callstack_id th in
+    (match t.fault with
+    | Some f when F.consume f F.Replay_conflict ->
+        conflict t (Injected { pid = ps.ps_pid; callstack; call })
+    | _ -> ());
     match pop_match ps ~callstack call with
     | Some e when replay_class e.call ->
         if deep_equal e.call call then
@@ -265,7 +275,7 @@ let attach_proc t ?parent (image : P.image) plog_opt key =
     :: image.P.i_first_quiesce_hooks;
   ps
 
-let start ?trace kernel (root : P.image) ~logs ~inherited =
+let start ?trace ?fault kernel (root : P.image) ~logs ~inherited =
   let t =
     {
       kernel;
@@ -279,6 +289,7 @@ let start ?trace kernel (root : P.image) ~logs ~inherited =
       live = 0;
       finished_count = 0;
       trace;
+      fault;
     }
   in
   List.iter (fun fd -> Hashtbl.replace t.inherited fd ()) inherited;
@@ -329,4 +340,7 @@ let pp_conflict ppf = function
   | Unsupported { pid; callstack; call } ->
       Format.fprintf ppf
         "pid %d cs %d: %a creates an immutable object with no namespace support" pid callstack
+        S.pp_call call
+  | Injected { pid; callstack; call } ->
+      Format.fprintf ppf "pid %d cs %d: injected replay conflict at %a" pid callstack
         S.pp_call call

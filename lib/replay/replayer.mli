@@ -31,11 +31,16 @@ type conflict =
           virtualize (e.g. SysV shm ids — no namespace support, Section 7);
           replaying it safely is impossible, so the update rolls back
           unless a user annotation takes over. *)
+  | Injected of { pid : int; callstack : int; call : Mcr_simos.Sysdefs.call }
+      (** A synthetic conflict from the fault harness
+          ({!Mcr_fault.Fault.Replay_conflict}): [call] is whatever the new
+          version happened to be executing when the fault fired. *)
 
 type t
 
 val start :
   ?trace:Mcr_obs.Trace.t ->
+  ?fault:Mcr_fault.Fault.t ->
   Mcr_simos.Kernel.t ->
   Mcr_program.Progdef.image ->
   logs:Logdefs.plog list ->
@@ -48,7 +53,9 @@ val start :
     new process's pid, category ["replay"]: [replay.replayed] for
     short-circuited calls, [replay.live] for calls executed live, and
     [replay.conflict] (with a [kind] argument) for mismatches, omissions,
-    and unsupported objects. *)
+    and unsupported objects. With [?fault], an armed
+    {!Mcr_fault.Fault.Replay_conflict} fires on the next intercepted
+    syscall as an [Injected] conflict. *)
 
 val conflicts : t -> conflict list
 (** Conflicts observed so far, oldest first. *)

@@ -93,6 +93,7 @@ type t = {
   fs : (string, string) Hashtbl.t;
   mutable block_monitor : (thread -> S.call -> blocked_ns:int -> unit) option;
   mutable spawn_hook : (proc -> unit) option;
+  mutable fault_hook : (thread -> S.call -> S.result option) option;
   shm_ids : (int, int) Hashtbl.t; (* key -> globally-unique id; no namespaces *)
   mutable next_shm_id : int;
 }
@@ -123,6 +124,7 @@ let create ?(costs = Costs.default) () =
     fs = Hashtbl.create 16;
     block_monitor = None;
     spawn_hook = None;
+    fault_hook = None;
     shm_ids = Hashtbl.create 8;
     next_shm_id = 100;
   }
@@ -292,11 +294,16 @@ let release_desc t desc =
             l.l_closed <- true;
             (match l.l_addr with
             | Port port -> Hashtbl.remove t.ports port
-            | Path path -> Hashtbl.remove t.paths path);
+            | Path _ ->
+                (* AF_UNIX fidelity: closing the listener does not remove
+                   the socket's filesystem name — a later Unix_listen on
+                   the same path gets EADDRINUSE until someone unlinks it
+                   (see unlink_path) *)
+                ());
             Queue.iter close_endpoint l.backlog_q;
             Queue.clear l.backlog_q
         | Bound (Port port) -> Hashtbl.remove t.ports port
-        | Bound (Path path) -> Hashtbl.remove t.paths path
+        | Bound (Path _) -> ()
         | Unbound -> ()
       end
     | File _ -> ()
@@ -543,14 +550,30 @@ and handle_syscall t th call (k : (S.result, unit) Effect.Deep.continuation) =
     in
     match interception with
     | Short_circuit r -> schedule t (fun () -> Effect.Deep.continue k r)
-    | Execute -> execute_call t th call k
+    | Execute -> execute_faultable t th call k
     | Rewrite call' ->
         th.t_call_report <- Some call;
-        execute_call t th call' k
+        execute_faultable t th call' k
     | Post (call', f) ->
         th.t_call_report <- Some call;
-        execute_call_mapped t th call' f k
+        th.t_result_map <- Some f;
+        execute_faultable t th call' k
   end
+
+(* Consult the kernel-wide fault hook for calls that are about to execute
+   for real (short-circuited replays never reach the kernel proper, exactly
+   as in the real system). A hook result is delivered like any other
+   syscall completion — through the result map and the process monitor —
+   so recording and replay see injected failures as ordinary outcomes.
+   [Exit] is never faultable: its continuation is abandoned by design. *)
+and execute_faultable t th call (k : (S.result, unit) Effect.Deep.continuation) =
+  match t.fault_hook with
+  | Some h when (match call with S.Exit _ -> false | _ -> true) -> begin
+      match h th call with
+      | Some r -> finish t th call k r
+      | None -> execute_call t th call k
+    end
+  | Some _ | None -> execute_call t th call k
 
 and finish t th call (k : (S.result, unit) Effect.Deep.continuation) r =
   let r = match th.t_result_map with Some f -> th.t_result_map <- None; f r | None -> r in
@@ -563,10 +586,6 @@ and finish t th call (k : (S.result, unit) Effect.Deep.continuation) r =
   in
   (match th.t_proc.p_monitor with Some m -> m th call r | None -> ());
   schedule t (fun () -> Effect.Deep.continue k r)
-
-and execute_call_mapped t th call f (k : (S.result, unit) Effect.Deep.continuation) =
-  th.t_result_map <- Some f;
-  execute_call t th call k
 
 and stream_of_fd p fd =
   match find_fd p fd with
@@ -1010,6 +1029,14 @@ and execute_call t th call (k : (S.result, unit) Effect.Deep.continuation) =
     end
 
 let set_spawn_hook t h = t.spawn_hook <- h
+let set_fault_hook t h = t.fault_hook <- h
+
+let unlink_path t ~path = Hashtbl.remove t.paths path
+
+let path_active t ~path =
+  match Hashtbl.find_opt t.paths path with
+  | Some { obj = Tcp { role = Listening l }; _ } -> not l.l_closed
+  | Some _ | None -> false
 
 let post_semaphore t name =
   let sem =

@@ -151,6 +151,26 @@ val set_spawn_hook : t -> (proc -> unit) option -> unit
     attach instrumentation (interceptors, recorders) to children — the
     preloaded-library analog. *)
 
+val set_fault_hook :
+  t -> (thread -> Sysdefs.call -> Sysdefs.result option) option -> unit
+(** Kernel-wide fault-injection hook, consulted for every call that is
+    about to execute for real (after interception — short-circuited replay
+    calls never reach it, and [Exit] is never faultable). Returning
+    [Some r] delivers [r] instead of executing the call; the result flows
+    through the process monitor like any genuine completion, so recording
+    sees injected failures as ordinary outcomes. *)
+
+val unlink_path : t -> path:string -> unit
+(** Remove a Unix-domain socket's filesystem name (the [unlink] analog).
+    Closing a listener does {e not} remove its name — as on a real system —
+    so a later [Unix_listen] on the same path fails with [EADDRINUSE]
+    until the stale name is unlinked. No-op if the path is not bound. *)
+
+val path_active : t -> path:string -> bool
+(** Whether [path] names a Unix-domain listener that is still open (i.e.
+    unlinking it would disconnect a live service rather than collect a
+    stale name). *)
+
 (** {1 Scheduling} *)
 
 val run : t -> unit

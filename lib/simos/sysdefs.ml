@@ -44,6 +44,8 @@ type err =
   | ECHILD
   | EINVAL
   | EMFILE
+  | ENOSPC
+  | ECONNRESET
 
 type result =
   | Ok_unit
@@ -111,6 +113,8 @@ let err_name = function
   | ECHILD -> "ECHILD"
   | EINVAL -> "EINVAL"
   | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | ECONNRESET -> "ECONNRESET"
 
 let pp_err ppf e = Format.pp_print_string ppf (err_name e)
 

@@ -67,6 +67,8 @@ type err =
   | ECHILD
   | EINVAL
   | EMFILE
+  | ENOSPC  (** Injected by the fault harness: device-full analog. *)
+  | ECONNRESET  (** Injected by the fault harness: peer-reset analog. *)
 
 type result =
   | Ok_unit

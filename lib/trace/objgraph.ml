@@ -58,6 +58,7 @@ type t = {
   roots : obj list;
   stats : stats;
   cost_ns : int;
+  injected_pin : obj option;
 }
 
 let new_side () =
@@ -239,7 +240,7 @@ let resolve_in index addr =
 (* ------------------------------------------------------------------ *)
 (* Traversal *)
 
-let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace (image : P.image) =
+let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace ?fault (image : P.image) =
   let kernel = image.P.i_kernel in
   let costs = K.costs kernel in
   let cost = ref 0 in
@@ -328,6 +329,31 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace (image : P.
       objs
   in
   List.iter visit roots;
+  (* fault injection: pretend conservative scanning found one more likely
+     pointer, targeting a typed relocatable heap object — the
+     misclassification the paper's Section 6 warns about. Pinning it makes
+     the transfer conflict when its type has a transformation plan. *)
+  let injected_pin =
+    match fault with
+    | Some f when Mcr_fault.Fault.consume f Mcr_fault.Fault.Likely_misclassification ->
+        let victim =
+          List.find_opt
+            (fun o ->
+              o.reachable
+              && (not o.immutable_)
+              && (match o.origin with O_heap | O_pool_obj _ -> true | _ -> false)
+              && o.ty_name <> None)
+            objs
+        in
+        (match victim with
+        | Some o ->
+            o.immutable_ <- true;
+            o.nonupdatable <- true;
+            record_edge stats.likely ~src_region:Region.Static ~targ_region:o.region
+        | None -> ());
+        victim
+    | _ -> None
+  in
   (* dirtiness from soft-dirty page bits *)
   List.iter
     (fun o ->
@@ -359,7 +385,7 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace (image : P.
           ("pinned", string_of_int (List.length (List.filter (fun o -> o.immutable_) objs)));
           ("cost_ns", string_of_int !cost);
         ]);
-  { objects = index; roots; stats; cost_ns = !cost }
+  { objects = index; roots; stats; cost_ns = !cost; injected_pin }
 
 let resolve t addr = resolve_in t.objects addr
 

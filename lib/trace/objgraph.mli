@@ -61,12 +61,18 @@ type t = {
   roots : obj list;
   stats : stats;
   cost_ns : int;  (** Virtual time the analysis would take. *)
+  injected_pin : obj option;
+      (** The object a {!Mcr_fault.Fault.Likely_misclassification} fault
+          pinned (marked immutable + nonupdatable as if a spurious likely
+          pointer targeted it). {!Transfer.run} turns it into a conflict.
+          [None] on unfaulted runs. *)
 }
 
 val analyze :
   ?policy:Mcr_types.Ty.policy ->
   ?tag_free:bool ->
   ?trace:Mcr_obs.Trace.t ->
+  ?fault:Mcr_fault.Fault.t ->
   Mcr_program.Progdef.image ->
   t
 (** Analyze a quiescent process image. Honors the image's instrumentation
@@ -87,7 +93,12 @@ val analyze :
     (category ["objgraph"], under the analyzed process's pid) carrying the
     Table-2 edge classification — precise and likely pointer counts by
     source/target region — plus reachable/pinned object counts and the
-    analysis cost. *)
+    analysis cost.
+
+    With [?fault], an armed {!Mcr_fault.Fault.Likely_misclassification}
+    pins one reachable typed dynamic object as if a spurious likely
+    pointer targeted it (recorded in [injected_pin] and in the likely-edge
+    stats). *)
 
 val resolve : t -> Mcr_vmem.Addr.t -> (obj * int) option
 (** Object containing an address, with the word offset inside it. *)

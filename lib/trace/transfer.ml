@@ -17,6 +17,7 @@ type conflict =
   | Nonupdatable_changed of { addr : Addr.t; ty_name : string; detail : string }
   | No_plan of { addr : Addr.t; ty_name : string; detail : string }
   | Missing_type of { addr : Addr.t; ty_name : string }
+  | Injected of { detail : string }
 
 type outcome = {
   transferred_objects : int;
@@ -410,7 +411,7 @@ let fixup_object st (o : obj) =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace () =
+let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace ?fault () =
   let st =
     {
       old_image;
@@ -430,6 +431,22 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace () =
       dangling = 0;
     }
   in
+  (match fault with
+  | Some f when Mcr_fault.Fault.consume f Mcr_fault.Fault.Transfer_conflict ->
+      conflictf st (Injected { detail = "injected transfer conflict" })
+  | _ -> ());
+  (* an Objgraph-level misclassification fault conflicts here: the pinned
+     object cannot be relocated, which the transfer must refuse *)
+  (match analysis.Objgraph.injected_pin with
+  | Some o ->
+      conflictf st
+        (Nonupdatable_changed
+           {
+             addr = o.addr;
+             ty_name = Option.value o.ty_name ~default:"<untyped>";
+             detail = "injected: spurious likely pointer pinned a relocatable object";
+           })
+  | None -> ());
   let startup_index = build_startup_index new_image in
   let reachable = Objgraph.reachable_objects analysis in
   List.iter (assign_dest st startup_index) reachable;
@@ -476,3 +493,4 @@ let pp_conflict ppf = function
   | Missing_type { addr; ty_name } ->
       Format.fprintf ppf "dirty object %a has type %s absent from the new version" Addr.pp addr
         ty_name
+  | Injected { detail } -> Format.fprintf ppf "injected conflict: %s" detail

@@ -27,6 +27,9 @@ type conflict =
       (** No automatic transformation exists and no handler was supplied. *)
   | Missing_type of { addr : Mcr_vmem.Addr.t; ty_name : string }
       (** A dirty object's type no longer exists in the new version. *)
+  | Injected of { detail : string }
+      (** A synthetic conflict from the fault harness
+          ({!Mcr_fault.Fault.Transfer_conflict}). *)
 
 type outcome = {
   transferred_objects : int;
@@ -47,6 +50,7 @@ val run :
   analysis:Objgraph.t ->
   ?dirty_only:bool ->
   ?trace:Mcr_obs.Trace.t ->
+  ?fault:Mcr_fault.Fault.t ->
   unit ->
   outcome
 (** Transfer one process pair. [dirty_only] (default true) enables
@@ -55,6 +59,10 @@ val run :
     caller, not here — parallel multiprocess transfer takes the maximum
     across pairs, not the sum. With [?trace], the outcome is emitted as a
     [transfer.outcome] instant event (category ["transfer"], under the new
-    process's pid). *)
+    process's pid). With [?fault], an armed
+    {!Mcr_fault.Fault.Transfer_conflict} yields an [Injected] conflict
+    before any state moves; an [analysis] carrying an
+    {!Objgraph.t.injected_pin} yields a [Nonupdatable_changed] conflict on
+    the pinned object. *)
 
 val pp_conflict : Format.formatter -> conflict -> unit

@@ -15,15 +15,20 @@ let stddev xs =
   let sq = List.map (fun x -> (x -. m) ** 2.) xs in
   sqrt (mean sq)
 
+(* Linear interpolation between closest ranks (the numpy/R-7 definition):
+   agrees with [median] at p = 50 and needs no special case at p = 0. *)
 let percentile p xs =
   assert (xs <> []);
   assert (p >= 0. && p <= 100.);
   let arr = Array.of_list (sorted xs) in
   let n = Array.length arr in
-  if p = 0. then arr.(0)
+  if n = 1 then arr.(0)
   else begin
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    arr.(max 0 (min (n - 1) (rank - 1)))
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let lo = max 0 (min (n - 2) lo) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(lo + 1) -. arr.(lo)))
   end
 
 let min_max xs =

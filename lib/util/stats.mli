@@ -13,7 +13,9 @@ val stddev : float list -> float
 (** Population standard deviation. Requires non-empty input. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] for [p] in [\[0,100\]], nearest-rank method. *)
+(** [percentile p xs] for [p] in [\[0,100\]], linear interpolation between
+    closest ranks — so [percentile 50.] agrees with {!median} on every
+    input. Requires [xs] non-empty. *)
 
 val min_max : float list -> float * float
 (** Smallest and largest element. Requires non-empty input. *)
@@ -26,7 +28,7 @@ val p50 : float list -> float
 val p90 : float list -> float
 
 val p99 : float list -> float
-(** Percentile shorthands (nearest rank). Require non-empty input. *)
+(** Percentile shorthands for {!percentile}. Require non-empty input. *)
 
 type summary = {
   n : int;

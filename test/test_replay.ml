@@ -188,7 +188,7 @@ let test_replay_arg_mismatch_conflict () =
     List.exists
       (function
         | Replayer.Arg_mismatch _ -> true
-        | Replayer.Omitted _ | Replayer.Unsupported _ -> false)
+        | Replayer.Omitted _ | Replayer.Unsupported _ | Replayer.Injected _ -> false)
       report.Manager.replay_conflicts
   in
   Alcotest.(check bool) "argument-mismatch conflict" true has_mismatch

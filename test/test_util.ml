@@ -108,9 +108,23 @@ let test_stddev_constant () =
 
 let test_percentile () =
   let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
-  Alcotest.check feq "p50" 50. (Stats.percentile 50. xs);
+  (* interpolated: p50 of 1..100 sits between the 50th and 51st values *)
+  Alcotest.check feq "p50" 50.5 (Stats.percentile 50. xs);
   Alcotest.check feq "p100" 100. (Stats.percentile 100. xs);
   Alcotest.check feq "p0" 1. (Stats.percentile 0. xs)
+
+let test_percentile_small () =
+  (* pins on tiny inputs: p50 must agree with median (the nearest-rank
+     implementation returned 1.0 here) *)
+  Alcotest.check feq "p50 pair" 1.5 (Stats.percentile 50. [ 1.; 2. ]);
+  Alcotest.check feq "p50 = median" (Stats.median [ 1.; 2. ]) (Stats.p50 [ 2.; 1. ]);
+  Alcotest.check feq "p90 pair" 1.9 (Stats.percentile 90. [ 1.; 2. ]);
+  Alcotest.check feq "p99 pair" 1.99 (Stats.percentile 99. [ 1.; 2. ]);
+  Alcotest.check feq "p50 triple" 2. (Stats.percentile 50. [ 3.; 1.; 2. ]);
+  Alcotest.check feq "p50 quad = median" (Stats.median [ 4.; 1.; 2.; 3. ])
+    (Stats.percentile 50. [ 4.; 1.; 2.; 3. ]);
+  Alcotest.check feq "p90 quad" 3.7 (Stats.percentile 90. [ 4.; 1.; 2.; 3. ]);
+  Alcotest.check feq "singleton any p" 7. (Stats.percentile 33. [ 7. ])
 
 let test_min_max () =
   let lo, hi = Stats.min_max [ 3.; -1.; 7. ] in
@@ -125,8 +139,8 @@ let test_summary () =
   let s = Stats.summary xs in
   Alcotest.(check int) "n" 100 s.Stats.n;
   Alcotest.check feq "p50" (Stats.p50 xs) s.Stats.p50;
-  Alcotest.check feq "p90" 90. s.Stats.p90;
-  Alcotest.check feq "p99" 99. s.Stats.p99;
+  Alcotest.check feq "p90" 90.1 s.Stats.p90;
+  Alcotest.check feq "p99" 99.01 s.Stats.p99;
   Alcotest.check feq "min" 1. s.Stats.min;
   Alcotest.check feq "max" 100. s.Stats.max
 
@@ -240,6 +254,7 @@ let () =
           Alcotest.test_case "mean" `Quick test_mean;
           Alcotest.test_case "stddev constant" `Quick test_stddev_constant;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile small inputs" `Quick test_percentile_small;
           Alcotest.test_case "min max" `Quick test_min_max;
           Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
           Alcotest.test_case "summary" `Quick test_summary;
