@@ -1,0 +1,85 @@
+(* The downtime experiment: iterative pre-copy vs single-shot service
+   interruption, swept over open-connection counts on all four evaluated
+   servers.
+
+   For each (server, connections) configuration two fresh simulations run
+   with identical preparation — launch, a short workload, [n] long-lived
+   held connections — differing only in the update policy: the single-shot
+   baseline (the window is the whole update) and pre-copy (the window is
+   the final delta). Reported per cell: downtime/total in ms. The run fails
+   (exit 1) if pre-copy downtime is not strictly below single-shot downtime
+   at the highest connection count for any server — the PR's acceptance
+   criterion. *)
+
+module K = Mcr_simos.Kernel
+module Manager = Mcr_core.Manager
+module Policy = Mcr_core.Policy
+module Testbed = Mcr_workloads.Testbed
+module Holders = Mcr_workloads.Holders
+
+let fms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
+
+type cell = { downtime_ns : int; total_ns : int; rounds : int }
+
+let measure server ~conns ~precopy =
+  let kernel = K.create () in
+  let m = Testbed.launch kernel server in
+  ignore (Testbed.benchmark kernel server ~scale:10_000 ());
+  let holders =
+    if conns > 0 then Some (Testbed.open_holders kernel server ~n:conns) else None
+  in
+  let policy =
+    if precopy then Policy.with_precopy ~max_rounds:6 ~threshold_words:100_000 true Policy.default
+    else Policy.default
+  in
+  let _m2, report = Manager.update m ~policy (Testbed.final_version server) in
+  (match holders with Some h -> Holders.close_all h | None -> ());
+  if not report.Manager.success then begin
+    Printf.printf "!! %s update failed at %d conns (%s): %s\n" (Testbed.name server) conns
+      (if precopy then "precopy" else "single-shot")
+      (Option.fold ~none:"?" ~some:Mcr_error.to_string report.Manager.failure);
+    exit 1
+  end;
+  {
+    downtime_ns = report.Manager.downtime_ns;
+    total_ns = report.Manager.total_ns;
+    rounds = report.Manager.precopy_rounds;
+  }
+
+let run ?(smoke = false) () =
+  let points = if smoke then [ 0; 8 ] else [ 0; 25; 50; 100 ] in
+  let servers = Testbed.all in
+  Printf.printf "\n== downtime%s: pre-copy vs single-shot (downtime/total ms) ==\n"
+    (if smoke then " (smoke)" else "");
+  Printf.printf "%-10s %5s   %-17s %-23s %9s\n" "server" "conns" "single-shot" "precopy"
+    "speedup";
+  let top = List.fold_left max 0 points in
+  let violations = ref 0 in
+  List.iter
+    (fun server ->
+      List.iter
+        (fun conns ->
+          let ss = measure server ~conns ~precopy:false in
+          let pc = measure server ~conns ~precopy:true in
+          let speedup =
+            if pc.downtime_ns > 0 then
+              float_of_int ss.downtime_ns /. float_of_int pc.downtime_ns
+            else infinity
+          in
+          let at_top = conns = top in
+          let ok = pc.downtime_ns < ss.downtime_ns in
+          if at_top && not ok then incr violations;
+          Printf.printf "%-10s %5d   %7s/%-9s %7s/%-9s(%d rds) %8.1fx%s\n"
+            (Testbed.name server) conns (fms ss.downtime_ns) (fms ss.total_ns)
+            (fms pc.downtime_ns) (fms pc.total_ns) pc.rounds speedup
+            (if at_top && not ok then "  <-- NOT BELOW SINGLE-SHOT" else ""))
+        points)
+    servers;
+  if !violations > 0 then begin
+    Printf.printf
+      "\ndowntime: %d configuration(s) where pre-copy did not beat single-shot at %d conns\n"
+      !violations top;
+    exit 1
+  end;
+  Printf.printf
+    "\npre-copy downtime strictly below single-shot at %d connections on all servers\n" top

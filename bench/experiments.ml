@@ -222,7 +222,7 @@ let fig3 ?(step = 20) ?(max_conns = 100) () =
               let _m2, report = Manager.update m (Testbed.final_version server) in
               if not report.Manager.success then
                 Printf.printf "!! %s update failed at %d conns: %s\n" (Testbed.name server) n
-                  (Option.value report.Manager.failure ~default:"?");
+                  (Option.fold ~none:"?" ~some:Mcr_error.to_string report.Manager.failure);
               (match holders with Some h -> Holders.close_all h | None -> ());
               report.Manager.state_transfer_ns)
             Testbed.all
@@ -747,7 +747,7 @@ let update_time ?trace_dir ?json_path () =
       else
         Tablefmt.add_row t
           [ Testbed.name server; "-"; "-"; "-";
-            "FAIL: " ^ Option.value r.Manager.failure ~default:"?"; "-"; "-" ])
+            "FAIL: " ^ Option.fold ~none:"?" ~some:Mcr_error.to_string r.Manager.failure; "-"; "-" ])
     Testbed.all;
   Tablefmt.print t;
   match json_path with

@@ -60,7 +60,10 @@ let run ?(smoke = false) () =
           in
           let outcome =
             if report.Manager.success then "COMMIT"
-            else Option.value report.Manager.failure ~default:"<no reason>"
+            else
+              match report.Manager.failure with
+              | Some r -> Mcr_error.to_string r
+              | None -> "<no reason>"
           in
           let old_ok = K.alive (Manager.root_proc m2) in
           if guaranteed && (report.Manager.success || not old_ok) then begin

@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- table3  # one experiment
    Experiments: table1 table2 table3 fig3 quiescence control-migration
                 update-time memory spec dirty-reduction ablation micro
-                fault-matrix (accepts --smoke: reduced deterministic subset) *)
+                fault-matrix downtime (both accept --smoke: reduced
+                deterministic subset) *)
 
 let smoke = ref false
 
@@ -26,6 +27,7 @@ let experiments =
     ("ablation", fun () -> Experiments.ablation ());
     ("micro", fun () -> Micro.run ());
     ("fault-matrix", fun () -> Faultbench.run ~smoke:!smoke ());
+    ("downtime", fun () -> Downtime.run ~smoke:!smoke ());
   ]
 
 let usage () =

@@ -20,7 +20,7 @@ let server_of_string = function
   | s -> Error (`Msg ("unknown server " ^ s ^ " (nginx|httpd|vsftpd|sshd)"))
 
 let run server requests conns fail_update fault_seed quiesce_deadline_ms update_deadline_ms
-    verbose =
+    precopy verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -64,12 +64,14 @@ let run server requests conns fail_update fault_seed quiesce_deadline_ms update_
       fault_seed
   in
   let ns_of_ms = Option.map (fun ms -> ms * 1_000_000) in
-  let m2, report =
-    Manager.update m
-      ?quiesce_deadline_ns:(ns_of_ms quiesce_deadline_ms)
-      ?update_deadline_ns:(ns_of_ms update_deadline_ms)
-      ?fault target
+  let policy =
+    Mcr_core.Policy.default
+    |> Mcr_core.Policy.with_deadlines
+         ~quiesce_ns:(ns_of_ms quiesce_deadline_ms)
+         ~update_ns:(ns_of_ms update_deadline_ms)
+    |> Mcr_core.Policy.with_precopy precopy
   in
+  let m2, report = Manager.update m ~policy ?fault target in
   ignore
     (K.run_until kernel ~max_ns:(K.clock_ns kernel + 10_000_000_000) (fun () -> !reply <> None));
   Printf.printf "  mcr-ctl reply: %s\n" (Option.value !reply ~default:"(none)");
@@ -80,11 +82,14 @@ let run server requests conns fail_update fault_seed quiesce_deadline_ms update_
     (ms report.Manager.control_migration_ns)
     (ms report.Manager.state_transfer_ns)
     (ms report.Manager.total_ns);
+  Printf.printf "  downtime %.1f ms (%d pre-copy round(s), %d bytes staged)\n"
+    (ms report.Manager.downtime_ns)
+    report.Manager.precopy_rounds report.Manager.precopy_bytes;
   Printf.printf "  replayed %d startup calls, %d live; %s\n" report.Manager.replayed_calls
     report.Manager.live_calls
     (if report.Manager.success then "COMMITTED" else "ROLLED BACK");
   (match report.Manager.failure with
-  | Some f -> Printf.printf "  rollback cause: %s\n" f
+  | Some f -> Printf.printf "  rollback cause: %s\n" (Mcr_error.to_string f)
   | None -> ());
   List.iter
     (fun c -> Format.printf "  replay conflict: %a@." Mcr_replay.Replayer.pp_conflict c)
@@ -138,12 +143,16 @@ let update_deadline_ms =
   Arg.(value & opt (some int) None
        & info [ "update-deadline-ms" ] ~doc:"Whole-update deadline (virtual ms); blowing it rolls back.")
 
+let precopy =
+  Arg.(value & flag
+       & info [ "precopy" ] ~doc:"Iterative pre-copy state transfer (sub-window downtime).")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
   Cmd.v
     (Cmd.info "mcr-demo" ~doc:"Live-update a simulated server with MCR")
     Term.(const run $ server $ requests $ conns $ fail_update $ fault_seed
-          $ quiesce_deadline_ms $ update_deadline_ms $ verbose)
+          $ quiesce_deadline_ms $ update_deadline_ms $ precopy $ verbose)
 
 let () = exit (Cmd.eval cmd)

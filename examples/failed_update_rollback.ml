@@ -52,7 +52,7 @@ let attempt name m version =
   let m', report = Manager.update m version in
   Printf.printf "update %-28s -> %s\n" name
     (if report.Manager.success then "COMMITTED (unexpected!)"
-     else "ROLLED BACK: " ^ Option.value report.Manager.failure ~default:"?");
+     else "ROLLED BACK: " ^ Option.fold ~none:"?" ~some:Mcr_error.to_string report.Manager.failure);
   List.iter
     (fun c -> Format.printf "    %a@." Mcr_replay.Replayer.pp_conflict c)
     report.Manager.replay_conflicts;

@@ -60,10 +60,13 @@ let () =
      version, transfer (and type-transform) the dirty state, commit *)
   print_endline "live-updating to v2.0 (l_t gains a field)...";
   let m2, report = Manager.update m (Listing1.v2 ()) in
-  Printf.printf "  success=%b quiesce=%.1fms cm=%.1fms st=%.1fms\n" report.Manager.success
+  Printf.printf "  success=%b quiesce=%.1fms cm=%.1fms st=%.1fms downtime=%.1f/%.1fms\n"
+    report.Manager.success
     (float_of_int report.Manager.quiesce_ns /. 1e6)
     (float_of_int report.Manager.control_migration_ns /. 1e6)
-    (float_of_int report.Manager.state_transfer_ns /. 1e6);
+    (float_of_int report.Manager.state_transfer_ns /. 1e6)
+    (float_of_int report.Manager.downtime_ns /. 1e6)
+    (float_of_int report.Manager.total_ns /. 1e6);
 
   (* 5. the counter and the (transformed) list survived *)
   print_endline "serving requests on v2 (state preserved):";

@@ -39,7 +39,7 @@ let () =
       let next, report = Manager.update !m version in
       if not report.Manager.success then begin
         Printf.printf "update to %s ROLLED BACK: %s\n" tag
-          (Option.value report.Manager.failure ~default:"?");
+          (Option.fold ~none:"?" ~some:Mcr_error.to_string report.Manager.failure);
         exit 1
       end;
       m := next;

@@ -1,6 +1,19 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 
+let protocol_version = Manager.protocol_version
+
+type error =
+  | Version_mismatch of { client : int; server : int }
+  | Refused of string
+  | Transport of string
+
+let pp_error ppf = function
+  | Version_mismatch { client; server } ->
+      Format.fprintf ppf "protocol version mismatch (client %d, server %d)" client server
+  | Refused reason -> Format.fprintf ppf "refused: %s" reason
+  | Transport detail -> Format.fprintf ppf "transport error: %s" detail
+
 let request kernel ~path ~command ~on_reply =
   ignore
     (K.spawn_process kernel ~image:(K.Fresh_image (Mcr_vmem.Aspace.create ())) ~name:"mcr-ctl"
@@ -24,6 +37,36 @@ let request kernel ~path ~command ~on_reply =
              | _ -> on_reply "ERR"))
        ())
 
+(* Parse a versioned "OK[ payload]" / "OK\npayload" / "ERR <reason>" frame. *)
+let parse_versioned ~version reply =
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  if reply = "OK" then Ok ""
+  else if has_prefix "OK\n" reply then Ok (String.sub reply 3 (String.length reply - 3))
+  else if has_prefix "OK " reply then Ok (String.sub reply 3 (String.length reply - 3))
+  else if has_prefix "ERR version " reply then begin
+    match int_of_string_opt (String.sub reply 12 (String.length reply - 12)) with
+    | Some server -> Error (Version_mismatch { client = version; server })
+    | None -> Error (Refused (String.sub reply 4 (String.length reply - 4)))
+  end
+  else if has_prefix "ERR " reply then
+    Error (Refused (String.sub reply 4 (String.length reply - 4)))
+  else if reply = "ERR" then Error (Refused "unknown")
+  else Error (Transport ("unexpected frame: " ^ reply))
+
+let request_v kernel ?(version = protocol_version) ~path ~command ~on_result () =
+  let wire =
+    if command = "" then Printf.sprintf "HELLO %d" version
+    else Printf.sprintf "HELLO %d %s" version command
+  in
+  request kernel ~path ~command:wire ~on_reply:(fun reply ->
+      if reply = "ERR ECONNREFUSED" then on_result (Error (Transport "ECONNREFUSED"))
+      else on_result (parse_versioned ~version reply))
+
+let hello kernel ?version ~path ~on_result () =
+  request_v kernel ?version ~path ~command:"" ~on_result ()
+
 let request_update kernel ~path ~on_reply = request kernel ~path ~command:"UPDATE" ~on_reply
 let request_stats kernel ~path ~on_reply = request kernel ~path ~command:"STATS" ~on_reply
 
@@ -40,6 +83,18 @@ let request_retry kernel ~path ~retries ~backoff_ns ~on_reply =
 let request_fault kernel ~path ~seed ~on_reply =
   let command =
     match seed with None -> "FAULT OFF" | Some s -> Printf.sprintf "FAULT %d" s
+  in
+  request kernel ~path ~command ~on_reply
+
+let request_precopy kernel ~path ~enabled ?max_rounds ?threshold_words ~on_reply () =
+  let command =
+    if not enabled then "PRECOPY OFF"
+    else
+      match (max_rounds, threshold_words) with
+      | None, None -> "PRECOPY ON"
+      | Some r, None -> Printf.sprintf "PRECOPY ON %d" r
+      | Some r, Some w -> Printf.sprintf "PRECOPY ON %d %d" r w
+      | None, Some w -> Printf.sprintf "PRECOPY ON %d %d" Policy.default.Policy.precopy_max_rounds w
   in
   request kernel ~path ~command ~on_reply
 

@@ -7,19 +7,68 @@
     reply arrives only after the update commits or rolls back, so the tool
     observes the atomic outcome. {!request_stats} sends STATS instead and
     receives the manager's current metrics snapshot immediately — it never
-    waits on an update. *)
+    waits on an update.
+
+    {b Protocol versioning.} Since protocol version 1 a client may open
+    with a [HELLO <version> <command>] frame; the server then answers with
+    a uniform response frame — ["OK"] (optionally followed by a payload) on
+    success, ["ERR <reason>"] on refusal, and specifically
+    ["ERR version <server_version>"] when the client's version is not
+    supported. {!request_v} speaks this framing and surfaces the outcome as
+    a typed [result]. Frames without a HELLO prefix take the legacy path:
+    raw commands, raw payloads, and ["FAIL <reason>"] for a refused
+    UPDATE — exactly what pre-versioning clients expect. The wire format is
+    documented in doc/OBSERVABILITY.md. *)
+
+val protocol_version : int
+(** The protocol version this client speaks (= {!Manager.protocol_version}). *)
+
+type error =
+  | Version_mismatch of { client : int; server : int }
+      (** The server refused our HELLO; [server] is the version it speaks. *)
+  | Refused of string  (** The server answered [ERR <reason>]. *)
+  | Transport of string  (** Connection failure or unparseable frame. *)
+
+val pp_error : Format.formatter -> error -> unit
 
 val request :
   Mcr_simos.Kernel.t -> path:string -> command:string -> on_reply:(string -> unit) -> unit
-(** Spawn a client process that sends [command] over the control socket and
-    passes the reply to [on_reply] (or "ERR <err>" if the connection
-    failed). Drive the kernel afterwards. *)
+(** {b Legacy raw transport.} Spawn a client process that sends [command]
+    over the control socket and passes the raw reply to [on_reply] (or
+    "ERR <err>" if the connection failed). Drive the kernel afterwards.
+    New code should prefer {!request_v}. *)
+
+val request_v :
+  Mcr_simos.Kernel.t ->
+  ?version:int ->
+  path:string ->
+  command:string ->
+  on_result:((string, error) result -> unit) ->
+  unit ->
+  unit
+(** Send [command] wrapped in a versioned HELLO frame ([?version] defaults
+    to {!protocol_version}) and parse the uniform response: [Ok payload]
+    (the payload is [""] for plain "OK" acknowledgements), or [Error _]
+    with the typed failure. An empty [command] sends a bare handshake —
+    see {!hello}. Drive the kernel afterwards. *)
+
+val hello :
+  Mcr_simos.Kernel.t ->
+  ?version:int ->
+  path:string ->
+  on_result:((string, error) result -> unit) ->
+  unit ->
+  unit
+(** Bare version handshake: [Ok server_version_string] when the server
+    accepts our version, [Error (Version_mismatch _)] otherwise. *)
 
 val request_update :
   Mcr_simos.Kernel.t -> path:string -> on_reply:(string -> unit) -> unit
 (** Spawn the client. Drive the kernel afterwards; [on_reply] fires with
     "OK" or "FAIL <reason>" when the manager responds (or "ERR <err>" if
-    the connection failed). *)
+    the connection failed). For typed outcomes use
+    [request_v ~command:"UPDATE"], whose refusal reasons parse with
+    {!Mcr_error.of_string}. *)
 
 val request_stats :
   Mcr_simos.Kernel.t -> path:string -> on_reply:(string -> unit) -> unit
@@ -54,6 +103,19 @@ val request_fault :
   unit
 (** Arm ([FAULT <seed>]) or disarm ([FAULT OFF]) a seeded fault plan for
     subsequent updates — {!Mcr_fault.Fault.of_seed} applied per update. *)
+
+val request_precopy :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  enabled:bool ->
+  ?max_rounds:int ->
+  ?threshold_words:int ->
+  on_reply:(string -> unit) ->
+  unit ->
+  unit
+(** Enable ([PRECOPY ON [max_rounds] [threshold_words]]) or disable
+    ([PRECOPY OFF]) pre-copy for subsequent updates on this manager
+    lineage. *)
 
 val update_pending : Manager.t -> bool
 (** Whether the manager has an outstanding mcr-ctl UPDATE request —

@@ -12,11 +12,18 @@ module Transfer = Mcr_trace.Transfer
 module Heap = Mcr_alloc.Heap
 module Pool = Mcr_alloc.Pool
 module Aspace = Mcr_vmem.Aspace
+module Addr = Mcr_vmem.Addr
 module Trace = Mcr_obs.Trace
 module Metrics = Mcr_obs.Metrics
 module Fault = Mcr_fault.Fault
+module Err = Mcr_error
 
 let reserved_fd_base = 1000
+let protocol_version = 1
+
+(* Coordinator constant of the parallel transfer: relink the program and
+   prelink shared libraries for the remapped immutable objects (Section 6). *)
+let relink_ns = 25_000_000
 
 type log_source = Recorder of Record.t | Replayed of Replayer.t
 
@@ -33,11 +40,14 @@ type mset = {
   m_transfer_pairs : Metrics.counter;
   m_transferred_objects : Metrics.counter;
   m_transferred_words : Metrics.counter;
+  m_precopy_bytes : Metrics.counter;
   m_processes : Metrics.gauge;
   m_quiesce_h : Metrics.histogram;
   m_cm_h : Metrics.histogram;
   m_st_h : Metrics.histogram;
   m_total_h : Metrics.histogram;
+  m_downtime_h : Metrics.histogram;
+  m_precopy_rounds_h : Metrics.histogram;
   m_pair_cost_h : Metrics.histogram;
 }
 
@@ -53,32 +63,16 @@ let make_mset metrics =
     m_transfer_pairs = Metrics.counter metrics "mcr_transfer_pairs_total";
     m_transferred_objects = Metrics.counter metrics "mcr_transferred_objects_total";
     m_transferred_words = Metrics.counter metrics "mcr_transferred_words_total";
+    m_precopy_bytes = Metrics.counter metrics "mcr_precopy_bytes_total";
     m_processes = Metrics.gauge metrics "mcr_processes";
     m_quiesce_h = Metrics.histogram metrics "mcr_quiesce_ns";
     m_cm_h = Metrics.histogram metrics "mcr_control_migration_ns";
     m_st_h = Metrics.histogram metrics "mcr_state_transfer_ns";
     m_total_h = Metrics.histogram metrics "mcr_update_total_ns";
+    m_downtime_h = Metrics.histogram metrics "mcr_update_downtime_ns";
+    m_precopy_rounds_h =
+      Metrics.histogram metrics ~bounds:[| 1; 2; 3; 4; 6; 8; 12; 16 |] "mcr_precopy_rounds";
     m_pair_cost_h = Metrics.histogram metrics "mcr_pair_cost_ns";
-  }
-
-(* Deadline/retry/fault policy. Shared (and mutable) across the manager
-   lineage — mcr-ctl commands adjust it between updates, and the manager a
-   commit returns keeps honouring it. *)
-type policy = {
-  mutable p_quiesce_deadline_ns : int option;
-  mutable p_update_deadline_ns : int option;
-  mutable p_retries : int;
-  mutable p_retry_backoff_ns : int;
-  mutable p_fault_seed : int option;
-}
-
-let default_policy () =
-  {
-    p_quiesce_deadline_ns = None;
-    p_update_deadline_ns = None;
-    p_retries = 0;
-    p_retry_backoff_ns = 100_000_000;
-    p_fault_seed = None;
   }
 
 type t = {
@@ -96,7 +90,10 @@ type t = {
   trace : Trace.t option;
   metrics : Metrics.t;
   mset : mset;
-  policy : policy;
+  (* Shared (and mutable) across the manager lineage — mcr-ctl commands
+     adjust it between updates, and the manager a commit returns keeps
+     honouring it. *)
+  policy : Policy.t ref;
 }
 
 type report = {
@@ -105,12 +102,15 @@ type report = {
   control_migration_ns : int;
   state_transfer_ns : int;
   total_ns : int;
+  downtime_ns : int;
+  precopy_rounds : int;
+  precopy_bytes : int;
   replayed_calls : int;
   live_calls : int;
   replay_conflicts : Replayer.conflict list;
   transfer_conflicts : Transfer.conflict list;
   transfers : (Logdefs.proc_key * Transfer.outcome) list;
-  failure : string option;
+  failure : Err.rollback_reason option;
   metrics : Metrics.snapshot;
 }
 
@@ -123,6 +123,8 @@ let ctl_path t = t.ctl_path
 let update_requested t = !(t.ctl_pending)
 let trace t = t.trace
 let metrics (t : t) = t.metrics
+let policy t = !(t.policy)
+let set_policy t p = t.policy := p
 
 let metrics_snapshot (t : t) =
   Metrics.set t.mset.m_processes (List.length (images t));
@@ -167,8 +169,7 @@ let policy_command policy cmd =
       | [ q; u ] -> begin
           match (ns_opt q, ns_opt u) with
           | Ok q, Ok u ->
-              policy.p_quiesce_deadline_ns <- q;
-              policy.p_update_deadline_ns <- u;
+              policy := Policy.with_deadlines ~quiesce_ns:q ~update_ns:u !policy;
               Some "OK"
           | _ -> Some "ERR usage: DEADLINES <quiesce_ns|-> <update_ns|->"
         end
@@ -179,8 +180,7 @@ let policy_command policy cmd =
       | [ n; b ] -> begin
           match (int_of_string_opt n, int_of_string_opt b) with
           | Some n, Some b when n >= 0 && b >= 0 ->
-              policy.p_retries <- n;
-              policy.p_retry_backoff_ns <- b;
+              policy := { !policy with Policy.retries = n; retry_backoff_ns = b };
               Some "OK"
           | _ -> Some "ERR usage: RETRY <count> <backoff_ns>"
         end
@@ -189,18 +189,74 @@ let policy_command policy cmd =
   | "FAULT" :: rest -> begin
       match rest with
       | [ "OFF" ] ->
-          policy.p_fault_seed <- None;
+          policy := Policy.with_fault_seed None !policy;
           Some "OK"
       | [ s ] -> begin
           match int_of_string_opt s with
           | Some seed ->
-              policy.p_fault_seed <- Some seed;
+              policy := Policy.with_fault_seed (Some seed) !policy;
               Some "OK"
           | None -> Some "ERR usage: FAULT <seed>|OFF"
         end
       | _ -> Some "ERR usage: FAULT <seed>|OFF"
     end
+  | "PRECOPY" :: rest -> begin
+      let usage = "ERR usage: PRECOPY ON [max_rounds] [threshold_words] | OFF" in
+      match rest with
+      | [ "OFF" ] ->
+          policy := Policy.with_precopy false !policy;
+          Some "OK"
+      | "ON" :: knobs -> begin
+          let apply ?max_rounds ?threshold_words () =
+            match Policy.with_precopy ?max_rounds ?threshold_words true !policy with
+            | p ->
+                policy := p;
+                Some "OK"
+            | exception Invalid_argument _ -> Some usage
+          in
+          match knobs with
+          | [] -> apply ()
+          | [ r ] -> begin
+              match int_of_string_opt r with
+              | Some r -> apply ~max_rounds:r ()
+              | None -> Some usage
+            end
+          | [ r; w ] -> begin
+              match (int_of_string_opt r, int_of_string_opt w) with
+              | Some r, Some w -> apply ~max_rounds:r ~threshold_words:w ()
+              | _ -> Some usage
+            end
+          | _ -> Some usage
+        end
+      | _ -> Some usage
+    end
   | _ -> None
+
+(* Uniform (versioned) response frames are "OK[\npayload]" / "ERR <reason>";
+   the pre-HELLO protocol used "FAIL <reason>" for a refused UPDATE and raw
+   payloads, which legacy connections must keep receiving verbatim. *)
+let legacy_update_frame result =
+  if String.length result >= 4 && String.sub result 0 4 = "ERR " then
+    "FAIL " ^ String.sub result 4 (String.length result - 4)
+  else result
+
+(* "HELLO <version>[ <command>]" -> `Hello (version, command option);
+   anything else is a legacy raw command. *)
+let parse_ctl_frame raw =
+  if String.length raw >= 5 && String.sub raw 0 5 = "HELLO" then begin
+    let rest = String.trim (String.sub raw 5 (String.length raw - 5)) in
+    let version_str, cmd =
+      match String.index_opt rest ' ' with
+      | Some i ->
+          ( String.sub rest 0 i,
+            Some (String.trim (String.sub rest (i + 1) (String.length rest - i - 1))) )
+      | None -> (rest, None)
+    in
+    match int_of_string_opt version_str with
+    | Some v -> `Hello (v, cmd)
+    | None -> `Malformed_hello
+  end
+  else `Legacy raw
 
 let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~policy =
   ignore
@@ -211,22 +267,40 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~po
              let rec serve () =
                match K.syscall (S.Accept { fd = lfd; nonblock = false }) with
                | S.Ok_fd conn ->
-                   (match K.syscall (S.Read { fd = conn; max = 256; nonblock = false }) with
-                   | S.Ok_data cmd when String.length cmd >= 6 && String.sub cmd 0 6 = "UPDATE"
-                     ->
+                   let reply data = ignore (K.syscall (S.Write { fd = conn; data })) in
+                   let dispatch ~versioned cmd =
+                     let has_prefix p =
+                       String.length cmd >= String.length p
+                       && String.sub cmd 0 (String.length p) = p
+                     in
+                     if has_prefix "UPDATE" then begin
                        ctl_pending := true;
-                       ignore (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
-                       ignore (K.syscall (S.Write { fd = conn; data = !ctl_result }))
-                   | S.Ok_data cmd when String.length cmd >= 5 && String.sub cmd 0 5 = "STATS"
-                     ->
+                       ignore
+                         (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
+                       reply
+                         (if versioned then !ctl_result
+                          else legacy_update_frame !ctl_result)
+                     end
+                     else if has_prefix "STATS" then
                        (* metrics snapshots are cheap and never block on the
                           update semaphore: reply immediately *)
-                       ignore (K.syscall (S.Write { fd = conn; data = stats () }))
-                   | S.Ok_data cmd -> begin
+                       reply (if versioned then "OK\n" ^ stats () else stats ())
+                     else begin
                        match policy_command policy cmd with
-                       | Some reply ->
-                           ignore (K.syscall (S.Write { fd = conn; data = reply }))
-                       | None -> ignore (K.syscall (S.Write { fd = conn; data = "ERR" }))
+                       | Some r -> reply r
+                       | None -> reply (if versioned then "ERR unknown command" else "ERR")
+                     end
+                   in
+                   (match K.syscall (S.Read { fd = conn; max = 256; nonblock = false }) with
+                   | S.Ok_data raw -> begin
+                       match parse_ctl_frame raw with
+                       | `Legacy cmd -> dispatch ~versioned:false cmd
+                       | `Malformed_hello -> reply "ERR malformed hello"
+                       | `Hello (v, _) when v <> protocol_version ->
+                           reply (Printf.sprintf "ERR version %d" protocol_version)
+                       | `Hello (_, None) | `Hello (_, Some "") ->
+                           reply (Printf.sprintf "OK %d" protocol_version)
+                       | `Hello (_, Some cmd) -> dispatch ~versioned:true cmd
                      end
                    | _ -> ());
                    ignore (K.syscall (S.Close { fd = conn }));
@@ -276,8 +350,8 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
     policy;
   }
 
-let launch kernel ?(instr = Instr.full) ?profiler ?trace ?quiesce_deadline_ns
-    ?update_deadline_ns ?(retries = 0) ?(retry_backoff_ns = 100_000_000) prog_version =
+let launch kernel ?(instr = Instr.full) ?profiler ?trace ?policy ?quiesce_deadline_ns
+    ?update_deadline_ns ?retries ?retry_backoff_ns prog_version =
   let members = ref [] in
   let image_slot = ref None in
   let proc =
@@ -289,13 +363,28 @@ let launch kernel ?(instr = Instr.full) ?profiler ?trace ?quiesce_deadline_ns
     match !image_slot with Some i -> i | None -> invalid_arg "Manager.launch: no image"
   in
   let recorder = Record.start kernel image in
-  let policy = default_policy () in
-  policy.p_quiesce_deadline_ns <- quiesce_deadline_ns;
-  policy.p_update_deadline_ns <- update_deadline_ns;
-  policy.p_retries <- retries;
-  policy.p_retry_backoff_ns <- retry_backoff_ns;
+  (* deprecated per-label overrides beat the consolidated record *)
+  let base = Option.value policy ~default:Policy.default in
+  let base =
+    match quiesce_deadline_ns with
+    | Some _ as q -> Policy.with_quiesce_deadline_ns q base
+    | None -> base
+  in
+  let base =
+    match update_deadline_ns with
+    | Some _ as u -> Policy.with_update_deadline_ns u base
+    | None -> base
+  in
+  let base =
+    match retries with Some n -> Policy.with_retries n base | None -> base
+  in
+  let base =
+    match retry_backoff_ns with
+    | Some b -> { base with Policy.retry_backoff_ns = b }
+    | None -> base
+  in
   make_manager kernel instr prog_version proc image members (Recorder recorder) ~trace
-    ~metrics:(Metrics.create ()) ~policy
+    ~metrics:(Metrics.create ()) ~policy:(ref base)
 
 let wait_startup t ?(max_ns = 10_000_000_000) () =
   K.run_until t.kernel
@@ -425,22 +514,42 @@ let respond_ctl t result =
 let reinit_ctx (im : P.image) th =
   { P.kernel = im.P.i_kernel; thread = th; proc = im.P.i_proc; image = im }
 
-(* Rollback reasons double as metric names, so every distinct failure mode
-   is countable from a STATS snapshot. *)
-let rollback_reason_metric reason =
-  "mcr_rollback_reason_"
-  ^ String.map (fun c -> if c = ' ' then '_' else c) reason
-  ^ "_total"
-
-let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault new_version =
+(* The whole pipeline in one pass. Without pre-copy the stage order is the
+   paper's checkpoint/restart/restore: quiesce -> restart+replay ->
+   transfer -> commit, and the service-interruption window is the whole
+   update. With [pol.precopy] the old version keeps serving while the new
+   version starts up and delta rounds speculatively stage the reachable
+   graph; only then does quiescence open the window, so downtime is the
+   final delta, not the bulk transfer. *)
+let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
   let k = t.kernel in
   let t0 = K.clock_ns k in
   let tr = t.trace in
   (match fault with Some f -> Fault.set_trace f tr | None -> ());
   let mpid = K.pid t.root_proc in
+  let dirty_only = pol.Policy.dirty_only in
+  let quiesce_deadline_ns = pol.Policy.quiesce_deadline_ns in
+  let update_deadline_ns = pol.Policy.update_deadline_ns in
+  let precopy_enabled = pol.Policy.precopy in
+  (* The service-interruption window opens when quiescence is requested:
+     immediately for single-shot updates, only after the pre-copy rounds
+     otherwise. Failures before the window opens cost zero downtime. *)
+  let window_start = ref (if precopy_enabled then None else Some t0) in
+  let downtime_ns () =
+    match !window_start with Some w -> K.clock_ns k - w | None -> 0
+  in
+  let precopy_rounds_done = ref 0 in
+  let precopy_bytes_staged = ref 0 in
   let note_rollback reason =
     Metrics.incr t.mset.m_rollbacks;
-    Metrics.incr (Metrics.counter t.metrics (rollback_reason_metric reason))
+    Metrics.incr (Metrics.counter t.metrics (Err.metric_name reason))
+  in
+  let observe_end () =
+    Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
+    Metrics.observe t.mset.m_downtime_h (downtime_ns ());
+    Metrics.observe t.mset.m_precopy_rounds_h !precopy_rounds_done;
+    if !precopy_bytes_staged > 0 then
+      Metrics.incr ~by:!precopy_bytes_staged t.mset.m_precopy_bytes
   in
   let deadline_exceeded () =
     match update_deadline_ns with Some d -> K.clock_ns k - t0 >= d | None -> false
@@ -452,11 +561,12 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
         ("prog", t.prog_version.P.prog) ]
     "update";
   let fail_before_restart reason =
+    let reason_s = Err.to_string reason in
     release_all t;
-    respond_ctl t ("FAIL " ^ reason);
+    respond_ctl t ("ERR " ^ reason_s);
     note_rollback reason;
-    Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
-    Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "update.fail";
+    observe_end ();
+    Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason_s) ] "update.fail";
     Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
     ( t,
       {
@@ -465,6 +575,9 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
         control_migration_ns = 0;
         state_transfer_ns = 0;
         total_ns = K.clock_ns k - t0;
+        downtime_ns = downtime_ns ();
+        precopy_rounds = !precopy_rounds_done;
+        precopy_bytes = !precopy_bytes_staged;
         replayed_calls = 0;
         live_calls = 0;
         replay_conflicts = [];
@@ -476,55 +589,74 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
   in
   (* a manager whose processes are gone (already updated away from, or
      crashed) cannot be updated *)
-  if images t = [] then fail_before_restart "program is not running"
+  if images t = [] then fail_before_restart Err.Program_not_running
   else begin
-  (* ---- 1. checkpoint: quiesce the running version ---- *)
-  Trace.span_begin tr ~pid:mpid ~cat:"stage" "quiesce";
-  (* fault injection: while armed, old-version threads decline the barrier *)
   let set_refusals imgs f =
     List.iter (fun (im : P.image) -> Barrier.set_refusal im.P.i_barrier f) imgs
   in
-  (match fault with
-  | Some f when Fault.fires f Fault.Quiesce_refusal ->
-      set_refusals (images t) (Some (fun () -> Fault.fires f Fault.Quiesce_refusal))
-  | _ -> ());
-  request_all t;
-  let quiesce_budget =
-    let q = Option.value quiesce_deadline_ns ~default:5_000_000_000 in
-    match update_deadline_ns with Some u -> min q u | None -> q
-  in
-  let quiesce_ok = K.run_until k ~max_ns:(t0 + quiesce_budget) (fun () -> all_quiesced t) in
-  (match fault with
-  | Some f ->
-      ignore (Fault.consume f Fault.Quiesce_refusal);
-      set_refusals (images t) None
-  | None -> ());
-  Trace.span_end tr ~pid:mpid ~cat:"stage"
-    ~args:[ ("converged", (if quiesce_ok then "yes" else "no")) ]
-    "quiesce";
-  if not quiesce_ok then begin
-    let elapsed = K.clock_ns k - t0 in
-    let reason =
-      if deadline_exceeded () then "update deadline exceeded"
-      else
-        match quiesce_deadline_ns with
-        | Some d when elapsed >= d -> "quiescence deadline exceeded"
-        | _ -> "quiescence did not converge"
+  (* ---- checkpoint: quiesce the running version. Shared by both stage
+     orders; the window opens here. ---- *)
+  let quiesce_ns = ref 0 in
+  let do_quiesce () =
+    Trace.span_begin tr ~pid:mpid ~cat:"stage" "quiesce";
+    (* fault injection: while armed, old-version threads decline the barrier *)
+    (match fault with
+    | Some f when Fault.fires f Fault.Quiesce_refusal ->
+        set_refusals (images t) (Some (fun () -> Fault.fires f Fault.Quiesce_refusal))
+    | _ -> ());
+    let wstart = K.clock_ns k in
+    window_start := Some wstart;
+    request_all t;
+    let quiesce_budget = Option.value quiesce_deadline_ns ~default:5_000_000_000 in
+    let max_ns =
+      match update_deadline_ns with
+      | Some u -> min (wstart + quiesce_budget) (t0 + u)
+      | None -> wstart + quiesce_budget
     in
-    fail_before_restart reason
-  end
-  else if deadline_exceeded () then fail_before_restart "update deadline exceeded"
-  else begin
+    let quiesce_ok = K.run_until k ~max_ns (fun () -> all_quiesced t) in
+    (match fault with
+    | Some f ->
+        ignore (Fault.consume f Fault.Quiesce_refusal);
+        set_refusals (images t) None
+    | None -> ());
+    Trace.span_end tr ~pid:mpid ~cat:"stage"
+      ~args:[ ("converged", (if quiesce_ok then "yes" else "no")) ]
+      "quiesce";
+    if quiesce_ok then begin
+      quiesce_ns := K.clock_ns k - wstart;
+      Metrics.observe t.mset.m_quiesce_h !quiesce_ns
+    end;
+    quiesce_ok
+  in
+  let quiesce_failure_reason () =
+    if deadline_exceeded () then Err.Update_deadline_exceeded
+    else
+      let elapsed =
+        match !window_start with Some w -> K.clock_ns k - w | None -> 0
+      in
+      Barrier.failure_reason
+        ~deadline_hit:
+          (match quiesce_deadline_ns with Some d -> elapsed >= d | None -> false)
+  in
+  let pre_quiesce_failed =
+    if precopy_enabled then None
+    else if not (do_quiesce ()) then Some (quiesce_failure_reason ())
+    else if deadline_exceeded () then Some Err.Update_deadline_exceeded
+    else None
+  in
+  match pre_quiesce_failed with
+  | Some reason -> fail_before_restart reason
+  | None -> begin
     let t1 = K.clock_ns k in
-    let quiesce_ns = t1 - t0 in
-    Metrics.observe t.mset.m_quiesce_h quiesce_ns;
     let logs =
       match t.log_source with
       | Recorder r -> Record.logs r
       | Replayed r -> Replayer.new_logs r
     in
     (* global inheritance: every reserved-range descriptor from every old
-       process, deduplicated (separability makes numbers globally unique) *)
+       process, deduplicated (separability makes numbers globally unique).
+       Reserved-range descriptors are created during startup, so the set is
+       stable whether or not the old version is still serving (pre-copy). *)
     let inherited : (int * K.proc) list =
       List.fold_left
         (fun acc (im : P.image) ->
@@ -538,7 +670,7 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
         [] (images t)
       |> List.rev
     in
-    (* ---- 2. restart: launch the new version under replay ---- *)
+    (* ---- restart: launch the new version under replay ---- *)
     Trace.span_begin tr ~pid:mpid ~cat:"stage" "restart_replay";
     let new_members = ref [] in
     let new_root_slot = ref None in
@@ -574,6 +706,15 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
     let rep =
       Replayer.start k ?trace:tr ?fault new_root_image ~logs
         ~inherited:(List.map fst inherited)
+    in
+    let old_proc_of_key key =
+      match key with
+      | Logdefs.Root -> Some t.root_proc
+      | _ ->
+          List.find_map
+            (fun (l : Logdefs.plog) ->
+              if l.Logdefs.key = key then K.find_proc k l.Logdefs.pid else None)
+            logs
     in
     (* fault injection: syscall-level failures, scoped to new-version
        processes so the serving old version never sees them *)
@@ -612,31 +753,35 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
             imgs
     in
     let rollback reason ~cm_ns ~st_ns ~transfers ~transfer_conflicts =
+      let reason_s = Err.to_string reason in
       in_update := false;
       K.set_fault_hook k None;
-      Trace.span_begin tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "rollback";
+      Trace.span_begin tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason_s) ] "rollback";
       List.iter
         (fun (im : P.image) ->
           if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:1)
         !new_members;
       release_all t;
-      respond_ctl t ("FAIL " ^ reason);
+      respond_ctl t ("ERR " ^ reason_s);
       note_rollback reason;
       Metrics.incr ~by:(Replayer.replayed_calls rep) t.mset.m_replayed;
       Metrics.incr ~by:(Replayer.live_calls rep) t.mset.m_live;
       Metrics.incr ~by:(List.length (Replayer.conflicts rep)) t.mset.m_replay_conflicts;
       Metrics.incr ~by:(List.length transfer_conflicts) t.mset.m_transfer_conflicts;
-      Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
+      observe_end ();
       Trace.span_end tr ~pid:mpid ~cat:"stage" "rollback";
-      Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason) ] "update.fail";
+      Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason_s) ] "update.fail";
       Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
       ( t,
         {
           success = false;
-          quiesce_ns;
+          quiesce_ns = !quiesce_ns;
           control_migration_ns = cm_ns;
           state_transfer_ns = st_ns;
           total_ns = K.clock_ns k - t0;
+          downtime_ns = downtime_ns ();
+          precopy_rounds = !precopy_rounds_done;
+          precopy_bytes = !precopy_bytes_staged;
           replayed_calls = Replayer.replayed_calls rep;
           live_calls = Replayer.live_calls rep;
           replay_conflicts = Replayer.conflicts rep;
@@ -673,30 +818,119 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
     Trace.span_end tr ~pid:mpid ~cat:"stage" "restart_replay";
     Metrics.observe t.mset.m_cm_h cm_ns;
     if not (K.alive new_proc) then
-      rollback "new version crashed during startup" ~cm_ns ~st_ns:0 ~transfers:[]
-        ~transfer_conflicts:[]
-    else if Replayer.conflicts rep <> [] then
-      rollback "mutable reinitialization conflict" ~cm_ns ~st_ns:0 ~transfers:[]
-        ~transfer_conflicts:[]
-    else if deadline_exceeded () then
-      rollback "update deadline exceeded" ~cm_ns ~st_ns:0 ~transfers:[]
+      rollback Err.Startup_crashed ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
+    else begin
+      match Replayer.rollback_reason rep with
+      | Some reason -> rollback reason ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
+      | None ->
+    if deadline_exceeded () then
+      rollback Err.Update_deadline_exceeded ~cm_ns ~st_ns:0 ~transfers:[]
         ~transfer_conflicts:[]
     else if not (startup_ok && new_quiesced ()) then
-      rollback "new version did not reach a quiescent startup" ~cm_ns ~st_ns:0 ~transfers:[]
+      rollback Err.Startup_not_quiescent ~cm_ns ~st_ns:0 ~transfers:[]
         ~transfer_conflicts:[]
     else begin
-      (* ---- 3. restore: mutable tracing, in waves so reinit handlers can
+      (* ---- pre-copy: speculative tracing + staging rounds, old version
+         still serving. Staging is host-side only (no new-version writes),
+         so aborting here needs no undo; each round's speculative copy cost
+         elapses on the clock concurrently with service. ---- *)
+      let sessions : (Logdefs.proc_key, Transfer.precopy) Hashtbl.t = Hashtbl.create 8 in
+      let marks : (Logdefs.proc_key, int) Hashtbl.t = Hashtbl.create 8 in
+      let precopy_result =
+        if not precopy_enabled then Ok ()
+        else begin
+          Trace.span_begin tr ~pid:mpid ~cat:"stage" "precopy";
+          let max_rounds = max 1 pol.Policy.precopy_max_rounds in
+          let threshold = max 0 pol.Policy.precopy_threshold_words in
+          let rec round r =
+            if deadline_exceeded () then Error Err.Update_deadline_exceeded
+            else begin
+              incr precopy_rounds_done;
+              let round_cost = ref 0 in
+              let round_delta = ref 0 in
+              List.iter
+                (fun (key, _new_pid) ->
+                  match old_proc_of_key key with
+                  | Some oldp when K.alive oldp -> begin
+                      match P.image_of_proc oldp with
+                      | Some oi ->
+                          let aspace = oi.P.i_aspace in
+                          let since = Hashtbl.find_opt marks key in
+                          let mark = Aspace.write_seq aspace in
+                          let analysis = Objgraph.analyze ?trace:tr ?cost_since:since oi in
+                          let session =
+                            match Hashtbl.find_opt sessions key with
+                            | Some s -> s
+                            | None ->
+                                let s = Transfer.precopy_create () in
+                                Hashtbl.replace sessions key s;
+                                s
+                          in
+                          let rs =
+                            Transfer.precopy_round session ~old_image:oi ~analysis ?since ()
+                          in
+                          Hashtbl.replace marks key mark;
+                          (* rounds run per-pair in parallel, like transfers *)
+                          round_cost :=
+                            max !round_cost
+                              (analysis.Objgraph.cost_ns + rs.Transfer.round_cost_ns);
+                          round_delta := !round_delta + rs.Transfer.round_words;
+                          precopy_bytes_staged :=
+                            !precopy_bytes_staged + (rs.Transfer.round_words * Addr.word_size)
+                      | None -> ()
+                    end
+                  | _ -> ())
+                (Replayer.pairs rep);
+              Trace.instant tr ~pid:mpid ~cat:"stage"
+                ~args:
+                  [ ("round", string_of_int r);
+                    ("delta_words", string_of_int !round_delta);
+                    ("cost_ns", string_of_int !round_cost) ]
+                "precopy.round";
+              (* the old version keeps serving while the speculative copy
+                 elapses — this is the whole point *)
+              K.run_for k !round_cost;
+              (match on_precopy_round with Some f -> f r | None -> ());
+              if r >= 2 && !round_delta <= threshold then Ok ()
+              else if r >= max_rounds then begin
+                if max_rounds = 1 || !round_delta <= threshold then Ok ()
+                else Error Err.Precopy_diverged
+              end
+              else round (r + 1)
+            end
+          in
+          let res = round 1 in
+          Trace.span_end tr ~pid:mpid ~cat:"stage"
+            ~args:[ ("rounds", string_of_int !precopy_rounds_done) ]
+            "precopy";
+          res
+        end
+      in
+      let window_failed =
+        match precopy_result with
+        | Error reason -> Some reason
+        | Ok () ->
+            if not precopy_enabled then None
+            else begin
+              (* relinking the program and prelinking shared libraries for
+                 the remapped immutable objects depends only on the new
+                 binary, all fixed before the window — prepay it too, with
+                 the old version still serving *)
+              K.run_for k relink_ns;
+              (* ---- the window opens: quiesce, pay only the delta ---- *)
+              if not (do_quiesce ()) then Some (quiesce_failure_reason ())
+              else if deadline_exceeded () then Some Err.Update_deadline_exceeded
+              else None
+            end
+      in
+      match window_failed with
+      | Some reason ->
+          rollback reason ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
+      | None -> begin
+      (* ---- restore: mutable tracing, in waves so reinit handlers can
          re-create volatile processes that then get their own transfer ---- *)
       Trace.span_begin tr ~pid:mpid ~cat:"stage" "state_transfer";
-      let old_proc_of_key key =
-        match key with
-        | Logdefs.Root -> Some t.root_proc
-        | _ ->
-            List.find_map
-              (fun (l : Logdefs.plog) ->
-                if l.Logdefs.key = key then K.find_proc k l.Logdefs.pid else None)
-              logs
-      in
+      let t2' = K.clock_ns k in
       let done_pairs = Hashtbl.create 8 in
       let transfers = ref [] in
       let transfer_conflicts = ref [] in
@@ -715,9 +949,14 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
                 match (P.image_of_proc oldp, P.image_of_proc newp) with
                 | Some oi, Some ni ->
                     worked := true;
-                    let analysis = Objgraph.analyze ?trace:tr ?fault oi in
+                    let analysis =
+                      Objgraph.analyze ?trace:tr
+                        ?cost_since:(Hashtbl.find_opt marks key)
+                        ?fault oi
+                    in
                     let outcome =
                       Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only
+                        ?precopy:(Hashtbl.find_opt sessions key)
                         ?trace:tr ?fault ()
                     in
                     let pair_cost = analysis.Objgraph.cost_ns + outcome.Transfer.cost_ns in
@@ -812,24 +1051,30 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
       (* parallel multiprocess transfer: the slowest pair bounds the
          parallel phase; the coordinator adds a constant (relinking the
          program and prelinking shared libraries for the remapped immutable
-         objects, Section 6) plus a per-process channel setup cost *)
-      K.charge k (!max_pair_cost + 25_000_000 + (2_000_000 * !pairs_done));
+         objects, Section 6 — already prepaid under pre-copy) plus a
+         per-process channel setup cost *)
+      K.charge k
+        (!max_pair_cost
+        + (if precopy_enabled then 0 else relink_ns)
+        + (2_000_000 * !pairs_done));
       let t3 = K.clock_ns k in
-      let st_ns = t3 - t2 in
+      let st_ns = t3 - t2' in
       Trace.span_end tr ~pid:mpid ~cat:"stage"
         ~args:[ ("pairs", string_of_int !pairs_done) ]
         "state_transfer";
       Metrics.observe t.mset.m_st_h st_ns;
       if deadline_exceeded () then
-        rollback "update deadline exceeded" ~cm_ns ~st_ns ~transfers:!transfers
+        rollback Err.Update_deadline_exceeded ~cm_ns ~st_ns ~transfers:!transfers
           ~transfer_conflicts:(List.rev !transfer_conflicts)
       else if not handlers_ok then
-        rollback "reinit handlers did not quiesce" ~cm_ns ~st_ns ~transfers:!transfers
-          ~transfer_conflicts:(List.rev !transfer_conflicts)
-      else if !transfer_conflicts <> [] then
-        rollback "mutable tracing conflict" ~cm_ns ~st_ns ~transfers:!transfers
+        rollback Err.Reinit_not_quiesced ~cm_ns ~st_ns ~transfers:!transfers
           ~transfer_conflicts:(List.rev !transfer_conflicts)
       else begin
+        match Transfer.rollback_reason (List.rev !transfer_conflicts) with
+        | Some reason ->
+            rollback reason ~cm_ns ~st_ns ~transfers:!transfers
+              ~transfer_conflicts:(List.rev !transfer_conflicts)
+        | None -> begin
         (* ---- commit ---- *)
         Trace.span_begin tr ~pid:mpid ~cat:"stage" "commit";
         respond_ctl t "OK";
@@ -862,16 +1107,19 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
         Metrics.incr t.mset.m_commits;
         Metrics.incr ~by:(Replayer.replayed_calls rep) t.mset.m_replayed;
         Metrics.incr ~by:(Replayer.live_calls rep) t.mset.m_live;
-        Metrics.observe t.mset.m_total_h (K.clock_ns k - t0);
+        observe_end ();
         Trace.span_end tr ~pid:mpid ~cat:"stage" "commit";
         Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
         ( new_t,
           {
             success = true;
-            quiesce_ns;
+            quiesce_ns = !quiesce_ns;
             control_migration_ns = cm_ns;
             state_transfer_ns = st_ns;
             total_ns = K.clock_ns k - t0;
+            downtime_ns = downtime_ns ();
+            precopy_rounds = !precopy_rounds_done;
+            precopy_bytes = !precopy_bytes_staged;
             replayed_calls = Replayer.replayed_calls rep;
             live_calls = Replayer.live_calls rep;
             replay_conflicts = [];
@@ -880,41 +1128,58 @@ let update_once t ~dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?fault ne
             failure = None;
             metrics = metrics_snapshot new_t;
           } )
+        end
       end
+      end
+    end
     end
   end
   end
 
-(* Public entry point: resolve per-call overrides against the manager's
-   policy (settable over the control socket), then run [update_once] with
-   bounded retry. The fault plan is shared across attempts — a fault
-   consumed by attempt [n] is gone on attempt [n+1], so transient injected
-   failures are exactly the ones retry recovers from. *)
-let update t ?(dirty_only = true) ?quiesce_deadline_ns ?update_deadline_ns ?retries
-    ?retry_backoff_ns ?fault new_version =
-  let pol = t.policy in
-  let qdl =
-    match quiesce_deadline_ns with Some _ as s -> s | None -> pol.p_quiesce_deadline_ns
+(* Public entry point: resolve the effective policy (manager's stored
+   policy, then the [?policy] override, then the deprecated per-label
+   overrides), then run [update_once] with bounded retry. The fault plan is
+   shared across attempts — a fault consumed by attempt [n] is gone on
+   attempt [n+1], so transient injected failures are exactly the ones retry
+   recovers from. *)
+let update t ?policy ?dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?retries
+    ?retry_backoff_ns ?fault ?on_precopy_round new_version =
+  let pol = match policy with Some p -> p | None -> !(t.policy) in
+  let pol =
+    match dirty_only with Some d -> Policy.with_dirty_only d pol | None -> pol
   in
-  let udl =
-    match update_deadline_ns with Some _ as s -> s | None -> pol.p_update_deadline_ns
+  let pol =
+    match quiesce_deadline_ns with
+    | Some _ as q -> Policy.with_quiesce_deadline_ns q pol
+    | None -> pol
   in
-  let retries = Option.value retries ~default:pol.p_retries in
-  let backoff = Option.value retry_backoff_ns ~default:pol.p_retry_backoff_ns in
+  let pol =
+    match update_deadline_ns with
+    | Some _ as u -> Policy.with_update_deadline_ns u pol
+    | None -> pol
+  in
+  let pol = match retries with Some n -> Policy.with_retries n pol | None -> pol in
+  let pol =
+    match retry_backoff_ns with
+    | Some b -> { pol with Policy.retry_backoff_ns = b }
+    | None -> pol
+  in
   let fault =
-    match fault with Some _ as s -> s | None -> Option.map Fault.of_seed pol.p_fault_seed
+    match fault with
+    | Some _ as s -> s
+    | None -> Option.map Fault.of_seed pol.Policy.fault_seed
   in
   let k = t.kernel in
   let rec attempt n =
-    let t', rep =
-      update_once t ~dirty_only ?quiesce_deadline_ns:qdl ?update_deadline_ns:udl ?fault
-        new_version
-    in
-    if rep.success || n >= retries then (t', rep)
+    let t', rep = update_once t ~pol ?fault ?on_precopy_round new_version in
+    if rep.success || n >= pol.Policy.retries then (t', rep)
     else begin
       Metrics.incr (Metrics.counter t.metrics "mcr_update_retries_total");
       (* linear backoff in virtual time before the next attempt *)
-      ignore (K.run_until k ~max_ns:(K.clock_ns k + (backoff * (n + 1))) (fun () -> false));
+      ignore
+        (K.run_until k
+           ~max_ns:(K.clock_ns k + (pol.Policy.retry_backoff_ns * (n + 1)))
+           (fun () -> false));
       attempt (n + 1)
     end
   in

@@ -17,6 +17,19 @@
       {b rollback} (terminate the new version, resume the old) — clients
       never observe a failed update.
 
+    {b Pre-copy.} With {!Policy.t.precopy} enabled the stage order changes:
+    the new version is launched and replayed {e while the old version keeps
+    serving}, then iterative pre-copy rounds speculatively trace the old
+    version's reachable graph and stage content hashes
+    ({!Mcr_trace.Transfer.precopy_round}); only when the delta staged by a
+    round falls under {!Policy.t.precopy_threshold_words} does quiescence
+    open the service-interruption window, inside which the unchanged
+    single-shot transfer runs with the staged work prepaid. The committed
+    image is byte-for-byte the single-shot result, and a failure before the
+    window opens costs zero downtime. If no round converges within
+    {!Policy.t.precopy_max_rounds}, the update rolls back with
+    {!Mcr_error.Precopy_diverged}.
+
     Managers also expose the controller channel ([mcr-ctl]) and the
     measurement hooks the benchmark harness consumes.
 
@@ -25,20 +38,25 @@
     over the control socket by the [STATS] command), and optionally an
     {!Mcr_obs.Trace} sink ([?trace] at {!launch}) into which the update
     pipeline emits nested stage spans ([update] ⊃ [quiesce],
-    [restart_replay], [state_transfer] ⊃ per-pair [transfer.pair],
-    [commit]/[rollback]) and the instrumented layers emit their instants.
-    The sink is threaded through to the barriers, the replayer, the object
-    graph analysis and the transfer engine of both program versions.
-    Tracing never charges virtual time, so enabling it changes no measured
-    number. *)
+    [restart_replay], [precopy] (with per-round [precopy.round] instants),
+    [state_transfer] ⊃ per-pair [transfer.pair], [commit]/[rollback]) and
+    the instrumented layers emit their instants. The sink is threaded
+    through to the barriers, the replayer, the object graph analysis and
+    the transfer engine of both program versions. Tracing never charges
+    virtual time, so enabling it changes no measured number. *)
 
 type t
+
+val protocol_version : int
+(** Version of the control-socket protocol this manager speaks (see
+    {!Ctl.request_v} and doc/OBSERVABILITY.md for the wire format). *)
 
 val launch :
   Mcr_simos.Kernel.t ->
   ?instr:Mcr_program.Instr.t ->
   ?profiler:Mcr_quiesce.Profiler.t ->
   ?trace:Mcr_obs.Trace.t ->
+  ?policy:Policy.t ->
   ?quiesce_deadline_ns:int ->
   ?update_deadline_ns:int ->
   ?retries:int ->
@@ -52,11 +70,15 @@ val launch :
     enables event tracing for this manager and every manager descended
     from it by updates.
 
-    [?quiesce_deadline_ns], [?update_deadline_ns], [?retries] and
-    [?retry_backoff_ns] set the manager's default update policy (see
-    {!update}); the policy is shared across the manager lineage and can be
+    [?policy] sets the manager's update policy ({!Policy.t}, default
+    {!Policy.default}); it is shared across the manager lineage and can be
     changed at runtime over the control socket ([DEADLINES], [RETRY],
-    [FAULT] — see {!Ctl}). If a stale control-socket file is left at
+    [FAULT], [PRECOPY] — see {!Ctl}).
+
+    [?quiesce_deadline_ns], [?update_deadline_ns], [?retries] and
+    [?retry_backoff_ns] are {b deprecated} per-field shims: when given they
+    override the corresponding [?policy] field. New code should build a
+    {!Policy.t} instead. If a stale control-socket file is left at
     [ctl_path] by an earlier unclean exit, it is unlinked before binding. *)
 
 val kernel : t -> Mcr_simos.Kernel.t
@@ -75,6 +97,13 @@ val wait_startup : t -> ?max_ns:int -> unit -> bool
 
 val update_requested : t -> bool
 (** An [mcr-ctl] client asked for an update (see {!Ctl}). *)
+
+val policy : t -> Policy.t
+(** The manager's current update policy (shared across the lineage). *)
+
+val set_policy : t -> Policy.t -> unit
+(** Replace the lineage's policy — the programmatic equivalent of the
+    control-socket policy commands. *)
 
 (** {1 Observability} *)
 
@@ -98,12 +127,22 @@ type report = {
   control_migration_ns : int;
   state_transfer_ns : int;
   total_ns : int;
+  downtime_ns : int;
+      (** Service interruption: virtual time from the quiescence request
+          that opened the window to the end of the update. Equal to
+          [total_ns] for single-shot updates; with pre-copy it covers only
+          the final delta (0 if the update failed before the window
+          opened). *)
+  precopy_rounds : int;  (** Pre-copy rounds run (0 when disabled). *)
+  precopy_bytes : int;  (** Bytes staged across all pre-copy rounds. *)
   replayed_calls : int;
   live_calls : int;
   replay_conflicts : Mcr_replay.Replayer.conflict list;
   transfer_conflicts : Mcr_trace.Transfer.conflict list;
   transfers : (Mcr_replay.Logdefs.proc_key * Mcr_trace.Transfer.outcome) list;
-  failure : string option;  (** Human-readable rollback cause. *)
+  failure : Mcr_error.rollback_reason option;
+      (** Rollback cause ({!Mcr_error.to_string} renders the frozen
+          human-readable form). *)
   metrics : Mcr_obs.Metrics.snapshot;
       (** Registry snapshot taken when the update finished (every exit
           path, success or rollback). *)
@@ -111,39 +150,52 @@ type report = {
 
 val update :
   t ->
+  ?policy:Policy.t ->
   ?dirty_only:bool ->
   ?quiesce_deadline_ns:int ->
   ?update_deadline_ns:int ->
   ?retries:int ->
   ?retry_backoff_ns:int ->
   ?fault:Mcr_fault.Fault.t ->
+  ?on_precopy_round:(int -> unit) ->
   Mcr_program.Progdef.version ->
   t * report
 (** [update t v2] performs a live update. On success the returned manager
     owns the new version (the old processes are terminated); on rollback it
-    is [t] itself and the old version has resumed. [dirty_only:false]
-    disables soft-dirty filtering (ablation). Updating a manager whose
+    is [t] itself and the old version has resumed. Updating a manager whose
     processes are gone (already updated away from, or fully crashed) fails
     with a report, touching nothing.
 
-    {b Deadlines.} [?quiesce_deadline_ns] bounds the checkpoint stage;
-    blowing it rolls back with reason ["quiescence deadline exceeded"].
-    [?update_deadline_ns] bounds the whole update (virtual time from the
-    call); blowing it rolls back with reason ["update deadline exceeded"],
-    which takes precedence over the quiescence reason when both apply.
-    With no deadlines set, a non-converging quiescence fails with the
-    legacy reason ["quiescence did not converge"] after the built-in 5 s
-    budget. Every rollback increments both [mcr_rollbacks_total] and a
-    per-reason counter [mcr_rollback_reason_<reason with underscores>_total].
+    {b Policy.} [?policy] overrides the manager's stored policy for this
+    call only. [?dirty_only], [?quiesce_deadline_ns],
+    [?update_deadline_ns], [?retries] and [?retry_backoff_ns] are
+    {b deprecated} per-field shims that override the corresponding field on
+    top of that. With no overrides the manager's stored policy applies.
 
-    {b Retry.} [?retries] > 0 re-attempts a failed update up to that many
-    times, sleeping [?retry_backoff_ns] × attempt between tries (virtual
+    {b Deadlines.} [quiesce_deadline_ns] bounds the checkpoint stage;
+    blowing it rolls back with {!Mcr_error.Quiescence_deadline_exceeded}.
+    [update_deadline_ns] bounds the whole update (virtual time from the
+    call); blowing it rolls back with
+    {!Mcr_error.Update_deadline_exceeded}, which takes precedence over the
+    quiescence reason when both apply. With no deadlines set, a
+    non-converging quiescence fails with
+    {!Mcr_error.Quiescence_did_not_converge} after the built-in 5 s budget.
+    Every rollback increments both [mcr_rollbacks_total] and the
+    per-reason counter {!Mcr_error.metric_name}.
+
+    {b Retry.} [retries] > 0 re-attempts a failed update up to that many
+    times, sleeping [retry_backoff_ns] × attempt between tries (virtual
     time) and counting [mcr_update_retries_total]. The fault plan is shared
     across attempts, so faults consumed by an attempt do not re-fire.
 
     {b Fault injection.} [?fault] threads a {!Mcr_fault.Fault} plan through
-    the pipeline (see [doc/FAULTS.md]). Unset per-call options default to
-    the manager's policy (set at {!launch} or over the control socket). *)
+    the pipeline (see [doc/FAULTS.md]); when unset, a policy
+    {!Policy.t.fault_seed} arms {!Mcr_fault.Fault.of_seed}.
+
+    {b Pre-copy.} With policy [precopy = true] the stage order changes as
+    described above; [?on_precopy_round] is invoked after each round's
+    speculative cost has elapsed (tests use it to mutate the still-serving
+    old version deterministically between rounds). *)
 
 (** {1 Measurement hooks} *)
 

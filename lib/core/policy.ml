@@ -1,0 +1,60 @@
+type t = {
+  quiesce_deadline_ns : int option;
+  update_deadline_ns : int option;
+  retries : int;
+  retry_backoff_ns : int;
+  fault_seed : int option;
+  dirty_only : bool;
+  precopy : bool;
+  precopy_max_rounds : int;
+  precopy_threshold_words : int;
+}
+
+let default =
+  {
+    quiesce_deadline_ns = None;
+    update_deadline_ns = None;
+    retries = 0;
+    retry_backoff_ns = 100_000_000;
+    fault_seed = None;
+    dirty_only = true;
+    precopy = false;
+    precopy_max_rounds = 4;
+    precopy_threshold_words = 512;
+  }
+
+let with_quiesce_deadline_ns q t = { t with quiesce_deadline_ns = q }
+let with_update_deadline_ns u t = { t with update_deadline_ns = u }
+
+let with_deadlines ~quiesce_ns ~update_ns t =
+  { t with quiesce_deadline_ns = quiesce_ns; update_deadline_ns = update_ns }
+
+let with_retries ?backoff_ns n t =
+  if n < 0 then invalid_arg "Policy.with_retries: negative count";
+  { t with retries = n; retry_backoff_ns = Option.value backoff_ns ~default:t.retry_backoff_ns }
+
+let with_fault_seed s t = { t with fault_seed = s }
+let with_dirty_only d t = { t with dirty_only = d }
+
+let with_precopy ?max_rounds ?threshold_words enabled t =
+  let max_rounds = Option.value max_rounds ~default:t.precopy_max_rounds in
+  let threshold_words = Option.value threshold_words ~default:t.precopy_threshold_words in
+  if max_rounds < 1 then invalid_arg "Policy.with_precopy: max_rounds must be >= 1";
+  if threshold_words < 0 then invalid_arg "Policy.with_precopy: negative threshold";
+  {
+    t with
+    precopy = enabled;
+    precopy_max_rounds = max_rounds;
+    precopy_threshold_words = threshold_words;
+  }
+
+let pp ppf t =
+  let opt ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some n -> Format.pp_print_int ppf n
+  in
+  Format.fprintf ppf
+    "@[<hov>quiesce_deadline_ns=%a update_deadline_ns=%a retries=%d retry_backoff_ns=%d \
+     fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d@]"
+    opt t.quiesce_deadline_ns opt t.update_deadline_ns t.retries t.retry_backoff_ns opt
+    t.fault_seed t.dirty_only t.precopy t.precopy_max_rounds t.precopy_threshold_words

@@ -1,0 +1,51 @@
+(** Consolidated update policy.
+
+    Everything that used to be a separate optional argument on
+    {!Manager.launch}/{!Manager.update} — deadlines, retry, fault seed,
+    dirty-only filtering — plus the pre-copy knobs, in one immutable record
+    with builder functions. Pass it once via [?policy]; the old labels
+    remain as deprecated shims. *)
+
+type t = {
+  quiesce_deadline_ns : int option;
+      (** Give up on quiescence after this long (default: none; the barrier
+          protocol's own 5 s horizon applies). *)
+  update_deadline_ns : int option;
+      (** Whole-update budget measured from the update request; blowing it
+          anywhere in the pipeline rolls back (default: none). *)
+  retries : int;  (** Additional attempts after a rollback (default 0). *)
+  retry_backoff_ns : int;
+      (** Linear backoff between attempts: attempt [n] waits [n] times this
+          (default 100 ms). *)
+  fault_seed : int option;
+      (** Arm {!Mcr_fault.Fault.of_seed} on every update (default none). *)
+  dirty_only : bool;
+      (** Soft-dirty filtering of the state transfer (default true; false
+          is the transfer-everything ablation). *)
+  precopy : bool;
+      (** Iterative pre-copy state transfer: speculatively trace and stage
+          the old version's state while it keeps serving, so only the final
+          delta is paid inside the quiescence window (default false). *)
+  precopy_max_rounds : int;
+      (** Round budget including the initial full round. 1 means a single
+          speculative round with no convergence check (default 4). *)
+  precopy_threshold_words : int;
+      (** A delta round staging at most this many words has converged; if
+          no round converges within the budget the update rolls back with
+          {!Mcr_error.Precopy_diverged} (default 512). *)
+}
+
+val default : t
+
+val with_quiesce_deadline_ns : int option -> t -> t
+val with_update_deadline_ns : int option -> t -> t
+val with_deadlines : quiesce_ns:int option -> update_ns:int option -> t -> t
+val with_retries : ?backoff_ns:int -> int -> t -> t
+val with_fault_seed : int option -> t -> t
+val with_dirty_only : bool -> t -> t
+
+val with_precopy : ?max_rounds:int -> ?threshold_words:int -> bool -> t -> t
+(** [with_precopy true p] enables pre-copy; the optional knobs default to
+    the current values of [p]. *)
+
+val pp : Format.formatter -> t -> unit

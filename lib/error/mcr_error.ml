@@ -1,0 +1,46 @@
+type rollback_reason =
+  | Program_not_running
+  | Quiescence_deadline_exceeded
+  | Quiescence_did_not_converge
+  | Update_deadline_exceeded
+  | Startup_crashed
+  | Startup_not_quiescent
+  | Reinit_conflict
+  | Reinit_not_quiesced
+  | Tracing_conflict
+  | Precopy_diverged
+
+let all =
+  [
+    Program_not_running;
+    Quiescence_deadline_exceeded;
+    Quiescence_did_not_converge;
+    Update_deadline_exceeded;
+    Startup_crashed;
+    Startup_not_quiescent;
+    Reinit_conflict;
+    Reinit_not_quiesced;
+    Tracing_conflict;
+    Precopy_diverged;
+  ]
+
+(* The strings predate the variant (they were matched verbatim by tests and
+   clients of the ctl socket), so they are frozen wire format. *)
+let to_string = function
+  | Program_not_running -> "program is not running"
+  | Quiescence_deadline_exceeded -> "quiescence deadline exceeded"
+  | Quiescence_did_not_converge -> "quiescence did not converge"
+  | Update_deadline_exceeded -> "update deadline exceeded"
+  | Startup_crashed -> "new version crashed during startup"
+  | Startup_not_quiescent -> "new version did not reach a quiescent startup"
+  | Reinit_conflict -> "mutable reinitialization conflict"
+  | Reinit_not_quiesced -> "reinit handlers did not quiesce"
+  | Tracing_conflict -> "mutable tracing conflict"
+  | Precopy_diverged -> "precopy did not converge"
+
+let metric_name r =
+  "mcr_rollback_reason_" ^ String.map (fun c -> if c = ' ' then '_' else c) (to_string r) ^ "_total"
+
+let of_string s = List.find_opt (fun r -> to_string r = s) all
+let equal (a : rollback_reason) b = a = b
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -88,3 +88,7 @@ let release t =
   for _ = 1 to n do
     K.post_semaphore t.kernel t.sem_name
   done
+
+let failure_reason ~deadline_hit =
+  if deadline_hit then Mcr_error.Quiescence_deadline_exceeded
+  else Mcr_error.Quiescence_did_not_converge

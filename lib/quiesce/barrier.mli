@@ -64,3 +64,9 @@ val quiesced : t -> bool
 
 val release : t -> unit
 (** Wake every parked thread and clear the request. *)
+
+val failure_reason : deadline_hit:bool -> Mcr_error.rollback_reason
+(** The shared rollback vocabulary for a barrier that never quiesced:
+    {!Mcr_error.Quiescence_deadline_exceeded} when an explicit quiescence
+    deadline elapsed, {!Mcr_error.Quiescence_did_not_converge} when the
+    protocol gave up without one. *)

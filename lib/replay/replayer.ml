@@ -344,3 +344,6 @@ let pp_conflict ppf = function
   | Injected { pid; callstack; call } ->
       Format.fprintf ppf "pid %d cs %d: injected replay conflict at %a" pid callstack
         S.pp_call call
+
+let rollback_reason t =
+  match t.conflicts with [] -> None | _ :: _ -> Some Mcr_error.Reinit_conflict

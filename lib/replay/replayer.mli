@@ -82,3 +82,7 @@ val pairs : t -> (Logdefs.proc_key * int) list
 (** New-version processes by cross-version key, in creation order — the
     pairing state transfer uses to connect each new process to its old
     counterpart. *)
+
+val rollback_reason : t -> Mcr_error.rollback_reason option
+(** [Some Reinit_conflict] when any replay conflict was observed — the
+    shared rollback vocabulary for mutable-reinitialization failures. *)

@@ -240,7 +240,8 @@ let resolve_in index addr =
 (* ------------------------------------------------------------------ *)
 (* Traversal *)
 
-let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace ?fault (image : P.image) =
+let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace ?fault
+    (image : P.image) =
   let kernel = image.P.i_kernel in
   let costs = K.costs kernel in
   let cost = ref 0 in
@@ -261,10 +262,27 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace ?fault (ima
   let env = image.P.i_version.P.tyenv in
   let stats = { precise = new_side (); likely = new_side () } in
   let text = Symtab.text_region image.P.i_symtab in
+  (* Incremental re-trace accounting: with [cost_since], only objects on
+     pages written after that {!Aspace.write_seq} mark are charged — a
+     delta round walks the same graph (edges, pins and dirty flags must not
+     depend on the round) but pays only for what changed. *)
+  let charged =
+    match cost_since with
+    | None -> fun _ -> true
+    | Some seq ->
+        let memo = Hashtbl.create 256 in
+        fun (o : obj) -> (
+          match Hashtbl.find_opt memo o.id with
+          | Some b -> b
+          | None ->
+              let b = Aspace.range_written_since aspace o.addr ~words:o.words ~seq in
+              Hashtbl.add memo o.id b;
+              b)
+  in
   let rec visit (o : obj) =
     if not o.reachable then begin
       o.reachable <- true;
-      cost := !cost + costs.Costs.trace_obj_ns;
+      if charged o then cost := !cost + costs.Costs.trace_obj_ns;
       match o.ty with
       | Some ty -> visit_typed o ty
       | None -> visit_opaque o 0 o.words
@@ -307,7 +325,7 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?trace ?fault (ima
       scan_word o (Addr.add_words o.addr w)
     done
   and scan_word o word_addr =
-    cost := !cost + costs.Costs.scan_word_ns;
+    if charged o then cost := !cost + costs.Costs.scan_word_ns;
     let v = Aspace.read_word aspace word_addr in
     if v <> 0 && Addr.is_aligned v then
       match resolve_in index v with

@@ -71,11 +71,19 @@ type t = {
 val analyze :
   ?policy:Mcr_types.Ty.policy ->
   ?tag_free:bool ->
+  ?cost_since:int ->
   ?trace:Mcr_obs.Trace.t ->
   ?fault:Mcr_fault.Fault.t ->
   Mcr_program.Progdef.image ->
   t
-(** Analyze a quiescent process image. Honors the image's instrumentation
+(** Analyze a quiescent process image.
+
+    [cost_since] is an {!Mcr_vmem.Aspace.write_seq} mark: the traversal and
+    its results (reachability, edges, pins, dirty flags) are unchanged, but
+    [cost_ns] only charges objects overlapping pages written after the
+    mark. Pre-copy delta rounds use this so re-tracing an almost-unchanged
+    graph costs almost nothing, without perturbing what the final transfer
+    sees. Honors the image's instrumentation
     config (uninstrumented pools/slabs yield opaque chunks; without dynamic
     instrumentation the lib heap is one opaque blob) and the version's
     [Obj_handler] annotations (which reveal hidden layouts of opaque

@@ -30,7 +30,90 @@ type outcome = {
   conflicts : conflict list;
   cost_ns : int;
   live_words : int;
+  precopied_objects : int;
+  precopied_words : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Pre-copy staging *)
+
+(* A pre-copy session never writes the new version: it stages content
+   hashes of reachable old objects host-side and returns what such a round
+   would have cost. The final in-window [run] then treats objects whose
+   staged hash still matches their current content as prepaid — the copy
+   happens identically (so the result is byte-for-byte the single-shot
+   result), only the virtual-time charge is waived. Staging nothing into
+   the new address space is what makes rollback from mid-pre-copy free and
+   keeps the order-sensitive startup-matching index untouched. *)
+
+type precopy_entry = { pc_words : int; pc_hash : int }
+
+type precopy = {
+  pc_entries : (Addr.t, precopy_entry) Hashtbl.t; (* old payload addr -> staged *)
+  mutable pc_rounds : int;
+}
+
+type round_stats = {
+  round_objects : int;  (** Objects (re-)staged this round. *)
+  round_words : int;  (** Words (re-)staged this round — the delta size. *)
+  round_invalidated : int;  (** Staged entries dropped (object freed/moved/resized). *)
+  staged_objects : int;  (** Live staged entries after the round. *)
+  round_cost_ns : int;  (** What transferring this round's delta costs. *)
+}
+
+let precopy_create () = { pc_entries = Hashtbl.create 256; pc_rounds = 0 }
+let precopy_rounds pc = pc.pc_rounds
+
+let content_hash aspace addr words =
+  let h = ref (Mcr_util.Fnv.int words) in
+  for i = 0 to words - 1 do
+    h := Mcr_util.Fnv.combine !h (Mcr_util.Fnv.int (Aspace.read_word aspace (Addr.add_words addr i)))
+  done;
+  !h
+
+let precopy_round pc ~(old_image : P.image) ~analysis ?since () =
+  let aspace = old_image.P.i_aspace in
+  let twn = (K.costs old_image.P.i_kernel).Costs.transfer_word_ns in
+  let reachable = Objgraph.reachable_objects analysis in
+  (* invalidate stale entries: the object behind a staged address was freed,
+     moved, or resized since the previous round *)
+  let live = Hashtbl.create (List.length reachable + 1) in
+  List.iter (fun (o : obj) -> Hashtbl.replace live o.addr o.words) reachable;
+  let stale =
+    Hashtbl.fold
+      (fun addr e acc ->
+        match Hashtbl.find_opt live addr with
+        | Some w when w = e.pc_words -> acc
+        | _ -> addr :: acc)
+      pc.pc_entries []
+  in
+  List.iter (Hashtbl.remove pc.pc_entries) stale;
+  let objects = ref 0 and words = ref 0 in
+  List.iter
+    (fun (o : obj) ->
+      let need =
+        match Hashtbl.find_opt pc.pc_entries o.addr with
+        | None -> true
+        | Some _ -> (
+            match since with
+            | None -> true
+            | Some seq -> Aspace.range_written_since aspace o.addr ~words:o.words ~seq)
+      in
+      if need then begin
+        Hashtbl.replace pc.pc_entries o.addr
+          { pc_words = o.words; pc_hash = content_hash aspace o.addr o.words };
+        incr objects;
+        words := !words + o.words
+      end)
+    reachable;
+  pc.pc_rounds <- pc.pc_rounds + 1;
+  {
+    round_objects = !objects;
+    round_words = !words;
+    round_invalidated = List.length stale;
+    staged_objects = Hashtbl.length pc.pc_entries;
+    round_cost_ns = !words * twn;
+  }
 
 (* Where an old object lands in the new version. *)
 type dest =
@@ -46,6 +129,7 @@ type state = {
   new_image : P.image;
   analysis : Objgraph.t;
   dirty_only : bool;
+  precopy : precopy option;
   dests : (int, dest) Hashtbl.t; (* old obj id -> destination *)
   plans : (int, Typlan.t) Hashtbl.t;
       (* transformation plan used per old object: interior pointers must
@@ -59,6 +143,8 @@ type state = {
   mutable fresh : int;
   mutable transformed : int;
   mutable dangling : int;
+  mutable precopied_objs : int;
+  mutable precopied_w : int;
 }
 
 let conflictf st c = st.conflicts <- c :: st.conflicts
@@ -244,20 +330,41 @@ let write_new st addr words_arr =
     (fun i v -> Aspace.write_word st.new_image.P.i_aspace (Addr.add_words addr i) v)
     words_arr
 
-let charge_copy st words =
-  st.cost <- st.cost + (words * (K.costs st.old_image.P.i_kernel).Costs.transfer_word_ns);
+(* Was this object's current content staged by a pre-copy round? If so the
+   copy already happened (speculatively, while the old version served) and
+   the in-window charge is waived. A hash mismatch means the object was
+   written after its last staging: it is part of the final delta and pays
+   full price. *)
+let prepaid st (o : obj) =
+  match st.precopy with
+  | None -> false
+  | Some pc -> (
+      match Hashtbl.find_opt pc.pc_entries o.addr with
+      | Some e ->
+          e.pc_words = o.words
+          && e.pc_hash = content_hash st.old_image.P.i_aspace o.addr o.words
+      | None -> false)
+
+let charge_copy st ~prepaid words =
+  if prepaid then begin
+    st.precopied_objs <- st.precopied_objs + 1;
+    st.precopied_w <- st.precopied_w + words
+  end
+  else st.cost <- st.cost + (words * (K.costs st.old_image.P.i_kernel).Costs.transfer_word_ns);
   st.words_copied <- st.words_copied + words;
   st.objects_copied <- st.objects_copied + 1
 
 let verbatim st (o : obj) dst_addr dst_words =
+  let prepaid = prepaid st o in
   let n = min o.words dst_words in
   for i = 0 to n - 1 do
     Aspace.write_word st.new_image.P.i_aspace (Addr.add_words dst_addr i)
       (Aspace.read_word st.old_image.P.i_aspace (Addr.add_words o.addr i))
   done;
-  charge_copy st n
+  charge_copy st ~prepaid n
 
 let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
+  let prepaid = prepaid st o in
   (* user transfer handlers take precedence (semantic transformations) *)
   let handler =
     match o.ty_name with
@@ -271,7 +378,7 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
       let new_words = Array.make dst_words 0 in
       h ~old_words ~new_words;
       write_new st dst_addr new_words;
-      charge_copy st dst_words;
+      charge_copy st ~prepaid dst_words;
       st.transformed <- st.transformed + 1;
       true
   | None -> begin
@@ -281,7 +388,7 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
           Typlan.apply plan
             ~read:(fun off -> Aspace.read_word src (Addr.add_words o.addr off))
             ~write:(fun off v -> Aspace.write_word dst (Addr.add_words dst_addr off) v);
-          charge_copy st plan.Typlan.dst_words;
+          charge_copy st ~prepaid plan.Typlan.dst_words;
           if not (Typlan.is_identity plan) then begin
             st.transformed <- st.transformed + 1;
             Hashtbl.replace st.plans o.id plan
@@ -411,13 +518,14 @@ let fixup_object st (o : obj) =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace ?fault () =
+let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?trace ?fault () =
   let st =
     {
       old_image;
       new_image;
       analysis;
       dirty_only;
+      precopy;
       dests = Hashtbl.create 256;
       plans = Hashtbl.create 64;
       conflicts = [];
@@ -429,6 +537,8 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace ?fault () =
       fresh = 0;
       transformed = 0;
       dangling = 0;
+      precopied_objs = 0;
+      precopied_w = 0;
     }
   in
   (match fault with
@@ -465,6 +575,8 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace ?fault () =
       conflicts = List.rev st.conflicts;
       cost_ns = st.cost;
       live_words;
+      precopied_objects = st.precopied_objs;
+      precopied_words = st.precopied_w;
     }
   in
   Trace.instant trace
@@ -481,8 +593,12 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?trace ?fault () =
         ("dangling_zeroed", string_of_int outcome.dangling_zeroed);
         ("conflicts", string_of_int (List.length outcome.conflicts));
         ("cost_ns", string_of_int outcome.cost_ns);
+        ("precopied_objects", string_of_int outcome.precopied_objects);
       ];
   outcome
+
+let rollback_reason (conflicts : conflict list) =
+  match conflicts with [] -> None | _ :: _ -> Some Mcr_error.Tracing_conflict
 
 let pp_conflict ppf = function
   | Nonupdatable_changed { addr; ty_name; detail } ->

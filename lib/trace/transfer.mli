@@ -42,13 +42,54 @@ type outcome = {
   conflicts : conflict list;
   cost_ns : int;  (** Virtual time of this process pair's transfer. *)
   live_words : int;  (** Total reachable words (for dirty-reduction ratios). *)
+  precopied_objects : int;  (** Copies whose in-window charge was prepaid. *)
+  precopied_words : int;
 }
+
+(** {1 Pre-copy staging}
+
+    A pre-copy session stages content hashes of the old version's reachable
+    objects while it keeps serving; the final in-window {!run} waives the
+    transfer charge for every object whose staged hash still matches
+    ("prepaid"). The session never touches the new address space — the
+    in-window copy is performed identically with or without it, so the
+    committed new version is byte-for-byte the single-shot result and
+    aborting mid-pre-copy requires no undo. *)
+
+type precopy
+
+type round_stats = {
+  round_objects : int;  (** Objects (re-)staged this round. *)
+  round_words : int;  (** Words (re-)staged this round — the delta size. *)
+  round_invalidated : int;  (** Staged entries dropped (object freed/moved/resized). *)
+  staged_objects : int;  (** Live staged entries after the round. *)
+  round_cost_ns : int;  (** Virtual time the round's speculative copy costs. *)
+}
+
+val precopy_create : unit -> precopy
+
+val precopy_round :
+  precopy ->
+  old_image:Mcr_program.Progdef.image ->
+  analysis:Objgraph.t ->
+  ?since:int ->
+  unit ->
+  round_stats
+(** Stage one round. With [since] (an {!Mcr_vmem.Aspace.write_seq} mark from
+    the previous round), only new objects and objects on pages written after
+    the mark are re-staged — the delta. Without it, everything reachable is
+    staged (the first, full round). The caller charges [round_cost_ns] to
+    the clock while the old version keeps running. *)
+
+val precopy_rounds : precopy -> int
+(** Rounds staged into this session so far. *)
 
 val run :
   old_image:Mcr_program.Progdef.image ->
   new_image:Mcr_program.Progdef.image ->
   analysis:Objgraph.t ->
   ?dirty_only:bool ->
+  ?precopy:precopy ->
   ?trace:Mcr_obs.Trace.t ->
   ?fault:Mcr_fault.Fault.t ->
   unit ->
@@ -57,12 +98,19 @@ val run :
     soft-dirty filtering; passing false transfers everything (the ablation
     baseline). The cost is charged to the kernel's virtual clock by the
     caller, not here — parallel multiprocess transfer takes the maximum
-    across pairs, not the sum. With [?trace], the outcome is emitted as a
+    across pairs, not the sum. With [?precopy], objects whose content was
+    staged and is unchanged contribute nothing to [cost_ns] (they are
+    counted in [precopied_objects]/[precopied_words]); the writes performed
+    are identical either way. With [?trace], the outcome is emitted as a
     [transfer.outcome] instant event (category ["transfer"], under the new
     process's pid). With [?fault], an armed
     {!Mcr_fault.Fault.Transfer_conflict} yields an [Injected] conflict
     before any state moves; an [analysis] carrying an
     {!Objgraph.t.injected_pin} yields a [Nonupdatable_changed] conflict on
     the pinned object. *)
+
+val rollback_reason : conflict list -> Mcr_error.rollback_reason option
+(** [Some Tracing_conflict] when any conflict is present — the shared
+    rollback vocabulary for transfer failures. *)
 
 val pp_conflict : Format.formatter -> conflict -> unit

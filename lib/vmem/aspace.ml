@@ -2,18 +2,20 @@ type page = {
   words : int array;
   mutable soft_dirty : bool;
   mutable touched : bool;
+  mutable last_write_seq : int;
 }
 
 type t = {
   pages : (int, page) Hashtbl.t;
   mutable region_list : Region.t list; (* sorted by base *)
   bias : int;
+  mutable wseq : int;
 }
 
 exception Fault of Addr.t
 
 let create ?(layout_bias = 0) () =
-  { pages = Hashtbl.create 64; region_list = []; bias = layout_bias }
+  { pages = Hashtbl.create 64; region_list = []; bias = layout_bias; wseq = 0 }
 
 let layout_bias t = t.bias
 
@@ -22,9 +24,14 @@ let clone t =
   Hashtbl.iter
     (fun k p ->
       Hashtbl.add pages k
-        { words = Array.copy p.words; soft_dirty = p.soft_dirty; touched = p.touched })
+        {
+          words = Array.copy p.words;
+          soft_dirty = p.soft_dirty;
+          touched = p.touched;
+          last_write_seq = p.last_write_seq;
+        })
     t.pages;
-  { pages; region_list = t.region_list; bias = t.bias }
+  { pages; region_list = t.region_list; bias = t.bias; wseq = t.wseq }
 
 type placement = Fixed of Addr.t | Near of Region.kind
 
@@ -76,7 +83,12 @@ let map t ?(name = "") placement ~size kind =
   let npages = size / Addr.page_size in
   for i = 0 to npages - 1 do
     Hashtbl.replace t.pages (first_page + i)
-      { words = Array.make Addr.words_per_page 0; soft_dirty = false; touched = false }
+      {
+        words = Array.make Addr.words_per_page 0;
+        soft_dirty = false;
+        touched = false;
+        last_write_seq = 0;
+      }
   done;
   insert_region t { Region.base; size; kind; name };
   base
@@ -115,7 +127,9 @@ let write_word t a v =
   let p = page_for t a in
   p.words.(Addr.word_index a) <- v;
   p.soft_dirty <- true;
-  p.touched <- true
+  p.touched <- true;
+  t.wseq <- t.wseq + 1;
+  p.last_write_seq <- t.wseq
 
 let write_word_untracked t a v =
   let p = page_for t a in
@@ -138,6 +152,27 @@ let is_page_dirty t a =
   match Hashtbl.find_opt t.pages (Addr.page_of a) with
   | Some p -> p.soft_dirty
   | None -> false
+
+let write_seq t = t.wseq
+
+let page_written_since t a ~seq =
+  match Hashtbl.find_opt t.pages (Addr.page_of a) with
+  | Some p -> p.last_write_seq > seq
+  | None -> false
+
+let range_written_since t a ~words ~seq =
+  if words <= 0 then false
+  else
+    let first = Addr.page_of a in
+    let last = Addr.page_of (Addr.add_words a (words - 1)) in
+    let rec scan pn =
+      pn <= last
+      && ((match Hashtbl.find_opt t.pages pn with
+          | Some p -> p.last_write_seq > seq
+          | None -> false)
+         || scan (pn + 1))
+    in
+    scan first
 
 let resident_bytes t = Hashtbl.length t.pages * Addr.page_size
 

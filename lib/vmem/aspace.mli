@@ -75,6 +75,22 @@ val soft_dirty_pages : t -> Addr.t list
 val is_page_dirty : t -> Addr.t -> bool
 (** Soft-dirty bit of the page containing the address. *)
 
+val write_seq : t -> int
+(** Monotone per-space write sequence number, bumped by every tracked
+    write. Unlike the single soft-dirty epoch (owned by the startup
+    checkpoint), arbitrarily many observers can each remember a mark and
+    later ask what changed — this is what pre-copy delta rounds use, so
+    they never have to clear the soft-dirty bits the transfer engine
+    depends on. *)
+
+val page_written_since : t -> Addr.t -> seq:int -> bool
+(** Whether the page containing the address has seen a tracked write after
+    the given {!write_seq} mark. Unmapped pages are never "written". *)
+
+val range_written_since : t -> Addr.t -> words:int -> seq:int -> bool
+(** Whether any page overlapping [\[addr, addr + words)] has seen a tracked
+    write after the mark. *)
+
 val resident_bytes : t -> int
 (** Total bytes of mapped pages. *)
 

@@ -179,7 +179,7 @@ let test_update_of_stale_manager_fails_cleanly () =
   let m3, r2 = Manager.update m (Listing1.v2 ()) in
   Alcotest.(check bool) "stale manager rejected" false r2.Manager.success;
   Alcotest.(check (option string)) "clear reason" (Some "program is not running")
-    r2.Manager.failure;
+    (Option.map Mcr_error.to_string r2.Manager.failure);
   Alcotest.(check bool) "nothing disturbed" true (m3 == m);
   (* the real (new) manager keeps serving *)
   let r = rpc kernel ~port:Listing1.port "GET /" in
@@ -218,7 +218,8 @@ let test_quiescence_timeout_rolls_back () =
   let m2, report = Manager.update m (stubborn "2") in
   Alcotest.(check bool) "update fails" false report.Manager.success;
   Alcotest.(check (option string)) "convergence failure"
-    (Some "quiescence did not converge") report.Manager.failure;
+    (Some "quiescence did not converge")
+    (Option.map Mcr_error.to_string report.Manager.failure);
   Alcotest.(check bool) "program still alive" true (K.alive (Manager.root_proc m2))
 
 let test_update_quiesces_under_load () =

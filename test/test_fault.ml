@@ -74,7 +74,7 @@ let faulted_reason ?quiesce_deadline_ns ?update_deadline_ns fault =
   (* and a subsequent clean update commits *)
   let _, clean = Manager.update m2 (Listing1.v2 ()) in
   Alcotest.(check bool) "clean update succeeds afterwards" true clean.Manager.success;
-  Option.value report.Manager.failure ~default:"<none>"
+  Option.fold ~none:"<none>" ~some:Mcr_error.to_string report.Manager.failure
 
 (* ------------------------------------------------------------------ *)
 (* One test per rollback reason *)
@@ -94,7 +94,7 @@ let test_quiesce_deadline () =
   in
   Alcotest.(check bool) "rolled back" false report.Manager.success;
   Alcotest.(check (option string)) "exact reason" (Some "quiescence deadline exceeded")
-    report.Manager.failure;
+    (Option.map Mcr_error.to_string report.Manager.failure);
   (* the deadline actually fired: the update took ~the deadline, not the 5 s
      convergence budget *)
   Alcotest.(check bool) "deadline bounded the stage" true
@@ -164,7 +164,7 @@ let test_likely_misclassification () =
   let _, report = Manager.update m ~fault (Listing1.v2 ()) in
   Alcotest.(check bool) "rolled back" false report.Manager.success;
   Alcotest.(check (option string)) "tracing conflict" (Some "mutable tracing conflict")
-    report.Manager.failure;
+    (Option.map Mcr_error.to_string report.Manager.failure);
   Alcotest.(check bool) "conflict names the injected pin" true
     (List.exists
        (fun c ->
@@ -214,7 +214,8 @@ let test_policy_over_ctl () =
     Manager.update m ~fault:(Fault.script [ Fault.Quiesce_refusal ]) (Listing1.v2 ())
   in
   Alcotest.(check (option string)) "policy deadline applied"
-    (Some "quiescence deadline exceeded") report.Manager.failure;
+    (Some "quiescence deadline exceeded")
+    (Option.map Mcr_error.to_string report.Manager.failure);
   (* malformed policy commands answer with usage, not silence *)
   replies := [];
   ask (fun kernel ~path ~on_reply -> Ctl.request kernel ~path ~command:"DEADLINES x" ~on_reply);
@@ -339,7 +340,7 @@ let prop_rollback_guarantee =
           QCheck.Test.fail_reportf
             "server=%s seed=%d reason=%s alive=%b digest=%b fds=%b leak=%b clean=%b"
             (Testbed.name server) seed
-            (Option.value report.Manager.failure ~default:"<none>")
+            (Option.fold ~none:"<none>" ~some:Mcr_error.to_string report.Manager.failure)
             ok_alive ok_digest ok_fds (not ok_no_leak) clean.Manager.success
         else true
       end)

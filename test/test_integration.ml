@@ -75,7 +75,7 @@ let test_live_update_preserves_state () =
   Alcotest.(check string) "pre 3" "hi/v1:3" (request kernel);
   let m2, report = Manager.update m (Listing1.v2 ()) in
   Alcotest.(check bool) "update succeeded" true report.Manager.success;
-  Alcotest.(check (option string)) "no failure" None report.Manager.failure;
+  Alcotest.(check (option string)) "no failure" None (Option.map Mcr_error.to_string report.Manager.failure);
   (* the request counter survived the update: state was transferred *)
   Alcotest.(check string) "post 4" "hi/v2:4" (request kernel);
   Alcotest.(check string) "post 5" "hi/v2:5" (request kernel);

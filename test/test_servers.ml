@@ -87,7 +87,7 @@ let test_nginx_update_preserves_counters () =
   ignore (rpc kernel ~port:Nginx.port "GET /index.html");
   let m2, report = Manager.update m (Nginx.final ()) in
   Alcotest.(check bool) "nginx update ok" true report.Manager.success;
-  Alcotest.(check (option string)) "no failure" None report.Manager.failure;
+  Alcotest.(check (option string)) "no failure" None (Option.map Mcr_error.to_string report.Manager.failure);
   let r = rpc kernel ~port:Nginx.port "GET /index.html" in
   Alcotest.(check bool) "counter continued across update" true (contains r "#3");
   Alcotest.(check int) "new master + worker" 2 (List.length (Manager.images m2))
