@@ -7,9 +7,11 @@
    Experiments: table1 table2 table3 fig3 quiescence control-migration
                 update-time memory spec dirty-reduction ablation micro
                 fault-matrix downtime (both accept --smoke: reduced
-                deterministic subset) *)
+                deterministic subset; downtime also accepts
+                --workers N,N,... for the transfer worker-pool sweep) *)
 
 let smoke = ref false
+let workers = ref [ 1; 2; 4; 8 ]
 
 let experiments =
   [
@@ -27,7 +29,7 @@ let experiments =
     ("ablation", fun () -> Experiments.ablation ());
     ("micro", fun () -> Micro.run ());
     ("fault-matrix", fun () -> Faultbench.run ~smoke:!smoke ());
-    ("downtime", fun () -> Downtime.run ~smoke:!smoke ());
+    ("downtime", fun () -> Downtime.run ~smoke:!smoke ~workers:!workers ());
   ]
 
 let usage () =
@@ -36,10 +38,29 @@ let usage () =
   List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments;
   print_endline "  all (default)"
 
+let parse_workers s =
+  match
+    List.map
+      (fun w -> match int_of_string_opt (String.trim w) with Some n when n >= 1 -> n | _ -> raise Exit)
+      (String.split_on_char ',' s)
+  with
+  | ws -> ws
+  | exception Exit ->
+      Printf.printf "bad --workers list %S (want e.g. 1,4)\n" s;
+      exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   smoke := List.mem "--smoke" args;
   let args = List.filter (fun a -> a <> "--smoke") args in
+  let rec strip_workers = function
+    | "--workers" :: spec :: rest ->
+        workers := parse_workers spec;
+        strip_workers rest
+    | a :: rest -> a :: strip_workers rest
+    | [] -> []
+  in
+  let args = strip_workers args in
   match args with
   | [] | [ "all" ] ->
       print_endline "MCR reproduction harness: all experiments";

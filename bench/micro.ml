@@ -9,6 +9,7 @@ module Ty = Mcr_types.Ty
 module Typlan = Mcr_types.Typlan
 module Heap = Mcr_alloc.Heap
 module Aspace = Mcr_vmem.Aspace
+module Region = Mcr_vmem.Region
 module Objgraph = Mcr_trace.Objgraph
 module Manager = Mcr_core.Manager
 module K = Mcr_simos.Kernel
@@ -40,6 +41,31 @@ let test_conservative_scan =
   Test.make ~name:"table2:mutable-tracing-analysis"
     (Staged.stage (fun () -> ignore (Objgraph.analyze image)))
 
+(* Region lookup on a many-region address space (an update pins one region
+   per immutable object, so hundreds of regions are realistic): the sorted
+   array + binary search now in Aspace vs the former linear list scan, kept
+   here as the before-reference. *)
+let test_region_lookup_linear, test_region_lookup_indexed =
+  let aspace = Aspace.create () in
+  for _ = 1 to 512 do
+    ignore (Aspace.map aspace ~name:"bench" (Aspace.Near Region.Mmap) ~size:8192 Region.Mmap)
+  done;
+  let regions = Aspace.regions aspace in
+  let addrs =
+    Array.of_list (List.map (fun (r : Region.t) -> r.Region.base + 8) regions)
+  in
+  let cursor = ref 0 in
+  let next_addr () =
+    let a = addrs.(!cursor) in
+    cursor := (!cursor + 1) mod Array.length addrs;
+    a
+  in
+  ( Test.make ~name:"aspace:find-region-linear-list(512)"
+      (Staged.stage (fun () ->
+           ignore (List.find_opt (fun r -> Region.contains r (next_addr ())) regions))),
+    Test.make ~name:"aspace:find-region-binary-search(512)"
+      (Staged.stage (fun () -> ignore (Aspace.find_region aspace (next_addr ())))) )
+
 (* Figure 3: the per-object type transformation applied during transfer *)
 let test_type_transform =
   let src_env = Ty.env_create () and dst_env = Ty.env_create () in
@@ -64,7 +90,8 @@ let run () =
   print_endline "\nBechamel microbenchmarks (ns per run, wall clock)";
   print_endline "=================================================";
   let tests =
-    [ test_callstack_hash; test_alloc_tagging; test_conservative_scan; test_type_transform ]
+    [ test_callstack_hash; test_alloc_tagging; test_conservative_scan; test_type_transform;
+      test_region_lookup_linear; test_region_lookup_indexed ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

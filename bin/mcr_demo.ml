@@ -20,7 +20,7 @@ let server_of_string = function
   | s -> Error (`Msg ("unknown server " ^ s ^ " (nginx|httpd|vsftpd|sshd)"))
 
 let run server requests conns fail_update fault_seed quiesce_deadline_ms update_deadline_ms
-    precopy verbose =
+    precopy transfer_workers verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -70,6 +70,7 @@ let run server requests conns fail_update fault_seed quiesce_deadline_ms update_
          ~quiesce_ns:(ns_of_ms quiesce_deadline_ms)
          ~update_ns:(ns_of_ms update_deadline_ms)
     |> Mcr_core.Policy.with_precopy precopy
+    |> Mcr_core.Policy.with_transfer_workers (max 1 transfer_workers)
   in
   let m2, report = Manager.update m ~policy ?fault target in
   ignore
@@ -147,12 +148,17 @@ let precopy =
   Arg.(value & flag
        & info [ "precopy" ] ~doc:"Iterative pre-copy state transfer (sub-window downtime).")
 
+let transfer_workers =
+  Arg.(value & opt int 1
+       & info [ "transfer-workers" ]
+           ~doc:"Sharded parallel state transfer: worker-pool size (downtime is charged as the critical path over shards).")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
   Cmd.v
     (Cmd.info "mcr-demo" ~doc:"Live-update a simulated server with MCR")
     Term.(const run $ server $ requests $ conns $ fail_update $ fault_seed
-          $ quiesce_deadline_ms $ update_deadline_ms $ precopy $ verbose)
+          $ quiesce_deadline_ms $ update_deadline_ms $ precopy $ transfer_workers $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -98,4 +98,7 @@ let request_precopy kernel ~path ~enabled ?max_rounds ?threshold_words ~on_reply
   in
   request kernel ~path ~command ~on_reply
 
+let request_workers kernel ~path ~workers ~on_reply =
+  request kernel ~path ~command:(Printf.sprintf "WORKERS %d" workers) ~on_reply
+
 let update_pending m = Manager.update_requested m

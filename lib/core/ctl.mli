@@ -117,6 +117,16 @@ val request_precopy :
     ([PRECOPY OFF]) pre-copy for subsequent updates on this manager
     lineage. *)
 
+val request_workers :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  workers:int ->
+  on_reply:(string -> unit) ->
+  unit
+(** Set the transfer worker-pool size for subsequent updates on this
+    manager lineage ([WORKERS <count>]). Replies "OK" or
+    "ERR usage: WORKERS <count>" for a count below 1. *)
+
 val update_pending : Manager.t -> bool
 (** Whether the manager has an outstanding mcr-ctl UPDATE request —
     the signal the host loop uses to invoke {!Manager.update}. *)

@@ -49,6 +49,8 @@ type mset = {
   m_downtime_h : Metrics.histogram;
   m_precopy_rounds_h : Metrics.histogram;
   m_pair_cost_h : Metrics.histogram;
+  m_workers_g : Metrics.gauge;
+  m_shard_words_h : Metrics.histogram;
 }
 
 let make_mset metrics =
@@ -73,6 +75,8 @@ let make_mset metrics =
     m_precopy_rounds_h =
       Metrics.histogram metrics ~bounds:[| 1; 2; 3; 4; 6; 8; 12; 16 |] "mcr_precopy_rounds";
     m_pair_cost_h = Metrics.histogram metrics "mcr_pair_cost_ns";
+    m_workers_g = Metrics.gauge metrics "mcr_transfer_workers";
+    m_shard_words_h = Metrics.histogram metrics "mcr_transfer_shard_words";
   }
 
 type t = {
@@ -227,6 +231,18 @@ let policy_command policy cmd =
               | _ -> Some usage
             end
           | _ -> Some usage
+        end
+      | _ -> Some usage
+    end
+  | "WORKERS" :: rest -> begin
+      let usage = "ERR usage: WORKERS <count>" in
+      match rest with
+      | [ n ] -> begin
+          match int_of_string_opt n with
+          | Some n when n >= 1 ->
+              policy := Policy.with_transfer_workers n !policy;
+              Some "OK"
+          | Some _ | None -> Some usage
         end
       | _ -> Some usage
     end
@@ -528,6 +544,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
   (match fault with Some f -> Fault.set_trace f tr | None -> ());
   let mpid = K.pid t.root_proc in
   let dirty_only = pol.Policy.dirty_only in
+  let workers = pol.Policy.transfer_workers in
   let quiesce_deadline_ns = pol.Policy.quiesce_deadline_ns in
   let update_deadline_ns = pol.Policy.update_deadline_ns in
   let precopy_enabled = pol.Policy.precopy in
@@ -867,13 +884,17 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
                                 s
                           in
                           let rs =
-                            Transfer.precopy_round session ~old_image:oi ~analysis ?since ()
+                            Transfer.precopy_round session ~old_image:oi ~analysis ?since
+                              ~workers ()
                           in
                           Hashtbl.replace marks key mark;
-                          (* rounds run per-pair in parallel, like transfers *)
+                          (* rounds run per-pair in parallel, like transfers;
+                             within a pair the worker pool shards the round,
+                             so the pair pays its critical path *)
                           round_cost :=
                             max !round_cost
-                              (analysis.Objgraph.cost_ns + rs.Transfer.round_cost_ns);
+                              (Objgraph.trace_critical_ns analysis ~workers
+                              + rs.Transfer.round_cost_ns);
                           round_delta := !round_delta + rs.Transfer.round_words;
                           precopy_bytes_staged :=
                             !precopy_bytes_staged + (rs.Transfer.round_words * Addr.word_size)
@@ -957,9 +978,14 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
                     let outcome =
                       Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only
                         ?precopy:(Hashtbl.find_opt sessions key)
-                        ?trace:tr ?fault ()
+                        ~workers ?trace:tr ?fault ()
                     in
-                    let pair_cost = analysis.Objgraph.cost_ns + outcome.Transfer.cost_ns in
+                    (* per-pair critical path: tracing and copying each run
+                       sharded across the worker pool, so the pair pays the
+                       max over shards of each phase, not the sum *)
+                    let pair_cost =
+                      outcome.Transfer.trace_critical_ns + outcome.Transfer.cost_ns
+                    in
                     max_pair_cost := max !max_pair_cost pair_cost;
                     transfers := (key, outcome) :: !transfers;
                     (* O(total-conflicts): accumulate reversed, reverse once
@@ -981,8 +1007,24 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
                       ~args:
                         [ ("pair", Format.asprintf "%a" Logdefs.pp_key key);
                           ("words", string_of_int outcome.Transfer.transferred_words);
-                          ("objects", string_of_int outcome.Transfer.transferred_objects) ]
+                          ("objects", string_of_int outcome.Transfer.transferred_objects);
+                          ("workers", string_of_int outcome.Transfer.workers) ]
                       ~dur_ns:pair_cost "transfer.pair";
+                    Metrics.set t.mset.m_workers_g outcome.Transfer.workers;
+                    if outcome.Transfer.workers > 1 then
+                      Array.iteri
+                        (fun s words ->
+                          Metrics.observe t.mset.m_shard_words_h words;
+                          Trace.complete tr ~pid:new_pid ~cat:"stage"
+                            ~args:
+                              [ ("pair", Format.asprintf "%a" Logdefs.pp_key key);
+                                ("shard", string_of_int s);
+                                ("words", string_of_int words) ]
+                            ~dur_ns:
+                              (outcome.Transfer.trace_shard_ns.(s)
+                              + outcome.Transfer.shard_cost_ns.(s))
+                            "transfer.shard")
+                        outcome.Transfer.shard_words;
                     (* post-startup descriptors (open connections) move to
                        the paired process at the same numbers *)
                     List.iter

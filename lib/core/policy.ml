@@ -8,6 +8,7 @@ type t = {
   precopy : bool;
   precopy_max_rounds : int;
   precopy_threshold_words : int;
+  transfer_workers : int;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     precopy = false;
     precopy_max_rounds = 4;
     precopy_threshold_words = 512;
+    transfer_workers = 1;
   }
 
 let with_quiesce_deadline_ns q t = { t with quiesce_deadline_ns = q }
@@ -48,6 +50,10 @@ let with_precopy ?max_rounds ?threshold_words enabled t =
     precopy_threshold_words = threshold_words;
   }
 
+let with_transfer_workers n t =
+  if n < 1 then invalid_arg "Policy.with_transfer_workers: workers must be >= 1";
+  { t with transfer_workers = n }
+
 let pp ppf t =
   let opt ppf = function
     | None -> Format.pp_print_string ppf "-"
@@ -55,6 +61,8 @@ let pp ppf t =
   in
   Format.fprintf ppf
     "@[<hov>quiesce_deadline_ns=%a update_deadline_ns=%a retries=%d retry_backoff_ns=%d \
-     fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d@]"
+     fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d \
+     transfer_workers=%d@]"
     opt t.quiesce_deadline_ns opt t.update_deadline_ns t.retries t.retry_backoff_ns opt
     t.fault_seed t.dirty_only t.precopy t.precopy_max_rounds t.precopy_threshold_words
+    t.transfer_workers

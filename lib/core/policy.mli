@@ -33,6 +33,12 @@ type t = {
       (** A delta round staging at most this many words has converged; if
           no round converges within the budget the update rolls back with
           {!Mcr_error.Precopy_diverged} (default 512). *)
+  transfer_workers : int;
+      (** Simulated state-transfer worker pool size. The reachable set is
+          partitioned into that many word-balanced shards and downtime is
+          charged as the critical path over shards plus per-worker
+          spawn/join overhead; results are byte-identical for every value
+          (default 1 — sequential accounting, no overhead). *)
 }
 
 val default : t
@@ -47,5 +53,9 @@ val with_dirty_only : bool -> t -> t
 val with_precopy : ?max_rounds:int -> ?threshold_words:int -> bool -> t -> t
 (** [with_precopy true p] enables pre-copy; the optional knobs default to
     the current values of [p]. *)
+
+val with_transfer_workers : int -> t -> t
+(** Set the transfer worker-pool size.
+    @raise Invalid_argument if the count is below 1. *)
 
 val pp : Format.formatter -> t -> unit

@@ -21,7 +21,13 @@ let conf_t =
   Ty.Struct
     {
       sname = "ap_conf_t";
-      fields = [ ("workers", Ty.Int); ("listen_fd", Ty.Int); ("root", Ty.Void_ptr) ];
+      fields =
+        [
+          ("workers", Ty.Int);
+          ("listen_fd", Ty.Int);
+          ("conn_buf_words", Ty.Int);
+          ("root", Ty.Void_ptr);
+        ];
     }
 
 let vhost_t ~final =
@@ -83,15 +89,17 @@ let bump_vhost t path len =
 (* ------------------------------------------------------------------ *)
 (* Worker threads *)
 
+(* claim the scoreboard slot holding [fd]; returns the slot index so the
+   hold worker can park per-connection state (the request buffer) there *)
 let claim_held t fd =
   let held = Api.global t "ap_held_fds" in
   let claimed = Api.global t "ap_held_claimed" in
   let rec go i =
-    if i >= max_held then false
+    if i >= max_held then None
     else if Api.load t (Addr.add_words held i) = fd && Api.load t (Addr.add_words claimed i) = 0
     then begin
       Api.store t (Addr.add_words claimed i) 1;
-      true
+      Some i
     end
     else go (i + 1)
   in
@@ -100,10 +108,16 @@ let claim_held t fd =
 let unheld t fd =
   let held = Api.global t "ap_held_fds" in
   let claimed = Api.global t "ap_held_claimed" in
+  let bufs = Api.global t "ap_held_bufs" in
   for i = 0 to max_held - 1 do
     if Api.load t (Addr.add_words held i) = fd then begin
       Api.store t (Addr.add_words held i) 0;
-      Api.store t (Addr.add_words claimed i) 0
+      Api.store t (Addr.add_words claimed i) 0;
+      let b = Api.load t (Addr.add_words bufs i) in
+      if b <> 0 then begin
+        Api.free t b;
+        Api.store t (Addr.add_words bufs i) 0
+      end
     end
   done
 
@@ -145,20 +159,34 @@ let hold_worker_body t =
   Api.fn t "ap_hold_worker" @@ fun () ->
   (* find our connection: first held-but-unclaimed fd *)
   let held = Api.global t "ap_held_fds" in
-  let fd =
+  let fd, slot =
     let rec go i =
-      if i >= max_held then 0
+      if i >= max_held then (0, -1)
       else
         let v = Api.load t (Addr.add_words held i) in
-        if v <> 0 && claim_held t v then v else go (i + 1)
+        if v <> 0 then
+          match claim_held t v with Some s -> (v, s) | None -> go (i + 1)
+        else go (i + 1)
     in
     go 0
   in
   if fd <> 0 then begin
     let state = Api.stack_var t "hold_state" "ap_hold_state_t" in
     (* per-connection request buffer: heap state that grows with held
-       connections (Figure 3) *)
-    let _conn_buf = Api.malloc_opaque t ~site:"ap_hold_worker:buf" 256 in
+       connections (Figure 3), sized by the ConnBufferWords directive and
+       parked in ap_held_bufs so it stays reachable (and transferable)
+       for the connection's whole lifetime; respawned hold workers after
+       an update find the transferred buffer already in the slot *)
+    let bufs = Api.global t "ap_held_bufs" in
+    if Api.load t (Addr.add_words bufs slot) = 0 then begin
+      let conf = Api.load t (Api.global t "ap_conf") in
+      let buf_words =
+        let n = Api.load_field t conf "ap_conf_t" "conn_buf_words" in
+        if n <= 0 then 256 else n
+      in
+      Api.store t (Addr.add_words bufs slot)
+        (Api.malloc_opaque t ~site:"ap_hold_worker:buf" buf_words)
+    end;
     let rec serve () =
       match Api.blocking t ~qpoint:"ap_hold_read" (S.Read { fd; max = 4096; nonblock = false }) with
       | S.Ok_data "" ->
@@ -236,11 +264,17 @@ let master_body ~prepared ~step t =
       let conf = Api.malloc t ~site:"ap_read_config:conf" "ap_conf_t" in
       Api.store t (Api.global t "ap_conf") conf;
       let cfd = Api.sys_fd_exn t (S.Open { path = config_path; create = false }) in
-      ignore (Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }));
+      let raw =
+        match Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }) with
+        | S.Ok_data d -> d
+        | _ -> ""
+      in
       Api.sys_unit_exn t (S.Close { fd = cfd });
       let root_buf = Api.malloc_opaque t ~site:"ap_read_config:root" 4 in
       Api.write_bytes t root_buf doc_root;
       Api.store_field t conf "ap_conf_t" "workers" (servers * workers_per_server);
+      Api.store_field t conf "ap_conf_t" "conn_buf_words"
+        (Srvutil.config_int raw ~key:"ConnBufferWords" ~default:256);
       (* startup-time configuration tables (mime types, host maps, parsed
          directives): the bulk of a real server's state, initialized once
          and re-created by the new version's own startup — what soft-dirty
@@ -315,6 +349,7 @@ let globals ~step =
     ("ap_vhost_head", Ty.Ptr (Ty.Named "ap_vhost_t"));
     ("ap_held_fds", Ty.Array (Ty.Int, max_held));
     ("ap_held_claimed", Ty.Array (Ty.Int, max_held));
+    ("ap_held_bufs", Ty.Array (Ty.Void_ptr, max_held));
     (* access-log head stored as a pointer-sized integer: opaque, so the
        whole pool-resident log is found only by conservative scanning *)
     ("ap_log_head", Ty.Word);
@@ -351,10 +386,10 @@ let qpoints =
 let helper_body name t =
   Api.fn t name @@ fun () -> ignore (Api.sys t (S.Nanosleep { ns = 1_000 }))
 
-let version_of_step ~step ~final ~prepared ~tag =
+let version_of_step ?heap_words ~step ~final ~prepared ~tag () =
   let e = env ~final in
   Ty.env_add e "ap_hold_state_t" Ty.Int;
-  P.make_version ~prog:"httpd" ~version_tag:tag ~layout_bias:(step * 1024) ~tyenv:e
+  P.make_version ~prog:"httpd" ~version_tag:tag ~layout_bias:(step * 1024) ?heap_words ~tyenv:e
     ~globals:(globals ~step) ~funcs:(funcs ~step) ~strings
     ~entries:
       [
@@ -376,12 +411,14 @@ let versions () =
       let tag =
         if step = 0 then "2.2.23" else if final then "2.3.8" else Printf.sprintf "2.2.23+u%d" step
       in
-      version_of_step ~step ~final ~prepared:true ~tag)
+      version_of_step ~step ~final ~prepared:true ~tag ())
 
-let base () = version_of_step ~step:0 ~final:false ~prepared:true ~tag:"2.2.23"
+let base ?heap_words () =
+  version_of_step ?heap_words ~step:0 ~final:false ~prepared:true ~tag:"2.2.23" ()
 
-let final () =
-  version_of_step ~step:meta.Table_meta.num_updates ~final:true ~prepared:true ~tag:"2.3.8"
+let final ?heap_words () =
+  version_of_step ?heap_words ~step:meta.Table_meta.num_updates ~final:true ~prepared:true
+    ~tag:"2.3.8" ()
 
 let unprepared () =
-  version_of_step ~step:meta.Table_meta.num_updates ~final:true ~prepared:false ~tag:"2.3.8-raw"
+  version_of_step ~step:meta.Table_meta.num_updates ~final:true ~prepared:false ~tag:"2.3.8-raw" ()

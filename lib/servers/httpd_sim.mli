@@ -27,8 +27,11 @@ val versions : unit -> Mcr_program.Progdef.version list
 (** 6 versions (5 updates, matching the paper); the final update retypes
     the vhost statistics entry. *)
 
-val base : unit -> Mcr_program.Progdef.version
-val final : unit -> Mcr_program.Progdef.version
+val base : ?heap_words:int -> unit -> Mcr_program.Progdef.version
+val final : ?heap_words:int -> unit -> Mcr_program.Progdef.version
+(** [?heap_words] sizes the instrumented heap — the downtime benchmark
+    passes a large heap so per-connection buffer ballast (the
+    [ConnBufferWords] config directive) fits at scale. *)
 
 val unprepared : unit -> Mcr_program.Progdef.version
 (** The final version built without the 8-LOC MCR preparation: its startup

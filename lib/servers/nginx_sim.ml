@@ -49,7 +49,13 @@ let conf_t =
   Ty.Struct
     {
       sname = "ngx_conf_t";
-      fields = [ ("workers", Ty.Int); ("listen_fd", Ty.Int); ("root", Ty.Void_ptr) ];
+      fields =
+        [
+          ("workers", Ty.Int);
+          ("listen_fd", Ty.Int);
+          ("conn_buf_words", Ty.Int);
+          ("root", Ty.Void_ptr);
+        ];
     }
 
 let env ~step ~final =
@@ -145,8 +151,14 @@ let accept_connection t pool listen_fd =
       (* the encoded head pointer idiom at global scope too *)
       Api.store t (Api.global t "ngx_head_enc") (conn lor 2);
       (* per-connection read buffer on the instrumented heap: connection
-         state that state transfer must move (Figure 3 growth) *)
-      let buf = Api.malloc_opaque t ~site:"ngx_event_accept:buf" 64 in
+         state that state transfer must move (Figure 3 growth); sized by
+         the conn_buffer_words config directive *)
+      let conf = Api.load t (Api.global t "ngx_conf") in
+      let buf_words =
+        let n = Api.load_field t conf "ngx_conf_t" "conn_buf_words" in
+        if n <= 0 then 64 else n
+      in
+      let buf = Api.malloc_opaque t ~site:"ngx_event_accept:buf" buf_words in
       (match conn_slot t conn_fd with
       | Some slot -> Api.store t (Addr.add_words (Api.global t "ngx_conn_bufs") slot) buf
       | None -> Api.free t buf)
@@ -231,7 +243,7 @@ let master_body ?(workers = 1) ~step t =
       let conf = Api.malloc t ~site:"ngx_init_cycle:conf" "ngx_conf_t" in
       Api.store t (Api.global t "ngx_conf") conf;
       let cfd = Api.sys_fd_exn t (S.Open { path = config_path; create = false }) in
-      let _raw =
+      let raw =
         match Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }) with
         | S.Ok_data d -> d
         | _ -> ""
@@ -240,6 +252,8 @@ let master_body ?(workers = 1) ~step t =
       let root_buf = Api.malloc_opaque t ~site:"ngx_init_cycle:root" 4 in
       Api.write_bytes t root_buf doc_root;
       Api.store_field t conf "ngx_conf_t" "workers" 1;
+      Api.store_field t conf "ngx_conf_t" "conn_buf_words"
+        (Srvutil.config_int raw ~key:"conn_buffer_words" ~default:64);
       (* startup-time configuration tables (mime types, host maps, parsed
          directives): the bulk of a real server's state, initialized once
          and re-created by the new version's own startup — what soft-dirty
@@ -330,8 +344,8 @@ let qpoints = [ ("ngx_master_cycle", "sem_wait"); ("ngx_process_events", "poll")
    free-list reference must be dropped after transfer. *)
 let reset_slab_refs t = Api.store t (Api.global t "ngx_slab_prev") 0
 
-let version_of_step ?workers ~step ~final ~tag () =
-  P.make_version ~prog:"nginx" ~version_tag:tag ~layout_bias:(step * 1024)
+let version_of_step ?workers ?heap_words ~step ~final ~tag () =
+  P.make_version ~prog:"nginx" ~version_tag:tag ~layout_bias:(step * 1024) ?heap_words
     ~tyenv:(env ~step ~final) ~globals:(globals ~step) ~funcs:(funcs ~step) ~strings
     ~entries:
       [
@@ -349,11 +363,12 @@ let versions () =
       let tag = if step = 0 then "0.8.54" else if final then "1.0.15" else Printf.sprintf "0.8.54+u%d" step in
       version_of_step ~step ~final ~tag ())
 
-let base () = version_of_step ~step:0 ~final:false ~tag:"0.8.54" ()
+let base ?heap_words () = version_of_step ?heap_words ~step:0 ~final:false ~tag:"0.8.54" ()
 
 (* a nondeterministic-process-model update (Section 7): the new version
    forks a different number of workers than the recorded startup *)
 let final_with_workers n =
   version_of_step ~workers:n ~step:meta.Table_meta.num_updates ~final:true ~tag:"1.0.15" ()
 
-let final () = version_of_step ~step:meta.Table_meta.num_updates ~final:true ~tag:"1.0.15" ()
+let final ?heap_words () =
+  version_of_step ?heap_words ~step:meta.Table_meta.num_updates ~final:true ~tag:"1.0.15" ()

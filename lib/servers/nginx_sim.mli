@@ -28,8 +28,11 @@ val versions : unit -> Mcr_program.Progdef.version list
     the final version's functional change adds a [ttl] field to the cache
     entry type. *)
 
-val base : unit -> Mcr_program.Progdef.version
-val final : unit -> Mcr_program.Progdef.version
+val base : ?heap_words:int -> unit -> Mcr_program.Progdef.version
+val final : ?heap_words:int -> unit -> Mcr_program.Progdef.version
+(** [?heap_words] sizes the instrumented heap — the downtime benchmark
+    passes a large heap so per-connection buffer ballast (the
+    [conn_buffer_words] config directive) fits at scale. *)
 
 val final_with_workers : int -> Mcr_program.Progdef.version
 (** The final version configured to fork [n] worker processes — the

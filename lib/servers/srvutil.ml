@@ -21,6 +21,23 @@ let arg req =
   | _ :: a :: _ -> Some a
   | _ -> None
 
+(* "key value" / "key value;" directive in a config file -> int value *)
+let config_int raw ~key ~default =
+  let parse line =
+    match String.split_on_char ' ' (String.trim line) with
+    | k :: v :: _ when k = key ->
+        let v =
+          if String.length v > 0 && v.[String.length v - 1] = ';' then
+            String.sub v 0 (String.length v - 1)
+          else v
+        in
+        int_of_string_opt v
+    | _ -> None
+  in
+  match List.find_map parse (String.split_on_char '\n' raw) with
+  | Some n -> n
+  | None -> default
+
 (* read one request off a connection at a (possibly wrapped) quiescent point *)
 let read_request t ~qpoint fd =
   match Api.blocking t ~qpoint (S.Read { fd; max = 4096; nonblock = false }) with

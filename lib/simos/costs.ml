@@ -13,6 +13,8 @@ type t = {
   app_work_ns : int;
   record_ns : int;
   replay_match_ns : int;
+  worker_spawn_ns : int;
+  worker_join_ns : int;
 }
 
 let default =
@@ -31,6 +33,8 @@ let default =
     app_work_ns = 3_000;
     record_ns = 150;
     replay_match_ns = 600;
+    worker_spawn_ns = 80_000;
+    worker_join_ns = 40_000;
   }
 
 let zero =
@@ -49,4 +53,6 @@ let zero =
     app_work_ns = 0;
     record_ns = 0;
     replay_match_ns = 0;
+    worker_spawn_ns = 0;
+    worker_join_ns = 0;
   }

@@ -21,6 +21,10 @@ type t = {
   app_work_ns : int;  (** Application-level work unit (request handling). *)
   record_ns : int;  (** Startup-log recording, per intercepted call. *)
   replay_match_ns : int;  (** Replay matching + deep comparison, per call. *)
+  worker_spawn_ns : int;
+      (** Spawning one transfer worker thread (sharded state transfer). *)
+  worker_join_ns : int;
+      (** Joining one transfer worker thread at the shard merge barrier. *)
 }
 
 val default : t

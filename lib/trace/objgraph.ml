@@ -58,6 +58,9 @@ type t = {
   roots : obj list;
   stats : stats;
   cost_ns : int;
+  obj_cost : int array;
+  reachable_count : int;
+  reachable_words : int;
   injected_pin : obj option;
 }
 
@@ -262,6 +265,10 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace
   let env = image.P.i_version.P.tyenv in
   let stats = { precise = new_side (); likely = new_side () } in
   let text = Symtab.text_region image.P.i_symtab in
+  (* Per-object cost attribution: every charge lands on the reachable object
+     that caused it (first-visit charge, or the object whose opaque words are
+     being scanned), so per-shard sums partition [cost_ns] exactly. *)
+  let obj_cost = Array.make (List.length objs) 0 in
   (* Incremental re-trace accounting: with [cost_since], only objects on
      pages written after that {!Aspace.write_seq} mark are charged — a
      delta round walks the same graph (edges, pins and dirty flags must not
@@ -279,10 +286,14 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace
               Hashtbl.add memo o.id b;
               b)
   in
+  let charge (o : obj) c =
+    cost := !cost + c;
+    obj_cost.(o.id) <- obj_cost.(o.id) + c
+  in
   let rec visit (o : obj) =
     if not o.reachable then begin
       o.reachable <- true;
-      if charged o then cost := !cost + costs.Costs.trace_obj_ns;
+      if charged o then charge o costs.Costs.trace_obj_ns;
       match o.ty with
       | Some ty -> visit_typed o ty
       | None -> visit_opaque o 0 o.words
@@ -321,12 +332,15 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace
         if Region.contains text v then
           record_edge stats.precise ~src_region:o.region ~targ_region:Region.Static
   and visit_opaque o from_word words =
-    for w = from_word to from_word + words - 1 do
-      scan_word o (Addr.add_words o.addr w)
-    done
+    if words > 0 then begin
+      if charged o then charge o (words * costs.Costs.scan_word_ns);
+      Aspace.fold_words aspace (Addr.add_words o.addr from_word) ~words ~init:()
+        ~f:(fun () v -> scan_value o v)
+    end
   and scan_word o word_addr =
-    if charged o then cost := !cost + costs.Costs.scan_word_ns;
-    let v = Aspace.read_word aspace word_addr in
+    if charged o then charge o costs.Costs.scan_word_ns;
+    scan_value o (Aspace.read_word aspace word_addr)
+  and scan_value o v =
     if v <> 0 && Addr.is_aligned v then
       match resolve_in index v with
       | Some (target, _off) ->
@@ -392,6 +406,17 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace
       (prefix ^ "_targ_lib", string_of_int s.targ_lib);
     ]
   in
+  (* one pass over the index for every summary the instant and the cached
+     counters need, instead of a List.filter per counter *)
+  let n_reachable = ref 0 and n_pinned = ref 0 and r_words = ref 0 in
+  Array.iter
+    (fun o ->
+      if o.reachable then begin
+        incr n_reachable;
+        r_words := !r_words + o.words
+      end;
+      if o.immutable_ then incr n_pinned)
+    index;
   Trace.instant trace
     ~pid:(K.pid image.P.i_proc)
     ~cat:"objgraph" "objgraph.edges"
@@ -399,11 +424,20 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace
       (side_args "precise" stats.precise
       @ side_args "likely" stats.likely
       @ [
-          ("reachable", string_of_int (List.length (List.filter (fun o -> o.reachable) objs)));
-          ("pinned", string_of_int (List.length (List.filter (fun o -> o.immutable_) objs)));
+          ("reachable", string_of_int !n_reachable);
+          ("pinned", string_of_int !n_pinned);
           ("cost_ns", string_of_int !cost);
         ]);
-  { objects = index; roots; stats; cost_ns = !cost; injected_pin }
+  {
+    objects = index;
+    roots;
+    stats;
+    cost_ns = !cost;
+    obj_cost;
+    reachable_count = !n_reachable;
+    reachable_words = !r_words;
+    injected_pin;
+  }
 
 let resolve t addr = resolve_in t.objects addr
 
@@ -412,9 +446,108 @@ let find_static t name =
     (fun o -> match o.origin with O_static s -> s = name | _ -> false)
     t.objects
 
+let iter_reachable t f = Array.iter (fun o -> if o.reachable then f o) t.objects
+
 let reachable_objects t = Array.to_list t.objects |> List.filter (fun o -> o.reachable)
 
 let dirty_objects t = Array.to_list t.objects |> List.filter (fun o -> o.dirty)
+
+(* ------------------------------------------------------------------ *)
+(* Shard partitioning for the worker-pool transfer model *)
+
+type shard_plan = {
+  sp_workers : int;
+  sp_shard_of : int array;
+  sp_objects : int array;
+  sp_words : int array;
+  sp_trace_ns : int array;
+}
+
+let shard t ~workers =
+  if workers < 1 then invalid_arg "Objgraph.shard: workers must be >= 1";
+  let reach =
+    let buf = ref [] in
+    Array.iter (fun o -> if o.reachable then buf := o :: !buf) t.objects;
+    Array.of_list (List.rev !buf)
+  in
+  let n = Array.length reach in
+  let w = max 1 (min workers n) in
+  let total = Array.fold_left (fun acc o -> acc + o.words) 0 reach in
+  (* contiguous address-order partition: shard k is reach.[bounds.(k),
+     bounds.(k+1)). Greedy cuts at the word-count prefix-sum targets, never
+     leaving a later shard without at least one object. *)
+  let bounds = Array.make (w + 1) n in
+  bounds.(0) <- 0;
+  let s = ref 0 and prefix = ref 0 in
+  for j = 0 to n - 1 do
+    if
+      !s < w - 1
+      && j > bounds.(!s)
+      && (n - j <= w - 1 - !s || !prefix * w >= (!s + 1) * total)
+    then begin
+      incr s;
+      bounds.(!s) <- j
+    end;
+    prefix := !prefix + reach.(j).words
+  done;
+  (* work-stealing rebalance: shift boundary objects between adjacent shards
+     whenever that strictly lowers the heavier side, until fixpoint (bounded
+     pass count keeps this deterministic and terminating) *)
+  let wsum = Array.make w 0 in
+  for k = 0 to w - 1 do
+    for j = bounds.(k) to bounds.(k + 1) - 1 do
+      wsum.(k) <- wsum.(k) + reach.(j).words
+    done
+  done;
+  let moved = ref (w > 1) and pass = ref 0 in
+  while !moved && !pass < 8 * w do
+    moved := false;
+    incr pass;
+    for k = 0 to w - 2 do
+      let wk = wsum.(k) and wk1 = wsum.(k + 1) in
+      if wk > wk1 && bounds.(k + 1) - bounds.(k) > 1 then begin
+        let x = reach.(bounds.(k + 1) - 1).words in
+        if max (wk - x) (wk1 + x) < wk then begin
+          bounds.(k + 1) <- bounds.(k + 1) - 1;
+          wsum.(k) <- wk - x;
+          wsum.(k + 1) <- wk1 + x;
+          moved := true
+        end
+      end
+      else if wk1 > wk && bounds.(k + 2) - bounds.(k + 1) > 1 then begin
+        let x = reach.(bounds.(k + 1)).words in
+        if max (wk + x) (wk1 - x) < wk1 then begin
+          bounds.(k + 1) <- bounds.(k + 1) + 1;
+          wsum.(k) <- wk + x;
+          wsum.(k + 1) <- wk1 - x;
+          moved := true
+        end
+      end
+    done
+  done;
+  let shard_of = Array.make (Array.length t.obj_cost) (-1) in
+  let objects = Array.make w 0 and trace_ns = Array.make w 0 in
+  for k = 0 to w - 1 do
+    for j = bounds.(k) to bounds.(k + 1) - 1 do
+      let o = reach.(j) in
+      shard_of.(o.id) <- k;
+      objects.(k) <- objects.(k) + 1;
+      trace_ns.(k) <- trace_ns.(k) + t.obj_cost.(o.id)
+    done
+  done;
+  {
+    sp_workers = w;
+    sp_shard_of = shard_of;
+    sp_objects = objects;
+    sp_words = wsum;
+    sp_trace_ns = trace_ns;
+  }
+
+let trace_critical_ns t ~workers =
+  if workers <= 1 then t.cost_ns
+  else
+    let plan = shard t ~workers in
+    Array.fold_left max 0 plan.sp_trace_ns
 
 let pp_side ppf (s : side) =
   Format.fprintf ppf "ptr=%d src(stat=%d dyn=%d) targ(stat=%d dyn=%d lib=%d)" s.ptr

@@ -61,6 +61,13 @@ type t = {
   roots : obj list;
   stats : stats;
   cost_ns : int;  (** Virtual time the analysis would take. *)
+  obj_cost : int array;
+      (** Per-object share of [cost_ns], indexed by [obj.id]: the first-visit
+          charge plus conservative-scan charges for the object's own opaque
+          words. Sums over the reachable set exactly to [cost_ns], which is
+          what lets {!shard} partition the tracing cost across workers. *)
+  reachable_count : int;  (** Cached [List.length (reachable_objects t)]. *)
+  reachable_words : int;  (** Total words of reachable objects. *)
   injected_pin : obj option;
       (** The object a {!Mcr_fault.Fault.Likely_misclassification} fault
           pinned (marked immutable + nonupdatable as if a spurious likely
@@ -114,7 +121,45 @@ val resolve : t -> Mcr_vmem.Addr.t -> (obj * int) option
 val find_static : t -> string -> obj option
 (** Static object by symbol name. *)
 
+val iter_reachable : t -> (obj -> unit) -> unit
+(** Iterate the reachable objects in address order without materializing a
+    list — the order {!reachable_objects} returns them in. *)
+
 val reachable_objects : t -> obj list
 val dirty_objects : t -> obj list
+
+(** {2 Shard partitioning (parallel state transfer)}
+
+    The worker-pool transfer model partitions the reachable set into [W]
+    contiguous address-range shards balanced by word count, so tracing and
+    copy charges can be accounted per-shard and downtime charged as the
+    critical path ([max] over shards) instead of the sequential sum. The
+    partition is a pure accounting overlay: execution order is unchanged,
+    so results are byte-identical for every [W]. *)
+
+type shard_plan = {
+  sp_workers : int;
+      (** Effective worker count: requested workers clamped to [1 .. number
+          of reachable objects]. *)
+  sp_shard_of : int array;
+      (** [obj.id -> shard index], [-1] for unreachable objects. *)
+  sp_objects : int array;  (** Per-shard reachable-object count. *)
+  sp_words : int array;  (** Per-shard word count (the balance target). *)
+  sp_trace_ns : int array;
+      (** Per-shard tracing cost: sum of {!t.obj_cost} over the shard.
+          Sums to {!t.cost_ns}; its max is the tracing critical path. *)
+}
+
+val shard : t -> workers:int -> shard_plan
+(** Deterministic partition of the reachable set into at most [workers]
+    shards: address-order contiguous ranges, cut greedily at word-count
+    prefix-sum targets, then rebalanced by shifting boundary objects toward
+    the lighter neighbour (bounded work-stealing) until no move lowers a
+    pair's heavier side. Every shard holds at least one object.
+    @raise Invalid_argument if [workers < 1]. *)
+
+val trace_critical_ns : t -> workers:int -> int
+(** [max] of [sp_trace_ns] for the plan {!shard} builds — the tracing cost
+    on the critical path. Equals [cost_ns] when [workers = 1]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -32,6 +32,12 @@ type outcome = {
   live_words : int;
   precopied_objects : int;
   precopied_words : int;
+  workers : int;
+  shard_words : int array;
+  shard_cost_ns : int array;
+  trace_shard_ns : int array;
+  trace_critical_ns : int;
+  sequential_cost_ns : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -65,20 +71,17 @@ let precopy_create () = { pc_entries = Hashtbl.create 256; pc_rounds = 0 }
 let precopy_rounds pc = pc.pc_rounds
 
 let content_hash aspace addr words =
-  let h = ref (Mcr_util.Fnv.int words) in
-  for i = 0 to words - 1 do
-    h := Mcr_util.Fnv.combine !h (Mcr_util.Fnv.int (Aspace.read_word aspace (Addr.add_words addr i)))
-  done;
-  !h
+  Aspace.fold_words aspace addr ~words ~init:(Mcr_util.Fnv.int words) ~f:(fun h v ->
+      Mcr_util.Fnv.combine h (Mcr_util.Fnv.int v))
 
-let precopy_round pc ~(old_image : P.image) ~analysis ?since () =
+let precopy_round pc ~(old_image : P.image) ~analysis ?since ?(workers = 1) () =
   let aspace = old_image.P.i_aspace in
-  let twn = (K.costs old_image.P.i_kernel).Costs.transfer_word_ns in
-  let reachable = Objgraph.reachable_objects analysis in
+  let costs = K.costs old_image.P.i_kernel in
+  let twn = costs.Costs.transfer_word_ns in
   (* invalidate stale entries: the object behind a staged address was freed,
      moved, or resized since the previous round *)
-  let live = Hashtbl.create (List.length reachable + 1) in
-  List.iter (fun (o : obj) -> Hashtbl.replace live o.addr o.words) reachable;
+  let live = Hashtbl.create (analysis.Objgraph.reachable_count + 1) in
+  Objgraph.iter_reachable analysis (fun o -> Hashtbl.replace live o.addr o.words);
   let stale =
     Hashtbl.fold
       (fun addr e acc ->
@@ -88,9 +91,13 @@ let precopy_round pc ~(old_image : P.image) ~analysis ?since () =
       pc.pc_entries []
   in
   List.iter (Hashtbl.remove pc.pc_entries) stale;
+  (* the round's delta is copied by the same worker pool as the final
+     window: charge per-shard and report the critical path *)
+  let plan = Objgraph.shard analysis ~workers in
+  let w = plan.Objgraph.sp_workers in
+  let shard_words = Array.make w 0 in
   let objects = ref 0 and words = ref 0 in
-  List.iter
-    (fun (o : obj) ->
+  Objgraph.iter_reachable analysis (fun o ->
       let need =
         match Hashtbl.find_opt pc.pc_entries o.addr with
         | None -> true
@@ -103,16 +110,23 @@ let precopy_round pc ~(old_image : P.image) ~analysis ?since () =
         Hashtbl.replace pc.pc_entries o.addr
           { pc_words = o.words; pc_hash = content_hash aspace o.addr o.words };
         incr objects;
-        words := !words + o.words
-      end)
-    reachable;
+        words := !words + o.words;
+        let s = plan.Objgraph.sp_shard_of.(o.id) in
+        if s >= 0 then shard_words.(s) <- shard_words.(s) + o.words
+      end);
   pc.pc_rounds <- pc.pc_rounds + 1;
+  let round_cost_ns =
+    if w <= 1 then !words * twn
+    else
+      (Array.fold_left max 0 shard_words * twn)
+      + (w * (costs.Costs.worker_spawn_ns + costs.Costs.worker_join_ns))
+  in
   {
     round_objects = !objects;
     round_words = !words;
     round_invalidated = List.length stale;
     staged_objects = Hashtbl.length pc.pc_entries;
-    round_cost_ns = !words * twn;
+    round_cost_ns;
   }
 
 (* Where an old object lands in the new version. *)
@@ -130,6 +144,9 @@ type state = {
   analysis : Objgraph.t;
   dirty_only : bool;
   precopy : precopy option;
+  plan : Objgraph.shard_plan;
+  shard_cost : int array; (* per-shard copy charge *)
+  shard_w : int array; (* per-shard words copied *)
   dests : (int, dest) Hashtbl.t; (* old obj id -> destination *)
   plans : (int, Typlan.t) Hashtbl.t;
       (* transformation plan used per old object: interior pointers must
@@ -345,23 +362,31 @@ let prepaid st (o : obj) =
           && e.pc_hash = content_hash st.old_image.P.i_aspace o.addr o.words
       | None -> false)
 
-let charge_copy st ~prepaid words =
+let charge_copy st ~prepaid (o : obj) words =
+  let s =
+    let s = st.plan.Objgraph.sp_shard_of.(o.id) in
+    if s >= 0 then s else 0
+  in
+  st.shard_w.(s) <- st.shard_w.(s) + words;
   if prepaid then begin
     st.precopied_objs <- st.precopied_objs + 1;
     st.precopied_w <- st.precopied_w + words
   end
-  else st.cost <- st.cost + (words * (K.costs st.old_image.P.i_kernel).Costs.transfer_word_ns);
+  else begin
+    let c = words * (K.costs st.old_image.P.i_kernel).Costs.transfer_word_ns in
+    st.cost <- st.cost + c;
+    st.shard_cost.(s) <- st.shard_cost.(s) + c
+  end;
   st.words_copied <- st.words_copied + words;
   st.objects_copied <- st.objects_copied + 1
 
 let verbatim st (o : obj) dst_addr dst_words =
   let prepaid = prepaid st o in
   let n = min o.words dst_words in
-  for i = 0 to n - 1 do
-    Aspace.write_word st.new_image.P.i_aspace (Addr.add_words dst_addr i)
-      (Aspace.read_word st.old_image.P.i_aspace (Addr.add_words o.addr i))
-  done;
-  charge_copy st ~prepaid n
+  Aspace.copy_words_tracked
+    ~src:st.old_image.P.i_aspace o.addr
+    ~dst:st.new_image.P.i_aspace dst_addr ~words:n;
+  charge_copy st ~prepaid o n
 
 let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
   let prepaid = prepaid st o in
@@ -378,7 +403,7 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
       let new_words = Array.make dst_words 0 in
       h ~old_words ~new_words;
       write_new st dst_addr new_words;
-      charge_copy st ~prepaid dst_words;
+      charge_copy st ~prepaid o dst_words;
       st.transformed <- st.transformed + 1;
       true
   | None -> begin
@@ -388,7 +413,7 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
           Typlan.apply plan
             ~read:(fun off -> Aspace.read_word src (Addr.add_words o.addr off))
             ~write:(fun off v -> Aspace.write_word dst (Addr.add_words dst_addr off) v);
-          charge_copy st ~prepaid plan.Typlan.dst_words;
+          charge_copy st ~prepaid o plan.Typlan.dst_words;
           if not (Typlan.is_identity plan) then begin
             st.transformed <- st.transformed + 1;
             Hashtbl.replace st.plans o.id plan
@@ -518,7 +543,15 @@ let fixup_object st (o : obj) =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?trace ?fault () =
+let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers = 1) ?trace
+    ?fault () =
+  (* Sharding is a cost-accounting overlay on the sequential transfer: the
+     walk below runs in canonical address order for every [workers] value
+     (allocation order, startup-match consumption and the merge-phase fixup
+     are unchanged), so the committed image is byte-identical to the
+     single-worker result; only the virtual-time charge becomes the
+     critical path over shards. *)
+  let plan = Objgraph.shard analysis ~workers in
   let st =
     {
       old_image;
@@ -526,6 +559,9 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?trace ?fa
       analysis;
       dirty_only;
       precopy;
+      plan;
+      shard_cost = Array.make plan.Objgraph.sp_workers 0;
+      shard_w = Array.make plan.Objgraph.sp_workers 0;
       dests = Hashtbl.create 256;
       plans = Hashtbl.create 64;
       conflicts = [];
@@ -558,11 +594,18 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?trace ?fa
            })
   | None -> ());
   let startup_index = build_startup_index new_image in
-  let reachable = Objgraph.reachable_objects analysis in
-  List.iter (assign_dest st startup_index) reachable;
-  List.iter (copy_object st) reachable;
-  List.iter (fixup_object st) reachable;
-  let live_words = List.fold_left (fun acc o -> acc + o.words) 0 reachable in
+  Objgraph.iter_reachable analysis (assign_dest st startup_index);
+  Objgraph.iter_reachable analysis (copy_object st);
+  Objgraph.iter_reachable analysis (fixup_object st);
+  let live_words = analysis.Objgraph.reachable_words in
+  let w = plan.Objgraph.sp_workers in
+  let costs = K.costs old_image.P.i_kernel in
+  let cost_ns =
+    if w <= 1 then st.cost
+    else
+      Array.fold_left max 0 st.shard_cost
+      + (w * (costs.Costs.worker_spawn_ns + costs.Costs.worker_join_ns))
+  in
   let outcome =
     {
       transferred_objects = st.objects_copied;
@@ -573,10 +616,16 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?trace ?fa
       type_transformed = st.transformed;
       dangling_zeroed = st.dangling;
       conflicts = List.rev st.conflicts;
-      cost_ns = st.cost;
+      cost_ns;
       live_words;
       precopied_objects = st.precopied_objs;
       precopied_words = st.precopied_w;
+      workers = w;
+      shard_words = st.shard_w;
+      shard_cost_ns = st.shard_cost;
+      trace_shard_ns = plan.Objgraph.sp_trace_ns;
+      trace_critical_ns = Array.fold_left max 0 plan.Objgraph.sp_trace_ns;
+      sequential_cost_ns = st.cost;
     }
   in
   Trace.instant trace
@@ -594,6 +643,8 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?trace ?fa
         ("conflicts", string_of_int (List.length outcome.conflicts));
         ("cost_ns", string_of_int outcome.cost_ns);
         ("precopied_objects", string_of_int outcome.precopied_objects);
+        ("workers", string_of_int outcome.workers);
+        ("sequential_cost_ns", string_of_int outcome.sequential_cost_ns);
       ];
   outcome
 

@@ -40,10 +40,25 @@ type outcome = {
   type_transformed : int;  (** Objects whose transformation was not an identity copy. *)
   dangling_zeroed : int;  (** Pointers to dropped objects, nulled. *)
   conflicts : conflict list;
-  cost_ns : int;  (** Virtual time of this process pair's transfer. *)
+  cost_ns : int;
+      (** Virtual time of this process pair's transfer. With one worker this
+          is the sequential sum of per-object copy charges; with [W >= 2] it
+          is the critical path — [max] of [shard_cost_ns] — plus
+          [W * (worker_spawn_ns + worker_join_ns)] pool overhead. *)
   live_words : int;  (** Total reachable words (for dirty-reduction ratios). *)
   precopied_objects : int;  (** Copies whose in-window charge was prepaid. *)
   precopied_words : int;
+  workers : int;  (** Effective worker count ({!Objgraph.shard_plan}). *)
+  shard_words : int array;  (** Words copied per shard. *)
+  shard_cost_ns : int array;  (** Copy charge per shard (prepaid waived). *)
+  trace_shard_ns : int array;  (** Tracing charge per shard, from the plan. *)
+  trace_critical_ns : int;
+      (** [max] of [trace_shard_ns] — the tracing critical path; equals
+          [analysis.cost_ns] when [workers = 1]. *)
+  sequential_cost_ns : int;
+      (** The worker-independent sequential copy sum — what [cost_ns] would
+          be with one worker. [cost_ns <= sequential_cost_ns] net of pool
+          overhead. *)
 }
 
 (** {1 Pre-copy staging}
@@ -73,13 +88,17 @@ val precopy_round :
   old_image:Mcr_program.Progdef.image ->
   analysis:Objgraph.t ->
   ?since:int ->
+  ?workers:int ->
   unit ->
   round_stats
 (** Stage one round. With [since] (an {!Mcr_vmem.Aspace.write_seq} mark from
     the previous round), only new objects and objects on pages written after
     the mark are re-staged — the delta. Without it, everything reachable is
     staged (the first, full round). The caller charges [round_cost_ns] to
-    the clock while the old version keeps running. *)
+    the clock while the old version keeps running. With [workers > 1] the
+    round's delta is charged per-shard over the same {!Objgraph.shard} plan
+    as the final window and [round_cost_ns] is the critical path plus pool
+    overhead. *)
 
 val precopy_rounds : precopy -> int
 (** Rounds staged into this session so far. *)
@@ -90,6 +109,7 @@ val run :
   analysis:Objgraph.t ->
   ?dirty_only:bool ->
   ?precopy:precopy ->
+  ?workers:int ->
   ?trace:Mcr_obs.Trace.t ->
   ?fault:Mcr_fault.Fault.t ->
   unit ->
@@ -98,7 +118,14 @@ val run :
     soft-dirty filtering; passing false transfers everything (the ablation
     baseline). The cost is charged to the kernel's virtual clock by the
     caller, not here — parallel multiprocess transfer takes the maximum
-    across pairs, not the sum. With [?precopy], objects whose content was
+    across pairs, not the sum.
+
+    [workers] (default 1) sets the simulated transfer worker pool. The
+    partition into shards is pure cost accounting: the copy itself runs in
+    canonical address order for every worker count, so the committed image,
+    the conflict list and the rollback behaviour are identical for all
+    values of [workers]; only [cost_ns] changes (critical path + spawn/join
+    overhead instead of the sequential sum). With [?precopy], objects whose content was
     staged and is unchanged contribute nothing to [cost_ns] (they are
     counted in [precopied_objects]/[precopied_words]); the writes performed
     are identical either way. With [?trace], the outcome is emitted as a

@@ -7,7 +7,7 @@ type page = {
 
 type t = {
   pages : (int, page) Hashtbl.t;
-  mutable region_list : Region.t list; (* sorted by base *)
+  mutable regions_arr : Region.t array; (* sorted by base, disjoint *)
   bias : int;
   mutable wseq : int;
 }
@@ -15,7 +15,7 @@ type t = {
 exception Fault of Addr.t
 
 let create ?(layout_bias = 0) () =
-  { pages = Hashtbl.create 64; region_list = []; bias = layout_bias; wseq = 0 }
+  { pages = Hashtbl.create 64; regions_arr = [||]; bias = layout_bias; wseq = 0 }
 
 let layout_bias t = t.bias
 
@@ -31,7 +31,7 @@ let clone t =
           last_write_seq = p.last_write_seq;
         })
     t.pages;
-  { pages; region_list = t.region_list; bias = t.bias; wseq = t.wseq }
+  { pages; regions_arr = Array.copy t.regions_arr; bias = t.bias; wseq = t.wseq }
 
 type placement = Fixed of Addr.t | Near of Region.kind
 
@@ -47,23 +47,53 @@ let kind_base t = function
 
 let round_pages size = (size + Addr.page_size - 1) land lnot (Addr.page_size - 1)
 
+(* Index of the region with the greatest base <= [a], or -1. Regions are
+   disjoint and sorted by base, so limits are sorted too — the floor region
+   is the only candidate that can contain [a]. *)
+let floor_index (arr : Region.t array) a =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).Region.base <= a then begin
+      res := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !res
+
 let overlaps_any t ~base ~size =
-  List.exists (fun r -> Region.overlaps r ~base ~size) t.region_list
+  let arr = t.regions_arr in
+  let i = floor_index arr base in
+  (i >= 0 && Region.overlaps arr.(i) ~base ~size)
+  || (i + 1 < Array.length arr && arr.(i + 1).Region.base < base + size)
 
 (* First gap of [size] bytes at or after [from], skipping existing regions. *)
 let find_gap t ~from ~size =
-  let rec search base = function
-    | [] -> base
-    | (r : Region.t) :: rest ->
-        if base + size <= r.base then base
-        else if base >= Region.limit r then search base rest
-        else search (Region.limit r) rest
+  let arr = t.regions_arr in
+  let n = Array.length arr in
+  let start =
+    let i = floor_index arr from in
+    if i >= 0 && Region.limit arr.(i) > from then i else i + 1
   in
-  search from (List.filter (fun (r : Region.t) -> Region.limit r > from) t.region_list)
+  let rec search base j =
+    if j >= n then base
+    else
+      let r = arr.(j) in
+      if base + size <= r.Region.base then base
+      else if base >= Region.limit r then search base (j + 1)
+      else search (Region.limit r) (j + 1)
+  in
+  search from start
 
 let insert_region t (r : Region.t) =
-  t.region_list <-
-    List.sort (fun (a : Region.t) (b : Region.t) -> compare a.base b.base) (r :: t.region_list)
+  let arr = t.regions_arr in
+  let n = Array.length arr in
+  let pos = floor_index arr r.Region.base + 1 in
+  let out = Array.make (n + 1) r in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr pos out (pos + 1) (n - pos);
+  t.regions_arr <- out
 
 let map t ?(name = "") placement ~size kind =
   if size <= 0 then invalid_arg "Aspace.map: size must be positive";
@@ -94,21 +124,27 @@ let map t ?(name = "") placement ~size kind =
   base
 
 let unmap t base =
-  let r =
-    match List.find_opt (fun (r : Region.t) -> r.base = base) t.region_list with
-    | Some r -> r
-    | None -> raise Not_found
-  in
-  let first_page = Addr.page_of r.base in
-  let npages = r.size / Addr.page_size in
-  for i = 0 to npages - 1 do
-    Hashtbl.remove t.pages (first_page + i)
+  let arr = t.regions_arr in
+  let n = Array.length arr in
+  let i = floor_index arr base in
+  if i < 0 || arr.(i).Region.base <> base then raise Not_found;
+  let r = arr.(i) in
+  let first_page = Addr.page_of r.Region.base in
+  let npages = r.Region.size / Addr.page_size in
+  for j = 0 to npages - 1 do
+    Hashtbl.remove t.pages (first_page + j)
   done;
-  t.region_list <- List.filter (fun (x : Region.t) -> x.base <> base) t.region_list
+  let out = Array.make (n - 1) r in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr (i + 1) out i (n - 1 - i);
+  t.regions_arr <- out
 
-let regions t = t.region_list
+let regions t = Array.to_list t.regions_arr
 
-let find_region t a = List.find_opt (fun r -> Region.contains r a) t.region_list
+let find_region t a =
+  let arr = t.regions_arr in
+  let i = floor_index arr a in
+  if i >= 0 && Region.contains arr.(i) a then Some arr.(i) else None
 
 let page_for t a =
   if a <= 0 || not (Addr.is_aligned a) then raise (Fault a);
@@ -136,9 +172,58 @@ let write_word_untracked t a v =
   p.words.(Addr.word_index a) <- v;
   p.touched <- true
 
+let fold_words t a ~words ~init ~f =
+  if words <= 0 then init
+  else begin
+    let acc = ref init in
+    let addr = ref a in
+    let remaining = ref words in
+    while !remaining > 0 do
+      let p = page_for t !addr in
+      let idx = Addr.word_index !addr in
+      let n = min !remaining (Addr.words_per_page - idx) in
+      for i = idx to idx + n - 1 do
+        acc := f !acc p.words.(i)
+      done;
+      remaining := !remaining - n;
+      addr := Addr.add_words !addr n
+    done;
+    !acc
+  end
+
 let copy_words ~src src_addr ~dst dst_addr ~words =
-  for i = 0 to words - 1 do
-    write_word_untracked dst (Addr.add_words dst_addr i) (read_word src (Addr.add_words src_addr i))
+  let remaining = ref words in
+  let sa = ref src_addr and da = ref dst_addr in
+  while !remaining > 0 do
+    let sp = page_for src !sa and dp = page_for dst !da in
+    let si = Addr.word_index !sa and di = Addr.word_index !da in
+    let n =
+      min !remaining (min (Addr.words_per_page - si) (Addr.words_per_page - di))
+    in
+    Array.blit sp.words si dp.words di n;
+    dp.touched <- true;
+    remaining := !remaining - n;
+    sa := Addr.add_words !sa n;
+    da := Addr.add_words !da n
+  done
+
+let copy_words_tracked ~src src_addr ~dst dst_addr ~words =
+  let remaining = ref words in
+  let sa = ref src_addr and da = ref dst_addr in
+  while !remaining > 0 do
+    let sp = page_for src !sa and dp = page_for dst !da in
+    let si = Addr.word_index !sa and di = Addr.word_index !da in
+    let n =
+      min !remaining (min (Addr.words_per_page - si) (Addr.words_per_page - di))
+    in
+    Array.blit sp.words si dp.words di n;
+    dp.soft_dirty <- true;
+    dp.touched <- true;
+    dst.wseq <- dst.wseq + n;
+    dp.last_write_seq <- dst.wseq;
+    remaining := !remaining - n;
+    sa := Addr.add_words !sa n;
+    da := Addr.add_words !da n
   done
 
 let clear_soft_dirty t = Hashtbl.iter (fun _ p -> p.soft_dirty <- false) t.pages
@@ -180,4 +265,4 @@ let touched_bytes t =
   Hashtbl.fold (fun _ p acc -> if p.touched then acc + Addr.page_size else acc) t.pages 0
 
 let pp ppf t =
-  List.iter (fun r -> Format.fprintf ppf "%a@." Region.pp r) t.region_list
+  Array.iter (fun r -> Format.fprintf ppf "%a@." Region.pp r) t.regions_arr

@@ -61,9 +61,22 @@ val write_word_untracked : t -> Addr.t -> int -> unit
     populates memory (image loading, state transfer into the new version),
     which must not pollute dirty tracking. *)
 
+val fold_words : t -> Addr.t -> words:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_words t a ~words ~init ~f] folds [f] over the [words] consecutive
+    words starting at [a], resolving each page once (a page cursor) instead
+    of one hash lookup per word. @raise Fault as {!read_word}. *)
+
 val copy_words : src:t -> Addr.t -> dst:t -> Addr.t -> words:int -> unit
 (** Cross-space copy; tracked on the destination side as untracked writes
-    (state transfer is a kernel-mediated operation). *)
+    (state transfer is a kernel-mediated operation). Pages are resolved
+    once per run on each side, not once per word. *)
+
+val copy_words_tracked : src:t -> Addr.t -> dst:t -> Addr.t -> words:int -> unit
+(** Like {!copy_words} but with the exact observable semantics of a
+    {!write_word} per word on the destination: the write sequence advances
+    by one per word, every touched page becomes soft-dirty, and each page's
+    last-write mark is the sequence value after the final word written to
+    it. Used for in-place copies the program could itself have made. *)
 
 val clear_soft_dirty : t -> unit
 (** Reset all soft-dirty bits; begins a tracking epoch. *)

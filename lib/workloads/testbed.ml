@@ -48,27 +48,29 @@ let meta = function
 let html_1k = String.concat "" (List.init 16 (fun _ -> String.make 63 'x' ^ "\n"))
 let mb_1 = String.make (1 lsl 20) 'd'
 
-let prepare_fs kernel = function
+let prepare_fs ?config kernel server =
+  let conf default = Option.value config ~default in
+  match server with
   | Nginx ->
-      K.fs_write kernel ~path:"/etc/nginx.conf" "worker_processes 1;";
+      K.fs_write kernel ~path:"/etc/nginx.conf" (conf "worker_processes 1;");
       K.fs_write kernel ~path:"/www/index.html" html_1k;
       K.fs_write kernel ~path:"/www/big.bin" mb_1
   | Httpd ->
-      K.fs_write kernel ~path:"/etc/httpd.conf" "ServerLimit 2\nThreadsPerChild 2";
+      K.fs_write kernel ~path:"/etc/httpd.conf" (conf "ServerLimit 2\nThreadsPerChild 2");
       K.fs_write kernel ~path:"/www/index.html" html_1k;
       K.fs_write kernel ~path:"/www/big.bin" mb_1
   | Vsftpd ->
-      K.fs_write kernel ~path:"/etc/vsftpd.conf" "anonymous_enable=NO";
+      K.fs_write kernel ~path:"/etc/vsftpd.conf" (conf "anonymous_enable=NO");
       K.fs_write kernel ~path:(Vsftpd.ftp_root ^ "/big.bin") mb_1
-  | Sshd -> K.fs_write kernel ~path:"/etc/sshd_config" "PermitRootLogin no"
+  | Sshd -> K.fs_write kernel ~path:"/etc/sshd_config" (conf "PermitRootLogin no")
 
 let expected_procs = function
   | Nginx -> 2 (* master + worker *)
   | Httpd -> 1 + Httpd.servers
   | Vsftpd | Sshd -> 1
 
-let launch ?instr ?profiler ?version ?trace kernel server =
-  prepare_fs kernel server;
+let launch ?instr ?profiler ?version ?trace ?config kernel server =
+  prepare_fs ?config kernel server;
   let version = Option.value version ~default:(base_version server) in
   let m = Manager.launch kernel ?instr ?profiler ?trace version in
   (* With quiescence instrumentation on, startup completion is observable;

@@ -14,22 +14,26 @@ val final_version : server -> Mcr_program.Progdef.version
 val version_series : server -> Mcr_program.Progdef.version list
 val meta : server -> Mcr_servers.Table_meta.t
 
-val prepare_fs : Mcr_simos.Kernel.t -> server -> unit
+val prepare_fs : ?config:string -> Mcr_simos.Kernel.t -> server -> unit
 (** Config files, a 1 KB HTML file ([/www/index.html]), a 1 MB FTP payload
-    ([big.bin]). *)
+    ([big.bin]). [?config] overrides the server's config-file content —
+    the downtime benchmark uses it to set per-connection buffer ballast
+    ([conn_buffer_words] / [ConnBufferWords]). *)
 
 val launch :
   ?instr:Mcr_program.Instr.t ->
   ?profiler:Mcr_quiesce.Profiler.t ->
   ?version:Mcr_program.Progdef.version ->
   ?trace:Mcr_obs.Trace.t ->
+  ?config:string ->
   Mcr_simos.Kernel.t ->
   server ->
   Mcr_core.Manager.t
 (** Prepare the fs, launch, and drive the kernel until the whole process
     tree has settled (children created and quiescent-ready). Works for both
     instrumented and baseline/profiling configurations. [?trace] threads an
-    observability sink into the manager ({!Mcr_core.Manager.launch}). *)
+    observability sink into the manager ({!Mcr_core.Manager.launch});
+    [?config] overrides the config-file content ({!prepare_fs}). *)
 
 val benchmark : Mcr_simos.Kernel.t -> server -> ?scale:int -> unit -> Bench_result.t
 (** The paper's benchmark: AB (100k requests, 1 KB file) for the web
