@@ -19,7 +19,13 @@
       nginx/httpd do not reach a >= 2x downtime reduction.
 
    $MCR_DOWNTIME_JSON: write both sweeps' cells as JSON for machine
-   consumption (the CI workflow uploads it as an artifact). *)
+   consumption (the CI workflow uploads it as an artifact; the committed
+   BENCH_downtime.json baseline is this file from a smoke run, and
+   [check ~against] re-measures every cell against it with a tolerance).
+
+   $MCR_FLIGHT_DIR: write every measured update's flight record
+   ({!Mcr_obs.Export.flight_json}) into that directory, one file per
+   experiment — the post-mortem artifact CI uploads. *)
 
 module K = Mcr_simos.Kernel
 module Manager = Mcr_core.Manager
@@ -28,10 +34,27 @@ module Testbed = Mcr_workloads.Testbed
 module Holders = Mcr_workloads.Holders
 module Nginx = Mcr_servers.Nginx_sim
 module Httpd = Mcr_servers.Httpd_sim
+module Json = Mcr_obs.Json
 
 let fms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
 
 type cell = { downtime_ns : int; total_ns : int; rounds : int }
+
+(* Flight records of every measured update, oldest first — flushed to
+   $MCR_FLIGHT_DIR at the end of the run. *)
+let flights : Mcr_obs.Flight.record list ref = ref []
+
+let flush_flights ~name =
+  match Sys.getenv_opt "MCR_FLIGHT_DIR" with
+  | None -> flights := []
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (Printf.sprintf "flight_%s.json" name) in
+      let oc = open_out_bin path in
+      output_string oc (Mcr_obs.Export.flight_json (List.rev !flights));
+      close_out oc;
+      Printf.printf "downtime: wrote %s (%d flight record(s))\n" path (List.length !flights);
+      flights := []
 
 let measure ?config ?base_version ?final_version server ~conns ~policy ~label () =
   let kernel = K.create () in
@@ -45,6 +68,7 @@ let measure ?config ?base_version ?final_version server ~conns ~policy ~label ()
   in
   let _m2, report = Manager.update m ~policy target in
   (match holders with Some h -> Holders.close_all h | None -> ());
+  flights := report.Manager.flight :: !flights;
   if not report.Manager.success then begin
     Printf.printf "!! %s update failed at %d conns (%s): %s\n" (Testbed.name server) conns
       label
@@ -59,6 +83,9 @@ let measure ?config ?base_version ?final_version server ~conns ~policy ~label ()
 
 (* ------------------------------------------------------------------ *)
 (* Sweep 1: pre-copy vs single-shot *)
+
+let precopy_policy =
+  Policy.with_precopy ~max_rounds:6 ~threshold_words:100_000 true Policy.default
 
 let precopy_sweep ~smoke json =
   let points = if smoke then [ 0; 8 ] else [ 0; 25; 50; 100 ] in
@@ -76,12 +103,7 @@ let precopy_sweep ~smoke json =
           let ss =
             measure server ~conns ~policy:Policy.default ~label:"single-shot" ()
           in
-          let pc =
-            let policy =
-              Policy.with_precopy ~max_rounds:6 ~threshold_words:100_000 true Policy.default
-            in
-            measure server ~conns ~policy ~label:"precopy" ()
-          in
+          let pc = measure server ~conns ~policy:precopy_policy ~label:"precopy" () in
           let speedup =
             if pc.downtime_ns > 0 then
               float_of_int ss.downtime_ns /. float_of_int pc.downtime_ns
@@ -225,6 +247,116 @@ let run ?(smoke = false) ?(workers = [ 1; 2; 4; 8 ]) () =
   let json = ref [] in
   precopy_sweep ~smoke json;
   workers_sweep ~smoke ~workers json;
-  match Sys.getenv_opt "MCR_DOWNTIME_JSON" with
+  (match Sys.getenv_opt "MCR_DOWNTIME_JSON" with
   | Some path -> write_json path json
-  | None -> ()
+  | None -> ());
+  flush_flights ~name:"downtime"
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: re-measure every cell of a committed baseline
+   (BENCH_downtime.json) and fail when any downtime exceeds it by more
+   than the tolerance. The simulation is deterministic, so genuine
+   behaviour changes show up exactly; the tolerance admits intentional
+   cost-model drift without a baseline refresh. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let server_of_name name = List.find_opt (fun s -> Testbed.name s = name) Testbed.all
+
+let check ~against ~tolerance_pct () =
+  let data =
+    match read_file against with
+    | data -> data
+    | exception Sys_error e ->
+        Printf.printf "downtime check: %s\n" e;
+        exit 2
+  in
+  let cells =
+    match Json.parse data with
+    | Error e ->
+        Printf.printf "downtime check: %s: %s\n" against e;
+        exit 2
+    | Ok j -> (
+        match Json.to_list j with
+        | Some l -> l
+        | None ->
+            Printf.printf "downtime check: %s: expected a JSON array of cells\n" against;
+            exit 2)
+  in
+  Printf.printf "\n== downtime check: %d cell(s) against %s (tolerance %d%%) ==\n"
+    (List.length cells) against tolerance_pct;
+  let regressions = ref 0 in
+  let checked = ref 0 in
+  let gate label ~baseline ~measured =
+    incr checked;
+    let budget = baseline + (baseline * tolerance_pct / 100) in
+    let ok = measured <= budget in
+    if not ok then incr regressions;
+    Printf.printf "%-40s %9s -> %9s ms  %s\n" label (fms baseline) (fms measured)
+      (if ok then "ok" else "REGRESSED")
+  in
+  List.iter
+    (fun cell ->
+      match
+        ( Json.str_field "sweep" cell,
+          Json.str_field "server" cell,
+          Json.int_field "conns" cell )
+      with
+      | Some "precopy", Some name, Some conns -> begin
+          match server_of_name name with
+          | None -> Printf.printf "downtime check: unknown server %S, skipping\n" name
+          | Some server ->
+              let ss =
+                measure server ~conns ~policy:Policy.default ~label:"single-shot" ()
+              in
+              let pc = measure server ~conns ~policy:precopy_policy ~label:"precopy" () in
+              (match Json.int_field "single_shot_downtime_ns" cell with
+              | Some baseline ->
+                  gate
+                    (Printf.sprintf "%s conns=%d single-shot" name conns)
+                    ~baseline ~measured:ss.downtime_ns
+              | None -> ());
+              (match Json.int_field "precopy_downtime_ns" cell with
+              | Some baseline ->
+                  gate
+                    (Printf.sprintf "%s conns=%d precopy" name conns)
+                    ~baseline ~measured:pc.downtime_ns
+              | None -> ())
+        end
+      | Some "workers", Some name, Some conns -> begin
+          match
+            ( server_of_name name,
+              Json.int_field "workers" cell,
+              Json.int_field "downtime_ns" cell )
+          with
+          | Some server, Some w, Some baseline ->
+              let config, base_version, final_version =
+                match ballast server with
+                | Some (c, b, f) -> (Some c, Some b, Some f)
+                | None -> (None, None, None)
+              in
+              let policy = Policy.with_transfer_workers w Policy.default in
+              let c =
+                measure ?config ?base_version ?final_version server ~conns ~policy
+                  ~label:(Printf.sprintf "workers=%d" w) ()
+              in
+              gate
+                (Printf.sprintf "%s conns=%d W=%d" name conns w)
+                ~baseline ~measured:c.downtime_ns
+          | _ -> Printf.printf "downtime check: malformed workers cell, skipping\n"
+        end
+      | _ -> Printf.printf "downtime check: malformed cell, skipping\n")
+    cells;
+  flush_flights ~name:"downtime_check";
+  if !regressions > 0 then begin
+    Printf.printf "\ndowntime check: %d cell(s) regressed more than %d%% over baseline\n"
+      !regressions tolerance_pct;
+    exit 1
+  end;
+  Printf.printf "\ndowntime check: all %d cell(s) within %d%% of the baseline\n" !checked
+    tolerance_pct

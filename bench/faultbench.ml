@@ -7,7 +7,11 @@
    and the run exits nonzero, which is what CI keys on ([--smoke] runs a
    reduced, still fully deterministic subset). Syscall faults are best
    effort: replayed calls can mask them, so their rows report whatever
-   outcome occurred. *)
+   outcome occurred.
+
+   When $MCR_FLIGHT_DIR is set, every attempt's flight record is written
+   to $MCR_FLIGHT_DIR/flight_fault_matrix.json — the rollback-explanation
+   artifact CI uploads, renderable with bin/mcr_postmortem. *)
 
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
@@ -37,6 +41,19 @@ let stages =
 
 let smoke_stages = [ "quiesce-refusal"; "startup-crash"; "transfer-conflict" ]
 
+let flights : Mcr_obs.Flight.record list ref = ref []
+
+let flush_flights () =
+  match Sys.getenv_opt "MCR_FLIGHT_DIR" with
+  | None | Some "" -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "flight_fault_matrix.json" in
+      let oc = open_out path in
+      output_string oc (Mcr_obs.Export.flight_json (List.rev !flights));
+      close_out oc;
+      Printf.printf "fault-matrix: flight records -> %s\n" path
+
 let run ?(smoke = false) () =
   let servers = if smoke then [ Testbed.Httpd ] else Testbed.all in
   let stages =
@@ -58,6 +75,7 @@ let run ?(smoke = false) () =
               ~update_deadline_ns:20_000_000_000 ~fault:(Fault.script plan)
               (Testbed.final_version server)
           in
+          flights := report.Manager.flight :: !flights;
           let outcome =
             if report.Manager.success then "COMMIT"
             else
@@ -77,6 +95,7 @@ let run ?(smoke = false) () =
               (float_of_int report.Manager.total_ns /. 1e6))
         servers)
     stages;
+  flush_flights ();
   if !violations > 0 then begin
     Printf.printf "\nfault-matrix: %d rollback-guarantee violation(s)\n" !violations;
     exit 1

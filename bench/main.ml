@@ -8,7 +8,11 @@
                 update-time memory spec dirty-reduction ablation micro
                 fault-matrix downtime (both accept --smoke: reduced
                 deterministic subset; downtime also accepts
-                --workers N,N,... for the transfer worker-pool sweep) *)
+                --workers N,N,... for the transfer worker-pool sweep)
+   Regression gate:
+     dune exec bench/main.exe -- check --against BENCH_downtime.json --tolerance 15%
+   re-measures every cell of the committed baseline and fails (exit 1)
+   when a downtime exceeds baseline + tolerance. *)
 
 let smoke = ref false
 let workers = ref [ 1; 2; 4; 8 ]
@@ -36,7 +40,24 @@ let usage () =
   print_endline "usage: main.exe [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments;
-  print_endline "  all (default)"
+  print_endline "  all (default)";
+  print_endline "  check --against <baseline.json> --tolerance <pct>%"
+
+let against = ref "BENCH_downtime.json"
+let tolerance_pct = ref 15
+
+let parse_tolerance s =
+  let s = String.trim s in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '%' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> n
+  | _ ->
+      Printf.printf "bad --tolerance %S (want e.g. 15%%)\n" s;
+      exit 1
 
 let parse_workers s =
   match
@@ -57,11 +78,18 @@ let () =
     | "--workers" :: spec :: rest ->
         workers := parse_workers spec;
         strip_workers rest
+    | "--against" :: path :: rest ->
+        against := path;
+        strip_workers rest
+    | "--tolerance" :: spec :: rest ->
+        tolerance_pct := parse_tolerance spec;
+        strip_workers rest
     | a :: rest -> a :: strip_workers rest
     | [] -> []
   in
   let args = strip_workers args in
   match args with
+  | [ "check" ] -> Downtime.check ~against:!against ~tolerance_pct:!tolerance_pct ()
   | [] | [ "all" ] ->
       print_endline "MCR reproduction harness: all experiments";
       List.iter (fun (_, f) -> f ()) experiments

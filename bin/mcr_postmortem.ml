@@ -1,0 +1,51 @@
+(* mcr-postmortem: render flight-record JSON (the artifact the smoke
+   benches write, or the payload of `mcr-ctl EXPLAIN`) as a human-readable
+   post-mortem — a downtime-attribution waterfall plus, for rollbacks, the
+   conflict narrative naming the object and stage that killed the update.
+
+     dune exec bin/mcr_postmortem.exe -- bench-out/flight_nginx.json
+     dune exec bin/mcr_postmortem.exe -- -    # read stdin *)
+
+module Flight = Mcr_obs.Flight
+module Postmortem = Mcr_obs.Postmortem
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let run path =
+  let data =
+    if path = "-" then read_all stdin
+    else begin
+      let ic = open_in_bin path in
+      let data = read_all ic in
+      close_in ic;
+      data
+    end
+  in
+  match Flight.of_json_list data with
+  | Error e ->
+      Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
+      exit 2
+  | Ok records -> print_string (Postmortem.render_list records)
+
+open Cmdliner
+
+let file =
+  Arg.(
+    value
+    & pos 0 string "-"
+    & info [] ~docv:"FILE" ~doc:"Flight-record JSON file ($(b,-) for stdin).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mcr-postmortem"
+       ~doc:"Render MCR update flight records as a post-mortem report")
+    Term.(const run $ file)
+
+let () = exit (Cmd.eval cmd)

@@ -1,18 +1,16 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 
-let protocol_version = Manager.protocol_version
+module Frame = Frame
 
-type error =
+let protocol_version = Frame.protocol_version
+
+type error = Frame.error =
   | Version_mismatch of { client : int; server : int }
   | Refused of string
   | Transport of string
 
-let pp_error ppf = function
-  | Version_mismatch { client; server } ->
-      Format.fprintf ppf "protocol version mismatch (client %d, server %d)" client server
-  | Refused reason -> Format.fprintf ppf "refused: %s" reason
-  | Transport detail -> Format.fprintf ppf "transport error: %s" detail
+let pp_error = Frame.pp_error
 
 let request kernel ~path ~command ~on_reply =
   ignore
@@ -37,32 +35,12 @@ let request kernel ~path ~command ~on_reply =
              | _ -> on_reply "ERR"))
        ())
 
-(* Parse a versioned "OK[ payload]" / "OK\npayload" / "ERR <reason>" frame. *)
-let parse_versioned ~version reply =
-  let has_prefix p s =
-    String.length s >= String.length p && String.sub s 0 (String.length p) = p
-  in
-  if reply = "OK" then Ok ""
-  else if has_prefix "OK\n" reply then Ok (String.sub reply 3 (String.length reply - 3))
-  else if has_prefix "OK " reply then Ok (String.sub reply 3 (String.length reply - 3))
-  else if has_prefix "ERR version " reply then begin
-    match int_of_string_opt (String.sub reply 12 (String.length reply - 12)) with
-    | Some server -> Error (Version_mismatch { client = version; server })
-    | None -> Error (Refused (String.sub reply 4 (String.length reply - 4)))
-  end
-  else if has_prefix "ERR " reply then
-    Error (Refused (String.sub reply 4 (String.length reply - 4)))
-  else if reply = "ERR" then Error (Refused "unknown")
-  else Error (Transport ("unexpected frame: " ^ reply))
-
 let request_v kernel ?(version = protocol_version) ~path ~command ~on_result () =
-  let wire =
-    if command = "" then Printf.sprintf "HELLO %d" version
-    else Printf.sprintf "HELLO %d %s" version command
-  in
-  request kernel ~path ~command:wire ~on_reply:(fun reply ->
+  request kernel ~path
+    ~command:(Frame.hello_frame ~version ~command)
+    ~on_reply:(fun reply ->
       if reply = "ERR ECONNREFUSED" then on_result (Error (Transport "ECONNREFUSED"))
-      else on_result (parse_versioned ~version reply))
+      else on_result (Frame.parse_reply ~version reply))
 
 let hello kernel ?version ~path ~on_result () =
   request_v kernel ?version ~path ~command:"" ~on_result ()
@@ -100,5 +78,16 @@ let request_precopy kernel ~path ~enabled ?max_rounds ?threshold_words ~on_reply
 
 let request_workers kernel ~path ~workers ~on_reply =
   request kernel ~path ~command:(Printf.sprintf "WORKERS %d" workers) ~on_reply
+
+let request_slo kernel ~path ~downtime_ns ~total_ns ~on_reply =
+  request kernel ~path
+    ~command:(Printf.sprintf "SLO %s %s" (ns_arg downtime_ns) (ns_arg total_ns))
+    ~on_reply
+
+let request_explain kernel ?version ~path ~nth ~on_result () =
+  let command =
+    match nth with None -> "EXPLAIN LAST" | Some n -> Printf.sprintf "EXPLAIN %d" n
+  in
+  request_v kernel ?version ~path ~command ~on_result ()
 
 let update_pending m = Manager.update_requested m

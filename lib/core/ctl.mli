@@ -20,10 +20,14 @@
     UPDATE — exactly what pre-versioning clients expect. The wire format is
     documented in doc/OBSERVABILITY.md. *)
 
+module Frame = Frame
+(** The frame encoder/decoder both sides share (re-exported for clients
+    that want to speak the protocol directly). *)
+
 val protocol_version : int
 (** The protocol version this client speaks (= {!Manager.protocol_version}). *)
 
-type error =
+type error = Frame.error =
   | Version_mismatch of { client : int; server : int }
       (** The server refused our HELLO; [server] is the version it speaks. *)
   | Refused of string  (** The server answered [ERR <reason>]. *)
@@ -126,6 +130,30 @@ val request_workers :
 (** Set the transfer worker-pool size for subsequent updates on this
     manager lineage ([WORKERS <count>]). Replies "OK" or
     "ERR usage: WORKERS <count>" for a count below 1. *)
+
+val request_slo :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  downtime_ns:int option ->
+  total_ns:int option ->
+  on_reply:(string -> unit) ->
+  unit
+(** Set (or clear, with [None]) the lineage's SLO budgets
+    ([SLO <downtime_ns|-> <total_ns|->]). Subsequent updates evaluate them
+    into their flight records and count [mcr_slo_violations_total]. *)
+
+val request_explain :
+  Mcr_simos.Kernel.t ->
+  ?version:int ->
+  path:string ->
+  nth:int option ->
+  on_result:((string, error) result -> unit) ->
+  unit ->
+  unit
+(** Fetch a flight record as JSON over the versioned protocol
+    ([EXPLAIN LAST] for [nth = None], [EXPLAIN <n>] otherwise; [n] = 1 is
+    the newest record). [Ok json] parses with {!Mcr_obs.Flight.of_json};
+    an empty recorder answers [Error (Refused "no flight records")]. *)
 
 val update_pending : Manager.t -> bool
 (** Whether the manager has an outstanding mcr-ctl UPDATE request —

@@ -1,0 +1,76 @@
+(* The v1 ctl wire protocol, factored out of the manager and client so both
+   sides encode/decode through one tested module.
+
+   Requests:  "HELLO <version>[ <command>]"   (versioned)
+              anything else                   (legacy raw command)
+   Replies:   "OK" | "OK <inline>" | "OK\n<payload>" | "ERR <reason>"
+   Legacy UPDATE replies keep the pre-HELLO "FAIL <reason>" form. *)
+
+let protocol_version = 1
+
+type error =
+  | Version_mismatch of { client : int; server : int }
+  | Refused of string
+  | Transport of string
+
+let pp_error ppf = function
+  | Version_mismatch { client; server } ->
+      Format.fprintf ppf "protocol version mismatch (client %d, server %d)" client server
+  | Refused reason -> Format.fprintf ppf "refused: %s" reason
+  | Transport detail -> Format.fprintf ppf "transport error: %s" detail
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* ------------------------------------------------------------------ *)
+(* Server side: reply encoding *)
+
+let ok = "OK"
+let ok_inline v = "OK " ^ v
+let ok_payload p = "OK\n" ^ p
+let err reason = "ERR " ^ reason
+
+(* Uniform (versioned) response frames are "OK[\npayload]" / "ERR <reason>";
+   the pre-HELLO protocol used "FAIL <reason>" for a refused UPDATE and raw
+   payloads, which legacy connections must keep receiving verbatim. *)
+let legacy_update_frame result =
+  if has_prefix "ERR " result then "FAIL " ^ String.sub result 4 (String.length result - 4)
+  else result
+
+(* "HELLO <version>[ <command>]" -> `Hello (version, command option);
+   anything else is a legacy raw command. *)
+let parse_request raw =
+  if has_prefix "HELLO" raw then begin
+    let rest = String.trim (String.sub raw 5 (String.length raw - 5)) in
+    let version_str, cmd =
+      match String.index_opt rest ' ' with
+      | Some i ->
+          ( String.sub rest 0 i,
+            Some (String.trim (String.sub rest (i + 1) (String.length rest - i - 1))) )
+      | None -> (rest, None)
+    in
+    match int_of_string_opt version_str with
+    | Some v -> `Hello (v, cmd)
+    | None -> `Malformed_hello
+  end
+  else `Legacy raw
+
+(* ------------------------------------------------------------------ *)
+(* Client side: request encoding, reply decoding *)
+
+let hello_frame ~version ~command =
+  if command = "" then Printf.sprintf "HELLO %d" version
+  else Printf.sprintf "HELLO %d %s" version command
+
+let parse_reply ~version reply =
+  if reply = "OK" then Ok ""
+  else if has_prefix "OK\n" reply then Ok (String.sub reply 3 (String.length reply - 3))
+  else if has_prefix "OK " reply then Ok (String.sub reply 3 (String.length reply - 3))
+  else if has_prefix "ERR version " reply then begin
+    match int_of_string_opt (String.sub reply 12 (String.length reply - 12)) with
+    | Some server -> Error (Version_mismatch { client = version; server })
+    | None -> Error (Refused (String.sub reply 4 (String.length reply - 4)))
+  end
+  else if has_prefix "ERR " reply then
+    Error (Refused (String.sub reply 4 (String.length reply - 4)))
+  else if reply = "ERR" then Error (Refused "unknown")
+  else Error (Transport ("unexpected frame: " ^ reply))

@@ -1,0 +1,56 @@
+(** The v1 ctl wire protocol: frame encoding and decoding.
+
+    One module owns both directions of the socket protocol so the manager's
+    controller thread and the {!Ctl} client cannot drift apart:
+
+    - requests are ["HELLO <version>[ <command>]"] (versioned) or any other
+      raw string (the pre-HELLO legacy protocol);
+    - replies are ["OK"], ["OK <inline>"], ["OK\npayload"] or
+      ["ERR <reason>"]; legacy UPDATE replies use ["FAIL <reason>"]. *)
+
+val protocol_version : int
+(** The ctl protocol version this build speaks (currently 1). *)
+
+type error =
+  | Version_mismatch of { client : int; server : int }
+      (** The server refused the HELLO with [ERR version <server>]. *)
+  | Refused of string  (** The server replied [ERR <reason>]. *)
+  | Transport of string  (** Connection failure or an unparseable frame. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Server side} *)
+
+val ok : string
+(** The bare success frame, ["OK"]. *)
+
+val ok_inline : string -> string
+(** [ok_inline v] is ["OK <v>"] — short single-line results. *)
+
+val ok_payload : string -> string
+(** [ok_payload p] is ["OK\n<p>"] — multi-line payloads (STATS, EXPLAIN). *)
+
+val err : string -> string
+(** [err reason] is ["ERR <reason>"]. *)
+
+val legacy_update_frame : string -> string
+(** Downgrade a versioned UPDATE result for a legacy connection:
+    ["ERR <r>"] becomes ["FAIL <r>"], anything else passes through. *)
+
+val parse_request :
+  string -> [ `Hello of int * string option | `Malformed_hello | `Legacy of string ]
+(** Classify an incoming request frame. [`Hello (v, cmd)] for
+    ["HELLO <v>[ <cmd>]"] (no command, or an empty one, yields [None] /
+    [Some ""] — the version handshake); [`Malformed_hello] when the version
+    is not an integer; [`Legacy raw] otherwise. *)
+
+(** {1 Client side} *)
+
+val hello_frame : version:int -> command:string -> string
+(** Encode a versioned request; an empty [command] is the bare handshake. *)
+
+val parse_reply : version:int -> string -> (string, error) result
+(** Decode a versioned reply. [Ok payload] for the three OK forms (the bare
+    ["OK"] yields [""]); [Error (Version_mismatch _)] for
+    ["ERR version <n>"]; [Error (Refused _)] for other [ERR] frames;
+    [Error (Transport _)] for anything else. *)

@@ -15,11 +15,12 @@ module Aspace = Mcr_vmem.Aspace
 module Addr = Mcr_vmem.Addr
 module Trace = Mcr_obs.Trace
 module Metrics = Mcr_obs.Metrics
+module Flight = Mcr_obs.Flight
 module Fault = Mcr_fault.Fault
 module Err = Mcr_error
 
 let reserved_fd_base = 1000
-let protocol_version = 1
+let protocol_version = Frame.protocol_version
 
 (* Coordinator constant of the parallel transfer: relink the program and
    prelink shared libraries for the remapped immutable objects (Section 6). *)
@@ -51,6 +52,7 @@ type mset = {
   m_pair_cost_h : Metrics.histogram;
   m_workers_g : Metrics.gauge;
   m_shard_words_h : Metrics.histogram;
+  m_slo_violations : Metrics.counter;
 }
 
 let make_mset metrics =
@@ -77,6 +79,7 @@ let make_mset metrics =
     m_pair_cost_h = Metrics.histogram metrics "mcr_pair_cost_ns";
     m_workers_g = Metrics.gauge metrics "mcr_transfer_workers";
     m_shard_words_h = Metrics.histogram metrics "mcr_transfer_shard_words";
+    m_slo_violations = Metrics.counter metrics "mcr_slo_violations_total";
   }
 
 type t = {
@@ -98,6 +101,11 @@ type t = {
      adjust it between updates, and the manager a commit returns keeps
      honouring it. *)
   policy : Policy.t ref;
+  (* The flight recorder ring: one record per update attempt, newest first,
+     capped. Shared across the lineage like the metrics registry so
+     EXPLAIN works against whichever incarnation is serving. *)
+  flight_log : Flight.record list ref;
+  flight_seq : int ref;
 }
 
 type report = {
@@ -116,6 +124,7 @@ type report = {
   transfers : (Logdefs.proc_key * Transfer.outcome) list;
   failure : Err.rollback_reason option;
   metrics : Metrics.snapshot;
+  flight : Flight.record;
 }
 
 let kernel t = t.kernel
@@ -133,6 +142,8 @@ let set_policy t p = t.policy := p
 let metrics_snapshot (t : t) =
   Metrics.set t.mset.m_processes (List.length (images t));
   Metrics.snapshot t.metrics
+
+let flight_records t = !(t.flight_log)
 
 (* ------------------------------------------------------------------ *)
 (* Image bookkeeping hooks *)
@@ -246,35 +257,30 @@ let policy_command policy cmd =
         end
       | _ -> Some usage
     end
+  | "SLO" :: rest -> begin
+      let usage = "ERR usage: SLO <downtime_ns|-> <total_ns|->" in
+      match rest with
+      | [ d; u ] -> begin
+          match (ns_opt d, ns_opt u) with
+          | Ok d, Ok u ->
+              policy := Policy.with_slo ~downtime_ns:d ~total_ns:u !policy;
+              Some "OK"
+          | _ -> Some usage
+        end
+      | _ -> Some usage
+    end
   | _ -> None
 
-(* Uniform (versioned) response frames are "OK[\npayload]" / "ERR <reason>";
-   the pre-HELLO protocol used "FAIL <reason>" for a refused UPDATE and raw
-   payloads, which legacy connections must keep receiving verbatim. *)
-let legacy_update_frame result =
-  if String.length result >= 4 && String.sub result 0 4 = "ERR " then
-    "FAIL " ^ String.sub result 4 (String.length result - 4)
-  else result
+(* EXPLAIN serves the flight-recorder ring: 1 is the newest record. *)
+let explain_nth flight_log n =
+  match List.nth_opt !flight_log (n - 1) with
+  | Some r -> Ok (Flight.to_json r)
+  | None ->
+      Error
+        (if !flight_log = [] then "no flight records"
+         else Printf.sprintf "no flight record %d" n)
 
-(* "HELLO <version>[ <command>]" -> `Hello (version, command option);
-   anything else is a legacy raw command. *)
-let parse_ctl_frame raw =
-  if String.length raw >= 5 && String.sub raw 0 5 = "HELLO" then begin
-    let rest = String.trim (String.sub raw 5 (String.length raw - 5)) in
-    let version_str, cmd =
-      match String.index_opt rest ' ' with
-      | Some i ->
-          ( String.sub rest 0 i,
-            Some (String.trim (String.sub rest (i + 1) (String.length rest - i - 1))) )
-      | None -> (rest, None)
-    in
-    match int_of_string_opt version_str with
-    | Some v -> `Hello (v, cmd)
-    | None -> `Malformed_hello
-  end
-  else `Legacy raw
-
-let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~policy =
+let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~explain ~policy =
   ignore
     (K.spawn_thread kernel proc ~name:"mcr-ctl" (fun th ->
          K.push_frame th "mcr_ctl_loop";
@@ -295,12 +301,35 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~po
                          (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
                        reply
                          (if versioned then !ctl_result
-                          else legacy_update_frame !ctl_result)
+                          else Frame.legacy_update_frame !ctl_result)
                      end
                      else if has_prefix "STATS" then
                        (* metrics snapshots are cheap and never block on the
                           update semaphore: reply immediately *)
-                       reply (if versioned then "OK\n" ^ stats () else stats ())
+                       reply (if versioned then Frame.ok_payload (stats ()) else stats ())
+                     else if has_prefix "EXPLAIN" then begin
+                       let arg = String.trim (String.sub cmd 7 (String.length cmd - 7)) in
+                       let nth =
+                         match arg with
+                         | "" | "LAST" -> Some 1
+                         | s -> (
+                             match int_of_string_opt s with
+                             | Some n when n >= 1 -> Some n
+                             | _ -> None)
+                       in
+                       match nth with
+                       | None ->
+                           reply
+                             (if versioned then Frame.err "usage: EXPLAIN [LAST|<n>]"
+                              else "ERR")
+                       | Some n -> (
+                           match explain n with
+                           | Ok json ->
+                               (* legacy connections get the raw payload,
+                                  like legacy STATS *)
+                               reply (if versioned then Frame.ok_payload json else json)
+                           | Error e -> reply (if versioned then Frame.err e else "ERR"))
+                     end
                      else begin
                        match policy_command policy cmd with
                        | Some r -> reply r
@@ -309,13 +338,13 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~po
                    in
                    (match K.syscall (S.Read { fd = conn; max = 256; nonblock = false }) with
                    | S.Ok_data raw -> begin
-                       match parse_ctl_frame raw with
+                       match Frame.parse_request raw with
                        | `Legacy cmd -> dispatch ~versioned:false cmd
-                       | `Malformed_hello -> reply "ERR malformed hello"
+                       | `Malformed_hello -> reply (Frame.err "malformed hello")
                        | `Hello (v, _) when v <> protocol_version ->
-                           reply (Printf.sprintf "ERR version %d" protocol_version)
+                           reply (Frame.err (Printf.sprintf "version %d" protocol_version))
                        | `Hello (_, None) | `Hello (_, Some "") ->
-                           reply (Printf.sprintf "OK %d" protocol_version)
+                           reply (Frame.ok_inline (string_of_int protocol_version))
                        | `Hello (_, Some cmd) -> dispatch ~versioned:true cmd
                      end
                    | _ -> ());
@@ -340,6 +369,8 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
   let ctl_pending = ref false in
   let ctl_result = ref "" in
   let ctl_sem = Printf.sprintf "mcr.ctl.done.%d" (K.pid root_proc) in
+  let flight_log = ref [] in
+  let flight_seq = ref 0 in
   let live () = List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !members in
   (* an unclean exit leaves the previous incarnation's socket name behind
      (AF_UNIX names survive close); binding over a live listener is still
@@ -347,7 +378,7 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
   if not (K.path_active kernel ~path:ctl_path) then K.unlink_path kernel ~path:ctl_path;
   spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem
     ~stats:(stats_text ~metrics ~mset ~live)
-    ~policy;
+    ~explain:(explain_nth flight_log) ~policy;
   {
     kernel;
     instr;
@@ -364,6 +395,8 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
     metrics;
     mset;
     policy;
+    flight_log;
+    flight_seq;
   }
 
 let launch kernel ?(instr = Instr.full) ?profiler ?trace ?policy ?quiesce_deadline_ns
@@ -537,7 +570,8 @@ let reinit_ctx (im : P.image) th =
    version starts up and delta rounds speculatively stage the reachable
    graph; only then does quiescence open the window, so downtime is the
    final delta, not the bulk transfer. *)
-let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
+let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_precopy_round
+    new_version =
   let k = t.kernel in
   let t0 = K.clock_ns k in
   let tr = t.trace in
@@ -571,13 +605,117 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
   let deadline_exceeded () =
     match update_deadline_ns with Some d -> K.clock_ns k - t0 >= d | None -> false
   in
+  (* ---- flight recorder accumulators. Each in-window segment is measured
+     independently, at the point it elapses, so the components summing to
+     downtime_ns is a real cross-check (property-tested to hold exactly on
+     every pipeline path), not an identity. Recording itself never touches
+     the clock. ---- *)
+  let fb_quiesce = ref 0 in
+  let fb_restart = ref 0 in
+  let fb_trace = ref 0 in
+  let fb_copy = ref 0 in
+  let fb_spawn_join = ref 0 in
+  let fb_relink = ref 0 in
+  let fb_channel = ref 0 in
+  let fb_handlers = ref 0 in
+  let fb_rounds = ref [] in
+  (* set on entry to every exit path (commit, rollback, pre-restart
+     failure); the tail from there to the record build — ctl reply
+     delivery, kills, releases — is the teardown segment *)
+  let teardown_from = ref t0 in
+  let explain reason ~stage =
+    Some
+      {
+        Flight.e_reason = Err.to_string reason;
+        e_stage = stage;
+        e_conflicts =
+          List.map
+            (fun (c : Err.conflict_obj) ->
+              {
+                Flight.c_kind = c.Err.co_kind;
+                c_addr = c.Err.co_addr;
+                c_ty = c.Err.co_ty;
+                c_callstack = c.Err.co_callstack;
+                c_shard = c.Err.co_shard;
+                c_round = c.Err.co_round;
+                c_detail = c.Err.co_detail;
+              })
+            (Err.conflict_objs reason);
+        e_fault =
+          (match fault with
+          | Some f -> (
+              match Fault.fired f with
+              | [] -> None
+              | fired -> Some (String.concat "," fired))
+          | None -> None);
+      }
+  in
+  let build_flight ~success ~explanation =
+    let seq = !(t.flight_seq) + 1 in
+    t.flight_seq := seq;
+    let teardown =
+      match !window_start with Some _ -> K.clock_ns k - !teardown_from | None -> 0
+    in
+    let total_ns = K.clock_ns k - t0 in
+    let dt = downtime_ns () in
+    let slo =
+      match (pol.Policy.slo_downtime_ns, pol.Policy.slo_total_ns) with
+      | None, None -> None
+      | d, u ->
+          Some
+            {
+              Flight.s_downtime_budget_ns = d;
+              s_total_budget_ns = u;
+              s_downtime_ok = (match d with Some b -> dt <= b | None -> true);
+              s_total_ok = (match u with Some b -> total_ns <= b | None -> true);
+            }
+    in
+    (match slo with
+    | Some s when Flight.slo_violated s -> Metrics.incr t.mset.m_slo_violations
+    | _ -> ());
+    let record =
+      {
+        Flight.f_seq = seq;
+        f_attempt = attempt;
+        f_prog = t.prog_version.P.prog;
+        f_from = t.prog_version.P.version_tag;
+        f_to = new_version.P.version_tag;
+        f_success = success;
+        f_start_ns = t0;
+        f_total_ns = total_ns;
+        f_downtime_ns = dt;
+        f_precopy = precopy_enabled;
+        f_workers = workers;
+        f_rounds = List.rev !fb_rounds;
+        f_attribution =
+          {
+            Flight.a_quiesce_ns = !fb_quiesce;
+            a_restart_ns = !fb_restart;
+            a_trace_ns = !fb_trace;
+            a_copy_ns = !fb_copy;
+            a_spawn_join_ns = !fb_spawn_join;
+            a_relink_ns = !fb_relink;
+            a_channel_ns = !fb_channel;
+            a_handlers_ns = !fb_handlers;
+            a_teardown_ns = teardown;
+          };
+        f_slo = slo;
+        f_explanation = explanation;
+        f_prior = prior;
+      }
+    in
+    let kept = List.filteri (fun i _ -> i < 31) !(t.flight_log) in
+    t.flight_log := record :: kept;
+    record
+  in
   Metrics.incr t.mset.m_updates;
   Trace.span_begin tr ~pid:mpid ~cat:"stage"
     ~args:
       [ ("from", t.prog_version.P.version_tag); ("to", new_version.P.version_tag);
         ("prog", t.prog_version.P.prog) ]
     "update";
-  let fail_before_restart reason =
+  let fail_before_restart ~stage reason =
+    teardown_from := K.clock_ns k;
     let reason_s = Err.to_string reason in
     release_all t;
     respond_ctl t ("ERR " ^ reason_s);
@@ -585,6 +723,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
     observe_end ();
     Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason_s) ] "update.fail";
     Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
+    let flight = build_flight ~success:false ~explanation:(explain reason ~stage) in
     ( t,
       {
         success = false;
@@ -602,11 +741,12 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
         transfers = [];
         failure = Some reason;
         metrics = metrics_snapshot t;
+        flight;
       } )
   in
   (* a manager whose processes are gone (already updated away from, or
      crashed) cannot be updated *)
-  if images t = [] then fail_before_restart Err.Program_not_running
+  if images t = [] then fail_before_restart ~stage:"init" Err.Program_not_running
   else begin
   let set_refusals imgs f =
     List.iter (fun (im : P.image) -> Barrier.set_refusal im.P.i_barrier f) imgs
@@ -643,6 +783,9 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
       quiesce_ns := K.clock_ns k - wstart;
       Metrics.observe t.mset.m_quiesce_h !quiesce_ns
     end;
+    (* attribution: all in-window time so far is quiescence wait, converged
+       or not *)
+    fb_quiesce := K.clock_ns k - wstart;
     quiesce_ok
   in
   let quiesce_failure_reason () =
@@ -662,7 +805,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
     else None
   in
   match pre_quiesce_failed with
-  | Some reason -> fail_before_restart reason
+  | Some reason -> fail_before_restart ~stage:"quiesce" reason
   | None -> begin
     let t1 = K.clock_ns k in
     let logs =
@@ -759,7 +902,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
     spawn_ctl k new_proc ~ctl_path:t.ctl_path ~ctl_pending:new_ctl_pending
       ~ctl_result:new_ctl_result ~ctl_sem:new_ctl_sem
       ~stats:(stats_text ~metrics:t.metrics ~mset:t.mset ~live:live_new)
-      ~policy:t.policy;
+      ~explain:(explain_nth t.flight_log) ~policy:t.policy;
     let new_quiesced () =
       match live_new () with
       | [] -> false
@@ -769,7 +912,8 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
               im.P.i_startup_complete && Barrier.quiesced im.P.i_barrier)
             imgs
     in
-    let rollback reason ~cm_ns ~st_ns ~transfers ~transfer_conflicts =
+    let rollback reason ~stage ~cm_ns ~st_ns ~transfers ~transfer_conflicts =
+      teardown_from := K.clock_ns k;
       let reason_s = Err.to_string reason in
       in_update := false;
       K.set_fault_hook k None;
@@ -789,6 +933,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
       Trace.span_end tr ~pid:mpid ~cat:"stage" "rollback";
       Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason_s) ] "update.fail";
       Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
+      let flight = build_flight ~success:false ~explanation:(explain reason ~stage) in
       ( t,
         {
           success = false;
@@ -806,6 +951,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
           transfers;
           failure = Some reason;
           metrics = metrics_snapshot t;
+          flight;
         } )
     in
     (* fault injection: kill the new version mid-startup *)
@@ -832,20 +978,27 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
     | None -> ());
     let t2 = K.clock_ns k in
     let cm_ns = t2 - t1 in
+    (* attribution: restart+replay elapses inside the window only for
+       single-shot updates; under pre-copy it runs while the old version
+       still serves *)
+    if not precopy_enabled then fb_restart := cm_ns;
     Trace.span_end tr ~pid:mpid ~cat:"stage" "restart_replay";
     Metrics.observe t.mset.m_cm_h cm_ns;
     if not (K.alive new_proc) then
-      rollback Err.Startup_crashed ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
+      rollback Err.Startup_crashed ~stage:"restart_replay" ~cm_ns ~st_ns:0 ~transfers:[]
+        ~transfer_conflicts:[]
     else begin
       match Replayer.rollback_reason rep with
-      | Some reason -> rollback reason ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
+      | Some reason ->
+          rollback reason ~stage:"restart_replay" ~cm_ns ~st_ns:0 ~transfers:[]
+            ~transfer_conflicts:[]
       | None ->
     if deadline_exceeded () then
-      rollback Err.Update_deadline_exceeded ~cm_ns ~st_ns:0 ~transfers:[]
-        ~transfer_conflicts:[]
+      rollback Err.Update_deadline_exceeded ~stage:"restart_replay" ~cm_ns ~st_ns:0
+        ~transfers:[] ~transfer_conflicts:[]
     else if not (startup_ok && new_quiesced ()) then
-      rollback Err.Startup_not_quiescent ~cm_ns ~st_ns:0 ~transfers:[]
-        ~transfer_conflicts:[]
+      rollback Err.Startup_not_quiescent ~stage:"restart_replay" ~cm_ns ~st_ns:0
+        ~transfers:[] ~transfer_conflicts:[]
     else begin
       (* ---- pre-copy: speculative tracing + staging rounds, old version
          still serving. Staging is host-side only (no new-version writes),
@@ -908,6 +1061,8 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
                     ("delta_words", string_of_int !round_delta);
                     ("cost_ns", string_of_int !round_cost) ]
                 "precopy.round";
+              fb_rounds :=
+                { Flight.r_words = !round_delta; r_cost_ns = !round_cost } :: !fb_rounds;
               (* the old version keeps serving while the speculative copy
                  elapses — this is the whole point *)
               K.run_for k !round_cost;
@@ -929,7 +1084,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
       in
       let window_failed =
         match precopy_result with
-        | Error reason -> Some reason
+        | Error reason -> Some (reason, "precopy")
         | Ok () ->
             if not precopy_enabled then None
             else begin
@@ -939,14 +1094,14 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
                  the old version still serving *)
               K.run_for k relink_ns;
               (* ---- the window opens: quiesce, pay only the delta ---- *)
-              if not (do_quiesce ()) then Some (quiesce_failure_reason ())
-              else if deadline_exceeded () then Some Err.Update_deadline_exceeded
+              if not (do_quiesce ()) then Some (quiesce_failure_reason (), "quiesce")
+              else if deadline_exceeded () then Some (Err.Update_deadline_exceeded, "quiesce")
               else None
             end
       in
       match window_failed with
-      | Some reason ->
-          rollback reason ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
+      | Some (reason, stage) ->
+          rollback reason ~stage ~cm_ns ~st_ns:0 ~transfers:[] ~transfer_conflicts:[]
       | None -> begin
       (* ---- restore: mutable tracing, in waves so reinit handlers can
          re-create volatile processes that then get their own transfer ---- *)
@@ -986,7 +1141,21 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
                     let pair_cost =
                       outcome.Transfer.trace_critical_ns + outcome.Transfer.cost_ns
                     in
-                    max_pair_cost := max !max_pair_cost pair_cost;
+                    if pair_cost > !max_pair_cost then begin
+                      max_pair_cost := pair_cost;
+                      (* attribution follows the critical pair: its copy
+                         critical path is the max shard, and whatever
+                         cost_ns adds on top of that is the worker pool's
+                         spawn/join overhead *)
+                      let copy_crit =
+                        if outcome.Transfer.workers > 1 then
+                          Array.fold_left max 0 outcome.Transfer.shard_cost_ns
+                        else outcome.Transfer.cost_ns
+                      in
+                      fb_trace := outcome.Transfer.trace_critical_ns;
+                      fb_copy := copy_crit;
+                      fb_spawn_join := outcome.Transfer.cost_ns - copy_crit
+                    end;
                     transfers := (key, outcome) :: !transfers;
                     (* O(total-conflicts): accumulate reversed, reverse once
                        at the consumption points *)
@@ -1090,15 +1259,18 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
         incr waves;
         ignore (K.run_until k ~max_ns:(K.clock_ns k + 1_000_000_000) new_quiesced)
       done;
+      (* attribution: everything that elapsed on the clock since the
+         state-transfer phase opened was reinit-handler settling (the
+         transfer waves themselves only accumulate charges) *)
+      fb_handlers := K.clock_ns k - t2';
       (* parallel multiprocess transfer: the slowest pair bounds the
          parallel phase; the coordinator adds a constant (relinking the
          program and prelinking shared libraries for the remapped immutable
          objects, Section 6 — already prepaid under pre-copy) plus a
          per-process channel setup cost *)
-      K.charge k
-        (!max_pair_cost
-        + (if precopy_enabled then 0 else relink_ns)
-        + (2_000_000 * !pairs_done));
+      fb_relink := (if precopy_enabled then 0 else relink_ns);
+      fb_channel := 2_000_000 * !pairs_done;
+      K.charge k (!max_pair_cost + !fb_relink + !fb_channel);
       let t3 = K.clock_ns k in
       let st_ns = t3 - t2' in
       Trace.span_end tr ~pid:mpid ~cat:"stage"
@@ -1106,18 +1278,19 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
         "state_transfer";
       Metrics.observe t.mset.m_st_h st_ns;
       if deadline_exceeded () then
-        rollback Err.Update_deadline_exceeded ~cm_ns ~st_ns ~transfers:!transfers
-          ~transfer_conflicts:(List.rev !transfer_conflicts)
+        rollback Err.Update_deadline_exceeded ~stage:"state_transfer" ~cm_ns ~st_ns
+          ~transfers:!transfers ~transfer_conflicts:(List.rev !transfer_conflicts)
       else if not handlers_ok then
-        rollback Err.Reinit_not_quiesced ~cm_ns ~st_ns ~transfers:!transfers
-          ~transfer_conflicts:(List.rev !transfer_conflicts)
+        rollback Err.Reinit_not_quiesced ~stage:"state_transfer" ~cm_ns ~st_ns
+          ~transfers:!transfers ~transfer_conflicts:(List.rev !transfer_conflicts)
       else begin
         match Transfer.rollback_reason (List.rev !transfer_conflicts) with
         | Some reason ->
-            rollback reason ~cm_ns ~st_ns ~transfers:!transfers
+            rollback reason ~stage:"state_transfer" ~cm_ns ~st_ns ~transfers:!transfers
               ~transfer_conflicts:(List.rev !transfer_conflicts)
         | None -> begin
         (* ---- commit ---- *)
+        teardown_from := K.clock_ns k;
         Trace.span_begin tr ~pid:mpid ~cat:"stage" "commit";
         respond_ctl t "OK";
         List.iter
@@ -1144,6 +1317,8 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
             metrics = t.metrics;
             mset = t.mset;
             policy = t.policy;
+            flight_log = t.flight_log;
+            flight_seq = t.flight_seq;
           }
         in
         Metrics.incr t.mset.m_commits;
@@ -1152,6 +1327,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
         observe_end ();
         Trace.span_end tr ~pid:mpid ~cat:"stage" "commit";
         Trace.span_end tr ~pid:mpid ~cat:"stage" "update";
+        let flight = build_flight ~success:true ~explanation:None in
         ( new_t,
           {
             success = true;
@@ -1169,6 +1345,7 @@ let update_once t ~(pol : Policy.t) ?fault ?on_precopy_round new_version =
             transfers = List.rev !transfers;
             failure = None;
             metrics = metrics_snapshot new_t;
+            flight;
           } )
         end
       end
@@ -1212,8 +1389,10 @@ let update t ?policy ?dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?retri
     | None -> Option.map Fault.of_seed pol.Policy.fault_seed
   in
   let k = t.kernel in
-  let rec attempt n =
-    let t', rep = update_once t ~pol ?fault ?on_precopy_round new_version in
+  let rec attempt n prior =
+    let t', rep =
+      update_once t ~pol ~attempt:n ~prior ?fault ?on_precopy_round new_version
+    in
     if rep.success || n >= pol.Policy.retries then (t', rep)
     else begin
       Metrics.incr (Metrics.counter t.metrics "mcr_update_retries_total");
@@ -1222,7 +1401,9 @@ let update t ?policy ?dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?retri
         (K.run_until k
            ~max_ns:(K.clock_ns k + (pol.Policy.retry_backoff_ns * (n + 1)))
            (fun () -> false));
-      attempt (n + 1)
+      (* retry lineage: the next attempt's record carries this one (its own
+         lineage emptied, so the chain stays flat) *)
+      attempt (n + 1) (prior @ [ { rep.flight with Flight.f_prior = [] } ])
     end
   in
-  attempt 0
+  attempt 0 []

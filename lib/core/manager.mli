@@ -119,6 +119,11 @@ val metrics_snapshot : t -> Mcr_obs.Metrics.snapshot
 (** Deterministic snapshot of the registry (refreshes the process gauge
     first). *)
 
+val flight_records : t -> Mcr_obs.Flight.record list
+(** The lineage's flight-recorder ring: one {!Mcr_obs.Flight.record} per
+    update attempt, newest first, capped at 32. The same ring serves
+    [mcr-ctl EXPLAIN [LAST|<n>]] ([n] = 1 is the newest record). *)
+
 (** {1 Live update} *)
 
 type report = {
@@ -146,6 +151,11 @@ type report = {
   metrics : Mcr_obs.Metrics.snapshot;
       (** Registry snapshot taken when the update finished (every exit
           path, success or rollback). *)
+  flight : Mcr_obs.Flight.record;
+      (** The attempt's flight record: downtime attribution (components sum
+          to [downtime_ns] exactly), rollback explanation (stage, frozen
+          reason, conflicting objects, fired fault points, retry lineage)
+          and SLO evaluation. Also appended to {!flight_records}. *)
 }
 
 val update :

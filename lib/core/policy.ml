@@ -9,6 +9,8 @@ type t = {
   precopy_max_rounds : int;
   precopy_threshold_words : int;
   transfer_workers : int;
+  slo_downtime_ns : int option;
+  slo_total_ns : int option;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     precopy_max_rounds = 4;
     precopy_threshold_words = 512;
     transfer_workers = 1;
+    slo_downtime_ns = None;
+    slo_total_ns = None;
   }
 
 let with_quiesce_deadline_ns q t = { t with quiesce_deadline_ns = q }
@@ -54,6 +58,13 @@ let with_transfer_workers n t =
   if n < 1 then invalid_arg "Policy.with_transfer_workers: workers must be >= 1";
   { t with transfer_workers = n }
 
+let with_slo ~downtime_ns ~total_ns t =
+  (match (downtime_ns, total_ns) with
+  | Some d, _ when d <= 0 -> invalid_arg "Policy.with_slo: downtime budget must be positive"
+  | _, Some ut when ut <= 0 -> invalid_arg "Policy.with_slo: total budget must be positive"
+  | _ -> ());
+  { t with slo_downtime_ns = downtime_ns; slo_total_ns = total_ns }
+
 let pp ppf t =
   let opt ppf = function
     | None -> Format.pp_print_string ppf "-"
@@ -62,7 +73,7 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<hov>quiesce_deadline_ns=%a update_deadline_ns=%a retries=%d retry_backoff_ns=%d \
      fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d \
-     transfer_workers=%d@]"
+     transfer_workers=%d slo_downtime_ns=%a slo_total_ns=%a@]"
     opt t.quiesce_deadline_ns opt t.update_deadline_ns t.retries t.retry_backoff_ns opt
     t.fault_seed t.dirty_only t.precopy t.precopy_max_rounds t.precopy_threshold_words
-    t.transfer_workers
+    t.transfer_workers opt t.slo_downtime_ns opt t.slo_total_ns

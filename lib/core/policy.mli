@@ -39,6 +39,15 @@ type t = {
           charged as the critical path over shards plus per-worker
           spawn/join overhead; results are byte-identical for every value
           (default 1 — sequential accounting, no overhead). *)
+  slo_downtime_ns : int option;
+      (** Per-update downtime budget for SLO evaluation (default none). A
+          completed attempt whose downtime exceeds it is recorded as an SLO
+          violation in the flight record and counted in
+          [mcr_slo_violations_total] — informational: it never causes a
+          rollback by itself (use [update_deadline_ns] for enforcement). *)
+  slo_total_ns : int option;
+      (** Per-update end-to-end duration budget, same semantics (default
+          none). *)
 }
 
 val default : t
@@ -57,5 +66,9 @@ val with_precopy : ?max_rounds:int -> ?threshold_words:int -> bool -> t -> t
 val with_transfer_workers : int -> t -> t
 (** Set the transfer worker-pool size.
     @raise Invalid_argument if the count is below 1. *)
+
+val with_slo : downtime_ns:int option -> total_ns:int option -> t -> t
+(** Set (or clear, with [None]) the SLO budgets.
+    @raise Invalid_argument if a budget is not positive. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,17 @@
+(* A conflicting object's identity, captured at the moment the conflict is
+   detected — rollback tears the new version down, so explanations must not
+   re-derive any of this afterwards. Plain ints/strings only: this module
+   sits below every other library. *)
+type conflict_obj = {
+  co_kind : string;
+  co_addr : int;
+  co_ty : string option;
+  co_callstack : int;
+  co_shard : int;
+  co_round : int;
+  co_detail : string;
+}
+
 type rollback_reason =
   | Program_not_running
   | Quiescence_deadline_exceeded
@@ -7,7 +21,7 @@ type rollback_reason =
   | Startup_not_quiescent
   | Reinit_conflict
   | Reinit_not_quiesced
-  | Tracing_conflict
+  | Tracing_conflict of conflict_obj list
   | Precopy_diverged
 
 let all =
@@ -20,12 +34,13 @@ let all =
     Startup_not_quiescent;
     Reinit_conflict;
     Reinit_not_quiesced;
-    Tracing_conflict;
+    Tracing_conflict [];
     Precopy_diverged;
   ]
 
 (* The strings predate the variant (they were matched verbatim by tests and
-   clients of the ctl socket), so they are frozen wire format. *)
+   clients of the ctl socket), so they are frozen wire format. The
+   [Tracing_conflict] payload deliberately does not leak into the string. *)
 let to_string = function
   | Program_not_running -> "program is not running"
   | Quiescence_deadline_exceeded -> "quiescence deadline exceeded"
@@ -35,12 +50,21 @@ let to_string = function
   | Startup_not_quiescent -> "new version did not reach a quiescent startup"
   | Reinit_conflict -> "mutable reinitialization conflict"
   | Reinit_not_quiesced -> "reinit handlers did not quiesce"
-  | Tracing_conflict -> "mutable tracing conflict"
+  | Tracing_conflict _ -> "mutable tracing conflict"
   | Precopy_diverged -> "precopy did not converge"
 
 let metric_name r =
   "mcr_rollback_reason_" ^ String.map (fun c -> if c = ' ' then '_' else c) (to_string r) ^ "_total"
 
 let of_string s = List.find_opt (fun r -> to_string r = s) all
-let equal (a : rollback_reason) b = a = b
+
+(* Reason identity, not payload identity: two tracing conflicts are the same
+   failure mode whatever objects they name. *)
+let equal a b =
+  match (a, b) with
+  | Tracing_conflict _, Tracing_conflict _ -> true
+  | Tracing_conflict _, _ | _, Tracing_conflict _ -> false
+  | a, b -> a = b
+
+let conflict_objs = function Tracing_conflict objs -> objs | _ -> []
 let pp ppf r = Format.pp_print_string ppf (to_string r)

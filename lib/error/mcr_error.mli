@@ -6,6 +6,23 @@
     reports can be matched structurally and the per-reason rollback metrics
     ([mcr_rollback_reason_<reason>_total]) are derived from one place. *)
 
+type conflict_obj = {
+  co_kind : string;
+      (** Conflict class: ["nonupdatable_changed"], ["no_plan"],
+          ["missing_type"] or ["injected"]. *)
+  co_addr : int;  (** Old-version payload address (0 for injected faults). *)
+  co_ty : string option;  (** Type tag, when the object was typed. *)
+  co_callstack : int;  (** Allocation call-stack ID (0 if n/a). *)
+  co_shard : int;  (** Transfer shard that touched it (-1 unsharded). *)
+  co_round : int;
+      (** Pre-copy round that last staged the object (0 = never staged). *)
+  co_detail : string;
+}
+(** The conflicting object's identity, captured when the conflict was
+    detected. Rollback destroys the new version's state, so explanations
+    (the flight recorder, [mcr-ctl EXPLAIN]) must never re-derive this after
+    the fact — it rides inside {!Tracing_conflict}. *)
+
 type rollback_reason =
   | Program_not_running
       (** Update requested against a manager whose program already exited. *)
@@ -25,15 +42,18 @@ type rollback_reason =
           the recorded log on an immutable object. *)
   | Reinit_not_quiesced
       (** Reinit handler threads did not re-quiesce after running. *)
-  | Tracing_conflict
+  | Tracing_conflict of conflict_obj list
       (** Mutable tracing conflict: nonupdatable state changed, a plan or
-          type was missing, or an injected transfer fault fired. *)
+          type was missing, or an injected transfer fault fired. Carries the
+          conflicting objects' identities so post-rollback explanations need
+          no live state. *)
   | Precopy_diverged
       (** Pre-copy delta rounds never shrank below the convergence
           threshold within the round budget. *)
 
 val all : rollback_reason list
-(** Every constructor, in declaration order. *)
+(** Every constructor, in declaration order (payload-carrying constructors
+    with an empty payload). *)
 
 val to_string : rollback_reason -> string
 (** Stable human-readable reason, e.g. ["quiescence deadline exceeded"].
@@ -45,7 +65,13 @@ val metric_name : rollback_reason -> string
     ["mcr_rollback_reason_" ^ underscored reason ^ "_total"]. *)
 
 val of_string : string -> rollback_reason option
-(** Inverse of {!to_string}. *)
+(** Inverse of {!to_string} (payloads come back empty — the wire strings
+    carry none). *)
 
+val conflict_objs : rollback_reason -> conflict_obj list
+(** The {!Tracing_conflict} payload; [[]] for every other reason. *)
+
+(** [equal a b] is whether both are the same failure mode — payloads are
+    ignored. *)
 val equal : rollback_reason -> rollback_reason -> bool
 val pp : Format.formatter -> rollback_reason -> unit

@@ -7,20 +7,7 @@ let us_of_ns ns =
   if ns < 0 then Printf.sprintf "-%d.%03d" (-ns / 1000) (-ns mod 1000)
   else Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Json_escape.escape
 
 let event_json buf (e : T.event) =
   Buffer.add_string buf
@@ -154,3 +141,10 @@ let spans t =
         !stack)
     stacks;
   (List.rev !out, List.rev !errors)
+
+(* The balance checker as a library function (the lint harness and test_obs
+   share it): a sink is balanced iff span reconstruction reports zero
+   structural violations. *)
+let check_balanced t = match spans t with _, [] -> Ok () | _, errors -> Error errors
+
+let flight_json records = Flight.list_to_json records ^ "\n"

@@ -34,6 +34,17 @@ val spans : Trace.t -> span list * string list
     structural violations — mismatched, unopened, or never-closed spans —
     and is empty for a well-nested trace. *)
 
+val check_balanced : Trace.t -> (unit, string list) result
+(** [Ok ()] iff every [Begin] has a matching [End] on its (pid, tid) track
+    — the {!spans} violation list, as a result. The [@lint] alias
+    ([bin/mcr_tracelint]) fails the build on [Error]. *)
+
+(** {1 Flight records} *)
+
+val flight_json : Flight.record list -> string
+(** {!Flight.list_to_json} with a trailing newline — the artifact format
+    the smoke benches write and CI uploads. *)
+
 val us_of_ns : int -> string
 (** Nanoseconds as a fixed-point microsecond decimal ("12.345"). *)
 

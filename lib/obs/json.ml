@@ -1,0 +1,182 @@
+(* A minimal JSON reader for the subsystem's own machine-readable outputs
+   (flight records, benchmark baselines). Every writer in this repository
+   emits integers only — no floats anywhere, by the determinism rules — so
+   the number production is integer-only and a fractional or exponent form
+   is a parse error, not a silent approximation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "offset %d: %s" pos msg))
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail !pos (Printf.sprintf "expected %C, found %C" c d)
+    | None -> fail !pos (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail !pos ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail !pos "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> begin
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '/' -> Buffer.add_char buf '/'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'b' -> Buffer.add_char buf '\b'
+          | Some 'f' -> Buffer.add_char buf '\012'
+          | Some 'u' ->
+              if !pos + 4 >= n then fail !pos "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail !pos "bad \\u escape");
+              pos := !pos + 4
+          | _ -> fail !pos "bad escape");
+          advance ();
+          go ()
+        end
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9') ->
+          advance ();
+          digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start || (s.[start] = '-' && !pos = start + 1) then fail start "expected number";
+    (match peek () with
+    | Some ('.' | 'e' | 'E') -> fail !pos "non-integer numbers are not produced by any writer"
+    | _ -> ());
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail start "integer out of range"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' -> begin
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail !pos "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+      end
+    | Some '[' -> begin
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail !pos "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Int (parse_int ())
+    | Some c -> fail !pos (Printf.sprintf "unexpected %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail !pos "trailing data after value";
+  v
+
+let parse s = match parse_exn s with v -> Ok v | exception Parse_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (lookup + shape checks for decoders) *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let to_int = function Int v -> Some v | _ -> None
+let to_str = function Str v -> Some v | _ -> None
+let to_bool = function Bool v -> Some v | _ -> None
+let to_list = function List v -> Some v | _ -> None
+
+let int_field key j = Option.bind (member key j) to_int
+let str_field key j = Option.bind (member key j) to_str
+let bool_field key j = Option.bind (member key j) to_bool
+let list_field key j = Option.bind (member key j) to_list

@@ -1,0 +1,36 @@
+(** Minimal JSON reader for the subsystem's own machine-readable outputs
+    (flight records, benchmark baselines).
+
+    Deliberately smaller than JSON: every writer in this repository emits
+    integers only (determinism forbids float formatting), so numbers parse
+    as [int] and fractional/exponent forms are an error. [\uXXXX] escapes
+    above ASCII decode to ['?'] — no writer emits them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input (surrounding whitespace
+    allowed). The error carries a byte offset and a cause. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Object member by key ([None] for missing keys and non-objects). *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val int_field : string -> t -> int option
+(** [int_field k j] = [member k j] narrowed to [Int]; likewise below. *)
+
+val str_field : string -> t -> string option
+val bool_field : string -> t -> bool option
+val list_field : string -> t -> t list option

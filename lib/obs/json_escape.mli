@@ -1,0 +1,2 @@
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control characters). *)

@@ -1,0 +1,134 @@
+(* Human-readable rendering of a flight record: a downtime waterfall plus
+   the conflict narrative. All formatting is integer fixed-point — the
+   output is deterministic and safe to golden-test. *)
+
+let fms ns =
+  let sign = if ns < 0 then "-" else "" in
+  let ns = abs ns in
+  Printf.sprintf "%s%d.%03d ms" sign (ns / 1_000_000) (ns mod 1_000_000 / 1000)
+
+(* integer tenths of a percent, truncated: 2_333 -> "23.3%" *)
+let pct part whole =
+  if whole <= 0 then "  -  "
+  else
+    let tenths = part * 1000 / whole in
+    Printf.sprintf "%2d.%d%%" (tenths / 10) (tenths mod 10)
+
+let bar_width = 32
+
+let waterfall buf (a : Flight.attribution) ~downtime_ns =
+  let components = Flight.attribution_components a in
+  let widest = List.fold_left (fun acc (_, v) -> max acc v) 0 components in
+  Buffer.add_string buf "downtime waterfall:\n";
+  if downtime_ns = 0 then
+    Buffer.add_string buf "  (window never opened: zero downtime)\n"
+  else
+    List.iter
+      (fun (label, ns) ->
+        if ns > 0 then begin
+          let len = if widest = 0 then 0 else ns * bar_width / widest in
+          let len = if len = 0 then 1 else len in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-14s %14s  %s  |%s%s|\n" label (fms ns) (pct ns downtime_ns)
+               (String.make len '#')
+               (String.make (bar_width - len) ' '))
+        end)
+      components;
+  let residue = downtime_ns - Flight.attribution_sum a in
+  Buffer.add_string buf
+    (if residue = 0 then "  components sum to the reported downtime exactly\n"
+     else Printf.sprintf "  !! %d ns of downtime unattributed\n" residue)
+
+let conflict_line (c : Flight.conflict_ref) =
+  let shard = if c.Flight.c_shard < 0 then "-" else string_of_int c.Flight.c_shard in
+  let round = if c.Flight.c_round = 0 then "-" else string_of_int c.Flight.c_round in
+  Printf.sprintf "    - %s at 0x%x (%s), callstack %d, shard %s, precopy round %s: %s\n"
+    c.Flight.c_kind c.Flight.c_addr
+    (Option.value c.Flight.c_ty ~default:"untyped")
+    c.Flight.c_callstack shard round c.Flight.c_detail
+
+let explanation buf (e : Flight.explanation) =
+  Buffer.add_string buf "rollback explanation:\n";
+  Buffer.add_string buf (Printf.sprintf "  failed stage: %s\n" e.Flight.e_stage);
+  Buffer.add_string buf (Printf.sprintf "  reason: %s\n" e.Flight.e_reason);
+  (match e.Flight.e_fault with
+  | Some points -> Buffer.add_string buf (Printf.sprintf "  fault points fired: %s\n" points)
+  | None -> ());
+  match e.Flight.e_conflicts with
+  | [] -> ()
+  | conflicts ->
+      Buffer.add_string buf "  conflicting objects:\n";
+      List.iter (fun c -> Buffer.add_string buf (conflict_line c)) conflicts
+
+let slo_line (s : Flight.slo) ~downtime_ns ~total_ns =
+  let budget label actual ok = function
+    | None -> Printf.sprintf "%s budget: none" label
+    | Some b ->
+        Printf.sprintf "%s budget %s — %s" label (fms b)
+          (if ok then "ok (" ^ fms actual ^ ")" else "VIOLATED (" ^ fms actual ^ ")")
+  in
+  Printf.sprintf "slo: %s; %s\n"
+    (budget "downtime" downtime_ns s.Flight.s_downtime_ok s.Flight.s_downtime_budget_ns)
+    (budget "total" total_ns s.Flight.s_total_ok s.Flight.s_total_budget_ns)
+
+let prior_line (r : Flight.record) =
+  let outcome =
+    if r.Flight.f_success then "committed"
+    else
+      match r.Flight.f_explanation with
+      | Some e -> Printf.sprintf "rolled back at %s (%s)" e.Flight.e_stage e.Flight.e_reason
+      | None -> "rolled back"
+  in
+  Printf.sprintf "  #%d attempt %d: %s, downtime %s\n" r.Flight.f_seq r.Flight.f_attempt
+    outcome (fms r.Flight.f_downtime_ns)
+
+let render (r : Flight.record) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "flight #%d %s %s -> %s — %s\n" r.Flight.f_seq r.Flight.f_prog
+       r.Flight.f_from r.Flight.f_to
+       (if r.Flight.f_success then "COMMITTED"
+        else
+          match r.Flight.f_explanation with
+          | Some e -> "ROLLED BACK (" ^ e.Flight.e_reason ^ ")"
+          | None -> "ROLLED BACK"));
+  Buffer.add_string buf
+    (Printf.sprintf "attempt %d; policy: %s, workers=%d\n" r.Flight.f_attempt
+       (if r.Flight.f_precopy then
+          Printf.sprintf "pre-copy (%d rounds run)" (List.length r.Flight.f_rounds)
+        else "single-shot")
+       r.Flight.f_workers);
+  Buffer.add_string buf
+    (Printf.sprintf "start %s into the run; total %s; downtime %s\n"
+       (fms r.Flight.f_start_ns) (fms r.Flight.f_total_ns) (fms r.Flight.f_downtime_ns));
+  Buffer.add_char buf '\n';
+  waterfall buf r.Flight.f_attribution ~downtime_ns:r.Flight.f_downtime_ns;
+  (match r.Flight.f_rounds with
+  | [] -> ()
+  | rounds ->
+      Buffer.add_string buf "\npre-copy rounds (prepaid, outside the window):\n";
+      List.iteri
+        (fun i (rd : Flight.round) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  round %d: %d delta words, %s\n" (i + 1) rd.Flight.r_words
+               (fms rd.Flight.r_cost_ns)))
+        rounds);
+  (match r.Flight.f_explanation with
+  | Some e ->
+      Buffer.add_char buf '\n';
+      explanation buf e
+  | None -> ());
+  (match r.Flight.f_slo with
+  | Some s ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (slo_line s ~downtime_ns:r.Flight.f_downtime_ns ~total_ns:r.Flight.f_total_ns)
+  | None -> ());
+  (match r.Flight.f_prior with
+  | [] -> ()
+  | priors ->
+      Buffer.add_string buf "\nprior attempts of this update:\n";
+      List.iter (fun p -> Buffer.add_string buf (prior_line p)) priors);
+  Buffer.contents buf
+
+let render_list records = String.concat "\n" (List.map render records)

@@ -1,0 +1,13 @@
+(** Human-readable post-mortem rendering of {!Flight.record}s.
+
+    {!render} turns one record into a downtime waterfall (per-component
+    bars, fixed-point milliseconds, integer percentages — no float
+    printing, so output is deterministic) followed by the rollback
+    narrative: failed stage, frozen reason, the conflicting objects with
+    their captured identities, fired fault points, SLO verdicts and the
+    retry lineage. [bin/mcr_postmortem] is the command-line wrapper. *)
+
+val render : Flight.record -> string
+
+val render_list : Flight.record list -> string
+(** Concatenated {!render}s, blank-line separated. *)

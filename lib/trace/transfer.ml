@@ -13,10 +13,18 @@ module P = Mcr_program.Progdef
 module Trace = Mcr_obs.Trace
 open Objgraph
 
+(* Where the conflicting object sat in the transfer machinery when the
+   conflict fired: its shard under the active plan (-1 unsharded), the last
+   pre-copy round that staged it (0 = never), and its allocation call-stack
+   ID. Captured eagerly — rollback destroys the state these are derived
+   from, and the flight recorder must explain the failure afterwards. *)
+type provenance = { shard : int; round : int; callstack : int }
+
 type conflict =
-  | Nonupdatable_changed of { addr : Addr.t; ty_name : string; detail : string }
-  | No_plan of { addr : Addr.t; ty_name : string; detail : string }
-  | Missing_type of { addr : Addr.t; ty_name : string }
+  | Nonupdatable_changed of
+      { addr : Addr.t; ty_name : string; detail : string; prov : provenance }
+  | No_plan of { addr : Addr.t; ty_name : string; detail : string; prov : provenance }
+  | Missing_type of { addr : Addr.t; ty_name : string; prov : provenance }
   | Injected of { detail : string }
 
 type outcome = {
@@ -52,7 +60,7 @@ type outcome = {
    the new address space is what makes rollback from mid-pre-copy free and
    keeps the order-sensitive startup-matching index untouched. *)
 
-type precopy_entry = { pc_words : int; pc_hash : int }
+type precopy_entry = { pc_words : int; pc_hash : int; pc_round : int }
 
 type precopy = {
   pc_entries : (Addr.t, precopy_entry) Hashtbl.t; (* old payload addr -> staged *)
@@ -108,7 +116,11 @@ let precopy_round pc ~(old_image : P.image) ~analysis ?since ?(workers = 1) () =
       in
       if need then begin
         Hashtbl.replace pc.pc_entries o.addr
-          { pc_words = o.words; pc_hash = content_hash aspace o.addr o.words };
+          {
+            pc_words = o.words;
+            pc_hash = content_hash aspace o.addr o.words;
+            pc_round = pc.pc_rounds + 1;
+          };
         incr objects;
         words := !words + o.words;
         let s = plan.Objgraph.sp_shard_of.(o.id) in
@@ -165,6 +177,17 @@ type state = {
 }
 
 let conflictf st c = st.conflicts <- c :: st.conflicts
+
+let provenance st (o : obj) =
+  let round =
+    match st.precopy with
+    | Some pc -> (
+        match Hashtbl.find_opt pc.pc_entries o.addr with
+        | Some e -> e.pc_round
+        | None -> 0)
+    | None -> 0
+  in
+  { shard = st.plan.Objgraph.sp_shard_of.(o.id); round; callstack = o.callstack }
 
 let old_env st = st.old_image.P.i_version.P.tyenv
 let new_env st = st.new_image.P.i_version.P.tyenv
@@ -243,6 +266,7 @@ let check_nonupdatable st (o : obj) =
                addr = o.addr;
                ty_name = name;
                detail = "object is conservatively traced and cannot be type-transformed";
+               prov = provenance st o;
              })
   | Some _ | None -> ()
 
@@ -306,7 +330,8 @@ let assign_dest st startup_index (o : obj) =
               match o.ty_name with
               | Some name when not (new_ty_exists st name) ->
                   if o.dirty then
-                    conflictf st (Missing_type { addr = o.addr; ty_name = name });
+                    conflictf st
+                      (Missing_type { addr = o.addr; ty_name = name; prov = provenance st o });
                   D_dropped
               | Some name ->
                   let words = Ty.sizeof_words (new_env st) (Ty.Named name) in
@@ -426,6 +451,7 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
                  addr = o.addr;
                  ty_name = Option.value o.ty_name ~default:(Ty.to_string src_ty);
                  detail;
+                 prov = provenance st o;
                });
           false
     end
@@ -591,6 +617,7 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
              addr = o.addr;
              ty_name = Option.value o.ty_name ~default:"<untyped>";
              detail = "injected: spurious likely pointer pinned a relocatable object";
+             prov = provenance st o;
            })
   | None -> ());
   let startup_index = build_startup_index new_image in
@@ -648,16 +675,60 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
       ];
   outcome
 
+let conflict_obj = function
+  | Nonupdatable_changed { addr; ty_name; detail; prov } ->
+      {
+        Mcr_error.co_kind = "nonupdatable_changed";
+        co_addr = addr;
+        co_ty = Some ty_name;
+        co_callstack = prov.callstack;
+        co_shard = prov.shard;
+        co_round = prov.round;
+        co_detail = detail;
+      }
+  | No_plan { addr; ty_name; detail; prov } ->
+      {
+        Mcr_error.co_kind = "no_plan";
+        co_addr = addr;
+        co_ty = Some ty_name;
+        co_callstack = prov.callstack;
+        co_shard = prov.shard;
+        co_round = prov.round;
+        co_detail = detail;
+      }
+  | Missing_type { addr; ty_name; prov } ->
+      {
+        Mcr_error.co_kind = "missing_type";
+        co_addr = addr;
+        co_ty = Some ty_name;
+        co_callstack = prov.callstack;
+        co_shard = prov.shard;
+        co_round = prov.round;
+        co_detail = "dirty object's type is absent from the new version";
+      }
+  | Injected { detail } ->
+      {
+        Mcr_error.co_kind = "injected";
+        co_addr = 0;
+        co_ty = None;
+        co_callstack = 0;
+        co_shard = -1;
+        co_round = 0;
+        co_detail = detail;
+      }
+
 let rollback_reason (conflicts : conflict list) =
-  match conflicts with [] -> None | _ :: _ -> Some Mcr_error.Tracing_conflict
+  match conflicts with
+  | [] -> None
+  | cs -> Some (Mcr_error.Tracing_conflict (List.map conflict_obj cs))
 
 let pp_conflict ppf = function
-  | Nonupdatable_changed { addr; ty_name; detail } ->
+  | Nonupdatable_changed { addr; ty_name; detail; _ } ->
       Format.fprintf ppf "nonupdatable object %a (%s) changed by update: %s" Addr.pp addr
         ty_name detail
-  | No_plan { addr; ty_name; detail } ->
+  | No_plan { addr; ty_name; detail; _ } ->
       Format.fprintf ppf "no transformation for %a (%s): %s" Addr.pp addr ty_name detail
-  | Missing_type { addr; ty_name } ->
+  | Missing_type { addr; ty_name; _ } ->
       Format.fprintf ppf "dirty object %a has type %s absent from the new version" Addr.pp addr
         ty_name
   | Injected { detail } -> Format.fprintf ppf "injected conflict: %s" detail

@@ -20,12 +20,30 @@
     reinitialization are skipped (the new version's own initialization
     stands). *)
 
+type provenance = {
+  shard : int;  (** Transfer shard the object belongs to under the plan. *)
+  round : int;
+      (** Pre-copy round that last staged the object (0 = never staged). *)
+  callstack : int;  (** Allocation call-stack ID. *)
+}
+(** Where the conflicting object sat in the pipeline when the conflict was
+    detected — captured eagerly because rollback destroys the state it is
+    derived from. *)
+
 type conflict =
-  | Nonupdatable_changed of { addr : Mcr_vmem.Addr.t; ty_name : string; detail : string }
-      (** A conservatively-traced object's type was changed by the update. *)
-  | No_plan of { addr : Mcr_vmem.Addr.t; ty_name : string; detail : string }
-      (** No automatic transformation exists and no handler was supplied. *)
-  | Missing_type of { addr : Mcr_vmem.Addr.t; ty_name : string }
+  | Nonupdatable_changed of {
+      addr : Mcr_vmem.Addr.t;
+      ty_name : string;
+      detail : string;
+      prov : provenance;
+    }  (** A conservatively-traced object's type was changed by the update. *)
+  | No_plan of {
+      addr : Mcr_vmem.Addr.t;
+      ty_name : string;
+      detail : string;
+      prov : provenance;
+    }  (** No automatic transformation exists and no handler was supplied. *)
+  | Missing_type of { addr : Mcr_vmem.Addr.t; ty_name : string; prov : provenance }
       (** A dirty object's type no longer exists in the new version. *)
   | Injected of { detail : string }
       (** A synthetic conflict from the fault harness
@@ -137,7 +155,14 @@ val run :
     the pinned object. *)
 
 val rollback_reason : conflict list -> Mcr_error.rollback_reason option
-(** [Some Tracing_conflict] when any conflict is present — the shared
-    rollback vocabulary for transfer failures. *)
+(** [Some (Tracing_conflict objs)] when any conflict is present — the
+    shared rollback vocabulary for transfer failures, carrying one
+    {!Mcr_error.conflict_obj} per conflict (via {!conflict_obj}) so
+    explanations survive the rollback that destroys the live state. *)
+
+val conflict_obj : conflict -> Mcr_error.conflict_obj
+(** The wire/report form of one conflict: kind tag, address, type tag,
+    call-stack ID, shard and pre-copy round. [Injected] conflicts have no
+    object — address 0, no type, shard -1. *)
 
 val pp_conflict : Format.formatter -> conflict -> unit
