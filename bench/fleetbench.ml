@@ -1,0 +1,366 @@
+(* The fleet experiment: canary-gated rolling live update across N
+   instances behind the simulated balancer, swept over fleet sizes, wave
+   policies, and seeded faults.
+
+   Three scenario kinds, each with hard assertions (exit 1 on violation):
+
+   - clean: the rollout must complete (all instances on the target
+     version), route zero client-visible errors, and never drop aggregate
+     availability below [n - max_unavailable] — the policy bound.
+   - fault-halt: a transfer-conflict fault seeded into the canary must
+     roll the canary back and halt the rollout with at least
+     [n - canary - wave] instances never leaving the starting version.
+   - slo-halt: an unmeetable SLO downtime budget on the canary must halt
+     the rollout and, under [Rollback_updated], revert every
+     already-updated instance back to the starting version.
+
+   $MCR_FLEET_JSON: write every scenario's cell as JSON (the committed
+   BENCH_fleet.json baseline is this file from a smoke run, and
+   [check ~against] re-measures every cell against it with a tolerance).
+
+   $MCR_FLIGHT_DIR: write every rollout's fleet flight summary
+   ({!Mcr_obs.Fleet_flight.to_json}) into that directory, one file per
+   scenario — mcr-postmortem renders them. *)
+
+module Policy = Mcr_core.Policy
+module Testbed = Mcr_workloads.Testbed
+module Fleet_policy = Mcr_fleet.Fleet_policy
+module Fleet = Mcr_fleet.Fleet
+module Rollout = Mcr_fleet.Rollout
+module Fleet_flight = Mcr_obs.Fleet_flight
+module Json = Mcr_obs.Json
+
+let fms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
+
+type expect = Clean | Fault_halt | Slo_halt
+
+let expect_to_string = function
+  | Clean -> "clean"
+  | Fault_halt -> "fault_halt"
+  | Slo_halt -> "slo_halt"
+
+let expect_of_string = function
+  | "clean" -> Some Clean
+  | "fault_halt" -> Some Fault_halt
+  | "slo_halt" -> Some Slo_halt
+  | _ -> None
+
+type scenario = {
+  server : Testbed.server;
+  n : int;
+  canary : int;
+  wave : int;
+  max_unavailable : int;
+  halt : Fleet_policy.halt;
+  fault_seed : int option;  (* arms [fault_instance] with of_seed (seed + i) *)
+  fault_instance : int option;
+  slo_downtime_ns : int option;  (* canary-halting SLO budget when set *)
+  expect : expect;
+}
+
+let scenario ?fault_seed ?fault_instance ?slo_downtime_ns ~expect server ~n ~canary ~wave
+    ~max_unavailable ~halt () =
+  {
+    server;
+    n;
+    canary;
+    wave;
+    max_unavailable;
+    halt;
+    fault_seed;
+    fault_instance;
+    slo_downtime_ns;
+    expect;
+  }
+
+(* Seed 3 maps to a transfer conflict in Mcr_fault.Fault.of_seed — a fault
+   the update pipeline always hits, so the canary rollback is guaranteed
+   (instance 0 keeps the fleet seed unshifted). *)
+let conflict_seed = 3
+
+let smoke_scenarios =
+  [
+    scenario Testbed.Nginx ~n:4 ~canary:1 ~wave:2 ~max_unavailable:2
+      ~halt:Fleet_policy.Halt_only ~expect:Clean ();
+    scenario Testbed.Nginx ~n:8 ~canary:1 ~wave:4 ~max_unavailable:4
+      ~halt:Fleet_policy.Halt_only ~expect:Clean ();
+    scenario Testbed.Nginx ~n:8 ~canary:1 ~wave:2 ~max_unavailable:2
+      ~halt:Fleet_policy.Halt_only ~fault_seed:conflict_seed ~fault_instance:0
+      ~expect:Fault_halt ();
+    scenario Testbed.Nginx ~n:8 ~canary:1 ~wave:2 ~max_unavailable:2
+      ~halt:Fleet_policy.Rollback_updated ~slo_downtime_ns:1 ~expect:Slo_halt ();
+  ]
+
+let full_scenarios =
+  smoke_scenarios
+  @ [
+      scenario Testbed.Nginx ~n:16 ~canary:2 ~wave:4 ~max_unavailable:4
+        ~halt:Fleet_policy.Halt_only ~expect:Clean ();
+      scenario Testbed.Nginx ~n:32 ~canary:2 ~wave:8 ~max_unavailable:8
+        ~halt:Fleet_policy.Halt_only ~expect:Clean ();
+      scenario Testbed.Vsftpd ~n:8 ~canary:1 ~wave:4 ~max_unavailable:4
+        ~halt:Fleet_policy.Halt_only ~expect:Clean ();
+      scenario Testbed.Httpd ~n:8 ~canary:1 ~wave:2 ~max_unavailable:2
+        ~halt:Fleet_policy.Rollback_updated ~fault_seed:conflict_seed ~fault_instance:0
+        ~expect:Fault_halt ();
+    ]
+
+let policy_of sc =
+  let pol =
+    Fleet_policy.default
+    |> Fleet_policy.with_canary sc.canary
+    |> Fleet_policy.with_wave sc.wave
+    |> Fleet_policy.with_max_unavailable sc.max_unavailable
+    |> Fleet_policy.with_halt sc.halt
+  in
+  let pol =
+    match (sc.fault_seed, sc.fault_instance) with
+    | Some seed, Some i -> Fleet_policy.with_fault ~seed:(Some seed) ~instances:[ i ] pol
+    | _ -> pol
+  in
+  match sc.slo_downtime_ns with
+  | Some ns ->
+      Fleet_policy.with_update
+        (Policy.with_slo ~downtime_ns:(Some ns) ~total_ns:None Policy.default)
+        pol
+  | None -> pol
+
+let label sc =
+  Printf.sprintf "%s n=%d %s" (Testbed.name sc.server) sc.n (expect_to_string sc.expect)
+
+let measure sc =
+  let fleet = Fleet.of_testbed ~policy:(policy_of sc) sc.server ~n:sc.n in
+  let summary = Rollout.execute fleet in
+  (fleet, summary)
+
+let flush_summary sc (s : Fleet_flight.t) =
+  match Sys.getenv_opt "MCR_FLIGHT_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "fleet_%s_n%d_%s.json" (Testbed.name sc.server) sc.n
+             (expect_to_string sc.expect))
+      in
+      let oc = open_out_bin path in
+      output_string oc (Fleet_flight.to_json s);
+      close_out oc;
+      Printf.printf "fleet: wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Assertions: every scenario states what its rollout must have done. *)
+
+let base_tag sc = (Testbed.base_version sc.server).Mcr_program.Progdef.version_tag
+
+let on_base_count fleet sc =
+  let tag = base_tag sc in
+  List.length
+    (List.filter (fun i -> Fleet.version_tag fleet i = tag) (List.init sc.n Fun.id))
+
+let verify fleet sc (s : Fleet_flight.t) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "!! %s: %s\n" (label sc) msg;
+        exit 1)
+      fmt
+  in
+  match sc.expect with
+  | Clean ->
+      if s.Fleet_flight.fs_halted then fail "expected a clean rollout, got a halt";
+      if s.Fleet_flight.fs_updated <> sc.n then
+        fail "only %d/%d instances reached the target version" s.Fleet_flight.fs_updated
+          sc.n;
+      if s.Fleet_flight.fs_client_errors <> 0 then
+        fail "%d client-visible errors during a clean rollout"
+          s.Fleet_flight.fs_client_errors;
+      let bound = sc.n - sc.max_unavailable in
+      if s.Fleet_flight.fs_min_serving < bound then
+        fail "availability dropped to %d serving, below the max-unavailable bound %d"
+          s.Fleet_flight.fs_min_serving bound
+  | Fault_halt ->
+      if not s.Fleet_flight.fs_halted then fail "seeded canary fault did not halt";
+      if s.Fleet_flight.fs_blocking = None then fail "halted without a blocking verdict";
+      let untouched = on_base_count fleet sc in
+      let bound = sc.n - sc.canary - sc.wave in
+      if untouched < bound then
+        fail "only %d instances still on %s after the halt (bound %d)" untouched
+          (base_tag sc) bound
+  | Slo_halt ->
+      if not s.Fleet_flight.fs_halted then fail "SLO violation did not halt";
+      if s.Fleet_flight.fs_blocking = None then fail "halted without a blocking verdict";
+      if sc.halt = Fleet_policy.Rollback_updated then begin
+        if s.Fleet_flight.fs_reverted < 1 then
+          fail "halt policy rollback_updated reverted nothing";
+        let untouched = on_base_count fleet sc in
+        if untouched <> sc.n then
+          fail "%d instances not back on %s after the rollback wave" (sc.n - untouched)
+            (base_tag sc)
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let cell_json sc (s : Fleet_flight.t) =
+  let opt = function Some v -> string_of_int v | None -> "null" in
+  Printf.sprintf
+    "    {\"sweep\": \"fleet\", \"server\": %S, \"n\": %d, \"canary\": %d, \"wave\": %d, \
+     \"max_unavailable\": %d, \"halt\": %S, \"fault_seed\": %s, \"fault_instance\": %s, \
+     \"slo_downtime_ns\": %s, \"expect\": %S, \"halted\": %b, \"updated\": %d, \
+     \"reverted\": %d, \"makespan_ns\": %d, \"min_serving\": %d, \
+     \"min_availability_permille\": %d, \"requests\": %d, \"client_errors\": %d}"
+    (Testbed.name sc.server) sc.n sc.canary sc.wave sc.max_unavailable
+    (Fleet_policy.halt_to_string sc.halt)
+    (opt sc.fault_seed) (opt sc.fault_instance) (opt sc.slo_downtime_ns)
+    (expect_to_string sc.expect) s.Fleet_flight.fs_halted s.Fleet_flight.fs_updated
+    s.Fleet_flight.fs_reverted s.Fleet_flight.fs_makespan_ns s.Fleet_flight.fs_min_serving
+    (Fleet_flight.min_availability_permille s)
+    s.Fleet_flight.fs_requests s.Fleet_flight.fs_client_errors
+
+let write_json path json =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_bin path in
+  output_string oc ("[\n" ^ String.concat ",\n" (List.rev !json) ^ "\n]\n");
+  close_out oc;
+  Printf.printf "fleet: wrote %s\n" path
+
+let run ?(smoke = false) () =
+  let scenarios = if smoke then smoke_scenarios else full_scenarios in
+  Printf.printf "\n== fleet%s: canary-gated rolling update (makespan ms) ==\n"
+    (if smoke then " (smoke)" else "");
+  Printf.printf "%-10s %3s %-24s %-10s %9s %7s %9s %5s %6s\n" "server" "n"
+    "policy" "outcome" "makespan" "updated" "min-avail" "errs" "reqs";
+  let json = ref [] in
+  List.iter
+    (fun sc ->
+      let fleet, s = measure sc in
+      verify fleet sc s;
+      flush_summary sc s;
+      json := cell_json sc s :: !json;
+      let policy_str =
+        Printf.sprintf "c=%d w=%d mu=%d %s%s" sc.canary sc.wave sc.max_unavailable
+          (Fleet_policy.halt_to_string sc.halt)
+          (match sc.fault_seed with Some s -> Printf.sprintf " f=%d" s | None -> "")
+      in
+      Printf.printf "%-10s %3d %-24s %-10s %9s %3d/%-3d %6d/1000 %5d %6d\n"
+        (Testbed.name sc.server) sc.n policy_str
+        (if s.Fleet_flight.fs_halted then "HALTED" else "completed")
+        (fms s.Fleet_flight.fs_makespan_ns)
+        s.Fleet_flight.fs_updated sc.n
+        (Fleet_flight.min_availability_permille s)
+        s.Fleet_flight.fs_client_errors s.Fleet_flight.fs_requests)
+    scenarios;
+  (match Sys.getenv_opt "MCR_FLEET_JSON" with
+  | Some path -> write_json path json
+  | None -> ());
+  Printf.printf
+    "\nfleet: %d scenario(s) ok — clean rollouts held the availability bound, seeded \
+     faults halted at the canary\n"
+    (List.length scenarios)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: re-run every cell of a committed baseline
+   (BENCH_fleet.json) and fail when the outcome flips, the makespan
+   regresses past the tolerance, availability sinks below the baseline
+   floor, or client errors appear. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let server_of_name name = List.find_opt (fun s -> Testbed.name s = name) Testbed.all
+
+let scenario_of_cell cell =
+  let ( let* ) = Option.bind in
+  let* name = Json.str_field "server" cell in
+  let* server = server_of_name name in
+  let* n = Json.int_field "n" cell in
+  let* canary = Json.int_field "canary" cell in
+  let* wave = Json.int_field "wave" cell in
+  let* max_unavailable = Json.int_field "max_unavailable" cell in
+  let* halt_s = Json.str_field "halt" cell in
+  let* halt = Fleet_policy.halt_of_string halt_s in
+  let* expect_s = Json.str_field "expect" cell in
+  let* expect = expect_of_string expect_s in
+  Some
+    (scenario server ~n ~canary ~wave ~max_unavailable ~halt ~expect
+       ?fault_seed:(Json.int_field "fault_seed" cell)
+       ?fault_instance:(Json.int_field "fault_instance" cell)
+       ?slo_downtime_ns:(Json.int_field "slo_downtime_ns" cell)
+       ())
+
+let check ~against ~tolerance_pct () =
+  let data =
+    match read_file against with
+    | data -> data
+    | exception Sys_error e ->
+        Printf.printf "fleet check: %s\n" e;
+        exit 2
+  in
+  let cells =
+    match Json.parse data with
+    | Error e ->
+        Printf.printf "fleet check: %s: %s\n" against e;
+        exit 2
+    | Ok j -> (
+        match Json.to_list j with
+        | Some l -> l
+        | None ->
+            Printf.printf "fleet check: %s: expected a JSON array of cells\n" against;
+            exit 2)
+  in
+  Printf.printf "\n== fleet check: %d cell(s) against %s (tolerance %d%%) ==\n"
+    (List.length cells) against tolerance_pct;
+  let regressions = ref 0 in
+  let checked = ref 0 in
+  let gate label ok detail =
+    incr checked;
+    if not ok then incr regressions;
+    Printf.printf "%-44s %s  %s\n" label (if ok then "ok" else "REGRESSED") detail
+  in
+  List.iter
+    (fun cell ->
+      match scenario_of_cell cell with
+      | None -> Printf.printf "fleet check: malformed cell, skipping\n"
+      | Some sc ->
+          let _fleet, s = measure sc in
+          let name = label sc in
+          (match Json.bool_field "halted" cell with
+          | Some halted ->
+              gate (name ^ " outcome")
+                (s.Fleet_flight.fs_halted = halted)
+                (Printf.sprintf "halted %b -> %b" halted s.Fleet_flight.fs_halted)
+          | None -> ());
+          (match Json.int_field "makespan_ns" cell with
+          | Some baseline ->
+              let budget = baseline + (baseline * tolerance_pct / 100) in
+              gate (name ^ " makespan")
+                (s.Fleet_flight.fs_makespan_ns <= budget)
+                (Printf.sprintf "%s -> %s ms" (fms baseline)
+                   (fms s.Fleet_flight.fs_makespan_ns))
+          | None -> ());
+          (match Json.int_field "min_availability_permille" cell with
+          | Some baseline ->
+              let floor = baseline * (100 - min 100 tolerance_pct) / 100 in
+              let got = Fleet_flight.min_availability_permille s in
+              gate (name ^ " availability") (got >= floor)
+                (Printf.sprintf "%d/1000 -> %d/1000" baseline got)
+          | None -> ());
+          match Json.int_field "client_errors" cell with
+          | Some baseline ->
+              gate (name ^ " client errors")
+                (s.Fleet_flight.fs_client_errors <= baseline)
+                (Printf.sprintf "%d -> %d" baseline s.Fleet_flight.fs_client_errors)
+          | None -> ())
+    cells;
+  if !regressions > 0 then begin
+    Printf.printf "\nfleet check: %d gate(s) regressed beyond %d%% of the baseline\n"
+      !regressions tolerance_pct;
+    exit 1
+  end;
+  Printf.printf "\nfleet check: all %d gate(s) within %d%% of the baseline\n" !checked
+    tolerance_pct

@@ -6,13 +6,17 @@
      dune exec bench/main.exe -- table3  # one experiment
    Experiments: table1 table2 table3 fig3 quiescence control-migration
                 update-time memory spec dirty-reduction ablation micro
-                fault-matrix downtime (both accept --smoke: reduced
-                deterministic subset; downtime also accepts
-                --workers N,N,... for the transfer worker-pool sweep)
+                fault-matrix downtime fleet (the last three accept
+                --smoke: reduced deterministic subset; downtime also
+                accepts --workers N,N,... for the transfer worker-pool
+                sweep)
    Regression gate:
-     dune exec bench/main.exe -- check --against BENCH_downtime.json --tolerance 15%
-   re-measures every cell of the committed baseline and fails (exit 1)
-   when a downtime exceeds baseline + tolerance. *)
+     dune exec bench/main.exe -- check --against BENCH_downtime.json \
+       --against BENCH_fleet.json --tolerance 15%
+   --against is repeatable; each baseline is dispatched on its cells'
+   "sweep" field (fleet cells re-run the rollout, downtime cells re-run
+   the update) and the run fails (exit 1) when any cell regresses past
+   the tolerance. *)
 
 let smoke = ref false
 let workers = ref [ 1; 2; 4; 8 ]
@@ -34,6 +38,7 @@ let experiments =
     ("micro", fun () -> Micro.run ());
     ("fault-matrix", fun () -> Faultbench.run ~smoke:!smoke ());
     ("downtime", fun () -> Downtime.run ~smoke:!smoke ~workers:!workers ());
+    ("fleet", fun () -> Fleetbench.run ~smoke:!smoke ());
   ]
 
 let usage () =
@@ -41,9 +46,9 @@ let usage () =
   print_endline "experiments:";
   List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments;
   print_endline "  all (default)";
-  print_endline "  check --against <baseline.json> --tolerance <pct>%"
+  print_endline "  check [--against <baseline.json>]... --tolerance <pct>%"
 
-let against = ref "BENCH_downtime.json"
+let against = ref []
 let tolerance_pct = ref 15
 
 let parse_tolerance s =
@@ -70,6 +75,27 @@ let parse_workers s =
       Printf.printf "bad --workers list %S (want e.g. 1,4)\n" s;
       exit 1
 
+(* Each baseline file declares its own sweep family in every cell's
+   "sweep" field; peek at the first cell to pick the checker. Unreadable
+   or malformed files fall through to the downtime checker, which reports
+   the problem and exits 2. *)
+let baseline_kind path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    data
+  with
+  | exception Sys_error _ -> None
+  | data -> (
+      match Mcr_obs.Json.parse data with
+      | Error _ -> None
+      | Ok j -> (
+          match Mcr_obs.Json.to_list j with
+          | Some (first :: _) -> Mcr_obs.Json.str_field "sweep" first
+          | _ -> None))
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   smoke := List.mem "--smoke" args;
@@ -79,7 +105,7 @@ let () =
         workers := parse_workers spec;
         strip_workers rest
     | "--against" :: path :: rest ->
-        against := path;
+        against := path :: !against;
         strip_workers rest
     | "--tolerance" :: spec :: rest ->
         tolerance_pct := parse_tolerance spec;
@@ -89,7 +115,16 @@ let () =
   in
   let args = strip_workers args in
   match args with
-  | [ "check" ] -> Downtime.check ~against:!against ~tolerance_pct:!tolerance_pct ()
+  | [ "check" ] ->
+      let baselines =
+        match List.rev !against with [] -> [ "BENCH_downtime.json" ] | l -> l
+      in
+      List.iter
+        (fun path ->
+          match baseline_kind path with
+          | Some "fleet" -> Fleetbench.check ~against:path ~tolerance_pct:!tolerance_pct ()
+          | _ -> Downtime.check ~against:path ~tolerance_pct:!tolerance_pct ())
+        baselines
   | [] | [ "all" ] ->
       print_endline "MCR reproduction harness: all experiments";
       List.iter (fun (_, f) -> f ()) experiments

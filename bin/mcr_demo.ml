@@ -1,16 +1,23 @@
 (* mcr-demo: run a simulated MCR-enabled server, put it under load, and
    drive a live update through the mcr-ctl control socket — the end-to-end
-   workflow of Figure 1 in one command.
+   workflow of Figure 1 in one command. With --fleet N the same server
+   runs as N instances behind the simulated balancer and the update
+   becomes a canary-gated rolling rollout driven through FLEET ROLLOUT.
 
      dune exec bin/mcr_demo.exe -- --server nginx --requests 200 --conns 10
      dune exec bin/mcr_demo.exe -- --server httpd --fail  # rollback demo
-     dune exec bin/mcr_demo.exe -- --fault-seed 7 --quiesce-deadline-ms 500 *)
+     dune exec bin/mcr_demo.exe -- --fault-seed 7 --quiesce-deadline-ms 500
+     dune exec bin/mcr_demo.exe -- --fleet 16 --canary 2 --wave 4
+     dune exec bin/mcr_demo.exe -- --fleet 8 --fault-seed 3 --halt rollback_updated *)
 
 module K = Mcr_simos.Kernel
 module Manager = Mcr_core.Manager
 module Ctl = Mcr_core.Ctl
 module Testbed = Mcr_workloads.Testbed
 module Holders = Mcr_workloads.Holders
+module Fleet = Mcr_fleet.Fleet
+module Fleet_policy = Mcr_fleet.Fleet_policy
+module Rollout = Mcr_fleet.Rollout
 
 let server_of_string = function
   | "nginx" -> Ok Testbed.Nginx
@@ -19,12 +26,43 @@ let server_of_string = function
   | "sshd" -> Ok Testbed.Sshd
   | s -> Error (`Msg ("unknown server " ^ s ^ " (nginx|httpd|vsftpd|sshd)"))
 
-let run server requests conns fail_update fault_seed quiesce_deadline_ms update_deadline_ms
-    precopy transfer_workers verbose =
-  if verbose then begin
-    Logs.set_reporter (Logs.format_reporter ());
-    Logs.set_level (Some Logs.Debug)
-  end;
+(* The fleet path: N instances, one FLEET ROLLOUT over the fleet socket,
+   then the rollout post-mortem. A seeded fault arms the canary
+   (instance 0), so the demo shows the halt gate and — under
+   rollback_updated — the fleet-wide revert. *)
+let run_fleet server n canary wave max_unavailable halt fault_seed =
+  let pol =
+    Fleet_policy.default
+    |> Fleet_policy.with_canary canary
+    |> Fleet_policy.with_wave wave
+    |> Fleet_policy.with_max_unavailable max_unavailable
+    |> Fleet_policy.with_halt halt
+  in
+  let pol =
+    match fault_seed with
+    | Some seed -> Fleet_policy.with_fault ~seed:(Some seed) ~instances:[ 0 ] pol
+    | None -> pol
+  in
+  Printf.printf "launching a fleet of %d %s instance(s) behind the balancer...\n%!" n
+    (Testbed.name server);
+  let fleet = Fleet.of_testbed ~policy:pol server ~n in
+  Printf.printf "  fleet control socket %s\n" (Fleet.ctl_path fleet);
+  print_string (Fleet.status_text fleet);
+  Printf.printf "requesting FLEET ROLLOUT over the control socket...\n%!";
+  match Rollout.request_over_ctl fleet with
+  | Error e ->
+      Printf.printf "  rollout failed: %s\n" e;
+      exit 1
+  | Ok summary ->
+      print_newline ();
+      print_string (Mcr_obs.Postmortem.render_fleet summary);
+      print_newline ();
+      print_string (Fleet.status_text fleet);
+      (* an unprovoked halt is a real failure; a seeded one is the demo *)
+      if summary.Mcr_obs.Fleet_flight.fs_halted && fault_seed = None then exit 1
+
+let run_single server requests conns fail_update fault_seed quiesce_deadline_ms
+    update_deadline_ms precopy transfer_workers =
   let kernel = K.create () in
   Printf.printf "launching %s (MCR-enabled, startup log recording)...\n%!"
     (Testbed.name server);
@@ -115,6 +153,17 @@ let run server requests conns fail_update fault_seed quiesce_deadline_ms update_
   Printf.printf "done (virtual time %.1f ms)\n" (ms (K.clock_ns kernel));
   if r2.Mcr_workloads.Bench_result.errors > 0 then exit 1
 
+let run server requests conns fail_update fault_seed quiesce_deadline_ms update_deadline_ms
+    precopy transfer_workers fleet canary wave max_unavailable halt verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  if fleet > 0 then run_fleet server fleet canary wave max_unavailable halt fault_seed
+  else
+    run_single server requests conns fail_update fault_seed quiesce_deadline_ms
+      update_deadline_ms precopy transfer_workers
+
 open Cmdliner
 
 let server_conv =
@@ -153,12 +202,46 @@ let transfer_workers =
        & info [ "transfer-workers" ]
            ~doc:"Sharded parallel state transfer: worker-pool size (downtime is charged as the critical path over shards).")
 
+let fleet =
+  Arg.(value & opt int 0
+       & info [ "fleet" ]
+           ~doc:"Run $(docv) instances behind the simulated balancer and roll the update \
+                 out wave by wave via FLEET ROLLOUT (0 = single-instance demo)." ~docv:"N")
+
+let canary =
+  Arg.(value & opt int 1
+       & info [ "canary" ] ~doc:"Fleet mode: instances in the first (gating) wave.")
+
+let wave =
+  Arg.(value & opt int 4
+       & info [ "wave" ] ~doc:"Fleet mode: instances per subsequent wave.")
+
+let max_unavailable =
+  Arg.(value & opt int 4
+       & info [ "max-unavailable" ]
+           ~doc:"Fleet mode: bound on instances simultaneously out of rotation.")
+
+let halt_conv =
+  Arg.conv ~docv:"POLICY"
+    ( (fun s ->
+        match Fleet_policy.halt_of_string s with
+        | Some h -> Ok h
+        | None -> Error (`Msg ("unknown halt policy " ^ s ^ " (halt_only|rollback_updated)"))),
+      fun ppf h -> Fmt.string ppf (Fleet_policy.halt_to_string h) )
+
+let halt =
+  Arg.(value & opt halt_conv Fleet_policy.Halt_only
+       & info [ "halt" ]
+           ~doc:"Fleet mode: what a blocking canary verdict does \
+                 ($(b,halt_only)|$(b,rollback_updated)).")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
   Cmd.v
     (Cmd.info "mcr-demo" ~doc:"Live-update a simulated server with MCR")
     Term.(const run $ server $ requests $ conns $ fail_update $ fault_seed
-          $ quiesce_deadline_ms $ update_deadline_ms $ precopy $ transfer_workers $ verbose)
+          $ quiesce_deadline_ms $ update_deadline_ms $ precopy $ transfer_workers
+          $ fleet $ canary $ wave $ max_unavailable $ halt $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -2,11 +2,17 @@
    benches write, or the payload of `mcr-ctl EXPLAIN`) as a human-readable
    post-mortem — a downtime-attribution waterfall plus, for rollbacks, the
    conflict narrative naming the object and stage that killed the update.
+   Fleet rollout summaries (the fleet bench artifact, or the payload of
+   `FLEET EXPLAIN`) render as a wave timeline with per-instance verdicts
+   and, when the rollout halted, the blocking canary's full narrative.
 
      dune exec bin/mcr_postmortem.exe -- bench-out/flight_nginx.json
+     dune exec bin/mcr_postmortem.exe -- bench-out/fleet_nginx_n8_fault_halt.json
      dune exec bin/mcr_postmortem.exe -- -    # read stdin *)
 
 module Flight = Mcr_obs.Flight
+module Fleet_flight = Mcr_obs.Fleet_flight
+module Json = Mcr_obs.Json
 module Postmortem = Mcr_obs.Postmortem
 
 let read_all ic =
@@ -28,11 +34,25 @@ let run path =
       data
     end
   in
-  match Flight.of_json_list data with
-  | Error e ->
-      Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
-      exit 2
-  | Ok records -> print_string (Postmortem.render_list records)
+  (* A fleet rollout summary is a single object with a "waves" member;
+     everything else is a flight record (or a list of them). *)
+  let is_fleet =
+    match Json.parse data with
+    | Ok j -> Json.member "waves" j <> None
+    | Error _ -> false
+  in
+  if is_fleet then
+    match Fleet_flight.of_json data with
+    | Error e ->
+        Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
+        exit 2
+    | Ok summary -> print_string (Postmortem.render_fleet summary)
+  else
+    match Flight.of_json_list data with
+    | Error e ->
+        Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
+        exit 2
+    | Ok records -> print_string (Postmortem.render_list records)
 
 open Cmdliner
 

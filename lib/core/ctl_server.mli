@@ -1,0 +1,29 @@
+(** Generic control-socket listener — the server half of the v1 ctl
+    protocol, factored out of {!Manager} so any controller (a single
+    manager, the fleet coordinator) can serve a command family over the
+    same wire format.
+
+    The listener thread owns the whole connection lifecycle: bind, accept,
+    read one request frame, classify it with {!Frame.parse_request}, answer
+    the HELLO handshake and version mismatches itself, and hand everything
+    else to [dispatch]. Dispatch runs on the listener thread inside the
+    simulated kernel, so it may block (the manager's UPDATE parks on a
+    semaphore until the host loop completes the update) — the reply is
+    written when it returns. *)
+
+val spawn :
+  Mcr_simos.Kernel.t ->
+  Mcr_simos.Kernel.proc ->
+  ?name:string ->
+  path:string ->
+  dispatch:(versioned:bool -> string -> string) ->
+  unit ->
+  unit
+(** [spawn kernel proc ~path ~dispatch ()] starts a controller thread
+    (named [?name], default ["mcr-ctl"]) in [proc] listening on the
+    Unix-domain socket [path]. A stale socket name left by an earlier
+    unclean exit is unlinked before binding; binding over a live listener
+    is still refused. Per connection, [dispatch ~versioned cmd] must return
+    the complete reply frame: callers build versioned replies with
+    {!Frame.ok}/{!Frame.ok_payload}/{!Frame.err} and downgrade legacy ones
+    themselves ([versioned] is false for pre-HELLO clients). *)

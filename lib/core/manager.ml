@@ -281,79 +281,43 @@ let explain_nth flight_log n =
          else Printf.sprintf "no flight record %d" n)
 
 let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~explain ~policy =
-  ignore
-    (K.spawn_thread kernel proc ~name:"mcr-ctl" (fun th ->
-         K.push_frame th "mcr_ctl_loop";
-         match K.syscall (S.Unix_listen { path = ctl_path }) with
-         | S.Ok_fd lfd ->
-             let rec serve () =
-               match K.syscall (S.Accept { fd = lfd; nonblock = false }) with
-               | S.Ok_fd conn ->
-                   let reply data = ignore (K.syscall (S.Write { fd = conn; data })) in
-                   let dispatch ~versioned cmd =
-                     let has_prefix p =
-                       String.length cmd >= String.length p
-                       && String.sub cmd 0 (String.length p) = p
-                     in
-                     if has_prefix "UPDATE" then begin
-                       ctl_pending := true;
-                       ignore
-                         (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
-                       reply
-                         (if versioned then !ctl_result
-                          else Frame.legacy_update_frame !ctl_result)
-                     end
-                     else if has_prefix "STATS" then
-                       (* metrics snapshots are cheap and never block on the
-                          update semaphore: reply immediately *)
-                       reply (if versioned then Frame.ok_payload (stats ()) else stats ())
-                     else if has_prefix "EXPLAIN" then begin
-                       let arg = String.trim (String.sub cmd 7 (String.length cmd - 7)) in
-                       let nth =
-                         match arg with
-                         | "" | "LAST" -> Some 1
-                         | s -> (
-                             match int_of_string_opt s with
-                             | Some n when n >= 1 -> Some n
-                             | _ -> None)
-                       in
-                       match nth with
-                       | None ->
-                           reply
-                             (if versioned then Frame.err "usage: EXPLAIN [LAST|<n>]"
-                              else "ERR")
-                       | Some n -> (
-                           match explain n with
-                           | Ok json ->
-                               (* legacy connections get the raw payload,
-                                  like legacy STATS *)
-                               reply (if versioned then Frame.ok_payload json else json)
-                           | Error e -> reply (if versioned then Frame.err e else "ERR"))
-                     end
-                     else begin
-                       match policy_command policy cmd with
-                       | Some r -> reply r
-                       | None -> reply (if versioned then "ERR unknown command" else "ERR")
-                     end
-                   in
-                   (match K.syscall (S.Read { fd = conn; max = 256; nonblock = false }) with
-                   | S.Ok_data raw -> begin
-                       match Frame.parse_request raw with
-                       | `Legacy cmd -> dispatch ~versioned:false cmd
-                       | `Malformed_hello -> reply (Frame.err "malformed hello")
-                       | `Hello (v, _) when v <> protocol_version ->
-                           reply (Frame.err (Printf.sprintf "version %d" protocol_version))
-                       | `Hello (_, None) | `Hello (_, Some "") ->
-                           reply (Frame.ok_inline (string_of_int protocol_version))
-                       | `Hello (_, Some cmd) -> dispatch ~versioned:true cmd
-                     end
-                   | _ -> ());
-                   ignore (K.syscall (S.Close { fd = conn }));
-                   serve ()
-               | _ -> ()
-             in
-             serve ()
-         | _ -> ()))
+  let dispatch ~versioned cmd =
+    let has_prefix p =
+      String.length cmd >= String.length p && String.sub cmd 0 (String.length p) = p
+    in
+    if has_prefix "UPDATE" then begin
+      ctl_pending := true;
+      ignore (K.syscall (S.Sem_wait { name = ctl_sem; timeout_ns = None }));
+      if versioned then !ctl_result else Frame.legacy_update_frame !ctl_result
+    end
+    else if has_prefix "STATS" then
+      (* metrics snapshots are cheap and never block on the update
+         semaphore: reply immediately *)
+      if versioned then Frame.ok_payload (stats ()) else stats ()
+    else if has_prefix "EXPLAIN" then begin
+      let arg = String.trim (String.sub cmd 7 (String.length cmd - 7)) in
+      let nth =
+        match arg with
+        | "" | "LAST" -> Some 1
+        | s -> (
+            match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+      in
+      match nth with
+      | None -> if versioned then Frame.err "usage: EXPLAIN [LAST|<n>]" else "ERR"
+      | Some n -> (
+          match explain n with
+          | Ok json ->
+              (* legacy connections get the raw payload, like legacy STATS *)
+              if versioned then Frame.ok_payload json else json
+          | Error e -> if versioned then Frame.err e else "ERR")
+    end
+    else begin
+      match policy_command policy cmd with
+      | Some r -> r
+      | None -> if versioned then "ERR unknown command" else "ERR"
+    end
+  in
+  Ctl_server.spawn kernel proc ~path:ctl_path ~dispatch ()
 
 (* ------------------------------------------------------------------ *)
 (* Launch *)
@@ -372,10 +336,7 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
   let flight_log = ref [] in
   let flight_seq = ref 0 in
   let live () = List.filter (fun (im : P.image) -> K.alive im.P.i_proc) !members in
-  (* an unclean exit leaves the previous incarnation's socket name behind
-     (AF_UNIX names survive close); binding over a live listener is still
-     refused *)
-  if not (K.path_active kernel ~path:ctl_path) then K.unlink_path kernel ~path:ctl_path;
+  (* Ctl_server.spawn unlinks a stale socket name before binding *)
   spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem
     ~stats:(stats_text ~metrics ~mset ~live)
     ~explain:(explain_nth flight_log) ~policy;

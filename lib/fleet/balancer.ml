@@ -1,0 +1,57 @@
+(* Deterministic round-robin balancing over the serving subset. The cursor
+   is an absolute counter: it advances by the requests that broke the even
+   split, so the rotation stays fair across route calls even as backends
+   drain and rejoin. No randomness anywhere — two identical rollouts route
+   identically. *)
+
+type state = Serving | Draining | Out
+
+type t = {
+  states : state array;
+  mutable cursor : int;
+  mutable routed : int;
+  mutable errors : int;
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Balancer.create: n must be >= 1";
+  { states = Array.make n Serving; cursor = 0; routed = 0; errors = 0 }
+
+let size t = Array.length t.states
+let state t i = t.states.(i)
+let set_state t i s = t.states.(i) <- s
+
+let serving_ids t =
+  let ids = ref [] in
+  Array.iteri (fun i s -> if s = Serving then ids := i :: !ids) t.states;
+  List.rev !ids
+
+let serving t = List.length (serving_ids t)
+
+let route t ~n =
+  if n <= 0 then []
+  else
+    match serving_ids t with
+    | [] ->
+        t.errors <- t.errors + n;
+        []
+    | ids ->
+        let s = List.length ids in
+        let arr = Array.of_list ids in
+        let start = t.cursor mod s in
+        let extra = n mod s in
+        let counts = Array.make s (n / s) in
+        for k = 0 to extra - 1 do
+          let idx = (start + k) mod s in
+          counts.(idx) <- counts.(idx) + 1
+        done;
+        t.cursor <- t.cursor + extra;
+        t.routed <- t.routed + n;
+        let out = ref [] in
+        for k = s - 1 downto 0 do
+          if counts.(k) > 0 then out := (arr.(k), counts.(k)) :: !out
+        done;
+        !out
+
+let routed_total t = t.routed
+let errors_total t = t.errors

@@ -1,0 +1,48 @@
+(** The deterministic simulated load balancer.
+
+    A balancer fronts the fleet's N instances and models what clients see
+    during a rollout: requests are routed round-robin over the backends in
+    [Serving] state with a persistent cursor (so consecutive
+    {!route} calls continue the rotation instead of restarting it), and a
+    request arriving while no backend serves is a {e client-visible
+    error} — the number the fleet bench gates on.
+
+    The balancer is pure accounting: it never drives the instance kernels.
+    Routing a request to an instance asserts that the instance {e could}
+    serve it (its server is quiescent-ready and not draining), which the
+    rollout verifies separately with health probes. *)
+
+type t
+
+type state =
+  | Serving  (** In rotation. *)
+  | Draining  (** Accepts no new requests; update window imminent. *)
+  | Out  (** Update window open (or failed health), fully rerouted. *)
+
+val create : n:int -> t
+(** All [n] backends start [Serving].
+    @raise Invalid_argument if [n] is below 1. *)
+
+val size : t -> int
+val state : t -> int -> state
+val set_state : t -> int -> state -> unit
+
+val serving : t -> int
+(** Backends currently in rotation. *)
+
+val serving_ids : t -> int list
+(** Their ids, ascending. *)
+
+val route : t -> n:int -> (int * int) list
+(** Route [n] requests over the serving backends: round-robin from the
+    persistent cursor, so each gets [n/s] with the first [n mod s] after
+    the cursor taking one extra. Returns [(instance, requests)] pairs
+    sorted by instance id (only backends that received work). With no
+    serving backend, all [n] count as client-visible errors and the result
+    is empty. *)
+
+val routed_total : t -> int
+(** Requests successfully routed since {!create}. *)
+
+val errors_total : t -> int
+(** Requests dropped because no backend was serving. *)

@@ -1,0 +1,290 @@
+(* The fleet coordinator. Each instance is one kernel + one manager
+   lineage — the single-instance MCR mechanism untouched — and the fleet
+   holds them in an array behind a balancer, with a separate control-plane
+   kernel serving the FLEET command family through the same Ctl_server the
+   per-manager mcr-ctl endpoint uses. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module P = Mcr_program.Progdef
+module Manager = Mcr_core.Manager
+module Policy = Mcr_core.Policy
+module Frame = Mcr_core.Frame
+module Ctl_server = Mcr_core.Ctl_server
+module Metrics = Mcr_obs.Metrics
+module Fleet_flight = Mcr_obs.Fleet_flight
+module Aspace = Mcr_vmem.Aspace
+module Addr = Mcr_vmem.Addr
+module Region = Mcr_vmem.Region
+module Fnv = Mcr_util.Fnv
+module Testbed = Mcr_workloads.Testbed
+module Bench_result = Mcr_workloads.Bench_result
+
+type instance = { id : int; kernel : K.t; mutable manager : Manager.t }
+
+(* The fleet's metric instruments; the registry is fleet-level, distinct
+   from every instance manager's registry. *)
+type fmset = {
+  fm_size : Metrics.gauge;
+  fm_serving : Metrics.gauge;
+  fm_rollouts : Metrics.counter;
+  fm_halts : Metrics.counter;
+  fm_wave_promotions : Metrics.counter;
+  fm_wave_halts : Metrics.counter;
+  fm_instance_updates : Metrics.counter;
+  fm_instance_rollbacks : Metrics.counter;
+  fm_reverted : Metrics.counter;
+  fm_requests : Metrics.counter;
+  fm_client_errors : Metrics.counter;
+  fm_wave_h : Metrics.histogram;
+}
+
+let make_fmset metrics =
+  {
+    fm_size = Metrics.gauge metrics "mcr_fleet_size";
+    fm_serving = Metrics.gauge metrics "mcr_fleet_serving";
+    fm_rollouts = Metrics.counter metrics "mcr_fleet_rollouts_total";
+    fm_halts = Metrics.counter metrics "mcr_fleet_rollout_halts_total";
+    fm_wave_promotions = Metrics.counter metrics "mcr_fleet_wave_promotions_total";
+    fm_wave_halts = Metrics.counter metrics "mcr_fleet_wave_halts_total";
+    fm_instance_updates = Metrics.counter metrics "mcr_fleet_instance_updates_total";
+    fm_instance_rollbacks = Metrics.counter metrics "mcr_fleet_instance_rollbacks_total";
+    fm_reverted = Metrics.counter metrics "mcr_fleet_reverted_instances_total";
+    fm_requests = Metrics.counter metrics "mcr_fleet_requests_routed_total";
+    fm_client_errors = Metrics.counter metrics "mcr_fleet_client_errors_total";
+    fm_wave_h = Metrics.histogram metrics "mcr_fleet_wave_duration_ns";
+  }
+
+type t = {
+  prog : string;
+  size : int;
+  policy : Fleet_policy.t ref;
+  instances : instance array;
+  balancer : Balancer.t;
+  health : K.t -> Manager.t -> bool;
+  target : int -> P.version;
+  revert : int -> P.version;
+  ctl_kernel : K.t;
+  ctl_path : string;
+  ctl_pending : bool ref;
+  ctl_result : string ref;
+  ctl_sem : string;
+  last_summary : Fleet_flight.t option ref;
+  metrics : Metrics.t;
+  fmset : fmset;
+}
+
+let prog t = t.prog
+let size t = t.size
+let policy t = !(t.policy)
+let set_policy t p = t.policy := p
+let balancer t = t.balancer
+let serving t = Balancer.serving t.balancer
+let manager t i = t.instances.(i).manager
+let instance_kernel t i = t.instances.(i).kernel
+let version_tag t i = (Manager.version t.instances.(i).manager).P.version_tag
+let target_tag t i = (t.target i).P.version_tag
+let last_summary t = !(t.last_summary)
+let metrics t = t.metrics
+let ctl_kernel t = t.ctl_kernel
+let ctl_path t = t.ctl_path
+let rollout_requested t = !(t.ctl_pending)
+
+let metrics_snapshot t =
+  Metrics.set t.fmset.fm_serving (Balancer.serving t.balancer);
+  Metrics.snapshot t.metrics
+
+let state_str = function
+  | Balancer.Serving -> "serving"
+  | Balancer.Draining -> "draining"
+  | Balancer.Out -> "out"
+
+let status_text t =
+  let buf = Buffer.create 512 in
+  let pol = !(t.policy) in
+  Buffer.add_string buf
+    (Printf.sprintf "fleet %s: size %d, serving %d, rollouts %d\n" t.prog t.size
+       (Balancer.serving t.balancer)
+       (Metrics.counter_value t.fmset.fm_rollouts));
+  Buffer.add_string buf
+    (Printf.sprintf "policy: canary=%d wave=%d max_unavailable=%d halt=%s drain_ns=%d\n"
+       pol.Fleet_policy.canary pol.Fleet_policy.wave pol.Fleet_policy.max_unavailable
+       (Fleet_policy.halt_to_string pol.Fleet_policy.halt)
+       pol.Fleet_policy.drain_ns);
+  Array.iter
+    (fun inst ->
+      Buffer.add_string buf
+        (Printf.sprintf "instance %d: v%s %s\n" inst.id
+           (Manager.version inst.manager).P.version_tag
+           (state_str (Balancer.state t.balancer inst.id))))
+    t.instances;
+  Buffer.contents buf
+
+(* FNV over the whole root-process address space: region identity plus
+   every word. Identical deterministic instances hash identically — the
+   byte-identical-commit witness. *)
+let image_fingerprint t i =
+  let inst = t.instances.(i) in
+  let asp = K.aspace (Manager.root_proc inst.manager) in
+  List.fold_left
+    (fun acc (r : Region.t) ->
+      let acc = Fnv.combine acc (Fnv.string r.Region.name) in
+      let acc = Fnv.combine acc (Fnv.int r.Region.base) in
+      Aspace.fold_words asp r.Region.base ~words:(r.Region.size / Addr.word_size) ~init:acc
+        ~f:(fun acc w -> Fnv.combine acc (Fnv.int w)))
+    (Fnv.string t.prog) (Aspace.regions asp)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator-side hooks *)
+
+let update_instance t i which =
+  let inst = t.instances.(i) in
+  let pol = !(t.policy) in
+  let version, update_policy =
+    match which with
+    | `Target ->
+        let p =
+          match pol.Fleet_policy.fault_seed with
+          | Some s when List.mem i pol.Fleet_policy.fault_instances ->
+              Policy.with_fault_seed (Some (s + i)) pol.Fleet_policy.update
+          | _ -> pol.Fleet_policy.update
+        in
+        (t.target i, p)
+    | `Revert -> (t.revert i, Policy.with_fault_seed None pol.Fleet_policy.update)
+  in
+  let m2, report = Manager.update inst.manager ~policy:update_policy version in
+  inst.manager <- m2;
+  if report.Manager.success then Metrics.incr t.fmset.fm_instance_updates
+  else Metrics.incr t.fmset.fm_instance_rollbacks;
+  report
+
+let healthy t i =
+  let inst = t.instances.(i) in
+  t.health inst.kernel inst.manager
+
+let refresh_serving t = Metrics.set t.fmset.fm_serving (Balancer.serving t.balancer)
+
+let note_wave t ~outcome ~duration_ns =
+  Metrics.observe t.fmset.fm_wave_h duration_ns;
+  match outcome with
+  | `Promoted -> Metrics.incr t.fmset.fm_wave_promotions
+  | `Halted -> Metrics.incr t.fmset.fm_wave_halts
+  | `Rollback -> ()
+
+let record_rollout t (s : Fleet_flight.t) =
+  t.last_summary := Some s;
+  Metrics.incr t.fmset.fm_rollouts;
+  if s.Fleet_flight.fs_halted then Metrics.incr t.fmset.fm_halts;
+  Metrics.incr ~by:s.Fleet_flight.fs_reverted t.fmset.fm_reverted;
+  Metrics.incr ~by:s.Fleet_flight.fs_requests t.fmset.fm_requests;
+  Metrics.incr ~by:s.Fleet_flight.fs_client_errors t.fmset.fm_client_errors;
+  refresh_serving t
+
+(* ------------------------------------------------------------------ *)
+(* Control plane *)
+
+let dispatch t ~versioned cmd =
+  let words =
+    String.split_on_char ' ' (String.trim cmd) |> List.filter (fun s -> s <> "")
+  in
+  match words with
+  | "FLEET" :: rest -> begin
+      match rest with
+      | [ "STATUS" ] ->
+          let s = status_text t in
+          if versioned then Frame.ok_payload s else s
+      | [ "EXPLAIN" ] -> begin
+          match !(t.last_summary) with
+          | Some s ->
+              let json = Fleet_flight.to_json s in
+              if versioned then Frame.ok_payload json else json
+          | None -> if versioned then Frame.err "no rollouts" else "ERR"
+        end
+      | [ "ROLLOUT" ] ->
+          (* mirror the manager's UPDATE: park until the host loop runs the
+             rollout and posts the reply *)
+          t.ctl_pending := true;
+          ignore (K.syscall (S.Sem_wait { name = t.ctl_sem; timeout_ns = None }));
+          !(t.ctl_result)
+      | _ -> if versioned then Frame.err "usage: FLEET STATUS|ROLLOUT|EXPLAIN" else "ERR"
+    end
+  | _ -> if versioned then Frame.err "unknown command" else "ERR"
+
+let respond_rollout t frame =
+  if !(t.ctl_pending) then begin
+    t.ctl_result := frame;
+    K.post_semaphore t.ctl_kernel t.ctl_sem;
+    (* let the listener deliver the reply *)
+    K.run_for t.ctl_kernel 5_000_000;
+    t.ctl_pending := false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create ?(policy = Fleet_policy.default) ~prog ~n ~spawn ~health ~target ~revert () =
+  if n < 1 then invalid_arg "Fleet.create: n must be >= 1";
+  let instances =
+    Array.init n (fun i ->
+        let kernel, manager = spawn i in
+        { id = i; kernel; manager })
+  in
+  let metrics = Metrics.create () in
+  let fmset = make_fmset metrics in
+  let ctl_kernel = K.create () in
+  let ctl_proc =
+    K.spawn_process ctl_kernel
+      ~image:(K.Fresh_image (Aspace.create ()))
+      ~name:"fleetd" ~entry:"fleetd_main"
+      ~main:(fun _ ->
+        (* the initial thread returning would end the process (and with it
+           the listener); park it on a semaphore nobody posts *)
+        ignore
+          (K.syscall (S.Sem_wait { name = "mcr.fleet.park." ^ prog; timeout_ns = None })))
+      ()
+  in
+  let t =
+    {
+      prog;
+      size = n;
+      policy = ref policy;
+      instances;
+      balancer = Balancer.create ~n;
+      health;
+      target;
+      revert;
+      ctl_kernel;
+      ctl_path = "/run/mcr/fleet." ^ prog ^ ".sock";
+      ctl_pending = ref false;
+      ctl_result = ref "";
+      ctl_sem = Printf.sprintf "mcr.fleet.done.%d" (K.pid ctl_proc);
+      last_summary = ref None;
+      metrics;
+      fmset;
+    }
+  in
+  Metrics.set fmset.fm_size n;
+  Metrics.set fmset.fm_serving n;
+  Ctl_server.spawn ctl_kernel ctl_proc ~name:"fleet-ctl" ~path:t.ctl_path
+    ~dispatch:(fun ~versioned cmd -> dispatch t ~versioned cmd)
+    ();
+  t
+
+let of_testbed ?policy ?config server ~n =
+  let pol = Option.value policy ~default:Fleet_policy.default in
+  (* Testbed.benchmark issues (100_000 / scale) requests for the web
+     servers; invert that to honour the policy's probe size. *)
+  let health_scale = max 1 (100_000 / max 1 pol.Fleet_policy.health_requests) in
+  let spawn _i =
+    let kernel = K.create () in
+    let m = Testbed.launch ?config kernel server in
+    (kernel, m)
+  in
+  let health kernel _m =
+    let r = Testbed.benchmark kernel server ~scale:health_scale () in
+    r.Bench_result.errors = 0
+  in
+  create ~policy:pol ~prog:(Testbed.name server) ~n ~spawn ~health
+    ~target:(fun _ -> Testbed.final_version server)
+    ~revert:(fun _ -> Testbed.base_version server)
+    ()

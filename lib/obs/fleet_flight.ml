@@ -1,0 +1,199 @@
+(* The fleet rollout flight summary: plain data assembled by the fleet
+   coordinator after every rollout, mirroring what Flight does for single
+   updates. Never touches the kernel or the clock; the JSON codec follows
+   Flight's conventions (fixed field order, integers only) so the same
+   tooling consumes both. *)
+
+type verdict = {
+  v_instance : int;
+  v_wave : int;
+  v_success : bool;
+  v_slo_violated : bool;
+  v_healthy : bool;
+  v_reason : string option;
+  v_downtime_ns : int;
+  v_total_ns : int;
+  v_flight : Flight.record option;
+}
+
+type wave = {
+  w_index : int;
+  w_kind : string;
+  w_start_ns : int;
+  w_end_ns : int;
+  w_verdicts : verdict list;
+}
+
+type sample = { s_ns : int; s_serving : int }
+
+type t = {
+  fs_prog : string;
+  fs_from : string;
+  fs_to : string;
+  fs_size : int;
+  fs_canary : int;
+  fs_wave_size : int;
+  fs_max_unavailable : int;
+  fs_halt : string;
+  fs_waves : wave list;
+  fs_halted : bool;
+  fs_blocking : verdict option;
+  fs_updated : int;
+  fs_reverted : int;
+  fs_makespan_ns : int;
+  fs_min_serving : int;
+  fs_requests : int;
+  fs_client_errors : int;
+  fs_timeline : sample list;
+}
+
+let blocks v = (not v.v_success) || v.v_slo_violated || not v.v_healthy
+
+let min_availability_permille t =
+  if t.fs_size <= 0 then 0 else t.fs_min_serving * 1000 / t.fs_size
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding *)
+
+let esc = Json_escape.escape
+let opt_str = function None -> "null" | Some s -> Printf.sprintf "\"%s\"" (esc s)
+
+let verdict_json v =
+  Printf.sprintf
+    "{\"instance\":%d,\"wave\":%d,\"success\":%b,\"slo_violated\":%b,\"healthy\":%b,\
+     \"reason\":%s,\"downtime_ns\":%d,\"total_ns\":%d,\"flight\":%s}"
+    v.v_instance v.v_wave v.v_success v.v_slo_violated v.v_healthy (opt_str v.v_reason)
+    v.v_downtime_ns v.v_total_ns
+    (match v.v_flight with None -> "null" | Some f -> Flight.to_json f)
+
+let wave_json w =
+  Printf.sprintf "{\"index\":%d,\"kind\":\"%s\",\"start_ns\":%d,\"end_ns\":%d,\"verdicts\":[%s]}"
+    w.w_index (esc w.w_kind) w.w_start_ns w.w_end_ns
+    (String.concat "," (List.map verdict_json w.w_verdicts))
+
+let sample_json s = Printf.sprintf "{\"ns\":%d,\"serving\":%d}" s.s_ns s.s_serving
+
+let to_json t =
+  Printf.sprintf
+    "{\"prog\":\"%s\",\"from\":\"%s\",\"to\":\"%s\",\"size\":%d,\"canary\":%d,\
+     \"wave_size\":%d,\"max_unavailable\":%d,\"halt\":\"%s\",\"halted\":%b,\
+     \"updated\":%d,\"reverted\":%d,\"makespan_ns\":%d,\"min_serving\":%d,\
+     \"min_availability_permille\":%d,\"requests\":%d,\"client_errors\":%d,\
+     \"blocking\":%s,\"waves\":[%s],\"timeline\":[%s]}"
+    (esc t.fs_prog) (esc t.fs_from) (esc t.fs_to) t.fs_size t.fs_canary t.fs_wave_size
+    t.fs_max_unavailable (esc t.fs_halt) t.fs_halted t.fs_updated t.fs_reverted
+    t.fs_makespan_ns t.fs_min_serving (min_availability_permille t) t.fs_requests
+    t.fs_client_errors
+    (match t.fs_blocking with None -> "null" | Some v -> verdict_json v)
+    (String.concat "," (List.map wave_json t.fs_waves))
+    (String.concat "," (List.map sample_json t.fs_timeline))
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding (the postmortem tool's input path) *)
+
+let decode_error what = Error (Printf.sprintf "fleet summary: missing or ill-typed %s" what)
+let req what = function Some v -> Ok v | None -> decode_error what
+let ( let* ) = Result.bind
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: tl ->
+      let* v = f x in
+      let* rest = collect f tl in
+      Ok (v :: rest)
+
+let decode_verdict j =
+  let* v_instance = req "verdict.instance" (Json.int_field "instance" j) in
+  let* v_wave = req "verdict.wave" (Json.int_field "wave" j) in
+  let* v_success = req "verdict.success" (Json.bool_field "success" j) in
+  let* v_slo_violated = req "verdict.slo_violated" (Json.bool_field "slo_violated" j) in
+  let* v_healthy = req "verdict.healthy" (Json.bool_field "healthy" j) in
+  let v_reason = Json.str_field "reason" j in
+  let* v_downtime_ns = req "verdict.downtime_ns" (Json.int_field "downtime_ns" j) in
+  let* v_total_ns = req "verdict.total_ns" (Json.int_field "total_ns" j) in
+  let* v_flight =
+    match Json.member "flight" j with
+    | None | Some Json.Null -> Ok None
+    | Some f ->
+        let* f = Flight.decode f in
+        Ok (Some f)
+  in
+  Ok
+    {
+      v_instance;
+      v_wave;
+      v_success;
+      v_slo_violated;
+      v_healthy;
+      v_reason;
+      v_downtime_ns;
+      v_total_ns;
+      v_flight;
+    }
+
+let decode_wave j =
+  let* w_index = req "wave.index" (Json.int_field "index" j) in
+  let* w_kind = req "wave.kind" (Json.str_field "kind" j) in
+  let* w_start_ns = req "wave.start_ns" (Json.int_field "start_ns" j) in
+  let* w_end_ns = req "wave.end_ns" (Json.int_field "end_ns" j) in
+  let* verdicts = req "wave.verdicts" (Json.list_field "verdicts" j) in
+  let* w_verdicts = collect decode_verdict verdicts in
+  Ok { w_index; w_kind; w_start_ns; w_end_ns; w_verdicts }
+
+let decode_sample j =
+  let* s_ns = req "sample.ns" (Json.int_field "ns" j) in
+  let* s_serving = req "sample.serving" (Json.int_field "serving" j) in
+  Ok { s_ns; s_serving }
+
+let decode j =
+  let* fs_prog = req "prog" (Json.str_field "prog" j) in
+  let* fs_from = req "from" (Json.str_field "from" j) in
+  let* fs_to = req "to" (Json.str_field "to" j) in
+  let* fs_size = req "size" (Json.int_field "size" j) in
+  let* fs_canary = req "canary" (Json.int_field "canary" j) in
+  let* fs_wave_size = req "wave_size" (Json.int_field "wave_size" j) in
+  let* fs_max_unavailable = req "max_unavailable" (Json.int_field "max_unavailable" j) in
+  let* fs_halt = req "halt" (Json.str_field "halt" j) in
+  let* fs_halted = req "halted" (Json.bool_field "halted" j) in
+  let* fs_updated = req "updated" (Json.int_field "updated" j) in
+  let* fs_reverted = req "reverted" (Json.int_field "reverted" j) in
+  let* fs_makespan_ns = req "makespan_ns" (Json.int_field "makespan_ns" j) in
+  let* fs_min_serving = req "min_serving" (Json.int_field "min_serving" j) in
+  let* fs_requests = req "requests" (Json.int_field "requests" j) in
+  let* fs_client_errors = req "client_errors" (Json.int_field "client_errors" j) in
+  let* fs_blocking =
+    match Json.member "blocking" j with
+    | None | Some Json.Null -> Ok None
+    | Some v ->
+        let* v = decode_verdict v in
+        Ok (Some v)
+  in
+  let* waves = req "waves" (Json.list_field "waves" j) in
+  let* fs_waves = collect decode_wave waves in
+  let* timeline = req "timeline" (Json.list_field "timeline" j) in
+  let* fs_timeline = collect decode_sample timeline in
+  Ok
+    {
+      fs_prog;
+      fs_from;
+      fs_to;
+      fs_size;
+      fs_canary;
+      fs_wave_size;
+      fs_max_unavailable;
+      fs_halt;
+      fs_waves;
+      fs_halted;
+      fs_blocking;
+      fs_updated;
+      fs_reverted;
+      fs_makespan_ns;
+      fs_min_serving;
+      fs_requests;
+      fs_client_errors;
+      fs_timeline;
+    }
+
+let of_json s =
+  let* j = Json.parse s in
+  decode j

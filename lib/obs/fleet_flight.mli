@@ -1,0 +1,75 @@
+(** The fleet rollout flight summary.
+
+    One {!t} per [Rollout.execute] run, assembled by the fleet coordinator
+    the same way {!Flight} records single updates: plain data, never reads
+    a clock, deterministic integer-only JSON. It aggregates the per-wave,
+    per-instance verdicts the canary gate acted on — which instance halted
+    the fleet and why (its full {!Flight.record} rides along on the
+    blocking verdict), how many instances were updated or reverted, and
+    the availability timeline the balancer observed (fleet-relative
+    virtual time, instances serving at each transition). Served over the
+    fleet control socket by [FLEET EXPLAIN]. *)
+
+type verdict = {
+  v_instance : int;  (** Fleet instance id, 0-based. *)
+  v_wave : int;  (** Wave ordinal the instance was updated in, 0-based. *)
+  v_success : bool;  (** The instance's update committed. *)
+  v_slo_violated : bool;  (** Its flight record's SLO evaluation. *)
+  v_healthy : bool;  (** Post-update health probe passed. *)
+  v_reason : string option;
+      (** Why the verdict blocks promotion ([None] when it passes). *)
+  v_downtime_ns : int;
+  v_total_ns : int;
+  v_flight : Flight.record option;
+      (** Only the blocking verdict carries its full flight record — the
+          conflict narrative [mcr-postmortem] renders. *)
+}
+
+type wave = {
+  w_index : int;  (** 0 is the canary wave. *)
+  w_kind : string;  (** ["canary" | "wave" | "rollback"]. *)
+  w_start_ns : int;  (** Fleet-relative virtual time. *)
+  w_end_ns : int;
+  w_verdicts : verdict list;  (** Instance order within the wave. *)
+}
+
+type sample = { s_ns : int; s_serving : int }
+(** One availability timeline point: instances serving at [s_ns]. *)
+
+type t = {
+  fs_prog : string;
+  fs_from : string;  (** Version tags. *)
+  fs_to : string;
+  fs_size : int;  (** Fleet size N. *)
+  fs_canary : int;  (** Policy knobs the plan ran under. *)
+  fs_wave_size : int;
+  fs_max_unavailable : int;
+  fs_halt : string;  (** ["halt_only" | "rollback_updated"]. *)
+  fs_waves : wave list;  (** Execution order; absent waves never started. *)
+  fs_halted : bool;
+  fs_blocking : verdict option;  (** The verdict that halted the rollout. *)
+  fs_updated : int;  (** Instances on the target version at the end. *)
+  fs_reverted : int;  (** Instances rolled back by the halt policy. *)
+  fs_makespan_ns : int;  (** Rollout duration, fleet-relative. *)
+  fs_min_serving : int;  (** Minimum of the timeline's [s_serving]. *)
+  fs_requests : int;  (** Workload requests routed during the rollout. *)
+  fs_client_errors : int;  (** Requests no serving instance could take. *)
+  fs_timeline : sample list;  (** Oldest first; starts at 0 ns. *)
+}
+
+val blocks : verdict -> bool
+(** Whether the verdict gates promotion: update failed, SLO violated, or
+    unhealthy. *)
+
+val min_availability_permille : t -> int
+(** [fs_min_serving * 1000 / fs_size] — the availability floor the rollout
+    held, in integer permille (1000 = whole fleet serving throughout). *)
+
+(** {1 JSON}
+
+    Same contract as {!Flight}: fixed field order, integers only,
+    [of_json] inverts [to_json]. A fleet summary is distinguishable from a
+    single-update flight record by its ["waves"] member. *)
+
+val to_json : t -> string
+val of_json : string -> (t, string) result

@@ -118,5 +118,9 @@ val to_json : record -> string
 val list_to_json : record list -> string
 val of_json : string -> (record, string) result
 
+val decode : Json.t -> (record, string) result
+(** Decode an already-parsed value — for containers (fleet summaries) that
+    embed flight records. *)
+
 val of_json_list : string -> (record list, string) result
 (** Accepts either a JSON array of records or a single record. *)

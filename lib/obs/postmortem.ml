@@ -132,3 +132,74 @@ let render (r : Flight.record) =
   Buffer.contents buf
 
 let render_list records = String.concat "\n" (List.map render records)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet rollout rendering: the wave timeline with per-instance verdicts,
+   then the blocking verdict's full conflict narrative (its embedded
+   flight record rendered like any single update). *)
+
+let verdict_line (v : Fleet_flight.verdict) =
+  let outcome =
+    if not v.Fleet_flight.v_success then "ROLLED BACK"
+    else if v.Fleet_flight.v_slo_violated then "committed, SLO VIOLATED"
+    else if not v.Fleet_flight.v_healthy then "committed, UNHEALTHY"
+    else "committed"
+  in
+  Printf.sprintf "    #%-3d %s, downtime %s, total %s%s\n" v.Fleet_flight.v_instance outcome
+    (fms v.Fleet_flight.v_downtime_ns)
+    (fms v.Fleet_flight.v_total_ns)
+    (match v.Fleet_flight.v_reason with Some r -> " — " ^ r | None -> "")
+
+let render_fleet (t : Fleet_flight.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "fleet rollout %s %s -> %s — %s\n" t.Fleet_flight.fs_prog
+       t.Fleet_flight.fs_from t.Fleet_flight.fs_to
+       (if t.Fleet_flight.fs_halted then
+          match t.Fleet_flight.fs_blocking with
+          | Some v ->
+              Printf.sprintf "HALTED (%s)"
+                (Option.value v.Fleet_flight.v_reason ~default:"blocking verdict")
+          | None -> "HALTED"
+        else "COMPLETED"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "size %d; canary %d, waves of %d, max-unavailable %d, halt policy %s\n"
+       t.Fleet_flight.fs_size t.Fleet_flight.fs_canary t.Fleet_flight.fs_wave_size
+       t.Fleet_flight.fs_max_unavailable t.Fleet_flight.fs_halt);
+  Buffer.add_string buf
+    (Printf.sprintf "makespan %s; updated %d, reverted %d\n"
+       (fms t.Fleet_flight.fs_makespan_ns)
+       t.Fleet_flight.fs_updated t.Fleet_flight.fs_reverted);
+  Buffer.add_string buf
+    (Printf.sprintf "availability floor %d/%d (%s serving); %d request(s) routed, %d client error(s)\n"
+       t.Fleet_flight.fs_min_serving t.Fleet_flight.fs_size
+       (pct t.Fleet_flight.fs_min_serving t.Fleet_flight.fs_size)
+       t.Fleet_flight.fs_requests t.Fleet_flight.fs_client_errors);
+  Buffer.add_string buf "\nwave timeline:\n";
+  if t.Fleet_flight.fs_waves = [] then Buffer.add_string buf "  (no waves ran)\n"
+  else
+    List.iter
+      (fun (w : Fleet_flight.wave) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  wave %d (%s)  %s -> %s\n" w.Fleet_flight.w_index
+             w.Fleet_flight.w_kind
+             (fms w.Fleet_flight.w_start_ns)
+             (fms w.Fleet_flight.w_end_ns));
+        List.iter
+          (fun v -> Buffer.add_string buf (verdict_line v))
+          w.Fleet_flight.w_verdicts)
+      t.Fleet_flight.fs_waves;
+  (match t.Fleet_flight.fs_blocking with
+  | None -> ()
+  | Some v ->
+      Buffer.add_string buf
+        (Printf.sprintf "\nblocking verdict: instance #%d in wave %d%s\n"
+           v.Fleet_flight.v_instance v.Fleet_flight.v_wave
+           (match v.Fleet_flight.v_reason with Some r -> ": " ^ r | None -> ""));
+      (match v.Fleet_flight.v_flight with
+      | None -> ()
+      | Some f ->
+          Buffer.add_string buf "\n";
+          Buffer.add_string buf (render f)));
+  Buffer.contents buf

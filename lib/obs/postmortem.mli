@@ -11,3 +11,9 @@ val render : Flight.record -> string
 
 val render_list : Flight.record list -> string
 (** Concatenated {!render}s, blank-line separated. *)
+
+val render_fleet : Fleet_flight.t -> string
+(** A fleet rollout: headline outcome, policy knobs, availability floor,
+    the wave timeline with per-instance verdicts, and — when a verdict
+    halted the rollout — the blocking instance's full flight narrative
+    ({!render} of its embedded record). *)
