@@ -1,4 +1,4 @@
-(* The downtime experiment, two sweeps over all four evaluated servers:
+(* The downtime experiment, four sweeps over the evaluated servers:
 
    1. Iterative pre-copy vs single-shot service interruption, swept over
       open-connection counts. For each (server, connections) configuration
@@ -17,6 +17,21 @@
       parallelises. The run fails if the largest worker count is not
       strictly below workers=1 for any server, and (full mode only) if
       nginx/httpd do not reach a >= 2x downtime reduction.
+
+   3. Zero-copy page remap vs plain single-shot, over the same connection
+      points. The remap pass retracts the per-word copy charge of every
+      byte-identical, layout-stable page and charges one remap_page_ns
+      instead, so its downtime can only be <= the baseline; the run fails
+      if it is not strictly below on vsftpd and OpenSSH at the top
+      connection count. Those two servers always measure the 100-conn
+      acceptance cell, even in smoke mode.
+
+   4. Dirty-delta scaling: one lineage per server takes a warm update and
+      then repeated self-updates under increasing interleaved traffic.
+      With named dirty epochs the copied+hashed residue of each window
+      must track the traffic actually served since the previous update —
+      the run fails if the quiet self-update's residue is not well below
+      the reachable heap, or if it does not grow with traffic.
 
    $MCR_DOWNTIME_JSON: write both sweeps' cells as JSON for machine
    consumption (the CI workflow uploads it as an artifact; the committed
@@ -38,7 +53,31 @@ module Json = Mcr_obs.Json
 
 let fms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
 
-type cell = { downtime_ns : int; total_ns : int; rounds : int }
+type cell = {
+  downtime_ns : int;
+  total_ns : int;
+  rounds : int;
+  live_words : int;
+  copied_words : int;  (* transferred minus the remapped portion *)
+  remapped_words : int;
+  hashed_words : int;
+  skipped_clean_words : int;
+}
+
+let cell_of_report (report : Manager.report) =
+  let sum f = List.fold_left (fun acc (_, o) -> acc + f o) 0 report.Manager.transfers in
+  let transferred = sum (fun o -> o.Mcr_trace.Transfer.transferred_words) in
+  let remapped = sum (fun o -> o.Mcr_trace.Transfer.remapped_words) in
+  {
+    downtime_ns = report.Manager.downtime_ns;
+    total_ns = report.Manager.total_ns;
+    rounds = report.Manager.precopy_rounds;
+    live_words = sum (fun o -> o.Mcr_trace.Transfer.live_words);
+    copied_words = transferred - remapped;
+    remapped_words = remapped;
+    hashed_words = sum (fun o -> o.Mcr_trace.Transfer.hashed_words);
+    skipped_clean_words = sum (fun o -> o.Mcr_trace.Transfer.skipped_clean_words);
+  }
 
 (* Flight records of every measured update, oldest first — flushed to
    $MCR_FLIGHT_DIR at the end of the run. *)
@@ -75,11 +114,7 @@ let measure ?config ?base_version ?final_version server ~conns ~policy ~label ()
       (Option.fold ~none:"?" ~some:Mcr_error.to_string report.Manager.failure);
     exit 1
   end;
-  {
-    downtime_ns = report.Manager.downtime_ns;
-    total_ns = report.Manager.total_ns;
-    rounds = report.Manager.precopy_rounds;
-  }
+  cell_of_report report
 
 (* ------------------------------------------------------------------ *)
 (* Sweep 1: pre-copy vs single-shot *)
@@ -235,6 +270,163 @@ let workers_sweep ~smoke ~workers json =
     "\nparallel transfer beats workers=1 at %d connections on nginx/httpd%s\n" conns
     (if smoke then "" else " with >= 2x downtime reduction")
 
+(* ------------------------------------------------------------------ *)
+(* Sweep 3: zero-copy page remap vs plain single-shot *)
+
+let remap_policy = Policy.with_transfer_remap true Policy.default
+
+(* The acceptance servers: remap must pay for itself on the small-state
+   daemons whose window is copy-dominated. *)
+let remap_gated = function Testbed.Vsftpd | Testbed.Sshd -> true | _ -> false
+
+let remap_points ~smoke server =
+  let base = if smoke then [ 0; 8 ] else [ 0; 25; 50; 100 ] in
+  if remap_gated server then List.sort_uniq compare (100 :: base) else base
+
+(* Every server carries per-connection ballast here: the web servers their
+   conn read buffers, vsftpd/sshd an opaque per-session buffer
+   (session_buffer_words). Both sides of the comparison use the same
+   config — only the policy differs. *)
+let remap_ballast server =
+  match ballast server with
+  | Some (c, b, f) -> (Some c, Some b, Some f)
+  | None ->
+      let config =
+        match server with
+        | Testbed.Vsftpd -> "anonymous_enable=NO\nsession_buffer_words 4096"
+        | _ -> "PermitRootLogin no\nsession_buffer_words 4096"
+      in
+      (Some config, None, None)
+
+let remap_sweep ~smoke json =
+  Printf.printf "\n== downtime%s: zero-copy page remap vs single-shot (downtime ms) ==\n"
+    (if smoke then " (smoke)" else "");
+  Printf.printf "%-10s %5s %11s %11s %12s %12s\n" "server" "conns" "single-shot" "remap"
+    "remapped_w" "copied_w";
+  let violations = ref 0 in
+  List.iter
+    (fun server ->
+      let points = remap_points ~smoke server in
+      let top = List.fold_left max 0 points in
+      let config, base_version, final_version = remap_ballast server in
+      List.iter
+        (fun conns ->
+          let ss =
+            measure ?config ?base_version ?final_version server ~conns
+              ~policy:Policy.default ~label:"single-shot" ()
+          in
+          let rm =
+            measure ?config ?base_version ?final_version server ~conns ~policy:remap_policy
+              ~label:"remap" ()
+          in
+          let gated = remap_gated server && conns = top in
+          let ok = rm.downtime_ns < ss.downtime_ns in
+          if gated && not ok then incr violations;
+          json :=
+            Printf.sprintf
+              "    {\"sweep\": \"remap\", \"server\": %S, \"conns\": %d, \
+               \"single_shot_downtime_ns\": %d, \"remap_downtime_ns\": %d, \
+               \"remapped_words\": %d, \"copied_words\": %d}"
+              (Testbed.name server) conns ss.downtime_ns rm.downtime_ns rm.remapped_words
+              rm.copied_words
+            :: !json;
+          Printf.printf "%-10s %5d %11s %11s %12d %12d%s\n" (Testbed.name server) conns
+            (fms ss.downtime_ns) (fms rm.downtime_ns) rm.remapped_words rm.copied_words
+            (if gated && not ok then "  <-- NOT BELOW SINGLE-SHOT" else ""))
+        points)
+    Testbed.all;
+  if !violations > 0 then begin
+    Printf.printf
+      "\ndowntime: %d configuration(s) where page remap did not beat single-shot\n"
+      !violations;
+    exit 1
+  end;
+  Printf.printf
+    "\npage remap downtime strictly below single-shot on vsftpd/OpenSSH at 100 connections\n"
+
+(* ------------------------------------------------------------------ *)
+(* Sweep 4: dirty-delta scaling across back-to-back updates *)
+
+let delta_servers = [ Testbed.Vsftpd; Testbed.Sshd ]
+
+(* Traffic levels between self-updates, as benchmark scales (0 = none;
+   smaller scale = more requests). *)
+let delta_levels ~smoke = if smoke then [ 0; 10_000 ] else [ 0; 10_000; 2_000 ]
+
+(* One lineage: warm update to the final version, then one self-update per
+   level after serving that level's traffic. Returns (scale, cell) pairs in
+   level order. *)
+let delta_lineage server ~levels =
+  let kernel = K.create () in
+  let m0 = Testbed.launch kernel server in
+  ignore (Testbed.benchmark kernel server ~scale:10_000 ());
+  let fail (report : Manager.report) label =
+    if not report.Manager.success then begin
+      Printf.printf "!! %s delta lineage: %s update failed: %s\n" (Testbed.name server)
+        label
+        (Option.fold ~none:"?" ~some:Mcr_error.to_string report.Manager.failure);
+      exit 1
+    end
+  in
+  let m1, warm = Manager.update m0 ~policy:remap_policy (Testbed.final_version server) in
+  flights := warm.Manager.flight :: !flights;
+  fail warm "warm";
+  let mgr = ref m1 in
+  List.map
+    (fun scale ->
+      if scale > 0 then ignore (Testbed.benchmark kernel server ~scale ());
+      let m2, r = Manager.update !mgr ~policy:remap_policy (Testbed.final_version server) in
+      flights := r.Manager.flight :: !flights;
+      fail r (Printf.sprintf "self-update (traffic scale %d)" scale);
+      mgr := m2;
+      (scale, cell_of_report r))
+    levels
+
+let delta_sweep ~smoke json =
+  Printf.printf
+    "\n== downtime%s: dirty-delta scaling across self-updates (words per window) ==\n"
+    (if smoke then " (smoke)" else "");
+  Printf.printf "%-10s %8s %10s %10s %10s %10s %10s\n" "server" "traffic" "live" "copied"
+    "hashed" "remapped" "downtime";
+  let violations = ref 0 in
+  List.iter
+    (fun server ->
+      let cells = delta_lineage server ~levels:(delta_levels ~smoke) in
+      List.iter
+        (fun (scale, c) ->
+          json :=
+            Printf.sprintf
+              "    {\"sweep\": \"delta\", \"server\": %S, \"traffic_scale\": %d, \
+               \"downtime_ns\": %d, \"live_words\": %d, \"copied_words\": %d, \
+               \"remapped_words\": %d, \"hashed_words\": %d, \"skipped_clean_words\": %d}"
+              (Testbed.name server) scale c.downtime_ns c.live_words c.copied_words
+              c.remapped_words c.hashed_words c.skipped_clean_words
+            :: !json;
+          Printf.printf "%-10s %8s %10d %10d %10d %10d %9s\n" (Testbed.name server)
+            (if scale = 0 then "none" else Printf.sprintf "1/%d" scale)
+            c.live_words c.copied_words c.hashed_words c.remapped_words (fms c.downtime_ns))
+        cells;
+      let residue c = c.copied_words + c.hashed_words in
+      let quiet = List.assoc 0 cells in
+      let _, busiest = List.nth cells (List.length cells - 1) in
+      (* the window cost must track the dirty set, not the reachable heap *)
+      if residue quiet * 2 >= quiet.live_words then begin
+        incr violations;
+        Printf.printf "%-10s   <-- quiet residue %d not well below %d live words\n"
+          (Testbed.name server) (residue quiet) quiet.live_words
+      end;
+      if residue busiest < residue quiet then begin
+        incr violations;
+        Printf.printf "%-10s   <-- residue shrank under traffic (%d -> %d)\n"
+          (Testbed.name server) (residue quiet) (residue busiest)
+      end)
+    delta_servers;
+  if !violations > 0 then begin
+    Printf.printf "\ndowntime: %d dirty-delta scaling violation(s)\n" !violations;
+    exit 1
+  end;
+  Printf.printf "\ncopied+hashed words track the dirty set across back-to-back updates\n"
+
 let write_json path json =
   let dir = Filename.dirname path in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -247,6 +439,8 @@ let run ?(smoke = false) ?(workers = [ 1; 2; 4; 8 ]) () =
   let json = ref [] in
   precopy_sweep ~smoke json;
   workers_sweep ~smoke ~workers json;
+  remap_sweep ~smoke json;
+  delta_sweep ~smoke json;
   (match Sys.getenv_opt "MCR_DOWNTIME_JSON" with
   | Some path -> write_json path json
   | None -> ());
@@ -300,6 +494,19 @@ let check ~against ~tolerance_pct () =
     Printf.printf "%-40s %9s -> %9s ms  %s\n" label (fms baseline) (fms measured)
       (if ok then "ok" else "REGRESSED")
   in
+  let gate_words label ~baseline ~measured =
+    incr checked;
+    let budget = baseline + (baseline * tolerance_pct / 100) in
+    let ok = measured <= budget in
+    if not ok then incr regressions;
+    Printf.printf "%-40s %9d -> %9d w   %s\n" label baseline measured
+      (if ok then "ok" else "REGRESSED")
+  in
+  (* delta cells re-run one lineage per server (level order is the file
+     order), so split them out of the per-cell walk *)
+  let delta_cells, cells =
+    List.partition (fun c -> Json.str_field "sweep" c = Some "delta") cells
+  in
   List.iter
     (fun cell ->
       match
@@ -328,6 +535,38 @@ let check ~against ~tolerance_pct () =
                     ~baseline ~measured:pc.downtime_ns
               | None -> ())
         end
+      | Some "remap", Some name, Some conns -> begin
+          match server_of_name name with
+          | None -> Printf.printf "downtime check: unknown server %S, skipping\n" name
+          | Some server ->
+              let config, base_version, final_version = remap_ballast server in
+              let ss =
+                measure ?config ?base_version ?final_version server ~conns
+                  ~policy:Policy.default ~label:"single-shot" ()
+              in
+              let rm =
+                measure ?config ?base_version ?final_version server ~conns
+                  ~policy:remap_policy ~label:"remap" ()
+              in
+              (match Json.int_field "single_shot_downtime_ns" cell with
+              | Some baseline ->
+                  gate
+                    (Printf.sprintf "%s conns=%d single-shot" name conns)
+                    ~baseline ~measured:ss.downtime_ns
+              | None -> ());
+              (match Json.int_field "remap_downtime_ns" cell with
+              | Some baseline ->
+                  gate
+                    (Printf.sprintf "%s conns=%d remap" name conns)
+                    ~baseline ~measured:rm.downtime_ns
+              | None -> ());
+              (match Json.int_field "copied_words" cell with
+              | Some baseline ->
+                  gate_words
+                    (Printf.sprintf "%s conns=%d remap copied" name conns)
+                    ~baseline ~measured:rm.copied_words
+              | None -> ())
+        end
       | Some "workers", Some name, Some conns -> begin
           match
             ( server_of_name name,
@@ -352,6 +591,44 @@ let check ~against ~tolerance_pct () =
         end
       | _ -> Printf.printf "downtime check: malformed cell, skipping\n")
     cells;
+  (* delta lineages: one replay per server, levels in baseline order *)
+  let delta_names =
+    List.fold_left
+      (fun acc c ->
+        match Json.str_field "server" c with
+        | Some n when not (List.mem n acc) -> acc @ [ n ]
+        | _ -> acc)
+      [] delta_cells
+  in
+  List.iter
+    (fun name ->
+      match server_of_name name with
+      | None -> Printf.printf "downtime check: unknown server %S, skipping\n" name
+      | Some server -> (
+          let cells_for =
+            List.filter (fun c -> Json.str_field "server" c = Some name) delta_cells
+          in
+          let levels = List.filter_map (Json.int_field "traffic_scale") cells_for in
+          if List.length levels <> List.length cells_for then
+            Printf.printf "downtime check: malformed delta cell for %S, skipping\n" name
+          else
+            let measured = delta_lineage server ~levels in
+            List.iter2
+              (fun cell (scale, m) ->
+                (match Json.int_field "downtime_ns" cell with
+                | Some baseline ->
+                    gate
+                      (Printf.sprintf "%s delta traffic=%d" name scale)
+                      ~baseline ~measured:m.downtime_ns
+                | None -> ());
+                match Json.int_field "copied_words" cell with
+                | Some baseline ->
+                    gate_words
+                      (Printf.sprintf "%s delta traffic=%d copied" name scale)
+                      ~baseline ~measured:m.copied_words
+                | None -> ())
+              cells_for measured))
+    delta_names;
   flush_flights ~name:"downtime_check";
   if !regressions > 0 then begin
     Printf.printf "\ndowntime check: %d cell(s) regressed more than %d%% over baseline\n"

@@ -79,6 +79,11 @@ let request_precopy kernel ~path ~enabled ?max_rounds ?threshold_words ~on_reply
 let request_workers kernel ~path ~workers ~on_reply =
   request kernel ~path ~command:(Printf.sprintf "WORKERS %d" workers) ~on_reply
 
+let request_remap kernel ~path ~enabled ~on_reply =
+  request kernel ~path
+    ~command:(if enabled then "REMAP ON" else "REMAP OFF")
+    ~on_reply
+
 let request_slo kernel ~path ~downtime_ns ~total_ns ~on_reply =
   request kernel ~path
     ~command:(Printf.sprintf "SLO %s %s" (ns_arg downtime_ns) (ns_arg total_ns))

@@ -131,6 +131,15 @@ val request_workers :
     manager lineage ([WORKERS <count>]). Replies "OK" or
     "ERR usage: WORKERS <count>" for a count below 1. *)
 
+val request_remap :
+  Mcr_simos.Kernel.t ->
+  path:string ->
+  enabled:bool ->
+  on_reply:(string -> unit) ->
+  unit
+(** Enable ([REMAP ON]) or disable ([REMAP OFF]) the zero-copy page remap
+    for subsequent updates on this manager lineage. *)
+
 val request_slo :
   Mcr_simos.Kernel.t ->
   path:string ->

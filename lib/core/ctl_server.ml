@@ -7,15 +7,21 @@
 module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 
-let spawn kernel proc ?(name = "mcr-ctl") ~path ~dispatch () =
-  (* an unclean exit leaves the previous incarnation's socket name behind
-     (AF_UNIX names survive close); binding over a live listener is still
-     refused *)
+(* An unclean exit leaves the previous incarnation's socket name behind
+   (AF_UNIX names survive close); binding over a live listener is still
+   refused. The check runs here, immediately before listen on the
+   listener's own thread — checking only at spawn time leaves a hole where
+   the previous listener dies between our spawn and our listen and its
+   stale name makes the bind fail with EADDRINUSE. *)
+let bind kernel ~path =
   if not (K.path_active kernel ~path) then K.unlink_path kernel ~path;
+  K.syscall (S.Unix_listen { path })
+
+let spawn kernel proc ?(name = "mcr-ctl") ~path ~dispatch () =
   ignore
     (K.spawn_thread kernel proc ~name (fun th ->
          K.push_frame th "mcr_ctl_loop";
-         match K.syscall (S.Unix_listen { path }) with
+         match bind kernel ~path with
          | S.Ok_fd lfd ->
              let rec serve () =
                match K.syscall (S.Accept { fd = lfd; nonblock = false }) with

@@ -11,6 +11,15 @@
     semaphore until the host loop completes the update) — the reply is
     written when it returns. *)
 
+val bind :
+  Mcr_simos.Kernel.t -> path:string -> Mcr_simos.Sysdefs.result
+(** [bind kernel ~path] unlinks a stale socket name (one with no live
+    listener behind it) and then issues [Unix_listen]. Must run on the
+    thread that will serve the socket, at bind time: a stale name can
+    appear at any point before the listen (e.g. the previous incarnation
+    crashing after this one was spawned), so checking any earlier is a
+    race. Binding over a live listener still fails with [EADDRINUSE]. *)
+
 val spawn :
   Mcr_simos.Kernel.t ->
   Mcr_simos.Kernel.proc ->
@@ -21,9 +30,9 @@ val spawn :
   unit
 (** [spawn kernel proc ~path ~dispatch ()] starts a controller thread
     (named [?name], default ["mcr-ctl"]) in [proc] listening on the
-    Unix-domain socket [path]. A stale socket name left by an earlier
-    unclean exit is unlinked before binding; binding over a live listener
-    is still refused. Per connection, [dispatch ~versioned cmd] must return
+    Unix-domain socket [path], binding via {!bind} (stale names are
+    unlinked at bind time, on the listener thread; binding over a live
+    listener is still refused). Per connection, [dispatch ~versioned cmd] must return
     the complete reply frame: callers build versioned replies with
     {!Frame.ok}/{!Frame.ok_payload}/{!Frame.err} and downgrade legacy ones
     themselves ([versioned] is false for pre-HELLO clients). *)

@@ -41,6 +41,8 @@ type mset = {
   m_transfer_pairs : Metrics.counter;
   m_transferred_objects : Metrics.counter;
   m_transferred_words : Metrics.counter;
+  m_remapped_words : Metrics.counter;
+  m_skipped_clean_words : Metrics.counter;
   m_precopy_bytes : Metrics.counter;
   m_processes : Metrics.gauge;
   m_quiesce_h : Metrics.histogram;
@@ -67,6 +69,9 @@ let make_mset metrics =
     m_transfer_pairs = Metrics.counter metrics "mcr_transfer_pairs_total";
     m_transferred_objects = Metrics.counter metrics "mcr_transferred_objects_total";
     m_transferred_words = Metrics.counter metrics "mcr_transferred_words_total";
+    m_remapped_words = Metrics.counter metrics "mcr_transfer_remapped_words_total";
+    m_skipped_clean_words =
+      Metrics.counter metrics "mcr_transfer_skipped_clean_words_total";
     m_precopy_bytes = Metrics.counter metrics "mcr_precopy_bytes_total";
     m_processes = Metrics.gauge metrics "mcr_processes";
     m_quiesce_h = Metrics.histogram metrics "mcr_quiesce_ns";
@@ -150,7 +155,10 @@ let flight_records t = !(t.flight_log)
 
 let first_quiesce_heap_hook (im : P.image) =
   Heap.end_startup im.P.i_heap;
-  Aspace.clear_soft_dirty im.P.i_aspace
+  (* the startup checkpoint owns the "startup" epoch; pre-copy rounds and
+     the transfer own their own ("mcr.precopy", "mcr.transfer") so no
+     consumer can clobber another's dirty baseline *)
+  Aspace.epoch_reset im.P.i_aspace ~name:"startup"
 
 let track_members ?trace members (img : P.image) =
   members := !members @ [ img ];
@@ -255,6 +263,17 @@ let policy_command policy cmd =
               Some "OK"
           | Some _ | None -> Some usage
         end
+      | _ -> Some usage
+    end
+  | "REMAP" :: rest -> begin
+      let usage = "ERR usage: REMAP ON|OFF" in
+      match rest with
+      | [ "ON" ] ->
+          policy := Policy.with_transfer_remap true !policy;
+          Some "OK"
+      | [ "OFF" ] ->
+          policy := Policy.with_transfer_remap false !policy;
+          Some "OK"
       | _ -> Some usage
     end
   | "SLO" :: rest -> begin
@@ -580,6 +599,9 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
   let fb_channel = ref 0 in
   let fb_handlers = ref 0 in
   let fb_rounds = ref [] in
+  (* word counters, not durations: never part of the attribution sum *)
+  let fb_remapped_words = ref 0 in
+  let fb_skipped_clean_words = ref 0 in
   (* set on entry to every exit path (commit, rollback, pre-restart
      failure); the tail from there to the record build — ctl reply
      delivery, kills, releases — is the teardown segment *)
@@ -647,6 +669,8 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
         f_downtime_ns = dt;
         f_precopy = precopy_enabled;
         f_workers = workers;
+        f_remapped_words = !fb_remapped_words;
+        f_skipped_clean_words = !fb_skipped_clean_words;
         f_rounds = List.rev !fb_rounds;
         f_attribution =
           {
@@ -881,6 +905,10 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
       Trace.span_begin tr ~pid:mpid ~cat:"stage" ~args:[ ("reason", reason_s) ] "rollback";
       List.iter
         (fun (im : P.image) ->
+          (* remapped pages in the dying new image may still share frames
+             with the surviving old image: give the survivor sole ownership
+             so no shared frame outlives the window *)
+          ignore (Aspace.detach_shared im.P.i_aspace);
           if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:1)
         !new_members;
       release_all t;
@@ -966,11 +994,17 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
          so aborting here needs no undo; each round's speculative copy cost
          elapses on the clock concurrently with service. ---- *)
       let sessions : (Logdefs.proc_key, Transfer.precopy) Hashtbl.t = Hashtbl.create 8 in
-      let marks : (Logdefs.proc_key, int) Hashtbl.t = Hashtbl.create 8 in
+      let precopy_epoch = "mcr.precopy" in
       let precopy_result =
         if not precopy_enabled then Ok ()
         else begin
           Trace.span_begin tr ~pid:mpid ~cat:"stage" "precopy";
+          (* each attempt is a fresh pre-copy session: forget any epoch a
+             previous (rolled-back) attempt left on the old images so round
+             one stages the full copy set and pays full tracing *)
+          List.iter
+            (fun (im : P.image) -> Aspace.epoch_remove im.P.i_aspace ~name:precopy_epoch)
+            (images t);
           let max_rounds = max 1 pol.Policy.precopy_max_rounds in
           let threshold = max 0 pol.Policy.precopy_threshold_words in
           let rec round r =
@@ -986,8 +1020,7 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
                       match P.image_of_proc oldp with
                       | Some oi ->
                           let aspace = oi.P.i_aspace in
-                          let since = Hashtbl.find_opt marks key in
-                          let mark = Aspace.write_seq aspace in
+                          let since = Aspace.epoch_find aspace ~name:precopy_epoch in
                           let analysis = Objgraph.analyze ?trace:tr ?cost_since:since oi in
                           let session =
                             match Hashtbl.find_opt sessions key with
@@ -999,9 +1032,12 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
                           in
                           let rs =
                             Transfer.precopy_round session ~old_image:oi ~analysis ?since
-                              ~workers ()
+                              ~dirty_only ~workers ()
                           in
-                          Hashtbl.replace marks key mark;
+                          (* staging is host-side (no program ran), so the
+                             write sequence is unchanged since [since] was
+                             read: resetting now is the same mark *)
+                          Aspace.epoch_reset aspace ~name:precopy_epoch;
                           (* rounds run per-pair in parallel, like transfers;
                              within a pair the worker pool shards the round,
                              so the pair pays its critical path *)
@@ -1086,13 +1122,17 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
                 match (P.image_of_proc oldp, P.image_of_proc newp) with
                 | Some oi, Some ni ->
                     worked := true;
-                    let analysis =
-                      Objgraph.analyze ?trace:tr
-                        ?cost_since:(Hashtbl.find_opt marks key)
-                        ?fault oi
+                    let cost_since =
+                      (* the pre-copy epoch discounts in-window tracing only
+                         if this attempt's rounds actually paid for it *)
+                      if Hashtbl.mem sessions key then
+                        Aspace.epoch_find oi.P.i_aspace ~name:precopy_epoch
+                      else None
                     in
+                    let analysis = Objgraph.analyze ?trace:tr ?cost_since ?fault oi in
                     let outcome =
                       Transfer.run ~old_image:oi ~new_image:ni ~analysis ~dirty_only
+                        ~remap:pol.Policy.transfer_remap
                         ?precopy:(Hashtbl.find_opt sessions key)
                         ~workers ?trace:tr ?fault ()
                     in
@@ -1128,6 +1168,14 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
                       t.mset.m_transferred_objects;
                     Metrics.incr ~by:outcome.Transfer.transferred_words
                       t.mset.m_transferred_words;
+                    Metrics.incr ~by:outcome.Transfer.remapped_words
+                      t.mset.m_remapped_words;
+                    Metrics.incr ~by:outcome.Transfer.skipped_clean_words
+                      t.mset.m_skipped_clean_words;
+                    fb_remapped_words :=
+                      !fb_remapped_words + outcome.Transfer.remapped_words;
+                    fb_skipped_clean_words :=
+                      !fb_skipped_clean_words + outcome.Transfer.skipped_clean_words;
                     Metrics.observe t.mset.m_pair_cost_h pair_cost;
                     (* pair transfers run in parallel — the charged time is
                        the max across pairs, so a begin/end pair cannot
@@ -1256,8 +1304,17 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
         respond_ctl t "OK";
         List.iter
           (fun (im : P.image) ->
+            (* the old image dies: detach any frames it shares with the new
+               image (zero-copy remap) so the survivor owns its memory *)
+            ignore (Aspace.detach_shared im.P.i_aspace);
             if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:0)
           (images t);
+        (* the update window is over: close the transfer's dirty epoch on
+           the surviving images so the next update starts it afresh *)
+        List.iter
+          (fun (im : P.image) ->
+            Aspace.epoch_reset im.P.i_aspace ~name:"mcr.transfer")
+          (live_new ());
         in_update := false;
         K.set_fault_hook k None;
         List.iter (fun (im : P.image) -> Barrier.release im.P.i_barrier) (live_new ());

@@ -9,6 +9,7 @@ type t = {
   precopy_max_rounds : int;
   precopy_threshold_words : int;
   transfer_workers : int;
+  transfer_remap : bool;
   slo_downtime_ns : int option;
   slo_total_ns : int option;
 }
@@ -25,6 +26,7 @@ let default =
     precopy_max_rounds = 4;
     precopy_threshold_words = 512;
     transfer_workers = 1;
+    transfer_remap = false;
     slo_downtime_ns = None;
     slo_total_ns = None;
   }
@@ -58,6 +60,8 @@ let with_transfer_workers n t =
   if n < 1 then invalid_arg "Policy.with_transfer_workers: workers must be >= 1";
   { t with transfer_workers = n }
 
+let with_transfer_remap r t = { t with transfer_remap = r }
+
 let with_slo ~downtime_ns ~total_ns t =
   (match (downtime_ns, total_ns) with
   | Some d, _ when d <= 0 -> invalid_arg "Policy.with_slo: downtime budget must be positive"
@@ -73,7 +77,7 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<hov>quiesce_deadline_ns=%a update_deadline_ns=%a retries=%d retry_backoff_ns=%d \
      fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d \
-     transfer_workers=%d slo_downtime_ns=%a slo_total_ns=%a@]"
+     transfer_workers=%d transfer_remap=%b slo_downtime_ns=%a slo_total_ns=%a@]"
     opt t.quiesce_deadline_ns opt t.update_deadline_ns t.retries t.retry_backoff_ns opt
     t.fault_seed t.dirty_only t.precopy t.precopy_max_rounds t.precopy_threshold_words
-    t.transfer_workers opt t.slo_downtime_ns opt t.slo_total_ns
+    t.transfer_workers t.transfer_remap opt t.slo_downtime_ns opt t.slo_total_ns

@@ -39,6 +39,13 @@ type t = {
           charged as the critical path over shards plus per-worker
           spawn/join overhead; results are byte-identical for every value
           (default 1 — sequential accounting, no overhead). *)
+  transfer_remap : bool;
+      (** Zero-copy page remap: after the in-window copy, destination pages
+          byte-identical to a page-aligned congruent source page share the
+          source frame (copy-on-write) instead of keeping a private copy,
+          and pay {!Mcr_simos.Costs.t.remap_page_ns} per page instead of
+          per-word copy charges. Byte-identical results either way
+          (default false). *)
   slo_downtime_ns : int option;
       (** Per-update downtime budget for SLO evaluation (default none). A
           completed attempt whose downtime exceeds it is recorded as an SLO
@@ -66,6 +73,9 @@ val with_precopy : ?max_rounds:int -> ?threshold_words:int -> bool -> t -> t
 val with_transfer_workers : int -> t -> t
 (** Set the transfer worker-pool size.
     @raise Invalid_argument if the count is below 1. *)
+
+val with_transfer_remap : bool -> t -> t
+(** Enable or disable the zero-copy page remap. *)
 
 val with_slo : downtime_ns:int option -> total_ns:int option -> t -> t
 (** Set (or clear, with [None]) the SLO budgets.

@@ -88,6 +88,8 @@ type record = {
   f_downtime_ns : int;
   f_precopy : bool;
   f_workers : int;
+  f_remapped_words : int;
+  f_skipped_clean_words : int;
   f_rounds : round list;
   f_attribution : attribution;
   f_slo : slo option;
@@ -136,10 +138,12 @@ let rec to_json r =
   Printf.sprintf
     "{\"seq\":%d,\"attempt\":%d,\"prog\":\"%s\",\"from\":\"%s\",\"to\":\"%s\",\
      \"success\":%b,\"start_ns\":%d,\"total_ns\":%d,\"downtime_ns\":%d,\
-     \"unattributed_ns\":%d,\"precopy\":%b,\"workers\":%d,\"rounds\":[%s],\
+     \"unattributed_ns\":%d,\"precopy\":%b,\"workers\":%d,\
+     \"remapped_words\":%d,\"skipped_clean_words\":%d,\"rounds\":[%s],\
      \"attribution\":%s,\"slo\":%s,\"explanation\":%s,\"prior\":[%s]}"
     r.f_seq r.f_attempt (esc r.f_prog) (esc r.f_from) (esc r.f_to) r.f_success r.f_start_ns
     r.f_total_ns r.f_downtime_ns (unattributed_ns r) r.f_precopy r.f_workers
+    r.f_remapped_words r.f_skipped_clean_words
     (String.concat "," (List.map round_json r.f_rounds))
     (attribution_json r.f_attribution)
     (match r.f_slo with None -> "null" | Some s -> slo_json s)
@@ -229,6 +233,12 @@ let rec decode j =
   let* f_downtime_ns = req "downtime_ns" (Json.int_field "downtime_ns" j) in
   let* f_precopy = req "precopy" (Json.bool_field "precopy" j) in
   let* f_workers = req "workers" (Json.int_field "workers" j) in
+  (* word counters postdate the first recorder format: default 0 so old
+     artifacts still decode *)
+  let f_remapped_words = Option.value (Json.int_field "remapped_words" j) ~default:0 in
+  let f_skipped_clean_words =
+    Option.value (Json.int_field "skipped_clean_words" j) ~default:0
+  in
   let* rounds = req "rounds" (Json.list_field "rounds" j) in
   let* f_rounds = collect decode_round rounds in
   let* attribution = req "attribution" (Json.member "attribution" j) in
@@ -265,6 +275,8 @@ let rec decode j =
       f_downtime_ns;
       f_precopy;
       f_workers;
+      f_remapped_words;
+      f_skipped_clean_words;
       f_rounds;
       f_attribution;
       f_slo;

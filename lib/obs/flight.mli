@@ -92,6 +92,13 @@ type record = {
   f_downtime_ns : int;
   f_precopy : bool;
   f_workers : int;  (** Requested transfer worker-pool size. *)
+  f_remapped_words : int;
+      (** Words whose copy charge the zero-copy page remap retracted,
+          summed over process pairs. A word count, not a duration: it is
+          NOT part of {!attribution_sum}. *)
+  f_skipped_clean_words : int;
+      (** Words of soft-dirty-clean objects never copied (left to the new
+          version's own startup), summed over pairs. Word count, not ns. *)
   f_rounds : round list;  (** Pre-copy rounds, oldest first. *)
   f_attribution : attribution;
   f_slo : slo option;  (** [None] when the policy sets no budgets. *)

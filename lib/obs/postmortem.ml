@@ -98,6 +98,10 @@ let render (r : Flight.record) =
           Printf.sprintf "pre-copy (%d rounds run)" (List.length r.Flight.f_rounds)
         else "single-shot")
        r.Flight.f_workers);
+  if r.Flight.f_remapped_words > 0 || r.Flight.f_skipped_clean_words > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "transfer: %d words remapped (zero-copy), %d clean words skipped\n"
+         r.Flight.f_remapped_words r.Flight.f_skipped_clean_words);
   Buffer.add_string buf
     (Printf.sprintf "start %s into the run; total %s; downtime %s\n"
        (fms r.Flight.f_start_ns) (fms r.Flight.f_total_ns) (fms r.Flight.f_downtime_ns));

@@ -2,6 +2,7 @@ module S = Mcr_simos.Sysdefs
 module Ty = Mcr_types.Ty
 module P = Mcr_program.Progdef
 module Api = Mcr_program.Api
+module Addr = Mcr_vmem.Addr
 
 let port = 2222
 let config_path = "/etc/sshd_config"
@@ -14,11 +15,20 @@ let meta = Table_meta.sshd
 
 let conf_t =
   Ty.Struct
-    { sname = "ssh_conf_t"; fields = [ ("listen_fd", Ty.Int); ("banner", Ty.Void_ptr) ] }
+    {
+      sname = "ssh_conf_t";
+      fields = [ ("listen_fd", Ty.Int); ("banner", Ty.Void_ptr); ("sess_buf_words", Ty.Int) ];
+    }
 
 let session_t ~final =
   let fields =
-    [ ("conn", Ty.Int); ("authed", Ty.Int); ("cmds", Ty.Int); ("user", Ty.Void_ptr) ]
+    [
+      ("conn", Ty.Int);
+      ("authed", Ty.Int);
+      ("cmds", Ty.Int);
+      ("user", Ty.Void_ptr);
+      ("buf", Ty.Void_ptr);
+    ]
     @ if final then [ ("uid", Ty.Int) ] else []
   in
   Ty.Struct { sname = "ssh_session_t"; fields }
@@ -44,6 +54,14 @@ let session_body ~final t =
   let sess = Api.malloc t ~site:"ssh_session_main:session" "ssh_session_t" in
   Api.store t (Api.global t "ssh_session") sess;
   Api.store_field t sess "ssh_session_t" "conn" conn;
+  (* per-session transfer ballast: an opaque packet buffer sized by the
+     session_buffer_words directive (0 = none). Large sizes are
+     page-segregated, so state transfer can remap them page-for-page. *)
+  let conf = Api.load t (Api.global t "ssh_conf") in
+  let buf_words = Api.load_field t conf "ssh_conf_t" "sess_buf_words" in
+  if buf_words > 0 then
+    Api.store_field t sess "ssh_session_t" "buf"
+      (Api.malloc_opaque t ~site:"ssh_session_main:buf" buf_words);
   Srvutil.reply t conn "SSH-2.0-mcr_sshd";
   Api.loop t "ssh_session_loop" (fun () ->
       match
@@ -58,6 +76,16 @@ let session_body ~final t =
           Api.app_work t 1;
           (match (Srvutil.command cmdline, Srvutil.arg cmdline) with
           | "AUTH", Some user ->
+              (* authentication initialises the session's packet buffer:
+                 the writes land after first quiesce, so its pages are
+                 dirty and must travel with every state transfer (the
+                 remap pass can share them frame-for-frame when congruent) *)
+              if buf_words > 0 then begin
+                let b = Api.load_field t sess "ssh_session_t" "buf" in
+                for i = 0 to buf_words - 1 do
+                  Api.store t (Addr.add_words b i) (0x73_73_68 lxor i)
+                done
+              end;
               (* privilege-separation helper: fork, let it run, reap it *)
               (match Api.sys t (S.Fork { entry = "ssh_exec_helper" }) with
               | S.Ok_pid pid -> ignore (Api.sys t (S.Waitpid { pid }))
@@ -96,8 +124,14 @@ let master_body t =
       let conf = Api.malloc t ~site:"ssh_init:conf" "ssh_conf_t" in
       Api.store t (Api.global t "ssh_conf") conf;
       let cfd = Api.sys_fd_exn t (S.Open { path = config_path; create = false }) in
-      ignore (Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }));
+      let raw =
+        match Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }) with
+        | S.Ok_data d -> d
+        | _ -> ""
+      in
       Api.sys_unit_exn t (S.Close { fd = cfd });
+      Api.store_field t conf "ssh_conf_t" "sess_buf_words"
+        (Srvutil.config_int raw ~key:"session_buffer_words" ~default:0);
       let banner = Api.malloc_opaque t ~site:"ssh_init:banner" 4 in
       Api.write_bytes t banner "mcr_sshd";
       Api.store_field t conf "ssh_conf_t" "banner" banner;

@@ -16,11 +16,20 @@ let meta = Table_meta.vsftpd
 
 let conf_t =
   Ty.Struct
-    { sname = "vsf_conf_t"; fields = [ ("listen_fd", Ty.Int); ("root", Ty.Void_ptr) ] }
+    {
+      sname = "vsf_conf_t";
+      fields = [ ("listen_fd", Ty.Int); ("root", Ty.Void_ptr); ("sess_buf_words", Ty.Int) ];
+    }
 
 let session_t ~final =
   let fields =
-    [ ("conn", Ty.Int); ("state", Ty.Int); ("cmds", Ty.Int); ("user", Ty.Void_ptr) ]
+    [
+      ("conn", Ty.Int);
+      ("state", Ty.Int);
+      ("cmds", Ty.Int);
+      ("user", Ty.Void_ptr);
+      ("buf", Ty.Void_ptr);
+    ]
     @ if final then [ ("bytes_sent", Ty.Int) ] else []
   in
   Ty.Struct { sname = "vsf_session_t"; fields }
@@ -40,6 +49,14 @@ let session_body ~final t =
   let sess = Api.malloc t ~site:"vsf_session_main:session" "vsf_session_t" in
   Api.store t (Api.global t "vsf_session") sess;
   Api.store_field t sess "vsf_session_t" "conn" conn;
+  (* per-session transfer ballast: an opaque command/data buffer sized by
+     the session_buffer_words directive (0 = none). Large sizes are
+     page-segregated, so state transfer can remap them page-for-page. *)
+  let conf = Api.load t (Api.global t "vsf_conf") in
+  let buf_words = Api.load_field t conf "vsf_conf_t" "sess_buf_words" in
+  if buf_words > 0 then
+    Api.store_field t sess "vsf_session_t" "buf"
+      (Api.malloc_opaque t ~site:"vsf_session_main:buf" buf_words);
   Srvutil.reply t conn "220 vsftpd ready";
   let bump () =
     Api.store_field t sess "vsf_session_t" "cmds"
@@ -57,6 +74,16 @@ let session_body ~final t =
           Api.app_work t 1;
           (match (Srvutil.command cmdline, Srvutil.arg cmdline) with
           | "USER", Some u ->
+              (* login initialises the session's command/data buffer: the
+                 writes land after first quiesce, so its pages are dirty
+                 and must travel with every state transfer (the remap
+                 pass can share them frame-for-frame when congruent) *)
+              if buf_words > 0 then begin
+                let b = Api.load_field t sess "vsf_session_t" "buf" in
+                for i = 0 to buf_words - 1 do
+                  Api.store t (Addr.add_words b i) (0x76_73_66 lxor i)
+                done
+              end;
               let buf = Api.malloc_opaque t ~site:"vsf_user:name" 4 in
               Api.write_bytes t buf u;
               Api.store_field t sess "vsf_session_t" "user" buf;
@@ -141,8 +168,14 @@ let master_body t =
       let conf = Api.malloc t ~site:"vsf_init:conf" "vsf_conf_t" in
       Api.store t (Api.global t "vsf_conf") conf;
       let cfd = Api.sys_fd_exn t (S.Open { path = config_path; create = false }) in
-      ignore (Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }));
+      let raw =
+        match Api.sys t (S.Read { fd = cfd; max = 512; nonblock = false }) with
+        | S.Ok_data d -> d
+        | _ -> ""
+      in
       Api.sys_unit_exn t (S.Close { fd = cfd });
+      Api.store_field t conf "vsf_conf_t" "sess_buf_words"
+        (Srvutil.config_int raw ~key:"session_buffer_words" ~default:0);
       let root_buf = Api.malloc_opaque t ~site:"vsf_init:root" 4 in
       Api.write_bytes t root_buf ftp_root;
       Api.store_field t conf "vsf_conf_t" "root" root_buf;

@@ -15,6 +15,7 @@ type t = {
   replay_match_ns : int;
   worker_spawn_ns : int;
   worker_join_ns : int;
+  remap_page_ns : int;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     replay_match_ns = 600;
     worker_spawn_ns = 80_000;
     worker_join_ns = 40_000;
+    remap_page_ns = 1_500;
   }
 
 let zero =
@@ -55,4 +57,5 @@ let zero =
     replay_match_ns = 0;
     worker_spawn_ns = 0;
     worker_join_ns = 0;
+    remap_page_ns = 0;
   }

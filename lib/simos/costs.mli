@@ -25,6 +25,9 @@ type t = {
       (** Spawning one transfer worker thread (sharded state transfer). *)
   worker_join_ns : int;
       (** Joining one transfer worker thread at the shard merge barrier. *)
+  remap_page_ns : int;
+      (** Remapping one byte-identical page into the new image (page-table
+          update + refcount) instead of copying its words. *)
 }
 
 val default : t

@@ -386,12 +386,19 @@ let analyze ?(policy = Ty.default_policy) ?(tag_free = false) ?cost_since ?trace
         victim
     | _ -> None
   in
-  (* dirtiness from soft-dirty page bits *)
+  (* Dirtiness per object: written since the startup checkpoint's epoch, or
+     sitting on a page whose content was installed by a previous update's
+     state transfer (inherited). Transfer stores are untracked, so without
+     the taint a transferred object would look startup-clean and be wrongly
+     skipped — losing the transferred state. *)
   List.iter
     (fun o ->
       let rec pages a =
         if a < Addr.add_words o.addr o.words then
-          if Aspace.is_page_dirty aspace a then o.dirty <- true
+          if
+            Aspace.epoch_page_dirty aspace ~name:"startup" a
+            || Aspace.page_inherited aspace a
+          then o.dirty <- true
           else pages (Addr.add a Addr.page_size)
       in
       pages (Addr.page_base o.addr))

@@ -31,6 +31,7 @@ type outcome = {
   transferred_objects : int;
   transferred_words : int;
   skipped_clean : int;
+  skipped_clean_words : int;
   immutable_remapped : int;
   fresh_allocations : int;
   type_transformed : int;
@@ -40,6 +41,9 @@ type outcome = {
   live_words : int;
   precopied_objects : int;
   precopied_words : int;
+  remapped_pages : int;
+  remapped_words : int;
+  hashed_words : int;
   workers : int;
   shard_words : int array;
   shard_cost_ns : int array;
@@ -82,10 +86,27 @@ let content_hash aspace addr words =
   Aspace.fold_words aspace addr ~words ~init:(Mcr_util.Fnv.int words) ~f:(fun h v ->
       Mcr_util.Fnv.combine h (Mcr_util.Fnv.int v))
 
-let precopy_round pc ~(old_image : P.image) ~analysis ?since ?(workers = 1) () =
+let precopy_round pc ~(old_image : P.image) ~analysis ?since ?(dirty_only = true)
+    ?(workers = 1) () =
   let aspace = old_image.P.i_aspace in
   let costs = K.costs old_image.P.i_kernel in
   let twn = costs.Costs.transfer_word_ns in
+  (* Dirty-driven staging: the final window only copies objects [run] will
+     select, so staging (hashing) anything else is wasted work. When the
+     transfer is dirty-only, soft-dirty-clean startup objects that will
+     land on a startup match are skipped instead of hashed every round —
+     this is what makes round cost scale with the dirty set rather than
+     with the whole reachable graph. *)
+  let will_copy (o : obj) =
+    if o.immutable_ then true
+    else
+      match o.origin with
+      | O_string _ -> false (* interned in the new rodata, never copied *)
+      | O_static _ | O_stack _ -> o.dirty || not dirty_only
+      | (O_heap | O_pool_obj _) when o.startup && o.site <> None ->
+          o.dirty || not dirty_only
+      | _ -> true
+  in
   (* invalidate stale entries: the object behind a staged address was freed,
      moved, or resized since the previous round *)
   let live = Hashtbl.create (analysis.Objgraph.reachable_count + 1) in
@@ -107,6 +128,8 @@ let precopy_round pc ~(old_image : P.image) ~analysis ?since ?(workers = 1) () =
   let objects = ref 0 and words = ref 0 in
   Objgraph.iter_reachable analysis (fun o ->
       let need =
+        will_copy o
+        &&
         match Hashtbl.find_opt pc.pc_entries o.addr with
         | None -> true
         | Some _ -> (
@@ -150,11 +173,24 @@ type dest =
   | D_string of Addr.t  (** Interned literal in the new rodata. *)
   | D_dropped
 
+(* Per-destination-page bookkeeping for the zero-copy remap: a page is a
+   remap candidate only if every byte written to it came from verbatim
+   copies sharing one page-congruent src/dst delta. Handler output,
+   non-identity transformations and fixup rewrites poison the page. *)
+type page_contrib = {
+  mutable pg_delta : int; (* dst byte address - src byte address *)
+  mutable pg_seen : bool; (* a verbatim run contributed (pg_delta valid) *)
+  mutable pg_ok : bool; (* still eligible *)
+  mutable pg_shard : int; (* shard that pays the remap charge *)
+  mutable pg_parts : (int * int * int) list; (* shard, words, charged ns *)
+}
+
 type state = {
   old_image : P.image;
   new_image : P.image;
   analysis : Objgraph.t;
   dirty_only : bool;
+  remap : bool;
   precopy : precopy option;
   plan : Objgraph.shard_plan;
   shard_cost : int array; (* per-shard copy charge *)
@@ -163,17 +199,22 @@ type state = {
   plans : (int, Typlan.t) Hashtbl.t;
       (* transformation plan used per old object: interior pointers must
          follow their field through the plan, not a linear offset *)
+  page_contribs : (int, page_contrib) Hashtbl.t; (* dst page number *)
   mutable conflicts : conflict list;
   mutable cost : int;
   mutable words_copied : int;
   mutable objects_copied : int;
   mutable skipped : int;
+  mutable skipped_w : int;
   mutable pinned : int;
   mutable fresh : int;
   mutable transformed : int;
   mutable dangling : int;
   mutable precopied_objs : int;
   mutable precopied_w : int;
+  mutable remapped_pages : int;
+  mutable remapped_w : int;
+  mutable hashed_w : int;
 }
 
 let conflictf st c = st.conflicts <- c :: st.conflicts
@@ -348,8 +389,19 @@ let assign_dest st startup_index (o : obj) =
                   st.fresh <- st.fresh + 1;
                   D_fresh { addr; ty = Some (Ty.Named name) }
               | None ->
-                  (* untyped block: re-create at same size, verbatim *)
-                  let addr = Heap.malloc st.new_image.P.i_heap ~ty_id:0 ~callstack:o.callstack o.words in
+                  (* untyped block: re-create at same size, verbatim.
+                     Mirror the allocator's ptmalloc-style segregation
+                     (Api.malloc_opaque): large blocks get page-aligned
+                     payloads, which keeps their pages layout-stable so
+                     the remap pass can share them instead of copying. *)
+                  let addr =
+                    if o.words >= 256 then
+                      Heap.malloc_aligned st.new_image.P.i_heap ~ty_id:0
+                        ~callstack:o.callstack o.words
+                    else
+                      Heap.malloc st.new_image.P.i_heap ~ty_id:0 ~callstack:o.callstack
+                        o.words
+                  in
                   st.fresh <- st.fresh + 1;
                   D_fresh { addr; ty = None }
             end
@@ -363,14 +415,36 @@ let assign_dest st startup_index (o : obj) =
 let read_old st (o : obj) =
   Array.init o.words (fun i -> Aspace.read_word st.old_image.P.i_aspace (Addr.add_words o.addr i))
 
-(* State-transfer writes are user-space writes in the real system: they are
-   tracked, so the next update's soft-dirty epoch sees transferred state as
-   dirty and transfers it again rather than wrongly assuming the startup
-   code re-created it. *)
+(* State-transfer stores are kernel-mediated and must be UNTRACKED: a
+   tracked store would stamp the page in every consumer's dirty epoch, so
+   the next update's pre-copy rounds would re-hash (and the benches
+   re-count) the entire transferred image as "dirty" even though the
+   program never wrote it. Correctness across updates is preserved by the
+   per-page [inherited] taint instead: transferred content diverges from
+   what deterministic startup replay would re-create, so Objgraph treats
+   inherited pages as dirty forever without polluting any write epoch. *)
+
+let poison_pages st addr ~words =
+  if st.remap && words > 0 then begin
+    let first = Addr.page_of addr
+    and last = Addr.page_of (Addr.add addr ((words * Addr.word_size) - 1)) in
+    for pn = first to last do
+      match Hashtbl.find_opt st.page_contribs pn with
+      | Some c -> c.pg_ok <- false
+      | None ->
+          Hashtbl.replace st.page_contribs pn
+            { pg_delta = 0; pg_seen = false; pg_ok = false; pg_shard = 0; pg_parts = [] }
+    done
+  end
+
 let write_new st addr words_arr =
+  let aspace = st.new_image.P.i_aspace in
   Array.iteri
-    (fun i v -> Aspace.write_word st.new_image.P.i_aspace (Addr.add_words addr i) v)
-    words_arr
+    (fun i v -> Aspace.write_word_untracked aspace (Addr.add_words addr i) v)
+    words_arr;
+  Aspace.mark_inherited aspace addr ~words:(Array.length words_arr);
+  (* handler output is synthesized, not a page-congruent copy *)
+  poison_pages st addr ~words:(Array.length words_arr)
 
 (* Was this object's current content staged by a pre-copy round? If so the
    copy already happened (speculatively, while the old version served) and
@@ -384,14 +458,18 @@ let prepaid st (o : obj) =
       match Hashtbl.find_opt pc.pc_entries o.addr with
       | Some e ->
           e.pc_words = o.words
-          && e.pc_hash = content_hash st.old_image.P.i_aspace o.addr o.words
+          && begin
+               st.hashed_w <- st.hashed_w + o.words;
+               e.pc_hash = content_hash st.old_image.P.i_aspace o.addr o.words
+             end
       | None -> false)
 
+let shard_of st (o : obj) =
+  let s = st.plan.Objgraph.sp_shard_of.(o.id) in
+  if s >= 0 then s else 0
+
 let charge_copy st ~prepaid (o : obj) words =
-  let s =
-    let s = st.plan.Objgraph.sp_shard_of.(o.id) in
-    if s >= 0 then s else 0
-  in
+  let s = shard_of st o in
   st.shard_w.(s) <- st.shard_w.(s) + words;
   if prepaid then begin
     st.precopied_objs <- st.precopied_objs + 1;
@@ -405,16 +483,55 @@ let charge_copy st ~prepaid (o : obj) words =
   st.words_copied <- st.words_copied + words;
   st.objects_copied <- st.objects_copied + 1
 
+(* Record a verbatim run against its destination pages. The copy itself
+   already happened word-by-word; if a whole page ends up byte-identical to
+   its (page-aligned congruent) source page, the remap pass below retracts
+   the copy charge and shares the frame instead. *)
+let record_verbatim st (o : obj) dst_addr n ~prepaid =
+  if st.remap && n > 0 then begin
+    let twn = (K.costs st.old_image.P.i_kernel).Costs.transfer_word_ns in
+    let s = shard_of st o in
+    let delta = dst_addr - o.addr in
+    let rec go a remaining =
+      if remaining > 0 then begin
+        let pn = Addr.page_of a in
+        let in_page = (Addr.page_size - Addr.page_offset a) / Addr.word_size in
+        let portion = min remaining in_page in
+        let c =
+          match Hashtbl.find_opt st.page_contribs pn with
+          | Some c -> c
+          | None ->
+              let c =
+                { pg_delta = 0; pg_seen = false; pg_ok = true; pg_shard = s; pg_parts = [] }
+              in
+              Hashtbl.replace st.page_contribs pn c;
+              c
+        in
+        if not c.pg_seen then begin
+          c.pg_seen <- true;
+          c.pg_delta <- delta;
+          c.pg_shard <- s
+        end
+        else if c.pg_delta <> delta then c.pg_ok <- false;
+        let charged = if prepaid then 0 else portion * twn in
+        c.pg_parts <- (s, portion, charged) :: c.pg_parts;
+        go (Addr.add_words a portion) (remaining - portion)
+      end
+    in
+    go dst_addr n
+  end
+
 let verbatim st (o : obj) dst_addr dst_words =
   let prepaid = prepaid st o in
   let n = min o.words dst_words in
-  Aspace.copy_words_tracked
+  Aspace.copy_words
     ~src:st.old_image.P.i_aspace o.addr
     ~dst:st.new_image.P.i_aspace dst_addr ~words:n;
+  Aspace.mark_inherited st.new_image.P.i_aspace dst_addr ~words:n;
+  record_verbatim st o dst_addr n ~prepaid;
   charge_copy st ~prepaid o n
 
 let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
-  let prepaid = prepaid st o in
   (* user transfer handlers take precedence (semantic transformations) *)
   let handler =
     match o.ty_name with
@@ -423,6 +540,7 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
   in
   match handler with
   | Some h ->
+      let prepaid = prepaid st o in
       let old_words = read_old st o in
       let dst_words = Ty.sizeof_words (new_env st) dst_ty in
       let new_words = Array.make dst_words 0 in
@@ -433,11 +551,22 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
       true
   | None -> begin
       match Typlan.plan ~src_env:(old_env st) ~dst_env:(new_env st) ~src:src_ty ~dst:dst_ty with
+      | Ok plan when Typlan.is_identity plan && plan.Typlan.dst_words <= o.words ->
+          (* the type did not change shape: this is a plain copy, so route
+             it through [verbatim] where the page-remap machinery can see
+             it as a page-congruent run *)
+          verbatim st o dst_addr plan.Typlan.dst_words;
+          true
       | Ok plan ->
+          let prepaid = prepaid st o in
           let src = st.old_image.P.i_aspace and dst = st.new_image.P.i_aspace in
           Typlan.apply plan
             ~read:(fun off -> Aspace.read_word src (Addr.add_words o.addr off))
-            ~write:(fun off v -> Aspace.write_word dst (Addr.add_words dst_addr off) v);
+            ~write:(fun off v ->
+              Aspace.write_word_untracked dst (Addr.add_words dst_addr off) v);
+          Aspace.mark_inherited dst dst_addr ~words:plan.Typlan.dst_words;
+          (* a reshaping transformation is not a congruent byte copy *)
+          poison_pages st dst_addr ~words:plan.Typlan.dst_words;
           charge_copy st ~prepaid o plan.Typlan.dst_words;
           if not (Typlan.is_identity plan) then begin
             st.transformed <- st.transformed + 1;
@@ -456,10 +585,55 @@ let transform st (o : obj) ~src_ty ~dst_ty ~dst_addr =
           false
     end
 
+(* A clean object may only be skipped if re-running startup reproduced an
+   equivalent value for every one of its words. Pointers into pinned
+   memory (uninstrumented library state, custom-allocator chunks) break
+   that premise: replay allocates *fresh* library state, while the
+   transferred image must keep the old, pinned state reachable — so a
+   skipped referrer would commit a pointer the full transfer never
+   produces. The referrer set falls out of the same traversal that pinned
+   the targets, so detecting it adds no analysis cost. *)
+let points_into_pinned st (o : obj) =
+  let word i = Aspace.read_word st.old_image.P.i_aspace (Addr.add_words o.addr i) in
+  let pinned v =
+    v <> 0
+    &&
+    match Objgraph.resolve st.analysis v with
+    | Some (target, _) -> Hashtbl.find_opt st.dests target.id = Some D_in_place
+    | None -> false
+  in
+  let found = ref false in
+  (match o.ty with
+  | Some ty ->
+      let slots = Ty.slots (old_env st) ty in
+      let tyw = Array.length slots in
+      if tyw > 0 then
+        for i = 0 to o.words - 1 do
+          if not !found then
+            match slots.(i mod tyw) with
+            | Ty.Slot_ptr _ | Ty.Slot_void_ptr -> if pinned (word i) then found := true
+            | Ty.Slot_encoded_ptr { mask; _ } ->
+                if pinned (word i land lnot mask) then found := true
+            | Ty.Slot_scalar | Ty.Slot_opaque | Ty.Slot_func_ptr -> ()
+        done
+  | None ->
+      for i = 0 to o.words - 1 do
+        if (not !found) && pinned (word i) then found := true
+      done);
+  !found
+
+let force_copy_pin_referrers st (o : obj) =
+  match Hashtbl.find_opt st.dests o.id with
+  | Some (D_existing { addr; ty; copy = false }) when points_into_pinned st o ->
+      Hashtbl.replace st.dests o.id (D_existing { addr; ty; copy = true })
+  | _ -> ()
+
 let copy_object st (o : obj) =
   match Hashtbl.find_opt st.dests o.id with
   | None | Some D_dropped | Some (D_string _) -> ()
-  | Some (D_existing { copy = false; _ }) -> st.skipped <- st.skipped + 1
+  | Some (D_existing { copy = false; _ }) ->
+      st.skipped <- st.skipped + 1;
+      st.skipped_w <- st.skipped_w + o.words
   | Some (D_existing { addr; ty; copy = true }) | Some (D_fresh { addr; ty }) -> begin
       match (o.ty, ty) with
       | Some src_ty, Some dst_ty -> ignore (transform st o ~src_ty ~dst_ty ~dst_addr:addr)
@@ -534,6 +708,13 @@ let fixup_object st (o : obj) =
   let fixup_at dst_addr dst_ty =
     let slots = Ty.slots (new_env st) dst_ty in
     let aspace = st.new_image.P.i_aspace in
+    (* fixup is part of the kernel-mediated transfer too: untracked, and a
+       word that actually changes disqualifies its page from remapping *)
+    let store a v =
+      Aspace.write_word_untracked aspace a v;
+      Aspace.mark_inherited aspace a ~words:1;
+      poison_pages st a ~words:1
+    in
     let tyw = Array.length slots in
     if tyw > 0 then begin
       let dst_words = Ty.sizeof_words (new_env st) dst_ty in
@@ -543,13 +724,13 @@ let fixup_object st (o : obj) =
         | Ty.Slot_ptr _ | Ty.Slot_void_ptr | Ty.Slot_func_ptr ->
             let v = Aspace.read_word aspace a in
             (match remap_value st v with
-            | Some v' when v' <> v -> Aspace.write_word aspace a v'
+            | Some v' when v' <> v -> store a v'
             | Some _ | None -> ())
         | Ty.Slot_encoded_ptr { mask; _ } ->
             let v = Aspace.read_word aspace a in
             let ptr = v land lnot mask and meta = v land mask in
             (match remap_value st ptr with
-            | Some p' when p' <> ptr -> Aspace.write_word aspace a (p' lor meta)
+            | Some p' when p' <> ptr -> store a (p' lor meta)
             | Some _ | None -> ())
         | Ty.Slot_scalar | Ty.Slot_opaque -> ()
       done
@@ -568,9 +749,63 @@ let fixup_object st (o : obj) =
   | Some (D_existing _) | Some (D_fresh _) | Some (D_string _) | Some D_dropped | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Zero-copy page remap *)
 
-let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers = 1) ?trace
-    ?fault () =
+(* After copy + fixup, any destination page whose content is byte-identical
+   to its page-aligned congruent source page need not keep a private copy:
+   the frame is shared into the new image (refcounted, COW on first write)
+   and the per-word copy charge already accounted against that page is
+   retracted in favour of one [remap_page_ns]. Running AFTER the copy keeps
+   the committed image byte-identical by construction — equality is checked
+   on the final bytes, so the pass only ever changes the virtual-time cost
+   and the physical backing, never observable content. *)
+let remap_pass st =
+  let src = st.old_image.P.i_aspace and dst = st.new_image.P.i_aspace in
+  let costs = K.costs st.old_image.P.i_kernel in
+  let pw = Addr.words_per_page in
+  let page_words aspace base =
+    let arr = Array.make pw 0 in
+    let i = ref 0 in
+    Aspace.fold_words aspace base ~words:pw ~init:() ~f:(fun () v ->
+        arr.(!i) <- v;
+        incr i);
+    arr
+  in
+  let pages =
+    Hashtbl.fold (fun pn _ acc -> pn :: acc) st.page_contribs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun pn ->
+      let c = Hashtbl.find st.page_contribs pn in
+      if c.pg_seen && c.pg_ok && c.pg_delta mod Addr.page_size = 0 then begin
+        let dst_page = pn * Addr.page_size in
+        let src_page = dst_page - c.pg_delta in
+        if
+          src_page >= 0
+          && Aspace.is_mapped_word src src_page
+          && Aspace.is_mapped_word dst dst_page
+          (* tracked writes during the window (e.g. fresh-allocation
+             headers) mean the page is not purely transfer-installed *)
+          && not (Aspace.epoch_page_dirty dst ~name:"mcr.transfer" dst_page)
+          && page_words src src_page = page_words dst dst_page
+        then begin
+          Aspace.share_page ~src src_page ~dst dst_page;
+          List.iter
+            (fun (s, w, charged) ->
+              st.cost <- st.cost - charged;
+              st.shard_cost.(s) <- st.shard_cost.(s) - charged;
+              st.remapped_w <- st.remapped_w + w)
+            c.pg_parts;
+          st.cost <- st.cost + costs.Costs.remap_page_ns;
+          st.shard_cost.(c.pg_shard) <- st.shard_cost.(c.pg_shard) + costs.Costs.remap_page_ns;
+          st.remapped_pages <- st.remapped_pages + 1
+        end
+      end)
+    pages
+
+let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?(remap = false) ?precopy
+    ?(workers = 1) ?trace ?fault () =
   (* Sharding is a cost-accounting overlay on the sequential transfer: the
      walk below runs in canonical address order for every [workers] value
      (allocation order, startup-match consumption and the merge-phase fixup
@@ -584,25 +819,35 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
       new_image;
       analysis;
       dirty_only;
+      remap;
       precopy;
       plan;
       shard_cost = Array.make plan.Objgraph.sp_workers 0;
       shard_w = Array.make plan.Objgraph.sp_workers 0;
       dests = Hashtbl.create 256;
       plans = Hashtbl.create 64;
+      page_contribs = Hashtbl.create 256;
       conflicts = [];
       cost = 0;
       words_copied = 0;
       objects_copied = 0;
       skipped = 0;
+      skipped_w = 0;
       pinned = 0;
       fresh = 0;
       transformed = 0;
       dangling = 0;
       precopied_objs = 0;
       precopied_w = 0;
+      remapped_pages = 0;
+      remapped_w = 0;
+      hashed_w = 0;
     }
   in
+  (* own the transfer's dirty epoch on the new image: tracked writes that
+     land during the window (fresh allocations, user code) are visible to
+     the remap eligibility check without touching anyone else's epoch *)
+  Aspace.epoch_reset new_image.P.i_aspace ~name:"mcr.transfer";
   (match fault with
   | Some f when Mcr_fault.Fault.consume f Mcr_fault.Fault.Transfer_conflict ->
       conflictf st (Injected { detail = "injected transfer conflict" })
@@ -622,8 +867,10 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
   | None -> ());
   let startup_index = build_startup_index new_image in
   Objgraph.iter_reachable analysis (assign_dest st startup_index);
+  Objgraph.iter_reachable analysis (force_copy_pin_referrers st);
   Objgraph.iter_reachable analysis (copy_object st);
   Objgraph.iter_reachable analysis (fixup_object st);
+  if st.remap then remap_pass st;
   let live_words = analysis.Objgraph.reachable_words in
   let w = plan.Objgraph.sp_workers in
   let costs = K.costs old_image.P.i_kernel in
@@ -638,6 +885,7 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
       transferred_objects = st.objects_copied;
       transferred_words = st.words_copied;
       skipped_clean = st.skipped;
+      skipped_clean_words = st.skipped_w;
       immutable_remapped = st.pinned;
       fresh_allocations = st.fresh;
       type_transformed = st.transformed;
@@ -647,6 +895,9 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
       live_words;
       precopied_objects = st.precopied_objs;
       precopied_words = st.precopied_w;
+      remapped_pages = st.remapped_pages;
+      remapped_words = st.remapped_w;
+      hashed_words = st.hashed_w;
       workers = w;
       shard_words = st.shard_w;
       shard_cost_ns = st.shard_cost;
@@ -663,6 +914,9 @@ let run ~old_image ~new_image ~analysis ?(dirty_only = true) ?precopy ?(workers 
         ("objects", string_of_int outcome.transferred_objects);
         ("words", string_of_int outcome.transferred_words);
         ("skipped_clean", string_of_int outcome.skipped_clean);
+        ("skipped_clean_words", string_of_int outcome.skipped_clean_words);
+        ("remapped_pages", string_of_int outcome.remapped_pages);
+        ("remapped_words", string_of_int outcome.remapped_words);
         ("immutable_remapped", string_of_int outcome.immutable_remapped);
         ("fresh_allocations", string_of_int outcome.fresh_allocations);
         ("type_transformed", string_of_int outcome.type_transformed);

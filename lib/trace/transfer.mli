@@ -53,6 +53,7 @@ type outcome = {
   transferred_objects : int;
   transferred_words : int;
   skipped_clean : int;  (** Objects left to the new version's own init. *)
+  skipped_clean_words : int;  (** Words of those clean objects, never copied. *)
   immutable_remapped : int;  (** Objects pinned at their old addresses. *)
   fresh_allocations : int;
   type_transformed : int;  (** Objects whose transformation was not an identity copy. *)
@@ -66,6 +67,18 @@ type outcome = {
   live_words : int;  (** Total reachable words (for dirty-reduction ratios). *)
   precopied_objects : int;  (** Copies whose in-window charge was prepaid. *)
   precopied_words : int;
+  remapped_pages : int;
+      (** Destination pages backed by a shared source frame instead of a
+          private copy (zero-copy remap; 0 unless [run ~remap:true]). *)
+  remapped_words : int;
+      (** Words whose per-word copy charge was retracted in favour of a
+          per-page {!Mcr_simos.Costs.t.remap_page_ns}. Counted inside
+          [transferred_words]: the copy happened (byte identity is checked
+          on its result), only the charge moved. *)
+  hashed_words : int;
+      (** Words re-hashed in-window to validate pre-copy prepayment. With
+          dirty-driven staging this scales with the copy set, not the
+          reachable graph. *)
   workers : int;  (** Effective worker count ({!Objgraph.shard_plan}). *)
   shard_words : int array;  (** Words copied per shard. *)
   shard_cost_ns : int array;  (** Copy charge per shard (prepaid waived). *)
@@ -106,17 +119,22 @@ val precopy_round :
   old_image:Mcr_program.Progdef.image ->
   analysis:Objgraph.t ->
   ?since:int ->
+  ?dirty_only:bool ->
   ?workers:int ->
   unit ->
   round_stats
 (** Stage one round. With [since] (an {!Mcr_vmem.Aspace.write_seq} mark from
     the previous round), only new objects and objects on pages written after
-    the mark are re-staged — the delta. Without it, everything reachable is
-    staged (the first, full round). The caller charges [round_cost_ns] to
-    the clock while the old version keeps running. With [workers > 1] the
-    round's delta is charged per-shard over the same {!Objgraph.shard} plan
-    as the final window and [round_cost_ns] is the critical path plus pool
-    overhead. *)
+    the mark are re-staged — the delta. Without it, every object the final
+    window will copy is staged (the first, full round). [dirty_only]
+    (default true) must mirror the final {!run}'s flag: staging consults the
+    analysis' soft-dirty classification and skips objects the dirty-only
+    window will leave to the new version's own startup — so round cost
+    scales with the dirty set, not the reachable graph. The caller charges
+    [round_cost_ns] to the clock while the old version keeps running. With
+    [workers > 1] the round's delta is charged per-shard over the same
+    {!Objgraph.shard} plan as the final window and [round_cost_ns] is the
+    critical path plus pool overhead. *)
 
 val precopy_rounds : precopy -> int
 (** Rounds staged into this session so far. *)
@@ -126,6 +144,7 @@ val run :
   new_image:Mcr_program.Progdef.image ->
   analysis:Objgraph.t ->
   ?dirty_only:bool ->
+  ?remap:bool ->
   ?precopy:precopy ->
   ?workers:int ->
   ?trace:Mcr_obs.Trace.t ->
@@ -137,6 +156,23 @@ val run :
     baseline). The cost is charged to the kernel's virtual clock by the
     caller, not here — parallel multiprocess transfer takes the maximum
     across pairs, not the sum.
+
+    [remap] (default false) enables the zero-copy page remap: after copy
+    and fixup, destination pages that are byte-identical to a page-aligned
+    congruent source page drop their private frame and share the source's
+    ({!Mcr_vmem.Aspace.share_page}, copy-on-write afterwards); their
+    per-word charge is retracted and one
+    {!Mcr_simos.Costs.t.remap_page_ns} charged instead. Because
+    eligibility is decided on the post-copy bytes, the committed image is
+    byte-identical with and without [remap] for every [workers] value.
+    The manager must {!Mcr_vmem.Aspace.detach_shared} the dying side when
+    the window closes (rollback: new members; commit: old images) so no
+    shared frame outlives the update.
+
+    All stores into the new image (copy, transformation, handler output and
+    fixup) are untracked — they must not pollute any consumer's dirty
+    epoch — and taint their pages as {!Mcr_vmem.Aspace.mark_inherited}, which
+    is what keeps transferred state classified dirty in later updates.
 
     [workers] (default 1) sets the simulated transfer worker pool. The
     partition into shards is pure cost accounting: the copy itself runs in

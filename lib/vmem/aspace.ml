@@ -1,21 +1,41 @@
+(* Pages are split from their backing frames so state transfer can remap a
+   byte-identical page into the new version's address space: both pages then
+   reference one refcounted frame, and the first subsequent write to either
+   side copies the frame (copy-on-write) so neither image can mutate the
+   other. Dirtiness is tracked per page as a last-write generation against
+   the space-wide write sequence; consumers own named epochs (saved marks)
+   instead of one global soft-dirty bit, so the startup checkpoint, pre-copy
+   delta rounds and benches cannot clobber each other's view. *)
+
+type frame = { mutable words : int array; mutable refs : int }
+
 type page = {
-  words : int array;
-  mutable soft_dirty : bool;
+  mutable frame : frame;
   mutable touched : bool;
   mutable last_write_seq : int;
+  mutable inherited : bool;
 }
+
+type epoch = { mutable mark : int }
 
 type t = {
   pages : (int, page) Hashtbl.t;
   mutable regions_arr : Region.t array; (* sorted by base, disjoint *)
   bias : int;
   mutable wseq : int;
+  epochs : (string, epoch) Hashtbl.t;
 }
 
 exception Fault of Addr.t
 
 let create ?(layout_bias = 0) () =
-  { pages = Hashtbl.create 64; regions_arr = [||]; bias = layout_bias; wseq = 0 }
+  {
+    pages = Hashtbl.create 64;
+    regions_arr = [||];
+    bias = layout_bias;
+    wseq = 0;
+    epochs = Hashtbl.create 4;
+  }
 
 let layout_bias t = t.bias
 
@@ -25,13 +45,15 @@ let clone t =
     (fun k p ->
       Hashtbl.add pages k
         {
-          words = Array.copy p.words;
-          soft_dirty = p.soft_dirty;
+          frame = { words = Array.copy p.frame.words; refs = 1 };
           touched = p.touched;
           last_write_seq = p.last_write_seq;
+          inherited = p.inherited;
         })
     t.pages;
-  { pages; regions_arr = Array.copy t.regions_arr; bias = t.bias; wseq = t.wseq }
+  let epochs = Hashtbl.create (Hashtbl.length t.epochs) in
+  Hashtbl.iter (fun name e -> Hashtbl.add epochs name { mark = e.mark }) t.epochs;
+  { pages; regions_arr = Array.copy t.regions_arr; bias = t.bias; wseq = t.wseq; epochs }
 
 type placement = Fixed of Addr.t | Near of Region.kind
 
@@ -114,10 +136,10 @@ let map t ?(name = "") placement ~size kind =
   for i = 0 to npages - 1 do
     Hashtbl.replace t.pages (first_page + i)
       {
-        words = Array.make Addr.words_per_page 0;
-        soft_dirty = false;
+        frame = { words = Array.make Addr.words_per_page 0; refs = 1 };
         touched = false;
         last_write_seq = 0;
+        inherited = false;
       }
   done;
   insert_region t { Region.base; size; kind; name };
@@ -132,6 +154,9 @@ let unmap t base =
   let first_page = Addr.page_of r.Region.base in
   let npages = r.Region.size / Addr.page_size in
   for j = 0 to npages - 1 do
+    (match Hashtbl.find_opt t.pages (first_page + j) with
+    | Some p -> p.frame.refs <- p.frame.refs - 1
+    | None -> ());
     Hashtbl.remove t.pages (first_page + j)
   done;
   let out = Array.make (n - 1) r in
@@ -157,19 +182,30 @@ let is_mapped_word t a =
 
 let read_word t a =
   let p = page_for t a in
-  p.words.(Addr.word_index a)
+  p.frame.words.(Addr.word_index a)
+
+(* Copy-on-write: any store through a page whose frame is shared first gives
+   the page a private copy, so a remapped image can never mutate the image
+   it borrowed the frame from. The copy is host-side bookkeeping — the
+   simulated program pays only its ordinary write cost. *)
+let cow (p : page) =
+  if p.frame.refs > 1 then begin
+    p.frame.refs <- p.frame.refs - 1;
+    p.frame <- { words = Array.copy p.frame.words; refs = 1 }
+  end
 
 let write_word t a v =
   let p = page_for t a in
-  p.words.(Addr.word_index a) <- v;
-  p.soft_dirty <- true;
+  cow p;
+  p.frame.words.(Addr.word_index a) <- v;
   p.touched <- true;
   t.wseq <- t.wseq + 1;
   p.last_write_seq <- t.wseq
 
 let write_word_untracked t a v =
   let p = page_for t a in
-  p.words.(Addr.word_index a) <- v;
+  cow p;
+  p.frame.words.(Addr.word_index a) <- v;
   p.touched <- true
 
 let fold_words t a ~words ~init ~f =
@@ -183,7 +219,7 @@ let fold_words t a ~words ~init ~f =
       let idx = Addr.word_index !addr in
       let n = min !remaining (Addr.words_per_page - idx) in
       for i = idx to idx + n - 1 do
-        acc := f !acc p.words.(i)
+        acc := f !acc p.frame.words.(i)
       done;
       remaining := !remaining - n;
       addr := Addr.add_words !addr n
@@ -200,7 +236,8 @@ let copy_words ~src src_addr ~dst dst_addr ~words =
     let n =
       min !remaining (min (Addr.words_per_page - si) (Addr.words_per_page - di))
     in
-    Array.blit sp.words si dp.words di n;
+    cow dp;
+    Array.blit sp.frame.words si dp.frame.words di n;
     dp.touched <- true;
     remaining := !remaining - n;
     sa := Addr.add_words !sa n;
@@ -216,8 +253,8 @@ let copy_words_tracked ~src src_addr ~dst dst_addr ~words =
     let n =
       min !remaining (min (Addr.words_per_page - si) (Addr.words_per_page - di))
     in
-    Array.blit sp.words si dp.words di n;
-    dp.soft_dirty <- true;
+    cow dp;
+    Array.blit sp.frame.words si dp.frame.words di n;
     dp.touched <- true;
     dst.wseq <- dst.wseq + n;
     dp.last_write_seq <- dst.wseq;
@@ -226,17 +263,61 @@ let copy_words_tracked ~src src_addr ~dst dst_addr ~words =
     da := Addr.add_words !da n
   done
 
-let clear_soft_dirty t = Hashtbl.iter (fun _ p -> p.soft_dirty <- false) t.pages
+(* ------------------------------------------------------------------ *)
+(* Dirty epochs *)
 
-let soft_dirty_pages t =
-  Hashtbl.fold (fun pn p acc -> if p.soft_dirty then pn :: acc else acc) t.pages []
+let epoch t ~name =
+  match Hashtbl.find_opt t.epochs name with
+  | Some e -> e
+  | None ->
+      let e = { mark = 0 } in
+      Hashtbl.replace t.epochs name e;
+      e
+
+let epoch_reset t ~name = (epoch t ~name).mark <- t.wseq
+let epoch_mark t ~name = (epoch t ~name).mark
+let epoch_remove t ~name = Hashtbl.remove t.epochs name
+
+let epoch_find t ~name =
+  Option.map (fun e -> e.mark) (Hashtbl.find_opt t.epochs name)
+
+let epoch_page_dirty t ~name a =
+  let mark = epoch_mark t ~name in
+  match Hashtbl.find_opt t.pages (Addr.page_of a) with
+  | Some p -> p.last_write_seq > mark
+  | None -> false
+
+let epoch_range_dirty t ~name a ~words =
+  if words <= 0 then false
+  else begin
+    let mark = epoch_mark t ~name in
+    let first = Addr.page_of a in
+    let last = Addr.page_of (Addr.add_words a (words - 1)) in
+    let rec scan pn =
+      pn <= last
+      && ((match Hashtbl.find_opt t.pages pn with
+          | Some p -> p.last_write_seq > mark
+          | None -> false)
+         || scan (pn + 1))
+    in
+    scan first
+  end
+
+let epoch_dirty_pages t ~name =
+  let mark = epoch_mark t ~name in
+  Hashtbl.fold
+    (fun pn p acc -> if p.last_write_seq > mark then pn :: acc else acc)
+    t.pages []
   |> List.sort compare
   |> List.map (fun pn -> pn * Addr.page_size)
 
-let is_page_dirty t a =
-  match Hashtbl.find_opt t.pages (Addr.page_of a) with
-  | Some p -> p.soft_dirty
-  | None -> false
+(* The startup checkpoint's epoch, historically the only one. The legacy
+   entry points are shims over it. *)
+let startup_epoch = "startup"
+
+let clear_soft_dirty t = epoch_reset t ~name:startup_epoch
+let soft_dirty_pages t = epoch_dirty_pages t ~name:startup_epoch
+let is_page_dirty t a = epoch_page_dirty t ~name:startup_epoch a
 
 let write_seq t = t.wseq
 
@@ -258,6 +339,63 @@ let range_written_since t a ~words ~seq =
          || scan (pn + 1))
     in
     scan first
+
+(* ------------------------------------------------------------------ *)
+(* Inherited content and page remap *)
+
+let mark_inherited t a ~words =
+  if words > 0 then begin
+    let first = Addr.page_of a in
+    let last = Addr.page_of (Addr.add_words a (words - 1)) in
+    for pn = first to last do
+      match Hashtbl.find_opt t.pages pn with
+      | Some p ->
+          p.inherited <- true;
+          p.touched <- true
+      | None -> ()
+    done
+  end
+
+let page_inherited t a =
+  match Hashtbl.find_opt t.pages (Addr.page_of a) with
+  | Some p -> p.inherited
+  | None -> false
+
+let share_page ~src src_addr ~dst dst_addr =
+  if Addr.page_offset src_addr <> 0 || Addr.page_offset dst_addr <> 0 then
+    invalid_arg "Aspace.share_page: addresses must be page-aligned";
+  let sp =
+    match Hashtbl.find_opt src.pages (Addr.page_of src_addr) with
+    | Some p -> p
+    | None -> raise (Fault src_addr)
+  in
+  let dp =
+    match Hashtbl.find_opt dst.pages (Addr.page_of dst_addr) with
+    | Some p -> p
+    | None -> raise (Fault dst_addr)
+  in
+  if sp.frame != dp.frame then begin
+    dp.frame.refs <- dp.frame.refs - 1;
+    sp.frame.refs <- sp.frame.refs + 1;
+    dp.frame <- sp.frame
+  end;
+  dp.touched <- true;
+  dp.inherited <- true
+
+let shared_frame_count t =
+  Hashtbl.fold (fun _ p acc -> if p.frame.refs > 1 then acc + 1 else acc) t.pages 0
+
+let detach_shared t =
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ p ->
+      if p.frame.refs > 1 then begin
+        incr n;
+        p.frame.refs <- p.frame.refs - 1;
+        p.frame <- { words = Array.copy p.frame.words; refs = 1 }
+      end)
+    t.pages;
+  !n
 
 let resident_bytes t = Hashtbl.length t.pages * Addr.page_size
 

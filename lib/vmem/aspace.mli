@@ -5,10 +5,21 @@
     that makes conservative tracing necessary is real here, not simulated
     away.
 
-    Soft-dirty tracking mirrors the Linux mechanism MCR builds on: after
-    {!clear_soft_dirty}, the first write to a page sets its soft-dirty bit;
-    {!soft_dirty_pages} retrieves the set, with no per-access cost once a
-    page is dirty. *)
+    Pages are views onto refcounted {e frames}. Normally a page owns its
+    frame exclusively; state transfer may {!share_page} a byte-identical
+    frame into another address space (the zero-copy remap), after which any
+    write through either page copies the frame first (copy-on-write), so
+    neither image can mutate the other.
+
+    Dirtiness mirrors the Linux soft-dirty mechanism MCR builds on, but is
+    generation-based: every tracked write bumps the space-wide {!write_seq}
+    and stamps the page. A consumer owns a named {e epoch} — a saved mark —
+    and a page is dirty in that epoch iff it was written after the mark
+    ({!epoch_reset}/{!epoch_page_dirty}). Arbitrarily many consumers (the
+    startup checkpoint, pre-copy delta rounds, benches) coexist without
+    clobbering each other; the legacy single-epoch entry points
+    ({!clear_soft_dirty} and friends) are shims over the ["startup"]
+    epoch. *)
 
 type t
 
@@ -25,8 +36,8 @@ val create : ?layout_bias:int -> unit -> t
 val layout_bias : t -> int
 
 val clone : t -> t
-(** Deep copy: pages, regions and soft-dirty bits. Used by process spawn
-    (the fork analog). *)
+(** Deep copy: pages, regions, epochs and dirty stamps. Every cloned page
+    gets a private frame. Used by process spawn (the fork analog). *)
 
 type placement =
   | Fixed of Addr.t  (** Map exactly here (MAP_FIXED); fails on overlap. *)
@@ -38,7 +49,8 @@ val map : t -> ?name:string -> placement -> size:int -> Region.kind -> Addr.t
     @raise Invalid_argument on overlap with an existing region. *)
 
 val unmap : t -> Addr.t -> unit
-(** [unmap t base] removes the region based at [base].
+(** [unmap t base] removes the region based at [base], releasing each
+    page's frame reference.
     @raise Not_found if no region has that base. *)
 
 val regions : t -> Region.t list
@@ -54,12 +66,15 @@ val read_word : t -> Addr.t -> int
 (** @raise Fault on unmapped or unaligned access. *)
 
 val write_word : t -> Addr.t -> int -> unit
-(** Tracked write: marks the page soft-dirty. @raise Fault as {!read_word}. *)
+(** Tracked write: bumps {!write_seq} and stamps the page (making it dirty
+    in every epoch whose mark precedes the new sequence value). Breaks
+    frame sharing first. @raise Fault as {!read_word}. *)
 
 val write_word_untracked : t -> Addr.t -> int -> unit
-(** Write without touching the soft-dirty bit. Used when the kernel itself
+(** Write without advancing dirty tracking. Used when the kernel itself
     populates memory (image loading, state transfer into the new version),
-    which must not pollute dirty tracking. *)
+    which must not pollute any consumer's epoch. Still breaks frame
+    sharing — untracked does not mean invisible. *)
 
 val fold_words : t -> Addr.t -> words:int -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** [fold_words t a ~words ~init ~f] folds [f] over the [words] consecutive
@@ -74,27 +89,57 @@ val copy_words : src:t -> Addr.t -> dst:t -> Addr.t -> words:int -> unit
 val copy_words_tracked : src:t -> Addr.t -> dst:t -> Addr.t -> words:int -> unit
 (** Like {!copy_words} but with the exact observable semantics of a
     {!write_word} per word on the destination: the write sequence advances
-    by one per word, every touched page becomes soft-dirty, and each page's
-    last-write mark is the sequence value after the final word written to
-    it. Used for in-place copies the program could itself have made. *)
+    by one per word and each page's last-write stamp is the sequence value
+    after the final word written to it. Used for in-place copies the
+    program could itself have made. *)
+
+(** {2 Dirty epochs} *)
+
+val epoch_reset : t -> name:string -> unit
+(** Begin (or restart) the named consumer's tracking epoch: its mark
+    becomes the current {!write_seq}. Creating an epoch is implicit. *)
+
+val epoch_mark : t -> name:string -> int
+(** The named epoch's mark (0 if it was never reset — everything ever
+    written counts as dirty). *)
+
+val epoch_find : t -> name:string -> int option
+(** Like {!epoch_mark} but [None] when the epoch has never been created —
+    lets a delta-round consumer distinguish "first round" from "mark 0". *)
+
+val epoch_remove : t -> name:string -> unit
+(** Forget the named epoch entirely, returning it to the never-created
+    state ({!epoch_find} yields [None]). A consumer whose session ended
+    (e.g. a rolled-back update's pre-copy) removes its epoch so a later
+    session starts from "first round", not from a stale mark. *)
+
+val epoch_page_dirty : t -> name:string -> Addr.t -> bool
+(** Whether the page containing the address saw a tracked write after the
+    named epoch's mark. Unmapped pages are never dirty. *)
+
+val epoch_range_dirty : t -> name:string -> Addr.t -> words:int -> bool
+(** Whether any page overlapping [\[addr, addr + words)] is dirty in the
+    named epoch. *)
+
+val epoch_dirty_pages : t -> name:string -> Addr.t list
+(** Base addresses of the named epoch's dirty pages, sorted ascending. *)
 
 val clear_soft_dirty : t -> unit
-(** Reset all soft-dirty bits; begins a tracking epoch. *)
+(** @deprecated Shim over [epoch_reset ~name:"startup"] — the startup
+    checkpoint's epoch. New consumers must own a named epoch instead of
+    calling this: resetting it from anywhere else silently breaks
+    startup-dirtiness classification. *)
 
 val soft_dirty_pages : t -> Addr.t list
-(** Base addresses of pages written since the last {!clear_soft_dirty},
-    sorted ascending. *)
+(** @deprecated Shim over [epoch_dirty_pages ~name:"startup"]. *)
 
 val is_page_dirty : t -> Addr.t -> bool
-(** Soft-dirty bit of the page containing the address. *)
+(** @deprecated Shim over [epoch_page_dirty ~name:"startup"]. *)
 
 val write_seq : t -> int
 (** Monotone per-space write sequence number, bumped by every tracked
-    write. Unlike the single soft-dirty epoch (owned by the startup
-    checkpoint), arbitrarily many observers can each remember a mark and
-    later ask what changed — this is what pre-copy delta rounds use, so
-    they never have to clear the soft-dirty bits the transfer engine
-    depends on. *)
+    write. Epoch marks are saved values of this counter; raw marks remain
+    available for consumers that manage their own storage. *)
 
 val page_written_since : t -> Addr.t -> seq:int -> bool
 (** Whether the page containing the address has seen a tracked write after
@@ -103,6 +148,40 @@ val page_written_since : t -> Addr.t -> seq:int -> bool
 val range_written_since : t -> Addr.t -> words:int -> seq:int -> bool
 (** Whether any page overlapping [\[addr, addr + words)] has seen a tracked
     write after the mark. *)
+
+(** {2 Inherited content and zero-copy page remap} *)
+
+val mark_inherited : t -> Addr.t -> words:int -> unit
+(** Taint the pages overlapping [\[addr, addr + words)] as holding content
+    installed by state transfer rather than by this program's own startup.
+    Inherited content diverges permanently from what deterministic startup
+    replay would re-create, so object-graph analysis must treat it as dirty
+    in every later update even though the installing stores were
+    untracked. The taint survives across updates (transfer re-marks the
+    pages it populates in each new image). *)
+
+val page_inherited : t -> Addr.t -> bool
+(** Whether the page containing the address carries the inherited taint. *)
+
+val share_page : src:t -> Addr.t -> dst:t -> Addr.t -> unit
+(** [share_page ~src src_page ~dst dst_page] remaps [src]'s frame into
+    [dst]: the destination page drops its own frame and references the
+    source frame (refcount +1). Only correct when the two pages are already
+    byte-identical — the caller (state transfer) verifies equality first,
+    so sharing never changes observable content, only the transfer cost.
+    The destination page is marked inherited.
+    @raise Invalid_argument unless both addresses are page-aligned.
+    @raise Fault if either page is unmapped. *)
+
+val shared_frame_count : t -> int
+(** Number of pages whose frame is shared with another page ([refs > 1]) —
+    the refcount-leak witness: outside an update window this must be 0. *)
+
+val detach_shared : t -> int
+(** Give every shared page a private frame copy and release the shared
+    reference; returns the number of pages detached. The manager calls
+    this on the dying side of an update (new members on rollback, old
+    images on commit) so frame sharing never outlives the window. *)
 
 val resident_bytes : t -> int
 (** Total bytes of mapped pages. *)

@@ -251,6 +251,67 @@ let test_rollout_over_ctl () =
       Alcotest.(check bool) "summary stored" true (Fleet.last_summary fleet <> None)
 
 (* ------------------------------------------------------------------ *)
+(* Stale control sockets: a crashed fleetd leaves its socket name behind
+   (AF_UNIX names survive close); the next incarnation must bind anyway. *)
+
+module S = Mcr_simos.Sysdefs
+module Aspace = Mcr_vmem.Aspace
+module Ctl_server = Mcr_core.Ctl_server
+
+let test_stale_socket_rebind () =
+  let kernel = K.create () in
+  let path = "/run/mcr/fleet.listing1.sock" in
+  let bound = ref false in
+  let p1 =
+    K.spawn_process kernel
+      ~image:(K.Fresh_image (Aspace.create ()))
+      ~name:"fleetd-1" ~entry:"main"
+      ~main:(fun _ ->
+        (match Ctl_server.bind kernel ~path with
+        | S.Ok_fd _ -> bound := true
+        | _ -> ());
+        ignore (K.syscall (S.Sem_wait { name = "fleetd1.park"; timeout_ns = None })))
+      ()
+  in
+  drive kernel (fun () -> !bound);
+  Alcotest.(check bool) "first incarnation bound" true !bound;
+  (* binding over a LIVE listener must still be refused *)
+  let second = ref None in
+  let _p_live =
+    K.spawn_process kernel
+      ~image:(K.Fresh_image (Aspace.create ()))
+      ~name:"fleetd-dup" ~entry:"main"
+      ~main:(fun _ -> second := Some (Ctl_server.bind kernel ~path))
+      ()
+  in
+  drive kernel (fun () -> !second <> None);
+  (match !second with
+  | Some (S.Err S.EADDRINUSE) -> ()
+  | Some _ -> Alcotest.fail "bind over a live listener must fail EADDRINUSE"
+  | None -> Alcotest.fail "duplicate bind never ran");
+  (* crash the first incarnation: the socket name is left behind *)
+  K.kill_process kernel p1 ~status:1;
+  Alcotest.(check bool) "name survives the crash but is stale" false
+    (K.path_active kernel ~path);
+  (* the second incarnation serves on the same path: bind unlinks the stale
+     name at listen time, on the listener thread *)
+  let p2 =
+    K.spawn_process kernel
+      ~image:(K.Fresh_image (Aspace.create ()))
+      ~name:"fleetd-2" ~entry:"main"
+      ~main:(fun _ ->
+        ignore (K.syscall (S.Sem_wait { name = "fleetd2.park"; timeout_ns = None })))
+      ()
+  in
+  Ctl_server.spawn kernel p2 ~name:"fleet-ctl" ~path
+    ~dispatch:(fun ~versioned:_ cmd -> if cmd = "PING" then "PONG" else "ERR")
+    ();
+  let reply = ref None in
+  Ctl.request kernel ~path ~command:"PING" ~on_reply:(fun r -> reply := Some r);
+  drive kernel (fun () -> !reply <> None);
+  Alcotest.(check (option string)) "second incarnation answers" (Some "PONG") !reply
+
+(* ------------------------------------------------------------------ *)
 (* Summary codec *)
 
 let test_summary_json_roundtrip () =
@@ -331,6 +392,64 @@ let prop_rollout_outcome =
         true
       end)
 
+(* Property: dirty-driven transfer commits exactly the bytes a full
+   transfer would, with or without the zero-copy remap, for every server x
+   workload x worker count — and a seeded-fault rollback (or commit) never
+   leaks a shared page frame past the update window. *)
+
+module Policy = Mcr_core.Policy
+
+let prop_dirty_transfer_byte_identical =
+  QCheck.Test.make
+    ~name:"dirty-driven transfer (+/- remap) is byte-identical; no shared-frame leaks" ~count:4
+    QCheck.(triple (int_range 0 3) (int_range 0 1) (int_range 0 50))
+    (fun (server_i, w_i, seed) ->
+      let server = [| Testbed.Nginx; Testbed.Httpd; Testbed.Vsftpd; Testbed.Sshd |].(server_i) in
+      let workers = [| 1; 4 |].(w_i) in
+      let scale = 500 + (seed mod 3) * 500 in
+      let mk update_policy =
+        let policy = Fleet_policy.default |> Fleet_policy.with_update update_policy in
+        let fleet = Fleet.of_testbed ~policy server ~n:1 in
+        ignore (Testbed.benchmark (Fleet.instance_kernel fleet 0) server ~scale ());
+        fleet
+      in
+      let base = Policy.default |> Policy.with_transfer_workers workers in
+      let modes =
+        [
+          ("full", mk (Policy.with_dirty_only false base));
+          ("dirty", mk base);
+          ("dirty+remap", mk (Policy.with_transfer_remap true base));
+        ]
+      in
+      List.iter
+        (fun (name, f) ->
+          let r = Fleet.update_instance f 0 `Target in
+          if not r.Manager.success then
+            QCheck.Test.fail_reportf "%s update rolled back: %s" name
+              (match r.Manager.failure with
+              | Some reason -> Mcr_error.to_string reason
+              | None -> "?"))
+        modes;
+      let fp = Fleet.image_fingerprint (snd (List.hd modes)) 0 in
+      List.iter
+        (fun (name, f) ->
+          if Fleet.image_fingerprint f 0 <> fp then
+            QCheck.Test.fail_reportf "%s commit is not byte-identical to the full transfer" name)
+        modes;
+      (* whatever a seeded fault does to a remapping update — rollback or
+         commit — no shared frame may outlive the window *)
+      let faulted =
+        mk (base |> Policy.with_transfer_remap true |> Policy.with_fault_seed (Some seed))
+      in
+      ignore (Fleet.update_instance faulted 0 `Target);
+      List.iter
+        (fun (im : Mcr_program.Progdef.image) ->
+          let n = Aspace.shared_frame_count im.Mcr_program.Progdef.i_aspace in
+          if n <> 0 then
+            QCheck.Test.fail_reportf "faulted remap update leaked %d shared frames" n)
+        (Manager.images (Fleet.manager faulted 0));
+      true)
+
 (* Property: the frame decoders are total. *)
 
 let prop_frame_decoders_total =
@@ -378,9 +497,15 @@ let () =
         [
           Alcotest.test_case "FLEET STATUS/EXPLAIN" `Quick test_ctl_status_and_explain;
           Alcotest.test_case "FLEET ROLLOUT over socket" `Quick test_rollout_over_ctl;
+          Alcotest.test_case "stale socket rebind" `Quick test_stale_socket_rebind;
         ] );
       ("codec", [ Alcotest.test_case "summary round-trip" `Quick test_summary_json_roundtrip ]);
       ( "props",
-        [ qt prop_rollout_outcome; qt prop_frame_decoders_total; qt prop_malformed_hello_typed ]
+        [
+          qt prop_rollout_outcome;
+          qt prop_dirty_transfer_byte_identical;
+          qt prop_frame_decoders_total;
+          qt prop_malformed_hello_typed;
+        ]
       );
     ]

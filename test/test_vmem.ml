@@ -183,6 +183,125 @@ let test_copy_words_across_spaces () =
   done;
   Alcotest.(check (list int)) "transfer writes untracked" [] (Aspace.soft_dirty_pages b)
 
+(* ------------------------------------------------------------------ *)
+(* Named epochs, frame sharing, copy-on-write *)
+
+let test_named_epochs_independent () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(2 * 4096) Region.Heap in
+  Aspace.write_word sp base 1;
+  Aspace.epoch_reset sp ~name:"a";
+  Aspace.write_word sp (Addr.add base 4096) 2;
+  Aspace.epoch_reset sp ~name:"b";
+  (* page 2 written after a's mark, before b's *)
+  Alcotest.(check bool) "dirty in a" true
+    (Aspace.epoch_page_dirty sp ~name:"a" (Addr.add base 4096));
+  Alcotest.(check bool) "clean in b" false
+    (Aspace.epoch_page_dirty sp ~name:"b" (Addr.add base 4096));
+  Alcotest.(check bool) "page 1 clean in both" false
+    (Aspace.epoch_page_dirty sp ~name:"a" base);
+  (* resetting a does not disturb b *)
+  Aspace.write_word sp base 3;
+  Aspace.epoch_reset sp ~name:"a";
+  Alcotest.(check bool) "b saw the write" true (Aspace.epoch_page_dirty sp ~name:"b" base);
+  Alcotest.(check bool) "a reset past it" false (Aspace.epoch_page_dirty sp ~name:"a" base);
+  Alcotest.(check (list int)) "b's dirty page list" [ Addr.page_base base ]
+    (Aspace.epoch_dirty_pages sp ~name:"b")
+
+let test_epoch_never_created_sees_everything () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.write_word sp base 1;
+  Alcotest.(check (option int)) "find on absent epoch" None
+    (Aspace.epoch_find sp ~name:"ghost");
+  Alcotest.(check bool) "absent epoch: everything dirty" true
+    (Aspace.epoch_page_dirty sp ~name:"ghost" base);
+  Aspace.epoch_reset sp ~name:"ghost";
+  Alcotest.(check bool) "created by reset" true (Aspace.epoch_find sp ~name:"ghost" <> None);
+  Aspace.epoch_remove sp ~name:"ghost";
+  Alcotest.(check (option int)) "removed" None (Aspace.epoch_find sp ~name:"ghost")
+
+let test_legacy_shims_are_startup_epoch () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
+  Aspace.clear_soft_dirty sp;
+  Aspace.write_word sp base 1;
+  Alcotest.(check bool) "shim sees startup epoch" true
+    (Aspace.epoch_page_dirty sp ~name:"startup" base);
+  Aspace.epoch_reset sp ~name:"startup";
+  Alcotest.(check bool) "shim read agrees" false (Aspace.is_page_dirty sp base)
+
+let share_setup () =
+  let a = Aspace.create () in
+  let b = Aspace.create () in
+  let src = Aspace.map a (Aspace.Fixed 4096) ~size:4096 Region.Heap in
+  let dst = Aspace.map b (Aspace.Fixed 8192) ~size:4096 Region.Heap in
+  for i = 0 to Addr.words_per_page - 1 do
+    Aspace.write_word a (Addr.add_words src i) (i * 7);
+    Aspace.write_word b (Addr.add_words dst i) (i * 7)
+  done;
+  (a, b, src, dst)
+
+let test_share_page_and_counts () =
+  let a, b, src, dst = share_setup () in
+  Alcotest.(check int) "no sharing before" 0 (Aspace.shared_frame_count b);
+  Aspace.share_page ~src:a src ~dst:b dst;
+  Alcotest.(check int) "dst shares" 1 (Aspace.shared_frame_count b);
+  Alcotest.(check int) "src shares" 1 (Aspace.shared_frame_count a);
+  Alcotest.(check bool) "dst marked inherited" true (Aspace.page_inherited b dst);
+  for i = 0 to Addr.words_per_page - 1 do
+    Alcotest.(check int) "content preserved" (i * 7)
+      (Aspace.read_word b (Addr.add_words dst i))
+  done
+
+let test_share_page_cow_isolates () =
+  let a, b, src, dst = share_setup () in
+  Aspace.share_page ~src:a src ~dst:b dst;
+  (* write through the source: the destination must not see it *)
+  Aspace.write_word a src 999;
+  Alcotest.(check int) "dst unaffected by src write" 0 (Aspace.read_word b dst);
+  Alcotest.(check int) "src sees own write" 999 (Aspace.read_word a src);
+  Alcotest.(check int) "sharing broken by COW" 0 (Aspace.shared_frame_count a);
+  (* share again, write through the destination this time, untracked *)
+  Aspace.share_page ~src:a src ~dst:b dst;
+  Aspace.write_word_untracked b (Addr.add_words dst 1) 555;
+  Alcotest.(check int) "src unaffected by dst write" 999 (Aspace.read_word a src);
+  Alcotest.(check int) "dst sees own write" 555 (Aspace.read_word b (Addr.add_words dst 1))
+
+let test_detach_shared () =
+  let a, b, src, dst = share_setup () in
+  Aspace.share_page ~src:a src ~dst:b dst;
+  Alcotest.(check int) "detach count" 1 (Aspace.detach_shared b);
+  Alcotest.(check int) "b private again" 0 (Aspace.shared_frame_count b);
+  Alcotest.(check int) "a private again" 0 (Aspace.shared_frame_count a);
+  Alcotest.(check int) "content survives detach" (7 * 3)
+    (Aspace.read_word b (Addr.add_words dst 3));
+  Alcotest.(check int) "detach is idempotent" 0 (Aspace.detach_shared b)
+
+let test_share_page_rejects_misaligned () =
+  let a, b, src, dst = share_setup () in
+  Alcotest.check_raises "unaligned src"
+    (Invalid_argument "Aspace.share_page: addresses must be page-aligned")
+    (fun () -> Aspace.share_page ~src:a (Addr.add src 8) ~dst:b dst)
+
+let test_unmap_shared_releases_ref () =
+  let a, b, src, dst = share_setup () in
+  Aspace.share_page ~src:a src ~dst:b dst;
+  Aspace.unmap b dst;
+  Alcotest.(check int) "src sole owner after unmap" 0 (Aspace.shared_frame_count a)
+
+let test_mark_inherited_survives_tracking () =
+  let sp = Aspace.create () in
+  let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(2 * 4096) Region.Heap in
+  Aspace.clear_soft_dirty sp;
+  Aspace.mark_inherited sp (Addr.add base 4096) ~words:1;
+  Alcotest.(check bool) "tainted" true (Aspace.page_inherited sp (Addr.add base 4096));
+  Alcotest.(check bool) "first page untainted" false (Aspace.page_inherited sp base);
+  Alcotest.(check (list int)) "taint is not dirtiness" [] (Aspace.soft_dirty_pages sp);
+  (* the taint survives epoch resets — it is not epoch state *)
+  Aspace.clear_soft_dirty sp;
+  Alcotest.(check bool) "survives reset" true (Aspace.page_inherited sp (Addr.add base 4096))
+
 let test_resident_bytes () =
   let sp = Aspace.create () in
   ignore (Aspace.map sp (Aspace.Near Region.Heap) ~size:10000 Region.Heap);
@@ -250,6 +369,24 @@ let () =
           Alcotest.test_case "epochs" `Quick test_soft_dirty_epoch;
           Alcotest.test_case "reads do not dirty" `Quick test_reads_do_not_dirty;
           qt prop_dirty_iff_written;
+        ] );
+      ( "epochs",
+        [
+          Alcotest.test_case "named epochs independent" `Quick test_named_epochs_independent;
+          Alcotest.test_case "absent epoch semantics" `Quick
+            test_epoch_never_created_sees_everything;
+          Alcotest.test_case "legacy shims are the startup epoch" `Quick
+            test_legacy_shims_are_startup_epoch;
+        ] );
+      ( "share-cow",
+        [
+          Alcotest.test_case "share_page counts and content" `Quick test_share_page_and_counts;
+          Alcotest.test_case "COW isolates both sides" `Quick test_share_page_cow_isolates;
+          Alcotest.test_case "detach_shared" `Quick test_detach_shared;
+          Alcotest.test_case "misaligned share rejected" `Quick
+            test_share_page_rejects_misaligned;
+          Alcotest.test_case "unmap releases shared ref" `Quick test_unmap_shared_releases_ref;
+          Alcotest.test_case "inherited taint" `Quick test_mark_inherited_survives_tracking;
         ] );
       ( "clone-copy",
         [
