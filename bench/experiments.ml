@@ -470,7 +470,11 @@ let dirty_reduction ?(conns = 50) () =
         let m = Testbed.launch kernel server in
         ignore (Testbed.benchmark kernel server ~scale:5000 ());
         let _h = Testbed.open_holders kernel server ~n:conns in
-        let _, report = Manager.update m ~dirty_only (Testbed.final_version server) in
+        let _, report =
+          Manager.update m
+            ~policy:(Mcr_core.Policy.with_dirty_only dirty_only Mcr_core.Policy.default)
+            (Testbed.final_version server)
+        in
         if not report.Manager.success then None
         else
           Some

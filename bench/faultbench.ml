@@ -71,8 +71,11 @@ let run ?(smoke = false) () =
           let kernel = K.create () in
           let m = Testbed.launch kernel server in
           let m2, report =
-            Manager.update m ?quiesce_deadline_ns:qdl
-              ~update_deadline_ns:20_000_000_000 ~fault:(Fault.script plan)
+            Manager.update m
+              ~policy:
+                (Mcr_core.Policy.with_deadlines ~quiesce_ns:qdl
+                   ~update_ns:(Some 20_000_000_000) Mcr_core.Policy.default)
+              ~fault:(Fault.script plan)
               (Testbed.final_version server)
           in
           flights := report.Manager.flight :: !flights;

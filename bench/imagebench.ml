@@ -1,0 +1,263 @@
+(* The image experiment: persistent-checkpoint cost versus state size
+   across the four servers. Each cell loads a server with the paper
+   benchmark at a given scale, saves a checkpoint image to disk, reads it
+   back and restores it into a brand-new kernel, measuring:
+
+   - image_bytes: encoded on-disk size (sections + hashes + trailer)
+   - words / regions / procs: how much state the image carries
+   - save_quiesce_ns: virtual time the save spent reaching the quiescent
+     point (the only downtime a live save costs the server)
+   - restore_settle_ns: virtual time the fresh kernel spent launching and
+     settling before the instant install
+
+   Hard assertions (exit 1 on violation): the round-trip is lossless
+   (read-back fingerprint and re-encoded bytes identical) and the
+   restored instance answers the same benchmark with zero errors.
+
+   $MCR_IMAGE_JSON: write every cell as JSON (the committed
+   BENCH_image.json baseline is this file from a smoke run, and
+   [check ~against] re-measures every cell against it with a tolerance).
+
+   $MCR_IMAGE_DIR: keep the .mcrimg files in that directory (one per
+   cell) instead of deleting them — CI uploads these as artifacts. *)
+
+module K = Mcr_simos.Kernel
+module Manager = Mcr_core.Manager
+module Policy = Mcr_core.Policy
+module Image = Mcr_image.Image
+module Testbed = Mcr_workloads.Testbed
+module Bench_result = Mcr_workloads.Bench_result
+module Timetravel = Mcr_workloads.Timetravel
+module Json = Mcr_obs.Json
+
+let fms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
+
+type scenario = { server : Testbed.server; scale : int }
+
+let smoke_scenarios =
+  [
+    { server = Testbed.Nginx; scale = 4_000 };
+    { server = Testbed.Httpd; scale = 4_000 };
+  ]
+
+let full_scenarios =
+  List.concat_map
+    (fun server -> [ { server; scale = 4_000 }; { server; scale = 1_000 } ])
+    Testbed.all
+
+let label sc = Printf.sprintf "%s scale=%d" (Testbed.name sc.server) sc.scale
+
+type cell = {
+  image_bytes : int;
+  words : int;
+  regions : int;
+  procs : int;
+  save_quiesce_ns : int;
+  restore_settle_ns : int;
+}
+
+let fail sc fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.printf "!! %s: %s\n" (label sc) msg;
+      exit 1)
+    fmt
+
+let image_path sc =
+  let file =
+    Printf.sprintf "image_%s_s%d.mcrimg"
+      (String.map (fun c -> if c = ' ' then '-' else c) (Testbed.name sc.server))
+      sc.scale
+  in
+  match Sys.getenv_opt "MCR_IMAGE_DIR" with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      (Filename.concat dir file, false)
+  | None -> (Filename.concat (Filename.get_temp_dir_name ()) file, true)
+
+let measure sc =
+  let kernel = K.create () in
+  let m = Testbed.launch kernel sc.server in
+  ignore (Testbed.benchmark kernel sc.server ~scale:sc.scale ());
+  let path, ephemeral = image_path sc in
+  let t0 = K.clock_ns kernel in
+  let img =
+    match Manager.save_image m ~path with
+    | Ok img -> img
+    | Error e -> fail sc "save: %s" e
+  in
+  let save_quiesce_ns = K.clock_ns kernel - t0 in
+  let on_disk =
+    match Image.read ~path with
+    | Ok on_disk -> on_disk
+    | Error e -> fail sc "read back: %s" (Image.error_to_string e)
+  in
+  (* determinism: decode of the on-disk bytes re-encodes byte-identically *)
+  if Image.encode on_disk <> Image.encode img then
+    fail sc "file round-trip is not byte-identical";
+  if Image.fingerprint on_disk <> Image.fingerprint img then
+    fail sc "fingerprint lost in the file round-trip";
+  let k2, m2 =
+    match Timetravel.restore on_disk with
+    | Ok (k2, m2, _report) -> (k2, m2)
+    | Error e -> fail sc "restore: %s" e
+  in
+  let restore_settle_ns = K.clock_ns k2 in
+  let fp =
+    Image.aspace_fingerprint ~prog:(Image.prog on_disk)
+      (K.aspace (Manager.root_proc m2))
+  in
+  if fp <> Image.fingerprint on_disk then
+    fail sc "restored fingerprint %d differs from the image's %d" fp
+      (Image.fingerprint on_disk);
+  let r = Testbed.benchmark k2 sc.server ~scale:sc.scale () in
+  if r.Bench_result.errors <> 0 then
+    fail sc "restored instance answered %d request(s) with errors"
+      r.Bench_result.errors;
+  let image_bytes = String.length (Image.encode img) in
+  if ephemeral then Sys.remove path;
+  {
+    image_bytes;
+    words = Image.total_words img;
+    regions = Image.region_count img;
+    procs = Image.proc_count img;
+    save_quiesce_ns;
+    restore_settle_ns;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let cell_json sc c =
+  Printf.sprintf
+    "    {\"sweep\": \"image\", \"server\": %S, \"scale\": %d, \"image_bytes\": %d, \
+     \"words\": %d, \"regions\": %d, \"procs\": %d, \"save_quiesce_ns\": %d, \
+     \"restore_settle_ns\": %d}"
+    (Testbed.name sc.server) sc.scale c.image_bytes c.words c.regions c.procs
+    c.save_quiesce_ns c.restore_settle_ns
+
+let write_json path json =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_bin path in
+  output_string oc ("[\n" ^ String.concat ",\n" (List.rev !json) ^ "\n]\n");
+  close_out oc;
+  Printf.printf "image: wrote %s\n" path
+
+let run ?(smoke = false) () =
+  let scenarios = if smoke then smoke_scenarios else full_scenarios in
+  Printf.printf "\n== image%s: checkpoint save/restore cost vs state size ==\n"
+    (if smoke then " (smoke)" else "");
+  Printf.printf "%-14s %6s %10s %9s %8s %6s %10s %11s\n" "server" "scale" "bytes"
+    "words" "regions" "procs" "save(ms)" "settle(ms)";
+  let json = ref [] in
+  List.iter
+    (fun sc ->
+      let c = measure sc in
+      json := cell_json sc c :: !json;
+      Printf.printf "%-14s %6d %10d %9d %8d %6d %10s %11s\n" (Testbed.name sc.server)
+        sc.scale c.image_bytes c.words c.regions c.procs (fms c.save_quiesce_ns)
+        (fms c.restore_settle_ns))
+    scenarios;
+  (match Sys.getenv_opt "MCR_IMAGE_JSON" with
+  | Some path -> write_json path json
+  | None -> ());
+  Printf.printf
+    "\nimage: %d scenario(s) ok — every save round-tripped byte-identically and every \
+     restored instance served cleanly\n"
+    (List.length scenarios)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: re-run every cell of a committed baseline
+   (BENCH_image.json) and fail when the image grows, carries fewer
+   processes, or save/restore virtual time regresses past the
+   tolerance. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let server_of_name name = List.find_opt (fun s -> Testbed.name s = name) Testbed.all
+
+let scenario_of_cell cell =
+  let ( let* ) = Option.bind in
+  let* name = Json.str_field "server" cell in
+  let* server = server_of_name name in
+  let* scale = Json.int_field "scale" cell in
+  Some { server; scale }
+
+let check ~against ~tolerance_pct () =
+  let data =
+    match read_file against with
+    | data -> data
+    | exception Sys_error e ->
+        Printf.printf "image check: %s\n" e;
+        exit 2
+  in
+  let cells =
+    match Json.parse data with
+    | Error e ->
+        Printf.printf "image check: %s: %s\n" against e;
+        exit 2
+    | Ok j -> (
+        match Json.to_list j with
+        | Some l -> l
+        | None ->
+            Printf.printf "image check: %s: expected a JSON array of cells\n" against;
+            exit 2)
+  in
+  Printf.printf "\n== image check: %d cell(s) against %s (tolerance %d%%) ==\n"
+    (List.length cells) against tolerance_pct;
+  let regressions = ref 0 in
+  let checked = ref 0 in
+  let gate label ok detail =
+    incr checked;
+    if not ok then incr regressions;
+    Printf.printf "%-44s %s  %s\n" label (if ok then "ok" else "REGRESSED") detail
+  in
+  List.iter
+    (fun cell ->
+      match scenario_of_cell cell with
+      | None -> Printf.printf "image check: malformed cell, skipping\n"
+      | Some sc ->
+          let c = measure sc in
+          let name = label sc in
+          let grow baseline got what =
+            let budget = baseline + (baseline * tolerance_pct / 100) in
+            gate
+              (Printf.sprintf "%s %s" name what)
+              (got <= budget)
+              (Printf.sprintf "%d -> %d" baseline got)
+          in
+          (match Json.int_field "image_bytes" cell with
+          | Some b -> grow b c.image_bytes "image bytes"
+          | None -> ());
+          (match Json.int_field "procs" cell with
+          | Some b ->
+              gate (name ^ " procs") (c.procs >= b)
+                (Printf.sprintf "%d -> %d" b c.procs)
+          | None -> ());
+          (match Json.int_field "save_quiesce_ns" cell with
+          | Some b ->
+              let budget = b + (b * tolerance_pct / 100) in
+              gate (name ^ " save quiesce")
+                (c.save_quiesce_ns <= budget)
+                (Printf.sprintf "%s -> %s ms" (fms b) (fms c.save_quiesce_ns))
+          | None -> ());
+          match Json.int_field "restore_settle_ns" cell with
+          | Some b ->
+              let budget = b + (b * tolerance_pct / 100) in
+              gate (name ^ " restore settle")
+                (c.restore_settle_ns <= budget)
+                (Printf.sprintf "%s -> %s ms" (fms b) (fms c.restore_settle_ns))
+          | None -> ())
+    cells;
+  if !regressions > 0 then begin
+    Printf.printf "\nimage check: %d gate(s) regressed beyond %d%% of the baseline\n"
+      !regressions tolerance_pct;
+    exit 1
+  end;
+  Printf.printf "\nimage check: all %d gate(s) within %d%% of the baseline\n" !checked
+    tolerance_pct

@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- table3  # one experiment
    Experiments: table1 table2 table3 fig3 quiescence control-migration
                 update-time memory spec dirty-reduction ablation micro
-                fault-matrix downtime fleet (the last three accept
+                fault-matrix downtime fleet image (the last four accept
                 --smoke: reduced deterministic subset; downtime also
                 accepts --workers N,N,... for the transfer worker-pool
                 sweep)
@@ -39,6 +39,7 @@ let experiments =
     ("fault-matrix", fun () -> Faultbench.run ~smoke:!smoke ());
     ("downtime", fun () -> Downtime.run ~smoke:!smoke ~workers:!workers ());
     ("fleet", fun () -> Fleetbench.run ~smoke:!smoke ());
+    ("image", fun () -> Imagebench.run ~smoke:!smoke ());
   ]
 
 let usage () =
@@ -123,6 +124,7 @@ let () =
         (fun path ->
           match baseline_kind path with
           | Some "fleet" -> Fleetbench.check ~against:path ~tolerance_pct:!tolerance_pct ()
+          | Some "image" -> Imagebench.check ~against:path ~tolerance_pct:!tolerance_pct ()
           | _ -> Downtime.check ~against:path ~tolerance_pct:!tolerance_pct ())
         baselines
   | [] | [ "all" ] ->

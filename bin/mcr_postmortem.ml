@@ -6,14 +6,23 @@
    `FLEET EXPLAIN`) render as a wave timeline with per-instance verdicts
    and, when the rollout halted, the blocking canary's full narrative.
 
+   With --replay the argument is a persistent checkpoint image
+   [.mcrimg] instead: the image is restored into a fresh kernel, the
+   recorded update re-run offline, and the verdict compared against the
+   embedded flight record. Exit 0 when reproduced, 3 when the re-run
+   contradicts the record.
+
      dune exec bin/mcr_postmortem.exe -- bench-out/flight_nginx.json
      dune exec bin/mcr_postmortem.exe -- bench-out/fleet_nginx_n8_fault_halt.json
+     dune exec bin/mcr_postmortem.exe -- --replay images/nginx-update-1.mcrimg
      dune exec bin/mcr_postmortem.exe -- -    # read stdin *)
 
 module Flight = Mcr_obs.Flight
 module Fleet_flight = Mcr_obs.Fleet_flight
 module Json = Mcr_obs.Json
 module Postmortem = Mcr_obs.Postmortem
+module Image = Mcr_image.Image
+module Timetravel = Mcr_workloads.Timetravel
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -24,7 +33,33 @@ let read_all ic =
    with End_of_file -> ());
   Buffer.contents buf
 
-let run path =
+let run_replay path =
+  match Image.read ~path with
+  | Error e ->
+      Printf.eprintf "mcr-postmortem: %s: %s\n" path (Image.error_to_string e);
+      exit 2
+  | Ok img -> (
+      Printf.printf "replaying %s: %s %s -> %s\n%!" path (Image.prog img)
+        (Image.version_tag img)
+        (Option.value (Image.target_tag img) ~default:"?");
+      (* the embedded flight record, rendered first: the claim under test *)
+      (match Image.flight_json img with
+      | Some json -> (
+          match Flight.of_json json with
+          | Ok r -> print_string (Postmortem.render r)
+          | Error _ -> ())
+      | None -> ());
+      match Timetravel.replay img with
+      | Error e ->
+          Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
+          exit 2
+      | Ok v ->
+          Format.printf "%a@." Timetravel.pp_verdict v;
+          if not v.Timetravel.v_reproduced then exit 3)
+
+let run replay path =
+  if replay then run_replay path
+  else
   let data =
     if path = "-" then read_all stdin
     else begin
@@ -60,12 +95,24 @@ let file =
   Arg.(
     value
     & pos 0 string "-"
-    & info [] ~docv:"FILE" ~doc:"Flight-record JSON file ($(b,-) for stdin).")
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Flight-record JSON file ($(b,-) for stdin), or a checkpoint image with \
+           $(b,--replay).")
+
+let replay =
+  Arg.(
+    value & flag
+    & info [ "replay" ]
+        ~doc:
+          "Treat $(docv) as a persistent checkpoint image: restore it into a fresh \
+           kernel, re-run the recorded update offline and check the verdict against \
+           the embedded flight record (exit 3 if not reproduced).")
 
 let cmd =
   Cmd.v
     (Cmd.info "mcr-postmortem"
        ~doc:"Render MCR update flight records as a post-mortem report")
-    Term.(const run $ file)
+    Term.(const run $ replay $ file)
 
 let () = exit (Cmd.eval cmd)

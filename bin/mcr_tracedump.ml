@@ -51,7 +51,10 @@ let run server requests conns out format =
     (Manager.version m).Mcr_program.Progdef.version_tag
     (Testbed.final_version server).Mcr_program.Progdef.version_tag;
   let reply = ref None in
-  Ctl.request_update kernel ~path:(Manager.ctl_path m) ~on_reply:(fun x -> reply := Some x);
+  Ctl.exec kernel ~path:(Manager.ctl_path m) Ctl.Update
+    ~on_result:(fun r ->
+      reply := Some (match r with Ok "" -> "OK" | Ok p -> p | Error e -> Format.asprintf "%a" Ctl.pp_error e))
+    ();
   ignore
     (K.run_until kernel
        ~max_ns:(K.clock_ns kernel + 10_000_000_000)

@@ -382,6 +382,46 @@ let rebind (t : t) aspace =
   fresh
 
 
+let refresh (t : t) =
+  Hashtbl.reset t.by_payload;
+  let rec walk header =
+    if header < t.limit then begin
+      let flags, payload_words = unpack (Aspace.read_word t.aspace header) in
+      if flags land flag_allocated <> 0 then begin
+        let hdr = header_words_of_flags flags in
+        Hashtbl.replace t.by_payload (Addr.add_words header hdr) header
+      end;
+      walk (Addr.add_words header (header_words_of_flags flags + payload_words))
+    end
+  in
+  walk t.base
+
+(* Like [of_region] but over memory that already holds a valid block
+   tiling — attaching writes no headers, it only rebuilds the cache.
+   Attached heaps come up past startup (checkpoint images are only taken
+   after the first quiescent point). *)
+let attach aspace ~base ~size ~instrumented =
+  let t =
+    {
+      aspace;
+      base;
+      limit = Addr.add base size;
+      instrumented;
+      by_payload = Hashtbl.create 256;
+      defer = false;
+      startup_phase = false;
+      quarantine = [];
+      stats = { allocs = 0; frees = 0; tag_words = 0 };
+    }
+  in
+  refresh t;
+  t
+
+let restore_stats (t : t) ~allocs ~frees ~tag_words =
+  t.stats.allocs <- allocs;
+  t.stats.frees <- frees;
+  t.stats.tag_words <- tag_words
+
 let validate (t : t) =
   let rec walk header live_payloads =
     if header = t.limit then Ok live_payloads

@@ -127,6 +127,24 @@ val metadata_words : t -> int
 (** Header words currently consumed by live blocks — the in-band metadata
     footprint for memory accounting. *)
 
+val attach : Mcr_vmem.Aspace.t -> base:Mcr_vmem.Addr.t -> size:int -> instrumented:bool -> t
+(** Adopt an extent that {e already} holds a valid block tiling (e.g. just
+    re-installed from a checkpoint image): no headers are written, the
+    payload cache is rebuilt from the in-band state, and the heap comes up
+    past its startup phase. Contrast {!of_region}, which formats the extent
+    as one free block. *)
+
+val refresh : t -> unit
+(** Rebuild the payload cache in place by walking the in-band headers —
+    the allocator's authoritative state. Call after a checkpoint-image
+    restore overwrites the heap region's contents underneath this
+    descriptor ({!rebind} is the same walk for a {e different} address
+    space). *)
+
+val restore_stats : t -> allocs:int -> frees:int -> tag_words:int -> unit
+(** Overwrite the accounting counters with values saved in a checkpoint
+    image, so restored instances report continuous allocator statistics. *)
+
 val validate : t -> (unit, string) result
 (** Walk the whole heap checking structural invariants: headers carry the
     magic, blocks tile the region exactly, and every cached payload is a

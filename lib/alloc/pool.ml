@@ -139,6 +139,78 @@ let iter_objects t f =
 
 let children t = t.kids
 
+type chunk_state = {
+  cs_base : Addr.t;
+  cs_words : int;
+  cs_bump : int;
+  cs_micro : bool;
+}
+
+type state = {
+  st_name : string;
+  st_instrument : bool;
+  st_chunk_words : int;
+  st_pallocs : int;
+  st_tag_words : int;
+  st_chunks_grabbed : int;
+  st_chunks : chunk_state list;  (* newest first, like [chunks] *)
+  st_kids : state list;
+}
+
+let rec export_state t =
+  {
+    st_name = t.name;
+    st_instrument = t.instrument;
+    st_chunk_words = t.chunk_words;
+    st_pallocs = t.stats.pallocs;
+    st_tag_words = t.stats.tag_words;
+    st_chunks_grabbed = t.stats.chunks_grabbed;
+    st_chunks =
+      List.map
+        (fun c ->
+          { cs_base = c.base; cs_words = c.words; cs_bump = c.bump; cs_micro = c.micro <> None })
+        t.chunks;
+    st_kids = List.map export_state t.kids;
+  }
+
+(* Restoring must not touch the backing heap: the chunk blocks named in the
+   state already exist in the (re-installed) in-band heap structure, so we
+   only rebuild the OCaml-side view over them. Micro heaps are [Heap.attach]ed
+   over the restored in-band tags. *)
+let rec restore_state t st =
+  let aspace = Heap.aspace t.heap in
+  let chunk_of_state cs =
+    let micro =
+      if cs.cs_micro then
+        Some (Heap.attach aspace ~base:cs.cs_base ~size:(cs.cs_words * Addr.word_size) ~instrumented:true)
+      else None
+    in
+    { base = cs.cs_base; words = cs.cs_words; micro; bump = cs.cs_bump }
+  in
+  t.stats.pallocs <- st.st_pallocs;
+  t.stats.tag_words <- st.st_tag_words;
+  t.stats.chunks_grabbed <- st.st_chunks_grabbed;
+  t.chunks <- List.map chunk_of_state st.st_chunks;
+  t.alive <- true;
+  t.kids <-
+    List.map
+      (fun kst ->
+        let kid =
+          {
+            heap = t.heap;
+            name = kst.st_name;
+            instrument = kst.st_instrument;
+            chunk_words = kst.st_chunk_words;
+            chunks = [];
+            kids = [];
+            alive = true;
+            stats = { pallocs = 0; tag_words = 0; chunks_grabbed = 0 };
+          }
+        in
+        restore_state kid kst;
+        kid)
+      st.st_kids
+
 let rec rebind t heap =
   let rebind_chunk c =
     { c with micro = Option.map (fun m -> Heap.rebind m (Heap.aspace heap)) c.micro }

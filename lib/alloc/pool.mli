@@ -57,3 +57,36 @@ val rebind : t -> Heap.t -> t
 (** The forked child's view of this pool: same chunk addresses over the
     child's rebound backing heap. Child pools are rebound recursively; the
     result is detached from the original's parent. *)
+
+(** {2 Checkpoint state} *)
+
+type chunk_state = {
+  cs_base : Mcr_vmem.Addr.t;
+  cs_words : int;
+  cs_bump : int;
+  cs_micro : bool;  (** Whether the chunk carries in-band tags. *)
+}
+
+type state = {
+  st_name : string;
+  st_instrument : bool;
+  st_chunk_words : int;
+  st_pallocs : int;
+  st_tag_words : int;
+  st_chunks_grabbed : int;
+  st_chunks : chunk_state list;
+  st_kids : state list;
+}
+
+val export_state : t -> state
+(** Serializable snapshot of the pool tree's OCaml-side view (chunk
+    extents, bump cursors, stats, children) for the checkpoint image. The
+    in-band tags of instrumented chunks live in pool memory and travel
+    with the page contents. *)
+
+val restore_state : t -> state -> unit
+(** Replace the pool's OCaml-side view with a saved snapshot, after the
+    backing memory has been re-installed. Never allocates from or frees to
+    the backing heap — the chunk blocks named in the snapshot are already
+    present in the restored in-band heap structure. Micro heaps are
+    re-attached over the restored tags; children are rebuilt recursively. *)

@@ -74,3 +74,22 @@ let live_slots t = t.live
 let chunk_extents t = List.map (fun base -> (base, t.slot_words * t.slots_per_chunk)) t.chunks
 
 let rebind t heap = { t with heap }
+
+type state = {
+  ss_slot_words : int;
+  ss_chunks : Addr.t list;  (* newest first, like [chunks] *)
+  ss_free_head : Addr.t;
+  ss_live : int;
+}
+
+let export_state t =
+  { ss_slot_words = t.slot_words; ss_chunks = t.chunks; ss_free_head = t.free_head; ss_live = t.live }
+
+let restore_state t st =
+  if st.ss_slot_words <> t.slot_words then
+    invalid_arg
+      (Printf.sprintf "Slab.restore_state: slab %s has %d-word slots, image has %d" t.name
+         t.slot_words st.ss_slot_words);
+  t.chunks <- st.ss_chunks;
+  t.free_head <- st.ss_free_head;
+  t.live <- st.ss_live

@@ -33,3 +33,24 @@ val slot_base : t -> Mcr_vmem.Addr.t -> Mcr_vmem.Addr.t option
 
 val rebind : t -> Heap.t -> t
 (** The forked child's view of this slab over the child's rebound heap. *)
+
+(** {2 Checkpoint state} *)
+
+type state = {
+  ss_slot_words : int;
+  ss_chunks : Mcr_vmem.Addr.t list;
+  ss_free_head : Mcr_vmem.Addr.t;
+  ss_live : int;
+}
+
+val export_state : t -> state
+(** Serializable snapshot of the slab's OCaml-side view. The free-list
+    links themselves live in slot memory and travel with the page
+    contents; only the list head, chunk extents and live count need
+    exporting. *)
+
+val restore_state : t -> state -> unit
+(** Replace the slab's OCaml-side view with a saved snapshot after the
+    backing memory has been re-installed. Never touches the backing heap.
+    @raise Invalid_argument when the image's slot size disagrees with the
+    live slab (a config mismatch the caller should have rejected). *)

@@ -66,6 +66,57 @@ val hello :
 (** Bare version handshake: [Ok server_version_string] when the server
     accepts our version, [Error (Version_mismatch _)] otherwise. *)
 
+(** {1 Typed commands}
+
+    Every control-socket command as a variant. {!command_to_string} is the
+    single wire encoder (its output is the protocol documented in
+    doc/OBSERVABILITY.md); {!exec} sends one command over the versioned
+    framing. The [request_*] helpers below are thin wrappers kept for
+    existing callers — new code should build a {!command}. *)
+
+type command =
+  | Update  (** Perform a live update; replies when it commits or rolls back. *)
+  | Stats  (** Rendered metrics snapshot; never waits on an update. *)
+  | Explain of int option
+      (** Flight record as JSON ([None] = newest, [Some n] with [n] = 1 the
+          newest). *)
+  | Deadlines of { quiesce_ns : int option; update_ns : int option }
+      (** Set ([None] clears) the lineage's default deadlines. *)
+  | Retry of { retries : int; backoff_ns : int }
+  | Fault_arm of int option
+      (** Arm a seeded fault plan for subsequent updates; [None] disarms. *)
+  | Precopy of { enabled : bool; max_rounds : int option; threshold_words : int option }
+  | Workers of int  (** Transfer worker-pool size. *)
+  | Remap of bool  (** Zero-copy page remap on/off. *)
+  | Slo of { downtime_ns : int option; total_ns : int option }
+  | Save of string
+      (** Write a persistent checkpoint image of the running program to the
+          given {e host} path; replies [OK <fingerprint>]. *)
+  | Restore of string
+      (** Install the image at the given host path over the running
+          program in place; replies
+          [OK paired=<n> skipped=<n> unmatched=<n> fingerprint=<f>]. *)
+  | Raw of string
+      (** Escape hatch: send the string verbatim (e.g. a [FLEET ...]
+          command on an orchestrator socket). *)
+
+val command_to_string : command -> string
+(** The wire spelling — the single encoder both {!exec} and the legacy
+    helpers share. *)
+
+val exec :
+  Mcr_simos.Kernel.t ->
+  ?version:int ->
+  path:string ->
+  command ->
+  on_result:((string, error) result -> unit) ->
+  unit ->
+  unit
+(** Send one typed command over the versioned protocol
+    ({!request_v} of {!command_to_string}). Drive the kernel afterwards. *)
+
+(** {1 Legacy helpers} *)
+
 val request_update :
   Mcr_simos.Kernel.t -> path:string -> on_reply:(string -> unit) -> unit
 (** Spawn the client. Drive the kernel afterwards; [on_reply] fires with

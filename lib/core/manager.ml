@@ -18,6 +18,7 @@ module Metrics = Mcr_obs.Metrics
 module Flight = Mcr_obs.Flight
 module Fault = Mcr_fault.Fault
 module Err = Mcr_error
+module Image = Mcr_image.Image
 
 let reserved_fd_base = 1000
 let protocol_version = Frame.protocol_version
@@ -290,6 +291,51 @@ let policy_command policy cmd =
     end
   | _ -> None
 
+(* SAVE/RESTORE serve persistent checkpoint images over the control
+   socket. Dispatch runs on the controller thread of the cooperative
+   scheduler, so the capture instant is atomic by construction: no other
+   simulated thread can interleave a write between two captured words.
+   The image file itself lives on the host filesystem — it must survive
+   kernel teardown. *)
+let checkpoint_command ~live ~policy cmd =
+  let words =
+    String.split_on_char ' ' (String.trim cmd) |> List.filter (fun s -> s <> "")
+  in
+  match words with
+  | "SAVE" :: rest -> (
+      match rest with
+      | [ path ] -> (
+          match live () with
+          | [] -> Some (Error "program not running")
+          | members -> (
+              let kernel = (List.hd members).P.i_kernel in
+              match
+                Image.save kernel ~path ~members
+                  ~policy_text:(Policy.to_kv !policy) ()
+              with
+              | Ok img -> Some (Ok (string_of_int (Image.fingerprint img)))
+              | Error e -> Some (Error (Image.error_to_string e))))
+      | _ -> Some (Error "usage: SAVE <path>"))
+  | "RESTORE" :: rest -> (
+      match rest with
+      | [ path ] -> (
+          match Image.read ~path with
+          | Error e -> Some (Error (Image.error_to_string e))
+          | Ok img -> (
+              match live () with
+              | [] -> Some (Error "program not running")
+              | members -> (
+                  match Image.install img ~members with
+                  | Ok r ->
+                      Some
+                        (Ok
+                           (Printf.sprintf "paired=%d skipped=%d unmatched=%d fingerprint=%d"
+                              r.Image.paired_procs r.Image.skipped_saved_procs
+                              r.Image.unmatched_live_procs (Image.fingerprint img)))
+                  | Error e -> Some (Error (Image.error_to_string e)))))
+      | _ -> Some (Error "usage: RESTORE <path>"))
+  | _ -> None
+
 (* EXPLAIN serves the flight-recorder ring: 1 is the newest record. *)
 let explain_nth flight_log n =
   match List.nth_opt !flight_log (n - 1) with
@@ -299,7 +345,8 @@ let explain_nth flight_log n =
         (if !flight_log = [] then "no flight records"
          else Printf.sprintf "no flight record %d" n)
 
-let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~explain ~policy =
+let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~explain ~policy
+    ~checkpoint =
   let dispatch ~versioned cmd =
     let has_prefix p =
       String.length cmd >= String.length p && String.sub cmd 0 (String.length p) = p
@@ -331,9 +378,13 @@ let spawn_ctl kernel proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem ~stats ~ex
           | Error e -> if versioned then Frame.err e else "ERR")
     end
     else begin
-      match policy_command policy cmd with
-      | Some r -> r
-      | None -> if versioned then "ERR unknown command" else "ERR"
+      match checkpoint cmd with
+      | Some (Ok v) -> if versioned then Frame.ok_inline v else "OK"
+      | Some (Error e) -> if versioned then Frame.err e else "ERR"
+      | None -> (
+          match policy_command policy cmd with
+          | Some r -> r
+          | None -> if versioned then "ERR unknown command" else "ERR")
     end
   in
   Ctl_server.spawn kernel proc ~path:ctl_path ~dispatch ()
@@ -358,7 +409,8 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
   (* Ctl_server.spawn unlinks a stale socket name before binding *)
   spawn_ctl kernel root_proc ~ctl_path ~ctl_pending ~ctl_result ~ctl_sem
     ~stats:(stats_text ~metrics ~mset ~live)
-    ~explain:(explain_nth flight_log) ~policy;
+    ~explain:(explain_nth flight_log) ~policy
+    ~checkpoint:(checkpoint_command ~live ~policy);
   {
     kernel;
     instr;
@@ -379,8 +431,7 @@ let make_manager kernel instr prog_version root_proc root_image members log_sour
     flight_seq;
   }
 
-let launch kernel ?(instr = Instr.full) ?profiler ?trace ?policy ?quiesce_deadline_ns
-    ?update_deadline_ns ?retries ?retry_backoff_ns prog_version =
+let launch kernel ?(instr = Instr.full) ?profiler ?trace ?policy prog_version =
   let members = ref [] in
   let image_slot = ref None in
   let proc =
@@ -392,26 +443,7 @@ let launch kernel ?(instr = Instr.full) ?profiler ?trace ?policy ?quiesce_deadli
     match !image_slot with Some i -> i | None -> invalid_arg "Manager.launch: no image"
   in
   let recorder = Record.start kernel image in
-  (* deprecated per-label overrides beat the consolidated record *)
   let base = Option.value policy ~default:Policy.default in
-  let base =
-    match quiesce_deadline_ns with
-    | Some _ as q -> Policy.with_quiesce_deadline_ns q base
-    | None -> base
-  in
-  let base =
-    match update_deadline_ns with
-    | Some _ as u -> Policy.with_update_deadline_ns u base
-    | None -> base
-  in
-  let base =
-    match retries with Some n -> Policy.with_retries n base | None -> base
-  in
-  let base =
-    match retry_backoff_ns with
-    | Some b -> { base with Policy.retry_backoff_ns = b }
-    | None -> base
-  in
   make_manager kernel instr prog_version proc image members (Recorder recorder) ~trace
     ~metrics:(Metrics.create ()) ~policy:(ref base)
 
@@ -441,6 +473,44 @@ let quiesce_only t =
   let elapsed = K.clock_ns t.kernel - t0 in
   release_all t;
   if ok then Some elapsed else None
+
+(* ------------------------------------------------------------------ *)
+(* Persistent checkpoint images (host-side API; the ctl spellings are
+   SAVE/RESTORE, handled by [checkpoint_command]) *)
+
+let with_quiesced t f =
+  if images t = [] then Error "program not running"
+  else begin
+    let t0 = K.clock_ns t.kernel in
+    request_all t;
+    let ok =
+      K.run_until t.kernel ~max_ns:(t0 + 5_000_000_000) (fun () -> all_quiesced t)
+    in
+    if not ok then begin
+      release_all t;
+      Error (Err.to_string Err.Quiescence_did_not_converge)
+    end
+    else begin
+      let r = f () in
+      release_all t;
+      r
+    end
+  end
+
+let save_image t ~path =
+  with_quiesced t (fun () ->
+      match
+        Image.save t.kernel ~path ~members:(images t)
+          ~policy_text:(Policy.to_kv !(t.policy)) ()
+      with
+      | Ok img -> Ok img
+      | Error e -> Error (Image.error_to_string e))
+
+let restore_image t img =
+  with_quiesced t (fun () ->
+      match Image.install img ~members:(images t) with
+      | Ok rep -> Ok rep
+      | Error e -> Error (Image.error_to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Read-only measurement hooks *)
@@ -590,6 +660,12 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
      downtime_ns is a real cross-check (property-tested to hold exactly on
      every pipeline path), not an identity. Recording itself never touches
      the clock. ---- *)
+  (* persistent checkpoint image of the old version, snapped at its
+     quiescent point when the policy asks for one; the flight record is
+     attached and the file written once the attempt completes, success or
+     rollback (a rolled-back attempt's image is exactly what
+     [mcr-postmortem --replay] feeds on) *)
+  let captured_image = ref None in
   let fb_quiesce = ref 0 in
   let fb_restart = ref 0 in
   let fb_trace = ref 0 in
@@ -691,6 +767,20 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
     in
     let kept = List.filteri (fun i _ -> i < 31) !(t.flight_log) in
     t.flight_log := record :: kept;
+    (match (pol.Policy.image_dir, !captured_image) with
+    | Some dir, Some img -> (
+        let img = Image.with_flight_json img (Flight.to_json record) in
+        let sanitize c =
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c | _ -> '-'
+        in
+        let base = String.map sanitize t.prog_version.P.prog in
+        let path = Filename.concat dir (Printf.sprintf "%s-update-%d.mcrimg" base seq) in
+        match Image.write img ~path with
+        | Ok () -> Trace.instant tr ~pid:mpid ~cat:"stage" ~args:[ ("path", path) ] "image.write"
+        | Error e ->
+            Logs.warn (fun m ->
+                m "checkpoint image write to %s failed: %s" path (Image.error_to_string e)))
+    | _ -> ());
     record
   in
   Metrics.incr t.mset.m_updates;
@@ -766,7 +856,12 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
       "quiesce";
     if quiesce_ok then begin
       quiesce_ns := K.clock_ns k - wstart;
-      Metrics.observe t.mset.m_quiesce_h !quiesce_ns
+      Metrics.observe t.mset.m_quiesce_h !quiesce_ns;
+      if pol.Policy.image_dir <> None then
+        captured_image :=
+          Some
+            (Image.capture k ~members:(images t) ~policy_text:(Policy.to_kv pol)
+               ~target_tag:new_version.P.version_tag ())
     end;
     (* attribution: all in-window time so far is quiescence wait, converged
        or not *)
@@ -887,7 +982,8 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
     spawn_ctl k new_proc ~ctl_path:t.ctl_path ~ctl_pending:new_ctl_pending
       ~ctl_result:new_ctl_result ~ctl_sem:new_ctl_sem
       ~stats:(stats_text ~metrics:t.metrics ~mset:t.mset ~live:live_new)
-      ~explain:(explain_nth t.flight_log) ~policy:t.policy;
+      ~explain:(explain_nth t.flight_log) ~policy:t.policy
+      ~checkpoint:(checkpoint_command ~live:live_new ~policy:t.policy);
     let new_quiesced () =
       match live_new () with
       | [] -> false
@@ -1374,33 +1470,12 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
   end
 
 (* Public entry point: resolve the effective policy (manager's stored
-   policy, then the [?policy] override, then the deprecated per-label
-   overrides), then run [update_once] with bounded retry. The fault plan is
-   shared across attempts — a fault consumed by attempt [n] is gone on
-   attempt [n+1], so transient injected failures are exactly the ones retry
-   recovers from. *)
-let update t ?policy ?dirty_only ?quiesce_deadline_ns ?update_deadline_ns ?retries
-    ?retry_backoff_ns ?fault ?on_precopy_round new_version =
+   policy, overridden for this call by [?policy]), then run [update_once]
+   with bounded retry. The fault plan is shared across attempts — a fault
+   consumed by attempt [n] is gone on attempt [n+1], so transient injected
+   failures are exactly the ones retry recovers from. *)
+let update t ?policy ?fault ?on_precopy_round new_version =
   let pol = match policy with Some p -> p | None -> !(t.policy) in
-  let pol =
-    match dirty_only with Some d -> Policy.with_dirty_only d pol | None -> pol
-  in
-  let pol =
-    match quiesce_deadline_ns with
-    | Some _ as q -> Policy.with_quiesce_deadline_ns q pol
-    | None -> pol
-  in
-  let pol =
-    match update_deadline_ns with
-    | Some _ as u -> Policy.with_update_deadline_ns u pol
-    | None -> pol
-  in
-  let pol = match retries with Some n -> Policy.with_retries n pol | None -> pol in
-  let pol =
-    match retry_backoff_ns with
-    | Some b -> { pol with Policy.retry_backoff_ns = b }
-    | None -> pol
-  in
   let fault =
     match fault with
     | Some _ as s -> s

@@ -57,10 +57,6 @@ val launch :
   ?profiler:Mcr_quiesce.Profiler.t ->
   ?trace:Mcr_obs.Trace.t ->
   ?policy:Policy.t ->
-  ?quiesce_deadline_ns:int ->
-  ?update_deadline_ns:int ->
-  ?retries:int ->
-  ?retry_backoff_ns:int ->
   Mcr_program.Progdef.version ->
   t
 (** Launch an MCR-enabled program: loads the version, starts startup-log
@@ -73,13 +69,10 @@ val launch :
     [?policy] sets the manager's update policy ({!Policy.t}, default
     {!Policy.default}); it is shared across the manager lineage and can be
     changed at runtime over the control socket ([DEADLINES], [RETRY],
-    [FAULT], [PRECOPY] — see {!Ctl}).
-
-    [?quiesce_deadline_ns], [?update_deadline_ns], [?retries] and
-    [?retry_backoff_ns] are {b deprecated} per-field shims: when given they
-    override the corresponding [?policy] field. New code should build a
-    {!Policy.t} instead. If a stale control-socket file is left at
-    [ctl_path] by an earlier unclean exit, it is unlinked before binding. *)
+    [FAULT], [PRECOPY] — see {!Ctl}). It is the only spelling: the record
+    with its builders replaced the per-field optional arguments. If a
+    stale control-socket file is left at [ctl_path] by an earlier unclean
+    exit, it is unlinked before binding. *)
 
 val kernel : t -> Mcr_simos.Kernel.t
 val root_proc : t -> Mcr_simos.Kernel.proc
@@ -161,11 +154,6 @@ type report = {
 val update :
   t ->
   ?policy:Policy.t ->
-  ?dirty_only:bool ->
-  ?quiesce_deadline_ns:int ->
-  ?update_deadline_ns:int ->
-  ?retries:int ->
-  ?retry_backoff_ns:int ->
   ?fault:Mcr_fault.Fault.t ->
   ?on_precopy_round:(int -> unit) ->
   Mcr_program.Progdef.version ->
@@ -177,10 +165,17 @@ val update :
     with a report, touching nothing.
 
     {b Policy.} [?policy] overrides the manager's stored policy for this
-    call only. [?dirty_only], [?quiesce_deadline_ns],
-    [?update_deadline_ns], [?retries] and [?retry_backoff_ns] are
-    {b deprecated} per-field shims that override the corresponding field on
-    top of that. With no overrides the manager's stored policy applies.
+    call only; with no override the stored policy applies. Per-field
+    tweaks are spelled with the {!Policy} builders
+    ([Policy.with_dirty_only false (Manager.policy t)] and friends).
+
+    {b Checkpoint images.} When the effective policy carries
+    {!Policy.t.image_dir}, the attempt snapshots a persistent checkpoint
+    image ({!Mcr_image.Image}) of the old version at its quiescent point
+    and writes it to [<dir>/<prog>-update-<seq>.mcrimg] with the
+    attempt's flight record attached — on success {e and} on rollback
+    (a rolled-back attempt's image is the input to
+    [mcr-postmortem --replay]).
 
     {b Deadlines.} [quiesce_deadline_ns] bounds the checkpoint stage;
     blowing it rolls back with {!Mcr_error.Quiescence_deadline_exceeded}.
@@ -206,6 +201,24 @@ val update :
     described above; [?on_precopy_round] is invoked after each round's
     speculative cost has elapsed (tests use it to mutate the still-serving
     old version deterministically between rounds). *)
+
+(** {1 Persistent checkpoint images}
+
+    Host-side spellings of the control-socket [SAVE <path>] /
+    [RESTORE <path>] commands (see {!Ctl.command}): quiesce the program,
+    capture or install a {!Mcr_image.Image}, release. *)
+
+val save_image : t -> path:string -> (Mcr_image.Image.t, string) result
+(** Quiesce, snapshot a persistent checkpoint image with the manager's
+    current policy embedded, write it to [path] on the {e host}
+    filesystem, release. *)
+
+val restore_image :
+  t -> Mcr_image.Image.t -> (Mcr_image.Image.install_report, string) result
+(** Quiesce, install the image in place over the manager's live processes
+    (same program and version required; see {!Mcr_image.Image.install}),
+    release. The program resumes serving with the image's exact memory,
+    dirty-tracking and allocator state. *)
 
 (** {1 Measurement hooks} *)
 

@@ -12,6 +12,7 @@ type t = {
   transfer_remap : bool;
   slo_downtime_ns : int option;
   slo_total_ns : int option;
+  image_dir : string option;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     transfer_remap = false;
     slo_downtime_ns = None;
     slo_total_ns = None;
+    image_dir = None;
   }
 
 let with_quiesce_deadline_ns q t = { t with quiesce_deadline_ns = q }
@@ -69,6 +71,77 @@ let with_slo ~downtime_ns ~total_ns t =
   | _ -> ());
   { t with slo_downtime_ns = downtime_ns; slo_total_ns = total_ns }
 
+let with_image_dir d t = { t with image_dir = d }
+
+(* Key=value rendering embedded in checkpoint images (section POLI) so an
+   offline replay can re-run an update under the exact policy that
+   produced it. Only scalar fields round-trip; [image_dir] deliberately
+   does not (a replayed update must not re-snapshot images). *)
+let to_kv t =
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  String.concat " "
+    [
+      "quiesce_deadline_ns=" ^ opt t.quiesce_deadline_ns;
+      "update_deadline_ns=" ^ opt t.update_deadline_ns;
+      "retries=" ^ string_of_int t.retries;
+      "retry_backoff_ns=" ^ string_of_int t.retry_backoff_ns;
+      "fault_seed=" ^ opt t.fault_seed;
+      "dirty_only=" ^ string_of_bool t.dirty_only;
+      "precopy=" ^ string_of_bool t.precopy;
+      "precopy_max_rounds=" ^ string_of_int t.precopy_max_rounds;
+      "precopy_threshold_words=" ^ string_of_int t.precopy_threshold_words;
+      "transfer_workers=" ^ string_of_int t.transfer_workers;
+      "transfer_remap=" ^ string_of_bool t.transfer_remap;
+      "slo_downtime_ns=" ^ opt t.slo_downtime_ns;
+      "slo_total_ns=" ^ opt t.slo_total_ns;
+    ]
+
+let of_string_exn p v =
+  match p with
+  | `Int -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "Policy.of_kv: %S is not an integer" v))
+  | `Bool -> (
+      match bool_of_string_opt v with
+      | Some b -> if b then 1 else 0
+      | None -> failwith (Printf.sprintf "Policy.of_kv: %S is not a boolean" v))
+
+let of_kv s =
+  let fields =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | None -> None
+        | Some i ->
+            Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)))
+      (String.split_on_char ' ' s)
+  in
+  try
+    let get k = List.assoc_opt k fields in
+    let opt k p =
+      match get k with None | Some "-" -> None | Some v -> Some (of_string_exn p v)
+    and scalar k p d = match get k with None -> d | Some v -> of_string_exn p v in
+    Ok
+      {
+        quiesce_deadline_ns = opt "quiesce_deadline_ns" `Int;
+        update_deadline_ns = opt "update_deadline_ns" `Int;
+        retries = scalar "retries" `Int default.retries;
+        retry_backoff_ns = scalar "retry_backoff_ns" `Int default.retry_backoff_ns;
+        fault_seed = opt "fault_seed" `Int;
+        dirty_only = scalar "dirty_only" `Bool (if default.dirty_only then 1 else 0) <> 0;
+        precopy = scalar "precopy" `Bool (if default.precopy then 1 else 0) <> 0;
+        precopy_max_rounds = scalar "precopy_max_rounds" `Int default.precopy_max_rounds;
+        precopy_threshold_words =
+          scalar "precopy_threshold_words" `Int default.precopy_threshold_words;
+        transfer_workers = scalar "transfer_workers" `Int default.transfer_workers;
+        transfer_remap = scalar "transfer_remap" `Bool (if default.transfer_remap then 1 else 0) <> 0;
+        slo_downtime_ns = opt "slo_downtime_ns" `Int;
+        slo_total_ns = opt "slo_total_ns" `Int;
+        image_dir = None;
+      }
+  with Stdlib.Failure msg -> Error msg
+
 let pp ppf t =
   let opt ppf = function
     | None -> Format.pp_print_string ppf "-"
@@ -77,7 +150,8 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<hov>quiesce_deadline_ns=%a update_deadline_ns=%a retries=%d retry_backoff_ns=%d \
      fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d \
-     transfer_workers=%d transfer_remap=%b slo_downtime_ns=%a slo_total_ns=%a@]"
+     transfer_workers=%d transfer_remap=%b slo_downtime_ns=%a slo_total_ns=%a image_dir=%s@]"
     opt t.quiesce_deadline_ns opt t.update_deadline_ns t.retries t.retry_backoff_ns opt
     t.fault_seed t.dirty_only t.precopy t.precopy_max_rounds t.precopy_threshold_words
     t.transfer_workers t.transfer_remap opt t.slo_downtime_ns opt t.slo_total_ns
+    (Option.value t.image_dir ~default:"-")

@@ -1,10 +1,10 @@
 (** Consolidated update policy.
 
-    Everything that used to be a separate optional argument on
-    {!Manager.launch}/{!Manager.update} — deadlines, retry, fault seed,
-    dirty-only filtering — plus the pre-copy knobs, in one immutable record
-    with builder functions. Pass it once via [?policy]; the old labels
-    remain as deprecated shims. *)
+    Every knob governing {!Manager.launch}/{!Manager.update} — deadlines,
+    retry, fault seed, dirty-only filtering, pre-copy, worker pool, page
+    remap, SLO budgets, checkpoint imaging — in one immutable record with
+    builder functions, passed once via [?policy]. This record is the only
+    spelling: there are no per-field optional arguments. *)
 
 type t = {
   quiesce_deadline_ns : int option;
@@ -55,6 +55,12 @@ type t = {
   slo_total_ns : int option;
       (** Per-update end-to-end duration budget, same semantics (default
           none). *)
+  image_dir : string option;
+      (** When set, every update snapshots a persistent checkpoint image of
+          the old version at its quiescent point and writes it (with the
+          attempt's flight record attached) into this {e host} directory
+          once the attempt completes — the input to crash recovery,
+          migration and [mcr-postmortem --replay] (default none). *)
 }
 
 val default : t
@@ -80,5 +86,19 @@ val with_transfer_remap : bool -> t -> t
 val with_slo : downtime_ns:int option -> total_ns:int option -> t -> t
 (** Set (or clear, with [None]) the SLO budgets.
     @raise Invalid_argument if a budget is not positive. *)
+
+val with_image_dir : string option -> t -> t
+(** Set (or clear) the host directory update-time checkpoint images are
+    written into. *)
+
+val to_kv : t -> string
+(** Render the scalar fields as a [key=value ...] line — the form embedded
+    in checkpoint images so an offline replay can reconstruct the exact
+    policy. [image_dir] deliberately does not round-trip (a replayed
+    update must not re-snapshot images). *)
+
+val of_kv : string -> (t, string) result
+(** Parse {!to_kv} output. Unknown keys are ignored and missing keys take
+    their defaults, so policies written by older builds keep parsing. *)
 
 val pp : Format.formatter -> t -> unit

@@ -14,9 +14,7 @@ module Ctl_server = Mcr_core.Ctl_server
 module Metrics = Mcr_obs.Metrics
 module Fleet_flight = Mcr_obs.Fleet_flight
 module Aspace = Mcr_vmem.Aspace
-module Addr = Mcr_vmem.Addr
-module Region = Mcr_vmem.Region
-module Fnv = Mcr_util.Fnv
+module Image = Mcr_image.Image
 module Testbed = Mcr_workloads.Testbed
 module Bench_result = Mcr_workloads.Bench_result
 
@@ -36,6 +34,8 @@ type fmset = {
   fm_reverted : Metrics.counter;
   fm_requests : Metrics.counter;
   fm_client_errors : Metrics.counter;
+  fm_migrations : Metrics.counter;
+  fm_failovers : Metrics.counter;
   fm_wave_h : Metrics.histogram;
 }
 
@@ -52,6 +52,8 @@ let make_fmset metrics =
     fm_reverted = Metrics.counter metrics "mcr_fleet_reverted_instances_total";
     fm_requests = Metrics.counter metrics "mcr_fleet_requests_routed_total";
     fm_client_errors = Metrics.counter metrics "mcr_fleet_client_errors_total";
+    fm_migrations = Metrics.counter metrics "mcr_fleet_migrations_total";
+    fm_failovers = Metrics.counter metrics "mcr_fleet_failovers_total";
     fm_wave_h = Metrics.histogram metrics "mcr_fleet_wave_duration_ns";
   }
 
@@ -64,6 +66,7 @@ type t = {
   health : K.t -> Manager.t -> bool;
   target : int -> P.version;
   revert : int -> P.version;
+  relaunch : int -> version_tag:string -> (K.t * Manager.t, string) result;
   ctl_kernel : K.t;
   ctl_path : string;
   ctl_pending : bool ref;
@@ -122,17 +125,15 @@ let status_text t =
 
 (* FNV over the whole root-process address space: region identity plus
    every word. Identical deterministic instances hash identically — the
-   byte-identical-commit witness. *)
+   byte-identical-commit witness, shared with the checkpoint-image layer.
+   Seeded with the progdef's program name (not the fleet's display name)
+   so the value is comparable with {!Image.fingerprint} of a saved
+   image. *)
 let image_fingerprint t i =
   let inst = t.instances.(i) in
-  let asp = K.aspace (Manager.root_proc inst.manager) in
-  List.fold_left
-    (fun acc (r : Region.t) ->
-      let acc = Fnv.combine acc (Fnv.string r.Region.name) in
-      let acc = Fnv.combine acc (Fnv.int r.Region.base) in
-      Aspace.fold_words asp r.Region.base ~words:(r.Region.size / Addr.word_size) ~init:acc
-        ~f:(fun acc w -> Fnv.combine acc (Fnv.int w)))
-    (Fnv.string t.prog) (Aspace.regions asp)
+  let root = List.hd (Manager.images inst.manager) in
+  Image.aspace_fingerprint ~prog:root.P.i_version.P.prog
+    (K.aspace (Manager.root_proc inst.manager))
 
 (* ------------------------------------------------------------------ *)
 (* Coordinator-side hooks *)
@@ -181,6 +182,126 @@ let record_rollout t (s : Fleet_flight.t) =
   refresh_serving t
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint images: save, migrate, warm standby *)
+
+let check_instance t i =
+  if i < 0 || i >= t.size then Error (Printf.sprintf "no instance %d" i) else Ok ()
+
+let save_instance t i ~path =
+  match check_instance t i with
+  | Error e -> Error e
+  | Ok () -> Manager.save_image t.instances.(i).manager ~path
+
+(* A fresh kernel running exactly the image's version, settled and ready
+   for install. The fleet's [relaunch] hook supplies it; the version check
+   here turns a miswired hook into a named error instead of a downstream
+   [Version_mismatch]. *)
+let fresh_instance t i ~version_tag =
+  match t.relaunch i ~version_tag with
+  | Error _ as e -> e
+  | Ok (kernel, m) ->
+      let got = (Manager.version m).P.version_tag in
+      if got <> version_tag then
+        Error (Printf.sprintf "relaunch produced version %s, image holds %s" got version_tag)
+      else Ok (kernel, m)
+
+let migrate_instance t i ~path =
+  match check_instance t i with
+  | Error e -> Error e
+  | Ok () ->
+      let inst = t.instances.(i) in
+      let prev_state = Balancer.state t.balancer i in
+      let back_out e =
+        Balancer.set_state t.balancer i prev_state;
+        refresh_serving t;
+        Error e
+      in
+      (* drain: out of rotation, in-flight work finishes in the instance's
+         own virtual time *)
+      Balancer.set_state t.balancer i Balancer.Draining;
+      K.run_for inst.kernel !(t.policy).Fleet_policy.drain_ns;
+      Balancer.set_state t.balancer i Balancer.Out;
+      refresh_serving t;
+      (match Manager.save_image inst.manager ~path with
+      | Error e -> back_out e
+      | Ok img -> (
+          match fresh_instance t i ~version_tag:(Image.version_tag img) with
+          | Error e -> back_out e
+          | Ok (kernel, m) -> (
+              (* install from the on-disk bytes — what a cross-host
+                 migration actually ships (integrity checks included) *)
+              let shipped =
+                match Image.read ~path with Ok on_disk -> on_disk | Error _ -> img
+              in
+              match Manager.restore_image m shipped with
+              | Error e -> back_out e
+              | Ok _report ->
+                  (* the drained original is abandoned: its kernel simply
+                     stops being driven *)
+                  t.instances.(i) <- { id = i; kernel; manager = m };
+                  Metrics.incr t.fmset.fm_migrations;
+                  Balancer.set_state t.balancer i Balancer.Serving;
+                  refresh_serving t;
+                  Ok (Image.fingerprint img))))
+
+type standby = {
+  sb_for : int;
+  sb_kernel : K.t;
+  sb_manager : Manager.t;
+  sb_fingerprint : int;
+}
+
+let standby_fingerprint sb = sb.sb_fingerprint
+
+let arm_standby t i =
+  match check_instance t i with
+  | Error e -> Error e
+  | Ok () -> (
+      let inst = t.instances.(i) in
+      match Manager.quiesce_only inst.manager with
+      | None -> Error "quiescence did not converge"
+      | Some _ -> (
+          (* the kernel has not been driven since the quiescent release, so
+             the capture sees exactly the quiescent state — no host file
+             needed for an intra-host standby *)
+          let img =
+            Image.capture inst.kernel
+              ~members:(Manager.images inst.manager)
+              ~policy_text:(Policy.to_kv (Manager.policy inst.manager))
+              ()
+          in
+          match fresh_instance t i ~version_tag:(Image.version_tag img) with
+          | Error e -> Error e
+          | Ok (kernel, m) -> (
+              match Manager.restore_image m img with
+              | Error e -> Error e
+              | Ok _ ->
+                  Ok
+                    {
+                      sb_for = i;
+                      sb_kernel = kernel;
+                      sb_manager = m;
+                      sb_fingerprint = Image.fingerprint img;
+                    })))
+
+let failover_instance t i sb =
+  match check_instance t i with
+  | Error e -> Error e
+  | Ok () ->
+      if sb.sb_for <> i then
+        Error (Printf.sprintf "standby armed for instance %d, not %d" sb.sb_for i)
+      else begin
+        (* the failed primary is abandoned wholesale; the pre-restored
+           standby takes its slot in rotation *)
+        Balancer.set_state t.balancer i Balancer.Out;
+        t.instances.(i) <- { id = i; kernel = sb.sb_kernel; manager = sb.sb_manager };
+        Metrics.incr t.fmset.fm_failovers;
+        Balancer.set_state t.balancer i Balancer.Serving;
+        refresh_serving t;
+        Ok sb.sb_fingerprint
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Control plane *)
 
 let dispatch t ~versioned cmd =
@@ -206,7 +327,30 @@ let dispatch t ~versioned cmd =
           t.ctl_pending := true;
           ignore (K.syscall (S.Sem_wait { name = t.ctl_sem; timeout_ns = None }));
           !(t.ctl_result)
-      | _ -> if versioned then Frame.err "usage: FLEET STATUS|ROLLOUT|EXPLAIN" else "ERR"
+      | [ "SAVE"; is; path ] -> begin
+          (* safe in-dispatch: the listener runs on the control-plane
+             kernel, so the instance kernels are idle host-side state *)
+          match int_of_string_opt is with
+          | None -> if versioned then Frame.err "usage: FLEET SAVE <i> <path>" else "ERR"
+          | Some i -> (
+              match save_instance t i ~path with
+              | Ok img ->
+                  if versioned then Frame.ok_inline (string_of_int (Image.fingerprint img))
+                  else "OK"
+              | Error e -> if versioned then Frame.err e else "ERR")
+        end
+      | [ "MIGRATE"; is; path ] -> begin
+          match int_of_string_opt is with
+          | None -> if versioned then Frame.err "usage: FLEET MIGRATE <i> <path>" else "ERR"
+          | Some i -> (
+              match migrate_instance t i ~path with
+              | Ok fp -> if versioned then Frame.ok_inline (string_of_int fp) else "OK"
+              | Error e -> if versioned then Frame.err e else "ERR")
+        end
+      | _ ->
+          if versioned then
+            Frame.err "usage: FLEET STATUS|ROLLOUT|EXPLAIN|SAVE <i> <path>|MIGRATE <i> <path>"
+          else "ERR"
     end
   | _ -> if versioned then Frame.err "unknown command" else "ERR"
 
@@ -222,8 +366,17 @@ let respond_rollout t frame =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let create ?(policy = Fleet_policy.default) ~prog ~n ~spawn ~health ~target ~revert () =
+let create ?(policy = Fleet_policy.default) ?relaunch ~prog ~n ~spawn ~health ~target
+    ~revert () =
   if n < 1 then invalid_arg "Fleet.create: n must be >= 1";
+  (* without a version-aware relaunch hook, migration falls back to the
+     plain spawner — fine as long as the instance still runs the spawned
+     version (install names the mismatch otherwise) *)
+  let relaunch =
+    match relaunch with
+    | Some f -> f
+    | None -> fun i ~version_tag:_ -> Ok (spawn i)
+  in
   let instances =
     Array.init n (fun i ->
         let kernel, manager = spawn i in
@@ -253,6 +406,7 @@ let create ?(policy = Fleet_policy.default) ~prog ~n ~spawn ~health ~target ~rev
       health;
       target;
       revert;
+      relaunch;
       ctl_kernel;
       ctl_path = "/run/mcr/fleet." ^ prog ^ ".sock";
       ctl_pending = ref false;
@@ -284,7 +438,19 @@ let of_testbed ?policy ?config server ~n =
     let r = Testbed.benchmark kernel server ~scale:health_scale () in
     r.Bench_result.errors = 0
   in
-  create ~policy:pol ~prog:(Testbed.name server) ~n ~spawn ~health
+  let relaunch _i ~version_tag =
+    match
+      List.find_opt
+        (fun (v : P.version) -> v.P.version_tag = version_tag)
+        (Testbed.version_series server)
+    with
+    | None -> Error (Printf.sprintf "no %s version tagged %s" (Testbed.name server) version_tag)
+    | Some v ->
+        let kernel = K.create () in
+        let m = Testbed.launch ?config ~version:v kernel server in
+        Ok (kernel, m)
+  in
+  create ~policy:pol ~relaunch ~prog:(Testbed.name server) ~n ~spawn ~health
     ~target:(fun _ -> Testbed.final_version server)
     ~revert:(fun _ -> Testbed.base_version server)
     ()

@@ -18,6 +18,7 @@ type t
 
 val create :
   ?policy:Fleet_policy.t ->
+  ?relaunch:(int -> version_tag:string -> (Mcr_simos.Kernel.t * Mcr_core.Manager.t, string) result) ->
   prog:string ->
   n:int ->
   spawn:(int -> Mcr_simos.Kernel.t * Mcr_core.Manager.t) ->
@@ -32,6 +33,11 @@ val create :
     [target i]/[revert i] name the rollout's destination and the halt
     policy's fallback version. Also creates the control-plane kernel and
     its listener.
+
+    [?relaunch i ~version_tag] must launch a {e fresh} settled instance
+    running exactly the named version — {!migrate_instance} and
+    {!arm_standby} restore checkpoint images into it. Defaults to [spawn]
+    (sufficient while the instance still runs its spawned version).
     @raise Invalid_argument if [n] is below 1. *)
 
 val of_testbed :
@@ -81,6 +87,43 @@ val metrics : t -> Mcr_obs.Metrics.t
     the per-instance manager registries. *)
 
 val metrics_snapshot : t -> Mcr_obs.Metrics.snapshot
+
+(** {1 Checkpoint images}
+
+    Migration and warm-standby failover on top of
+    {!Mcr_image.Image}: the control-socket spellings are
+    [FLEET SAVE <i> <path>] and [FLEET MIGRATE <i> <path>]. *)
+
+val save_instance : t -> int -> path:string -> (Mcr_image.Image.t, string) result
+(** Quiesce instance [i] and write its persistent checkpoint image to the
+    host [path] ({!Mcr_core.Manager.save_image}). *)
+
+val migrate_instance : t -> int -> path:string -> (int, string) result
+(** Move instance [i] onto a fresh kernel through an on-disk image: drain
+    it out of rotation (in-flight work finishes in its own virtual time),
+    save its image to [path], [relaunch] the image's version, install the
+    on-disk bytes over it, swap the fresh instance into slot [i] and
+    rejoin the balancer. Returns the verified fingerprint; on any failure
+    the original instance returns to its previous balancer state and the
+    fleet is unchanged. The drained kernel is abandoned. *)
+
+type standby
+(** A pre-restored instance held out of rotation: a fresh kernel already
+    carrying a checkpoint of its primary, waiting for {!failover_instance}. *)
+
+val arm_standby : t -> int -> (standby, string) result
+(** Capture instance [i] at quiescence (no host file involved) and restore
+    the image into a freshly relaunched instance kept out of the
+    balancer. The primary keeps serving. *)
+
+val standby_fingerprint : standby -> int
+(** The fingerprint the standby was verified against when armed. *)
+
+val failover_instance : t -> int -> standby -> (int, string) result
+(** Replace instance [i] with its armed standby: the (presumed failed)
+    primary is abandoned, the standby takes slot [i] and enters rotation.
+    Returns the standby's fingerprint. Fails if the standby was armed for
+    a different instance. *)
 
 (** {1 Coordinator-side hooks (used by {!Rollout})} *)
 

@@ -1,0 +1,766 @@
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module Aspace = Mcr_vmem.Aspace
+module Addr = Mcr_vmem.Addr
+module Region = Mcr_vmem.Region
+module Heap = Mcr_alloc.Heap
+module Pool = Mcr_alloc.Pool
+module Slab = Mcr_alloc.Slab
+module Fnv = Mcr_util.Fnv
+module P = Mcr_program.Progdef
+
+let format_version = 1
+let magic = "MCRIMAGE"
+
+type error =
+  | Bad_magic
+  | Version_skew of { found : int; expected : int }
+  | Truncated of { section : string }
+  | Hash_mismatch of { section : string }
+  | Missing_section of string
+  | Malformed of { section : string; reason : string }
+  | Program_mismatch of { image : string; target : string }
+  | Version_mismatch of { image : string; target : string }
+  | Fingerprint_mismatch of { image : int; restored : int }
+  | Io of string
+
+let error_to_string = function
+  | Bad_magic -> "bad magic: not an MCR checkpoint image"
+  | Version_skew { found; expected } ->
+      Printf.sprintf "format version skew: image is v%d, this build speaks v%d" found expected
+  | Truncated { section } -> Printf.sprintf "truncated image: section %s is cut short" section
+  | Hash_mismatch { section } ->
+      Printf.sprintf "integrity failure: section %s does not match its content hash" section
+  | Missing_section s -> Printf.sprintf "required section %s is missing" s
+  | Malformed { section; reason } -> Printf.sprintf "malformed section %s: %s" section reason
+  | Program_mismatch { image; target } ->
+      Printf.sprintf "image holds program %s but the restore target runs %s" image target
+  | Version_mismatch { image; target } ->
+      Printf.sprintf "image holds version %s but the restore target runs %s" image target
+  | Fingerprint_mismatch { image; restored } ->
+      Printf.sprintf "restored fingerprint %#x does not reproduce the image's %#x" restored image
+  | Io msg -> Printf.sprintf "i/o failure: %s" msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* In-memory representation *)
+
+type region_image = {
+  r_name : string;
+  r_kind : string;
+  r_base : Addr.t;
+  r_size : int;  (* bytes *)
+  r_words : int array;
+}
+
+type page_state_image = { g_page : Addr.t; g_seq : int; g_touched : bool; g_inherited : bool }
+
+type heap_image = {
+  h_base : Addr.t;
+  h_size : int;
+  h_instrumented : bool;
+  h_allocs : int;
+  h_frees : int;
+  h_tag_words : int;
+}
+
+type thread_image = {
+  t_tid : int;
+  t_name : string;
+  t_callstack : string list;
+  t_blocked : string option;
+}
+
+type proc_image = {
+  pi_pid : int;
+  pi_name : string;
+  pi_creation_callstack : int;
+  pi_startup_complete : bool;
+  pi_layout_bias : int;
+  pi_write_seq : int;
+  pi_fds : int list;
+  pi_regions : region_image list;
+  pi_pages : page_state_image list;
+  pi_epochs : (string * int) list;
+  pi_threads : thread_image list;
+  pi_heap : heap_image option;
+  pi_lib_heap : heap_image option;
+  pi_pools : Pool.state list;
+  pi_slabs : (string * Slab.state) list;
+}
+
+type t = {
+  im_prog : string;
+  im_version_tag : string;
+  im_clock_ns : int;
+  im_fingerprint : int;
+  im_policy_text : string option;
+  im_target_tag : string option;
+  im_flight_json : string option;
+  im_procs : proc_image list;
+}
+
+let prog t = t.im_prog
+let version_tag t = t.im_version_tag
+let clock_ns t = t.im_clock_ns
+let fingerprint t = t.im_fingerprint
+let policy_text t = t.im_policy_text
+let target_tag t = t.im_target_tag
+let flight_json t = t.im_flight_json
+let proc_count t = List.length t.im_procs
+let region_count t = List.fold_left (fun a p -> a + List.length p.pi_regions) 0 t.im_procs
+
+let total_words t =
+  List.fold_left
+    (fun a p -> List.fold_left (fun a r -> a + Array.length r.r_words) a p.pi_regions)
+    0 t.im_procs
+
+let with_flight_json t json = { t with im_flight_json = Some json }
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint — the byte-identity witness shared with Fleet *)
+
+let aspace_fingerprint ~prog asp =
+  List.fold_left
+    (fun acc (r : Region.t) ->
+      let acc = Fnv.combine acc (Fnv.string r.Region.name) in
+      let acc = Fnv.combine acc (Fnv.int r.Region.base) in
+      Aspace.fold_words asp r.Region.base ~words:(r.Region.size / Addr.word_size) ~init:acc
+        ~f:(fun acc w -> Fnv.combine acc (Fnv.int w)))
+    (Fnv.string prog) (Aspace.regions asp)
+
+(* ------------------------------------------------------------------ *)
+(* Binary writer / reader *)
+
+let w_u64 b n =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let w_bool b v = w_u64 b (if v then 1 else 0)
+
+let w_str b s =
+  w_u64 b (String.length s);
+  Buffer.add_string b s
+
+let w_opt_str b = function
+  | None -> w_u64 b 0
+  | Some s ->
+      w_u64 b 1;
+      w_str b s
+
+let w_list b f xs =
+  w_u64 b (List.length xs);
+  List.iter (f b) xs
+
+exception Short
+
+type reader = { data : string; mutable pos : int }
+
+let r_u64 r =
+  if r.pos + 8 > String.length r.data then raise Short;
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := !v lor (Char.code r.data.[r.pos + i] lsl (8 * i))
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let r_bool r = r_u64 r <> 0
+
+let r_str r =
+  let n = r_u64 r in
+  if n < 0 || r.pos + n > String.length r.data then raise Short;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_opt_str r = if r_u64 r = 0 then None else Some (r_str r)
+
+let r_list r f =
+  let n = r_u64 r in
+  if n < 0 then raise Short;
+  List.init n (fun _ -> f r)
+
+(* ------------------------------------------------------------------ *)
+(* Section payload codecs *)
+
+let w_region b r =
+  w_str b r.r_name;
+  w_str b r.r_kind;
+  w_u64 b r.r_base;
+  w_u64 b r.r_size;
+  w_u64 b (Array.length r.r_words);
+  Array.iter (w_u64 b) r.r_words
+
+let r_region r =
+  let r_name = r_str r in
+  let r_kind = r_str r in
+  let r_base = r_u64 r in
+  let r_size = r_u64 r in
+  let n = r_u64 r in
+  if n < 0 || r.pos + (8 * n) > String.length r.data then raise Short;
+  let r_words = Array.init n (fun _ -> r_u64 r) in
+  { r_name; r_kind; r_base; r_size; r_words }
+
+let w_page b g =
+  w_u64 b g.g_page;
+  w_u64 b g.g_seq;
+  w_bool b g.g_touched;
+  w_bool b g.g_inherited
+
+let r_page r =
+  let g_page = r_u64 r in
+  let g_seq = r_u64 r in
+  let g_touched = r_bool r in
+  let g_inherited = r_bool r in
+  { g_page; g_seq; g_touched; g_inherited }
+
+let w_heap b h =
+  w_u64 b h.h_base;
+  w_u64 b h.h_size;
+  w_bool b h.h_instrumented;
+  w_u64 b h.h_allocs;
+  w_u64 b h.h_frees;
+  w_u64 b h.h_tag_words
+
+let r_heap r =
+  let h_base = r_u64 r in
+  let h_size = r_u64 r in
+  let h_instrumented = r_bool r in
+  let h_allocs = r_u64 r in
+  let h_frees = r_u64 r in
+  let h_tag_words = r_u64 r in
+  { h_base; h_size; h_instrumented; h_allocs; h_frees; h_tag_words }
+
+let w_heap_opt b = function
+  | None -> w_u64 b 0
+  | Some h ->
+      w_u64 b 1;
+      w_heap b h
+
+let r_heap_opt r = if r_u64 r = 0 then None else Some (r_heap r)
+
+let rec w_pool b (st : Pool.state) =
+  w_str b st.Pool.st_name;
+  w_bool b st.st_instrument;
+  w_u64 b st.st_chunk_words;
+  w_u64 b st.st_pallocs;
+  w_u64 b st.st_tag_words;
+  w_u64 b st.st_chunks_grabbed;
+  w_list b
+    (fun b (c : Pool.chunk_state) ->
+      w_u64 b c.Pool.cs_base;
+      w_u64 b c.cs_words;
+      w_u64 b c.cs_bump;
+      w_bool b c.cs_micro)
+    st.st_chunks;
+  w_list b w_pool st.st_kids
+
+let rec r_pool r : Pool.state =
+  let st_name = r_str r in
+  let st_instrument = r_bool r in
+  let st_chunk_words = r_u64 r in
+  let st_pallocs = r_u64 r in
+  let st_tag_words = r_u64 r in
+  let st_chunks_grabbed = r_u64 r in
+  let st_chunks =
+    r_list r (fun r ->
+        let cs_base = r_u64 r in
+        let cs_words = r_u64 r in
+        let cs_bump = r_u64 r in
+        let cs_micro = r_bool r in
+        { Pool.cs_base; cs_words; cs_bump; cs_micro })
+  in
+  let st_kids = r_list r r_pool in
+  { Pool.st_name; st_instrument; st_chunk_words; st_pallocs; st_tag_words; st_chunks_grabbed;
+    st_chunks; st_kids }
+
+let w_slab b (name, (st : Slab.state)) =
+  w_str b name;
+  w_u64 b st.Slab.ss_slot_words;
+  w_list b w_u64 st.ss_chunks;
+  w_u64 b st.ss_free_head;
+  w_u64 b st.ss_live
+
+let r_slab r =
+  let name = r_str r in
+  let ss_slot_words = r_u64 r in
+  let ss_chunks = r_list r r_u64 in
+  let ss_free_head = r_u64 r in
+  let ss_live = r_u64 r in
+  (name, { Slab.ss_slot_words; ss_chunks; ss_free_head; ss_live })
+
+let w_thread b th =
+  w_u64 b th.t_tid;
+  w_str b th.t_name;
+  w_list b w_str th.t_callstack;
+  w_opt_str b th.t_blocked
+
+let r_thread r =
+  let t_tid = r_u64 r in
+  let t_name = r_str r in
+  let t_callstack = r_list r r_str in
+  let t_blocked = r_opt_str r in
+  { t_tid; t_name; t_callstack; t_blocked }
+
+let encode_proc p =
+  let b = Buffer.create 4096 in
+  w_u64 b p.pi_pid;
+  w_str b p.pi_name;
+  w_u64 b p.pi_creation_callstack;
+  w_bool b p.pi_startup_complete;
+  w_u64 b p.pi_layout_bias;
+  w_u64 b p.pi_write_seq;
+  w_list b w_u64 p.pi_fds;
+  w_list b w_region p.pi_regions;
+  w_list b w_page p.pi_pages;
+  w_list b
+    (fun b (name, mark) ->
+      w_str b name;
+      w_u64 b mark)
+    p.pi_epochs;
+  w_list b w_thread p.pi_threads;
+  w_heap_opt b p.pi_heap;
+  w_heap_opt b p.pi_lib_heap;
+  w_list b w_pool p.pi_pools;
+  w_list b w_slab p.pi_slabs;
+  Buffer.contents b
+
+let decode_proc r =
+  let pi_pid = r_u64 r in
+  let pi_name = r_str r in
+  let pi_creation_callstack = r_u64 r in
+  let pi_startup_complete = r_bool r in
+  let pi_layout_bias = r_u64 r in
+  let pi_write_seq = r_u64 r in
+  let pi_fds = r_list r r_u64 in
+  let pi_regions = r_list r r_region in
+  let pi_pages = r_list r r_page in
+  let pi_epochs =
+    r_list r (fun r ->
+        let name = r_str r in
+        let mark = r_u64 r in
+        (name, mark))
+  in
+  let pi_threads = r_list r r_thread in
+  let pi_heap = r_heap_opt r in
+  let pi_lib_heap = r_heap_opt r in
+  let pi_pools = r_list r r_pool in
+  let pi_slabs = r_list r r_slab in
+  { pi_pid; pi_name; pi_creation_callstack; pi_startup_complete; pi_layout_bias; pi_write_seq;
+    pi_fds; pi_regions; pi_pages; pi_epochs; pi_threads; pi_heap; pi_lib_heap; pi_pools;
+    pi_slabs }
+
+let encode_meta t =
+  let b = Buffer.create 256 in
+  w_str b t.im_prog;
+  w_str b t.im_version_tag;
+  w_u64 b t.im_clock_ns;
+  w_u64 b t.im_fingerprint;
+  w_u64 b (List.length t.im_procs);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Section table *)
+
+let sections_of t =
+  let meta = ("META", "meta", encode_meta t) in
+  let procs =
+    List.mapi (fun i p -> ("PROC", Printf.sprintf "proc.%d" i, encode_proc p)) t.im_procs
+  in
+  let opt tag name = function Some s -> [ (tag, name, s) ] | None -> [] in
+  (meta :: procs)
+  @ opt "POLI" "policy" t.im_policy_text
+  @ opt "ATMP" "attempt" t.im_target_tag
+  @ opt "FLIT" "flight" t.im_flight_json
+
+let layout t = List.map (fun (tag, name, payload) -> (tag, name, String.length payload)) (sections_of t)
+
+let encode t =
+  let sections = sections_of t in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  w_u64 b format_version;
+  w_u64 b (List.length sections);
+  List.iter
+    (fun (tag, name, payload) ->
+      assert (String.length tag = 4);
+      Buffer.add_string b tag;
+      w_str b name;
+      w_str b payload;
+      w_u64 b (Fnv.string payload))
+    sections;
+  let body = Buffer.contents b in
+  let out = Buffer.create (String.length body + 8) in
+  Buffer.add_string out body;
+  w_u64 out (Fnv.string body);
+  Buffer.contents out
+
+let decode data =
+  let len = String.length data in
+  if len < 8 then Error (Truncated { section = "header" })
+  else if String.sub data 0 8 <> magic then Error Bad_magic
+  else
+    let r = { data; pos = 8 } in
+    match r_u64 r with
+    | exception Short -> Error (Truncated { section = "header" })
+    | v when v <> format_version -> Error (Version_skew { found = v; expected = format_version })
+    | _ -> (
+        match r_u64 r with
+        | exception Short -> Error (Truncated { section = "header" })
+        | count -> (
+            let sections = ref [] in
+            let failure = ref None in
+            (try
+               for i = 0 to count - 1 do
+                 let label = ref (Printf.sprintf "#%d" i) in
+                 try
+                   if r.pos + 4 > len then raise Short;
+                   let tag = String.sub data r.pos 4 in
+                   r.pos <- r.pos + 4;
+                   label := tag;
+                   let name = r_str r in
+                   label := name;
+                   let payload = r_str r in
+                   let hash = r_u64 r in
+                   if Fnv.string payload <> hash then begin
+                     failure := Some (Hash_mismatch { section = name });
+                     raise Exit
+                   end;
+                   sections := (tag, name, payload) :: !sections
+                 with Short ->
+                   failure := Some (Truncated { section = !label });
+                   raise Exit
+               done;
+               (* whole-image trailer *)
+               let body_end = r.pos in
+               match r_u64 r with
+               | exception Short -> failure := Some (Truncated { section = "trailer" })
+               | trailer ->
+                   if Fnv.string (String.sub data 0 body_end) <> trailer then
+                     failure := Some (Hash_mismatch { section = "image" })
+             with Exit -> ());
+            match !failure with
+            | Some e -> Error e
+            | None -> (
+                let sections = List.rev !sections in
+                let find tag = List.find_opt (fun (t, _, _) -> t = tag) sections in
+                match find "META" with
+                | None -> Error (Missing_section "meta")
+                | Some (_, meta_name, meta) -> (
+                    try
+                      let mr = { data = meta; pos = 0 } in
+                      let im_prog = r_str mr in
+                      let im_version_tag = r_str mr in
+                      let im_clock_ns = r_u64 mr in
+                      let im_fingerprint = r_u64 mr in
+                      let nprocs = r_u64 mr in
+                      let procs =
+                        List.filter_map
+                          (fun (tag, name, payload) ->
+                            if tag <> "PROC" then None
+                            else
+                              try Some (decode_proc { data = payload; pos = 0 })
+                              with Short ->
+                                raise
+                                  (Stdlib.Failure
+                                     (Printf.sprintf "proc section %s is self-inconsistent" name)))
+                          sections
+                      in
+                      if List.length procs <> nprocs then
+                        Error
+                          (Malformed
+                             {
+                               section = meta_name;
+                               reason =
+                                 Printf.sprintf "meta promises %d processes, found %d" nprocs
+                                   (List.length procs);
+                             })
+                      else
+                        let opt_payload tag =
+                          Option.map (fun (_, _, p) -> p) (find tag)
+                        in
+                        Ok
+                          {
+                            im_prog;
+                            im_version_tag;
+                            im_clock_ns;
+                            im_fingerprint;
+                            im_policy_text = opt_payload "POLI";
+                            im_target_tag = opt_payload "ATMP";
+                            im_flight_json = opt_payload "FLIT";
+                            im_procs = procs;
+                          }
+                    with
+                    | Short -> Error (Truncated { section = meta_name })
+                    | Stdlib.Failure reason -> Error (Malformed { section = "proc"; reason })))))
+
+(* ------------------------------------------------------------------ *)
+(* Capture *)
+
+let kind_of_string = function
+  | "static" -> Region.Static
+  | "heap" -> Region.Heap
+  | "stack" -> Region.Stack
+  | "lib" -> Region.Lib
+  | "mmap" -> Region.Mmap
+  | s -> invalid_arg ("Image: unknown region kind " ^ s)
+
+let capture_region asp (r : Region.t) =
+  let words = r.Region.size / Addr.word_size in
+  let arr = Array.make words 0 in
+  let i = ref 0 in
+  let () =
+    Aspace.fold_words asp r.Region.base ~words ~init:() ~f:(fun () w ->
+        arr.(!i) <- w;
+        incr i)
+  in
+  {
+    r_name = r.Region.name;
+    r_kind = Region.kind_to_string r.Region.kind;
+    r_base = r.Region.base;
+    r_size = r.Region.size;
+    r_words = arr;
+  }
+
+let heap_image_of h =
+  {
+    h_base = Heap.base h;
+    h_size = Heap.limit h - Heap.base h;
+    h_instrumented = Heap.instrumented h;
+    h_allocs = (Heap.stats h).Heap.allocs;
+    h_frees = (Heap.stats h).Heap.frees;
+    h_tag_words = (Heap.stats h).Heap.tag_words;
+  }
+
+let capture_thread th =
+  {
+    t_tid = K.tid th;
+    t_name = K.thread_name th;
+    t_callstack = K.callstack th;
+    t_blocked = Option.map (fun c -> Format.asprintf "%a" S.pp_call c) (K.blocked_in th);
+  }
+
+let capture_proc (img : P.image) =
+  let proc = img.P.i_proc in
+  let asp = img.P.i_aspace in
+  {
+    pi_pid = K.pid proc;
+    pi_name = K.proc_name proc;
+    pi_creation_callstack = K.creation_callstack proc;
+    pi_startup_complete = img.P.i_startup_complete;
+    pi_layout_bias = Aspace.layout_bias asp;
+    pi_write_seq = Aspace.write_seq asp;
+    pi_fds = K.fds proc;
+    pi_regions = List.map (capture_region asp) (Aspace.regions asp);
+    pi_pages =
+      List.map
+        (fun (ps : Aspace.page_state) ->
+          {
+            g_page = ps.Aspace.ps_page;
+            g_seq = ps.ps_last_write_seq;
+            g_touched = ps.ps_touched;
+            g_inherited = ps.ps_inherited;
+          })
+        (Aspace.page_states asp);
+    pi_epochs = Aspace.epochs asp;
+    pi_threads = List.map capture_thread (K.proc_threads proc);
+    pi_heap = Some (heap_image_of img.P.i_heap);
+    pi_lib_heap = Some (heap_image_of img.P.i_lib_heap);
+    pi_pools = List.map (fun (_, p) -> Pool.export_state p) img.P.i_pools;
+    pi_slabs = List.map (fun (name, s) -> (name, Slab.export_state s)) img.P.i_slabs;
+  }
+
+let capture kernel ~members ?policy_text ?target_tag ?flight_json () =
+  match members with
+  | [] -> invalid_arg "Image.capture: empty member list"
+  | root :: _ ->
+      {
+        im_prog = root.P.i_version.P.prog;
+        im_version_tag = root.P.i_version.P.version_tag;
+        im_clock_ns = K.clock_ns kernel;
+        im_fingerprint =
+          aspace_fingerprint ~prog:root.P.i_version.P.prog (K.aspace root.P.i_proc);
+        im_policy_text = policy_text;
+        im_target_tag = target_tag;
+        im_flight_json = flight_json;
+        im_procs = List.map capture_proc members;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Host-filesystem persistence *)
+
+let write t ~path =
+  match
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (encode t))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Io msg)
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> decode data
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Truncated { section = "header" })
+
+let save kernel ~path ~members ?policy_text ?target_tag ?flight_json () =
+  let t = capture kernel ~members ?policy_text ?target_tag ?flight_json () in
+  match write t ~path with Ok () -> Ok t | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Install *)
+
+type install_report = {
+  paired_procs : int;
+  skipped_saved_procs : int;
+  unmatched_live_procs : int;
+}
+
+(* Reconcile the live address space's region set with the saved one, then
+   write back contents and dirty-tracking state. All stores are untracked
+   and the write sequence / page stamps / epoch marks are re-installed
+   afterwards, so the restored space is indistinguishable from the saved
+   one to every dirty-tracking consumer. *)
+let install_aspace saved asp =
+  let saved_by_base = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace saved_by_base r.r_base r) saved.pi_regions;
+  (* drop live regions the image does not know, or whose shape changed *)
+  List.iter
+    (fun (r : Region.t) ->
+      match Hashtbl.find_opt saved_by_base r.Region.base with
+      | Some s
+        when s.r_size = r.Region.size
+             && s.r_kind = Region.kind_to_string r.Region.kind ->
+          ()
+      | _ -> Aspace.unmap asp r.Region.base)
+    (Aspace.regions asp);
+  (* map regions the live space is missing *)
+  let live_bases =
+    List.fold_left
+      (fun acc (r : Region.t) ->
+        Hashtbl.replace acc r.Region.base ();
+        acc)
+      (Hashtbl.create 16) (Aspace.regions asp)
+  in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem live_bases s.r_base) then
+        ignore
+          (Aspace.map asp ~name:s.r_name (Aspace.Fixed s.r_base) ~size:s.r_size
+             (kind_of_string s.r_kind)))
+    saved.pi_regions;
+  (* contents *)
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun i w -> Aspace.write_word_untracked asp (Addr.add_words s.r_base i) w)
+        s.r_words)
+    saved.pi_regions;
+  (* dirty-tracking state *)
+  Aspace.set_write_seq asp saved.pi_write_seq;
+  List.iter
+    (fun g ->
+      Aspace.restore_page_state asp
+        {
+          Aspace.ps_page = g.g_page;
+          ps_last_write_seq = g.g_seq;
+          ps_touched = g.g_touched;
+          ps_inherited = g.g_inherited;
+        })
+    saved.pi_pages;
+  Aspace.restore_epochs asp saved.pi_epochs
+
+let install_heap saved_opt heap =
+  Heap.refresh heap;
+  match saved_opt with
+  | None -> ()
+  | Some h ->
+      Heap.restore_stats heap ~allocs:h.h_allocs ~frees:h.h_frees ~tag_words:h.h_tag_words
+
+let install_proc saved (img : P.image) =
+  install_aspace saved img.P.i_aspace;
+  install_heap saved.pi_heap img.P.i_heap;
+  install_heap saved.pi_lib_heap img.P.i_lib_heap;
+  (* Pools/slabs: pair by name — a deterministic same-version startup
+     creates the same named set, so a mismatch means the restore target is
+     not actually running the image's program configuration. *)
+  let find_pool name =
+    List.find_opt (fun (st : Pool.state) -> st.Pool.st_name = name) saved.pi_pools
+  in
+  List.iter
+    (fun (name, pool) ->
+      match find_pool name with
+      | Some st -> Pool.restore_state pool st
+      | None -> ())
+    img.P.i_pools;
+  List.iter
+    (fun (name, slab) ->
+      match List.assoc_opt name saved.pi_slabs with
+      | Some st -> Slab.restore_state slab st
+      | None -> ())
+    img.P.i_slabs;
+  img.P.i_startup_complete <- saved.pi_startup_complete
+
+(* Pair saved processes with live ones: roots first, then by creation call
+   stack in creation order — the same key Manager uses to pair processes
+   across versions during an update. *)
+let pair_procs saved_procs members =
+  match (saved_procs, members) with
+  | [], _ | _, [] -> ([], saved_procs, members)
+  | sroot :: srest, lroot :: lrest ->
+      let remaining = ref lrest in
+      let pairs = ref [ (sroot, lroot) ] in
+      let skipped = ref [] in
+      List.iter
+        (fun s ->
+          let rec take acc = function
+            | [] ->
+                skipped := s :: !skipped;
+                List.rev acc
+            | (l : P.image) :: tl when K.creation_callstack l.P.i_proc = s.pi_creation_callstack ->
+                pairs := (s, l) :: !pairs;
+                List.rev_append acc tl
+            | l :: tl -> take (l :: acc) tl
+          in
+          remaining := take [] !remaining)
+        srest;
+      (List.rev !pairs, List.rev !skipped, !remaining)
+
+let install t ~members =
+  match members with
+  | [] -> Error (Malformed { section = "proc"; reason = "restore target has no processes" })
+  | root :: _ ->
+      let live_prog = root.P.i_version.P.prog in
+      let live_tag = root.P.i_version.P.version_tag in
+      if live_prog <> t.im_prog then
+        Error (Program_mismatch { image = t.im_prog; target = live_prog })
+      else if live_tag <> t.im_version_tag then
+        Error (Version_mismatch { image = t.im_version_tag; target = live_tag })
+      else begin
+        let pairs, skipped, unmatched = pair_procs t.im_procs members in
+        List.iter (fun (s, l) -> install_proc s l) pairs;
+        let restored = aspace_fingerprint ~prog:t.im_prog (K.aspace root.P.i_proc) in
+        if restored <> t.im_fingerprint then
+          Error (Fingerprint_mismatch { image = t.im_fingerprint; restored })
+        else
+          Ok
+            {
+              paired_procs = List.length pairs;
+              skipped_saved_procs = List.length skipped;
+              unmatched_live_procs = List.length unmatched;
+            }
+      end
+
+let restore t ~launch =
+  let members = launch () in
+  match install t ~members with Ok report -> Ok (members, report) | Error e -> Error e

@@ -311,14 +311,6 @@ let epoch_dirty_pages t ~name =
   |> List.sort compare
   |> List.map (fun pn -> pn * Addr.page_size)
 
-(* The startup checkpoint's epoch, historically the only one. The legacy
-   entry points are shims over it. *)
-let startup_epoch = "startup"
-
-let clear_soft_dirty t = epoch_reset t ~name:startup_epoch
-let soft_dirty_pages t = epoch_dirty_pages t ~name:startup_epoch
-let is_page_dirty t a = epoch_page_dirty t ~name:startup_epoch a
-
 let write_seq t = t.wseq
 
 let page_written_since t a ~seq =
@@ -396,6 +388,48 @@ let detach_shared t =
       end)
     t.pages;
   !n
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint export/import *)
+
+type page_state = {
+  ps_page : Addr.t;
+  ps_last_write_seq : int;
+  ps_touched : bool;
+  ps_inherited : bool;
+}
+
+let page_states t =
+  Hashtbl.fold
+    (fun pn p acc ->
+      {
+        ps_page = pn * Addr.page_size;
+        ps_last_write_seq = p.last_write_seq;
+        ps_touched = p.touched;
+        ps_inherited = p.inherited;
+      }
+      :: acc)
+    t.pages []
+  |> List.sort (fun a b -> compare a.ps_page b.ps_page)
+
+let restore_page_state t ps =
+  if Addr.page_offset ps.ps_page <> 0 then
+    invalid_arg "Aspace.restore_page_state: address must be page-aligned";
+  match Hashtbl.find_opt t.pages (Addr.page_of ps.ps_page) with
+  | None -> raise (Fault ps.ps_page)
+  | Some p ->
+      p.last_write_seq <- ps.ps_last_write_seq;
+      p.touched <- ps.ps_touched;
+      p.inherited <- ps.ps_inherited
+
+let epochs t =
+  Hashtbl.fold (fun name e acc -> (name, e.mark) :: acc) t.epochs [] |> List.sort compare
+
+let set_write_seq t seq = t.wseq <- seq
+
+let restore_epochs t entries =
+  Hashtbl.reset t.epochs;
+  List.iter (fun (name, mark) -> Hashtbl.replace t.epochs name { mark }) entries
 
 let resident_bytes t = Hashtbl.length t.pages * Addr.page_size
 

@@ -17,9 +17,9 @@
     and a page is dirty in that epoch iff it was written after the mark
     ({!epoch_reset}/{!epoch_page_dirty}). Arbitrarily many consumers (the
     startup checkpoint, pre-copy delta rounds, benches) coexist without
-    clobbering each other; the legacy single-epoch entry points
-    ({!clear_soft_dirty} and friends) are shims over the ["startup"]
-    epoch. *)
+    clobbering each other. The named-epoch API is the only spelling: the
+    startup checkpoint owns the ["startup"] epoch like any other
+    consumer. *)
 
 type t
 
@@ -124,18 +124,6 @@ val epoch_range_dirty : t -> name:string -> Addr.t -> words:int -> bool
 val epoch_dirty_pages : t -> name:string -> Addr.t list
 (** Base addresses of the named epoch's dirty pages, sorted ascending. *)
 
-val clear_soft_dirty : t -> unit
-(** @deprecated Shim over [epoch_reset ~name:"startup"] — the startup
-    checkpoint's epoch. New consumers must own a named epoch instead of
-    calling this: resetting it from anywhere else silently breaks
-    startup-dirtiness classification. *)
-
-val soft_dirty_pages : t -> Addr.t list
-(** @deprecated Shim over [epoch_dirty_pages ~name:"startup"]. *)
-
-val is_page_dirty : t -> Addr.t -> bool
-(** @deprecated Shim over [epoch_page_dirty ~name:"startup"]. *)
-
 val write_seq : t -> int
 (** Monotone per-space write sequence number, bumped by every tracked
     write. Epoch marks are saved values of this counter; raw marks remain
@@ -182,6 +170,45 @@ val detach_shared : t -> int
     reference; returns the number of pages detached. The manager calls
     this on the dying side of an update (new members on rollback, old
     images on commit) so frame sharing never outlives the window. *)
+
+(** {2 Checkpoint export/import}
+
+    Kernel-mediated operations used by the persistent checkpoint image
+    (lib/image): a save exports the exact dirty-tracking state alongside
+    page contents, and a restore re-installs it so that dirty-only and
+    pre-copy updates on the restored instance behave exactly as they would
+    have on the original. *)
+
+type page_state = {
+  ps_page : Addr.t;  (** Page base address. *)
+  ps_last_write_seq : int;
+  ps_touched : bool;
+  ps_inherited : bool;
+}
+
+val page_states : t -> page_state list
+(** Per-page dirty-tracking state for every mapped page, sorted by page
+    base address. *)
+
+val restore_page_state : t -> page_state -> unit
+(** Re-stamp the page based at [ps_page] with the saved state. Does not
+    touch page contents.
+    @raise Invalid_argument unless the address is page-aligned.
+    @raise Fault if the page is unmapped. *)
+
+val epochs : t -> (string * int) list
+(** Every named epoch with its mark, sorted by name. *)
+
+val set_write_seq : t -> int -> unit
+(** Overwrite the space-wide write sequence counter. Only meaningful while
+    restoring a checkpoint image — epoch marks and page stamps saved
+    against the original counter are only valid once it is re-installed
+    too. *)
+
+val restore_epochs : t -> (string * int) list -> unit
+(** Replace the whole epoch table with the given [(name, mark)] entries —
+    the restore-side counterpart of {!epochs}. Epochs the live space had
+    but the checkpoint did not are forgotten. *)
 
 val resident_bytes : t -> int
 (** Total bytes of mapped pages. *)

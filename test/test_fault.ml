@@ -10,6 +10,7 @@ module K = Mcr_simos.Kernel
 module S = Mcr_simos.Sysdefs
 module P = Mcr_program.Progdef
 module Manager = Mcr_core.Manager
+module Policy = Mcr_core.Policy
 module Ctl = Mcr_core.Ctl
 module Fault = Mcr_fault.Fault
 module Trace = Mcr_obs.Trace
@@ -63,9 +64,11 @@ let launch_listing1 ?trace kernel =
 let faulted_reason ?quiesce_deadline_ns ?update_deadline_ns fault =
   let kernel = K.create () in
   let m = launch_listing1 kernel in
-  let m2, report =
-    Manager.update m ?quiesce_deadline_ns ?update_deadline_ns ~fault (Listing1.v2 ())
+  let policy =
+    Policy.default
+    |> Policy.with_deadlines ~quiesce_ns:quiesce_deadline_ns ~update_ns:update_deadline_ns
   in
+  let m2, report = Manager.update m ~policy ~fault (Listing1.v2 ()) in
   Alcotest.(check bool) "rolled back" false report.Manager.success;
   Alcotest.(check bool) "same manager" true (m == m2);
   (* the guarantee: the old version still serves, with its state intact *)
@@ -88,7 +91,8 @@ let test_quiesce_deadline () =
   let m = launch_listing1 ~trace kernel in
   let before = K.clock_ns kernel in
   let m2, report =
-    Manager.update m ~quiesce_deadline_ns:500_000_000
+    Manager.update m
+      ~policy:(Policy.with_quiesce_deadline_ns (Some 500_000_000) Policy.default)
       ~fault:(Fault.script [ Fault.Quiesce_refusal ])
       (Listing1.v2 ())
   in
@@ -179,7 +183,8 @@ let test_retry_recovers_from_transient_fault () =
   let kernel = K.create () in
   let m = launch_listing1 kernel in
   let fault = Fault.script [ Fault.Replay_conflict ] in
-  let _, report = Manager.update m ~retries:2 ~retry_backoff_ns:10_000_000 ~fault (Listing1.v2 ()) in
+  let policy = Policy.with_retries ~backoff_ns:10_000_000 2 Policy.default in
+  let _, report = Manager.update m ~policy ~fault (Listing1.v2 ()) in
   Alcotest.(check bool) "retry commits" true report.Manager.success;
   Alcotest.(check bool) "fault did fire on the way" true
     (List.mem "replay_conflict" (Fault.fired fault));
@@ -316,8 +321,11 @@ let prop_rollback_guarantee =
       let pre_fds = K.fds old_root in
       let fault = Fault.of_seed seed in
       let m2, report =
-        Manager.update m ~quiesce_deadline_ns:3_000_000_000
-          ~update_deadline_ns:15_000_000_000 ~fault
+        Manager.update m
+          ~policy:
+            (Policy.with_deadlines ~quiesce_ns:(Some 3_000_000_000)
+               ~update_ns:(Some 15_000_000_000) Policy.default)
+          ~fault
           (Testbed.final_version server)
       in
       if report.Manager.success then

@@ -303,7 +303,8 @@ let test_retry_lineage () =
   let kernel = K.create () in
   let m = Testbed.launch kernel Testbed.Httpd in
   let m2, report =
-    Manager.update m ~retries:2
+    Manager.update m
+      ~policy:(Policy.with_retries 2 Policy.default)
       ~fault:(Fault.script [ Fault.Transfer_conflict ])
       (Testbed.final_version Testbed.Httpd)
   in

@@ -251,7 +251,7 @@ let prop_soft_dirty_exact =
         Aspace.map sp ~name:"t" (Aspace.Near Mcr_vmem.Region.Heap)
           ~size:(pages * Addr.page_size) Mcr_vmem.Region.Heap
       in
-      Aspace.clear_soft_dirty sp;
+      Aspace.epoch_reset sp ~name:"startup";
       let rng = Mcr_util.Rng.create seed in
       let tracked = Hashtbl.create 16 in
       (* tracked writes land in the low half of the region... *)
@@ -269,11 +269,11 @@ let prop_soft_dirty_exact =
       let expected =
         List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tracked [])
       in
-      Aspace.soft_dirty_pages sp = expected
-      && List.for_all (fun a -> Aspace.is_page_dirty sp a) expected
+      Aspace.epoch_dirty_pages sp ~name:"startup" = expected
+      && List.for_all (fun a -> Aspace.epoch_page_dirty sp ~name:"startup" a) expected
       &&
-      (Aspace.clear_soft_dirty sp;
-       Aspace.soft_dirty_pages sp = []))
+      (Aspace.epoch_reset sp ~name:"startup";
+       Aspace.epoch_dirty_pages sp ~name:"startup" = []))
 
 (* ------------------------------------------------------------------ *)
 (* Random malloc/free interleavings keep the heap walkable and exact *)

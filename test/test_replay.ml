@@ -106,7 +106,7 @@ let record_listing1 () =
   image.P.i_first_quiesce_hooks <-
     (fun (im : P.image) ->
       Mcr_alloc.Heap.end_startup im.P.i_heap;
-      Aspace.clear_soft_dirty im.P.i_aspace)
+      Aspace.epoch_reset im.P.i_aspace ~name:"startup")
     :: image.P.i_first_quiesce_hooks;
   let session = Record.start kernel image in
   ignore

@@ -271,7 +271,11 @@ let test_transfer_handler_used () =
 let test_transfer_full_vs_dirty () =
   let kernel, m = boot () in
   ignore kernel;
-  let _, report = Manager.update m ~dirty_only:false (Listing1.v2 ()) in
+  let _, report =
+    Manager.update m
+      ~policy:(Mcr_core.Policy.with_dirty_only false Mcr_core.Policy.default)
+      (Listing1.v2 ())
+  in
   Alcotest.(check bool) "full transfer ok" true report.Manager.success;
   match report.Manager.transfers with
   | [ (_, o) ] -> Alcotest.(check int) "nothing skipped" 0 o.Transfer.skipped_clean

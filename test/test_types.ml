@@ -421,10 +421,10 @@ let test_access_elem_addr () =
 let test_access_write_bytes_tracked () =
   let _, sp, st = build_symtab () in
   let b = Symtab.lookup st "b" in
-  Aspace.clear_soft_dirty sp;
+  Aspace.epoch_reset sp ~name:"startup";
   Access.write_bytes sp b.Symtab.addr "hi";
   Alcotest.(check bool) "server writes dirty the page" true
-    (Aspace.is_page_dirty sp b.Symtab.addr);
+    (Aspace.epoch_page_dirty sp ~name:"startup" b.Symtab.addr);
   Alcotest.(check string) "bytes readable" "hi" (Access.read_string sp b.Symtab.addr)
 
 let () =

@@ -124,35 +124,35 @@ let test_layout_bias_shifts_placement () =
 let test_soft_dirty_basics () =
   let sp = Aspace.create () in
   let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(2 * 4096) Region.Heap in
-  Aspace.clear_soft_dirty sp;
-  Alcotest.(check (list int)) "clean after clear" [] (Aspace.soft_dirty_pages sp);
+  Aspace.epoch_reset sp ~name:"startup";
+  Alcotest.(check (list int)) "clean after clear" [] (Aspace.epoch_dirty_pages sp ~name:"startup");
   Aspace.write_word sp (Addr.add base 4096) 1;
-  Alcotest.(check (list int)) "second page dirty" [ base + 4096 ] (Aspace.soft_dirty_pages sp);
-  Alcotest.(check bool) "first page clean" false (Aspace.is_page_dirty sp base)
+  Alcotest.(check (list int)) "second page dirty" [ base + 4096 ] (Aspace.epoch_dirty_pages sp ~name:"startup");
+  Alcotest.(check bool) "first page clean" false (Aspace.epoch_page_dirty sp ~name:"startup" base)
 
 let test_soft_dirty_untracked_write () =
   let sp = Aspace.create () in
   let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
-  Aspace.clear_soft_dirty sp;
+  Aspace.epoch_reset sp ~name:"startup";
   Aspace.write_word_untracked sp base 7;
   Alcotest.(check int) "value written" 7 (Aspace.read_word sp base);
-  Alcotest.(check (list int)) "still clean" [] (Aspace.soft_dirty_pages sp)
+  Alcotest.(check (list int)) "still clean" [] (Aspace.epoch_dirty_pages sp ~name:"startup")
 
 let test_soft_dirty_epoch () =
   let sp = Aspace.create () in
   let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
   Aspace.write_word sp base 1;
-  Aspace.clear_soft_dirty sp;
-  Alcotest.(check (list int)) "clear resets" [] (Aspace.soft_dirty_pages sp);
+  Aspace.epoch_reset sp ~name:"startup";
+  Alcotest.(check (list int)) "clear resets" [] (Aspace.epoch_dirty_pages sp ~name:"startup");
   Aspace.write_word sp base 2;
-  Alcotest.(check (list int)) "re-dirty" [ Addr.page_base base ] (Aspace.soft_dirty_pages sp)
+  Alcotest.(check (list int)) "re-dirty" [ Addr.page_base base ] (Aspace.epoch_dirty_pages sp ~name:"startup")
 
 let test_reads_do_not_dirty () =
   let sp = Aspace.create () in
   let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
-  Aspace.clear_soft_dirty sp;
+  Aspace.epoch_reset sp ~name:"startup";
   ignore (Aspace.read_word sp base);
-  Alcotest.(check (list int)) "reads keep pages clean" [] (Aspace.soft_dirty_pages sp)
+  Alcotest.(check (list int)) "reads keep pages clean" [] (Aspace.epoch_dirty_pages sp ~name:"startup")
 
 (* ------------------------------------------------------------------ *)
 (* Clone and cross-space copy *)
@@ -176,12 +176,12 @@ let test_copy_words_across_spaces () =
   for i = 0 to 9 do
     Aspace.write_word a (Addr.add_words src i) (i * 11)
   done;
-  Aspace.clear_soft_dirty b;
+  Aspace.epoch_reset b ~name:"startup";
   Aspace.copy_words ~src:a src ~dst:b dst ~words:10;
   for i = 0 to 9 do
     Alcotest.(check int) "copied" (i * 11) (Aspace.read_word b (Addr.add_words dst i))
   done;
-  Alcotest.(check (list int)) "transfer writes untracked" [] (Aspace.soft_dirty_pages b)
+  Alcotest.(check (list int)) "transfer writes untracked" [] (Aspace.epoch_dirty_pages b ~name:"startup")
 
 (* ------------------------------------------------------------------ *)
 (* Named epochs, frame sharing, copy-on-write *)
@@ -224,12 +224,12 @@ let test_epoch_never_created_sees_everything () =
 let test_legacy_shims_are_startup_epoch () =
   let sp = Aspace.create () in
   let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:4096 Region.Heap in
-  Aspace.clear_soft_dirty sp;
+  Aspace.epoch_reset sp ~name:"startup";
   Aspace.write_word sp base 1;
   Alcotest.(check bool) "shim sees startup epoch" true
     (Aspace.epoch_page_dirty sp ~name:"startup" base);
   Aspace.epoch_reset sp ~name:"startup";
-  Alcotest.(check bool) "shim read agrees" false (Aspace.is_page_dirty sp base)
+  Alcotest.(check bool) "epoch read agrees" false (Aspace.epoch_page_dirty sp ~name:"startup" base)
 
 let share_setup () =
   let a = Aspace.create () in
@@ -293,13 +293,13 @@ let test_unmap_shared_releases_ref () =
 let test_mark_inherited_survives_tracking () =
   let sp = Aspace.create () in
   let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(2 * 4096) Region.Heap in
-  Aspace.clear_soft_dirty sp;
+  Aspace.epoch_reset sp ~name:"startup";
   Aspace.mark_inherited sp (Addr.add base 4096) ~words:1;
   Alcotest.(check bool) "tainted" true (Aspace.page_inherited sp (Addr.add base 4096));
   Alcotest.(check bool) "first page untainted" false (Aspace.page_inherited sp base);
-  Alcotest.(check (list int)) "taint is not dirtiness" [] (Aspace.soft_dirty_pages sp);
+  Alcotest.(check (list int)) "taint is not dirtiness" [] (Aspace.epoch_dirty_pages sp ~name:"startup");
   (* the taint survives epoch resets — it is not epoch state *)
-  Aspace.clear_soft_dirty sp;
+  Aspace.epoch_reset sp ~name:"startup";
   Alcotest.(check bool) "survives reset" true (Aspace.page_inherited sp (Addr.add base 4096))
 
 let test_resident_bytes () =
@@ -324,13 +324,13 @@ let prop_dirty_iff_written =
     (fun offsets ->
       let sp = Aspace.create () in
       let base = Aspace.map sp (Aspace.Near Region.Heap) ~size:(4 * 4096) Region.Heap in
-      Aspace.clear_soft_dirty sp;
+      Aspace.epoch_reset sp ~name:"startup";
       List.iter (fun off -> Aspace.write_word sp (Addr.add_words base off) 1) offsets;
       let expected =
         List.sort_uniq compare
           (List.map (fun off -> Addr.page_base (Addr.add_words base off)) offsets)
       in
-      Aspace.soft_dirty_pages sp = expected)
+      Aspace.epoch_dirty_pages sp ~name:"startup" = expected)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
