@@ -1,0 +1,16 @@
+let w_u64 b n =
+  for i = 0 to 7 do Buffer.add_char b (Char.chr ((n lsr (8*i)) land 0xff)) done
+let () =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "MCRIMAGE";
+  w_u64 b 1;            (* format version *)
+  w_u64 b 1;            (* section count *)
+  Buffer.add_string b "META";
+  (* name length = max_int: pos + n overflows negative, bounds check passes *)
+  w_u64 b max_int;
+  Buffer.add_string b "xx";
+  let data = Buffer.contents b in
+  (match Mcr_image.Image.decode data with
+   | Ok _ -> print_endline "Ok ?!"
+   | Error e -> print_endline ("typed error: " ^ Mcr_image.Image.error_to_string e)
+   | exception e -> print_endline ("UNCAUGHT EXCEPTION: " ^ Printexc.to_string e))
