@@ -40,6 +40,7 @@ let experiments =
     ("downtime", fun () -> Downtime.run ~smoke:!smoke ~workers:!workers ());
     ("fleet", fun () -> Fleetbench.run ~smoke:!smoke ());
     ("image", fun () -> Imagebench.run ~smoke:!smoke ());
+    ("latency", fun () -> Latencybench.run ~smoke:!smoke ());
   ]
 
 let usage () =
@@ -125,6 +126,8 @@ let () =
           match baseline_kind path with
           | Some "fleet" -> Fleetbench.check ~against:path ~tolerance_pct:!tolerance_pct ()
           | Some "image" -> Imagebench.check ~against:path ~tolerance_pct:!tolerance_pct ()
+          | Some "latency" ->
+              Latencybench.check ~against:path ~tolerance_pct:!tolerance_pct ()
           | _ -> Downtime.check ~against:path ~tolerance_pct:!tolerance_pct ())
         baselines
   | [] | [ "all" ] ->

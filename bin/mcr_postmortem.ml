@@ -12,12 +12,18 @@
    embedded flight record. Exit 0 when reproduced, 3 when the re-run
    contradicts the record.
 
+   With --requests the open-loop load driver's per-request stamps are
+   correlated with each record: a client-impact section names the
+   waterfall segment (quiesce/copy/relink/...) each stalled request was
+   held in.
+
      dune exec bin/mcr_postmortem.exe -- bench-out/flight_nginx.json
      dune exec bin/mcr_postmortem.exe -- bench-out/fleet_nginx_n8_fault_halt.json
      dune exec bin/mcr_postmortem.exe -- --replay images/nginx-update-1.mcrimg
      dune exec bin/mcr_postmortem.exe -- -    # read stdin *)
 
 module Flight = Mcr_obs.Flight
+module Client_impact = Mcr_obs.Client_impact
 module Fleet_flight = Mcr_obs.Fleet_flight
 module Json = Mcr_obs.Json
 module Postmortem = Mcr_obs.Postmortem
@@ -57,18 +63,28 @@ let run_replay path =
           Format.printf "%a@." Timetravel.pp_verdict v;
           if not v.Timetravel.v_reproduced then exit 3)
 
-let run replay path =
+let read_file path =
+  let ic = open_in_bin path in
+  let data = read_all ic in
+  close_in ic;
+  data
+
+(* --requests: per-request stamps from the open-loop load driver
+   (Loadgen.requests_json). Render the client-impact section after each
+   flight record — which requests the window stalled, in which segment. *)
+let load_requests = function
+  | None -> None
+  | Some path -> (
+      match Client_impact.reqs_of_json (read_file path) with
+      | Ok (server, reqs) -> Some (server, reqs)
+      | Error e ->
+          Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
+          exit 2)
+
+let run replay requests path =
   if replay then run_replay path
   else
-  let data =
-    if path = "-" then read_all stdin
-    else begin
-      let ic = open_in_bin path in
-      let data = read_all ic in
-      close_in ic;
-      data
-    end
-  in
+  let data = if path = "-" then read_all stdin else read_file path in
   (* A fleet rollout summary is a single object with a "waves" member;
      everything else is a flight record (or a list of them). *)
   let is_fleet =
@@ -87,7 +103,17 @@ let run replay path =
     | Error e ->
         Printf.eprintf "mcr-postmortem: %s: %s\n" path e;
         exit 2
-    | Ok records -> print_string (Postmortem.render_list records)
+    | Ok records -> (
+        match load_requests requests with
+        | None -> print_string (Postmortem.render_list records)
+        | Some (server, reqs) ->
+            List.iter
+              (fun r ->
+                print_string (Postmortem.render r);
+                Printf.printf "\nclient requests: %d against %s\n" (List.length reqs) server;
+                print_string (Postmortem.render_client_impact r reqs);
+                print_newline ())
+              records)
 
 open Cmdliner
 
@@ -109,10 +135,21 @@ let replay =
            kernel, re-run the recorded update offline and check the verdict against \
            the embedded flight record (exit 3 if not reproduced).")
 
+let requests_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "requests" ] ~docv:"REQS"
+        ~doc:
+          "Per-request latency stamps from the open-loop load driver (the \
+           $(b,latency_requests_*.json) artifact of $(b,bench latency)); adds a \
+           client-impact section correlating stalled requests to downtime-waterfall \
+           segments.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mcr-postmortem"
        ~doc:"Render MCR update flight records as a post-mortem report")
-    Term.(const run $ replay $ file)
+    Term.(const run $ replay $ requests_arg $ file)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,7 @@ module Manager = Mcr_core.Manager
 module Ctl = Mcr_core.Ctl
 module Testbed = Mcr_workloads.Testbed
 module Holders = Mcr_workloads.Holders
+module Loadgen = Mcr_workloads.Loadgen
 module Trace = Mcr_obs.Trace
 module Metrics = Mcr_obs.Metrics
 module Export = Mcr_obs.Export
@@ -38,12 +39,21 @@ let write_file path data =
   close_out oc;
   Printf.printf "wrote %s (%d bytes)\n" path (String.length data)
 
-let run server requests conns out format =
+let run server requests conns openloop out format =
   let kernel = K.create () in
   let trace = Trace.create ~clock:(fun () -> K.clock_ns kernel) () in
   Printf.printf "launching %s with tracing enabled...\n%!" (Testbed.name server);
   let m = Testbed.launch ~trace kernel server in
   ignore (Testbed.benchmark kernel server ~scale:(max 1 (100_000 / requests)) ());
+  (* Open-loop clients share the update pipeline's trace sink, so each
+     request.* span lands on the same timeline as the update.* spans it
+     overlaps — a stalled request visibly brackets the window segment
+     that held it. Same Chrome trace-event schema, one more category. *)
+  let lg =
+    if openloop > 0 then
+      Some (Loadgen.start kernel ~server ~trace ~rate:20_000 ~requests:openloop ())
+    else None
+  in
   let holders =
     if conns > 0 then Some (Testbed.open_holders kernel server ~n:conns) else None
   in
@@ -70,6 +80,7 @@ let run server requests conns out format =
            ~max_ns:(K.clock_ns kernel + 60_000_000_000)
            (fun () -> Holders.all_done h))
   | None -> ());
+  Option.iter (fun lg -> Loadgen.drive lg) lg;
   Printf.printf "update %s; %d events traced (%d dropped)\n"
     (if report.Manager.success then "committed" else "rolled back")
     (Trace.emitted trace) (Trace.dropped trace);
@@ -116,6 +127,15 @@ let requests =
 let conns =
   Arg.(value & opt int 4 & info [ "conns"; "c" ] ~doc:"Long-lived connections held across the update.")
 
+let openloop =
+  Arg.(
+    value & opt int 0
+    & info [ "open-loop" ]
+        ~doc:
+          "Additionally run this many open-loop Poisson clients through the update; \
+           their $(b,request.*) spans share the trace timeline with the update \
+           pipeline's spans.")
+
 let out =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output path base (extension added per format).")
 
@@ -125,6 +145,6 @@ let format =
 let cmd =
   Cmd.v
     (Cmd.info "mcr-tracedump" ~doc:"Export an MCR live-update event trace")
-    Term.(const run $ server $ requests $ conns $ out $ format)
+    Term.(const run $ server $ requests $ conns $ openloop $ out $ format)
 
 let () = exit (Cmd.eval cmd)

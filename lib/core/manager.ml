@@ -56,6 +56,9 @@ type mset = {
   m_workers_g : Metrics.gauge;
   m_shard_words_h : Metrics.histogram;
   m_slo_violations : Metrics.counter;
+  m_parked : Metrics.counter;
+  m_resumed : Metrics.counter;
+  m_aborted : Metrics.counter;
 }
 
 let make_mset metrics =
@@ -86,6 +89,9 @@ let make_mset metrics =
     m_workers_g = Metrics.gauge metrics "mcr_transfer_workers";
     m_shard_words_h = Metrics.histogram metrics "mcr_transfer_shard_words";
     m_slo_violations = Metrics.counter metrics "mcr_slo_violations_total";
+    m_parked = Metrics.counter metrics "mcr_requests_parked_total";
+    m_resumed = Metrics.counter metrics "mcr_requests_resumed_total";
+    m_aborted = Metrics.counter metrics "mcr_requests_aborted_total";
   }
 
 type t = {
@@ -131,6 +137,10 @@ type report = {
   failure : Err.rollback_reason option;
   metrics : Metrics.snapshot;
   flight : Flight.record;
+  parked_requests : int;
+  resumed_requests : int;
+  aborted_requests : int;
+  client_latency : Mcr_util.Stats.hist_summary option;
 }
 
 let kernel t = t.kernel
@@ -286,6 +296,24 @@ let policy_command policy cmd =
               policy := Policy.with_slo ~downtime_ns:d ~total_ns:u !policy;
               Some "OK"
           | _ -> Some usage
+        end
+      | _ -> Some usage
+    end
+  | "PARKING" :: rest -> begin
+      let usage = "ERR usage: PARKING ON [drain_ns] | OFF" in
+      match rest with
+      | [ "OFF" ] ->
+          policy := Policy.with_request_parking false !policy;
+          Some "OK"
+      | [ "ON" ] ->
+          policy := Policy.with_request_parking true !policy;
+          Some "OK"
+      | [ "ON"; d ] -> begin
+          match int_of_string_opt d with
+          | Some d when d >= 0 ->
+              policy := Policy.with_request_parking ~drain_ns:d true !policy;
+              Some "OK"
+          | Some _ | None -> Some usage
         end
       | _ -> Some usage
     end
@@ -641,6 +669,58 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
   in
   let precopy_rounds_done = ref 0 in
   let precopy_bytes_staged = ref 0 in
+  (* ---- in-flight request parking. Listeners are parked (new connections
+     queue kernel-side instead of getting ECONNREFUSED) just before the
+     window opens, the old version gets a bounded drain to finish requests
+     it already accepted, and whichever version survives the attempt
+     unparks — listener descriptors are shared across versions, so the
+     parked queue drains into the survivor's accept backlog. ---- *)
+  let parking_enabled = pol.Policy.request_parking in
+  let pstats0 = K.parking_stats k in
+  let parked_engaged = ref false in
+  let member_procs imgs = List.map (fun (im : P.image) -> im.P.i_proc) imgs in
+  let park_members () =
+    if parking_enabled then begin
+      let n =
+        List.fold_left
+          (fun acc p -> acc + K.park_listeners k p)
+          0
+          (member_procs (images t))
+      in
+      parked_engaged := true;
+      Trace.instant tr ~pid:mpid ~cat:"stage"
+        ~args:[ ("listeners", string_of_int n) ]
+        "park";
+      if pol.Policy.drain_ns > 0 then K.run_for k pol.Policy.drain_ns
+    end
+  in
+  let unpark_members imgs =
+    if !parked_engaged then begin
+      let n =
+        List.fold_left (fun acc p -> acc + K.unpark_listeners k p) 0 (member_procs imgs)
+      in
+      parked_engaged := false;
+      Trace.instant tr ~pid:mpid ~cat:"stage"
+        ~args:[ ("resumed", string_of_int n) ]
+        "unpark"
+    end
+  in
+  (* this attempt's conservation ledger entry, folded into the metrics and
+     the report on every exit path *)
+  let note_parking () =
+    let s = K.parking_stats k in
+    let pk = s.K.parked - pstats0.K.parked in
+    let rs = s.K.resumed - pstats0.K.resumed in
+    let ab = s.K.aborted - pstats0.K.aborted in
+    Metrics.incr ~by:pk t.mset.m_parked;
+    Metrics.incr ~by:rs t.mset.m_resumed;
+    Metrics.incr ~by:ab t.mset.m_aborted;
+    (pk, rs, ab)
+  in
+  let client_latency () =
+    Option.map Metrics.hist_snapshot_summary
+      (Metrics.find_histogram (Metrics.snapshot t.metrics) "mcr_request_latency_ns")
+  in
   let note_rollback reason =
     Metrics.incr t.mset.m_rollbacks;
     Metrics.incr (Metrics.counter t.metrics (Err.metric_name reason))
@@ -793,6 +873,8 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
     teardown_from := K.clock_ns k;
     let reason_s = Err.to_string reason in
     release_all t;
+    unpark_members (images t);
+    let parked_requests, resumed_requests, aborted_requests = note_parking () in
     respond_ctl t ("ERR " ^ reason_s);
     note_rollback reason;
     observe_end ();
@@ -817,6 +899,10 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
         failure = Some reason;
         metrics = metrics_snapshot t;
         flight;
+        parked_requests;
+        resumed_requests;
+        aborted_requests;
+        client_latency = client_latency ();
       } )
   in
   (* a manager whose processes are gone (already updated away from, or
@@ -831,6 +917,10 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
   let quiesce_ns = ref 0 in
   let do_quiesce () =
     Trace.span_begin tr ~pid:mpid ~cat:"stage" "quiesce";
+    (* park first, then drain: new arrivals queue kernel-side while the old
+       version finishes what it already accepted, so the barrier finds the
+       accept loops idle instead of mid-request *)
+    park_members ();
     (* fault injection: while armed, old-version threads decline the barrier *)
     (match fault with
     | Some f when Fault.fires f Fault.Quiesce_refusal ->
@@ -1008,6 +1098,8 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
           if K.alive im.P.i_proc then K.kill_process k im.P.i_proc ~status:1)
         !new_members;
       release_all t;
+      unpark_members (images t);
+      let parked_requests, resumed_requests, aborted_requests = note_parking () in
       respond_ctl t ("ERR " ^ reason_s);
       note_rollback reason;
       Metrics.incr ~by:(Replayer.replayed_calls rep) t.mset.m_replayed;
@@ -1037,6 +1129,10 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
           failure = Some reason;
           metrics = metrics_snapshot t;
           flight;
+          parked_requests;
+          resumed_requests;
+          aborted_requests;
+          client_latency = client_latency ();
         } )
     in
     (* fault injection: kill the new version mid-startup *)
@@ -1375,7 +1471,13 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
          per-process channel setup cost *)
       fb_relink := (if precopy_enabled then 0 else relink_ns);
       fb_channel := 2_000_000 * !pairs_done;
-      K.charge k (!max_pair_cost + !fb_relink + !fb_channel);
+      (* Dedicated-core accounting keeps client machines live through the
+         copy window — their connect/backoff timers fire inside it, which
+         is what the latency bench measures. Single-core accounting (the
+         default) freezes them, preserving historical downtime numbers. *)
+      (if pol.Policy.concurrent_transfer then K.charge_concurrent else K.charge)
+        k
+        (!max_pair_cost + !fb_relink + !fb_channel);
       let t3 = K.clock_ns k in
       let st_ns = t3 - t2' in
       Trace.span_end tr ~pid:mpid ~cat:"stage"
@@ -1414,6 +1516,11 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
         in_update := false;
         K.set_fault_hook k None;
         List.iter (fun (im : P.image) -> Barrier.release im.P.i_barrier) (live_new ());
+        (* the survivor serves: parked connections drain FIFO into its
+           accept backlogs (the listener descriptors were shared across
+           versions, so the queue is already its own) *)
+        unpark_members (live_new ());
+        let parked_requests, resumed_requests, aborted_requests = note_parking () in
         let new_t =
           {
             kernel = k;
@@ -1460,6 +1567,10 @@ let update_once t ~(pol : Policy.t) ?(attempt = 0) ?(prior = []) ?fault ?on_prec
             failure = None;
             metrics = metrics_snapshot new_t;
             flight;
+            parked_requests;
+            resumed_requests;
+            aborted_requests;
+            client_latency = client_latency ();
           } )
         end
       end

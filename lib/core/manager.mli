@@ -149,6 +149,21 @@ type report = {
           to [downtime_ns] exactly), rollback explanation (stage, frozen
           reason, conflicting objects, fired fault points, retry lineage)
           and SLO evaluation. Also appended to {!flight_records}. *)
+  parked_requests : int;
+      (** Connections parked by this attempt ({!Policy.t.request_parking};
+          0 with parking off). Conservation: [parked_requests =
+          resumed_requests + aborted_requests] on every exit path — the
+          attempt never strands a parked connection. *)
+  resumed_requests : int;
+      (** Parked connections moved into the surviving version's accept
+          backlog when the attempt ended (commit or rollback). *)
+  aborted_requests : int;
+      (** Parked connections whose listener died before unpark. *)
+  client_latency : Mcr_util.Stats.hist_summary option;
+      (** Client-observed request-latency tail (p50/p90/p99/p99.9/max) from
+          the [mcr_request_latency_ns] histogram, when a load driver
+          ({!Mcr_workloads.Loadgen}) is feeding one into this manager's
+          registry. *)
 }
 
 val update :

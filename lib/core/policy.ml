@@ -13,6 +13,9 @@ type t = {
   slo_downtime_ns : int option;
   slo_total_ns : int option;
   image_dir : string option;
+  request_parking : bool;
+  drain_ns : int;
+  concurrent_transfer : bool;
 }
 
 let default =
@@ -31,6 +34,9 @@ let default =
     slo_downtime_ns = None;
     slo_total_ns = None;
     image_dir = None;
+    request_parking = false;
+    drain_ns = 2_000_000;
+    concurrent_transfer = false;
   }
 
 let with_quiesce_deadline_ns q t = { t with quiesce_deadline_ns = q }
@@ -73,6 +79,13 @@ let with_slo ~downtime_ns ~total_ns t =
 
 let with_image_dir d t = { t with image_dir = d }
 
+let with_request_parking ?drain_ns enabled t =
+  let drain_ns = Option.value drain_ns ~default:t.drain_ns in
+  if drain_ns < 0 then invalid_arg "Policy.with_request_parking: negative drain budget";
+  { t with request_parking = enabled; drain_ns }
+
+let with_concurrent_transfer c t = { t with concurrent_transfer = c }
+
 (* Key=value rendering embedded in checkpoint images (section POLI) so an
    offline replay can re-run an update under the exact policy that
    produced it. Only scalar fields round-trip; [image_dir] deliberately
@@ -94,6 +107,9 @@ let to_kv t =
       "transfer_remap=" ^ string_of_bool t.transfer_remap;
       "slo_downtime_ns=" ^ opt t.slo_downtime_ns;
       "slo_total_ns=" ^ opt t.slo_total_ns;
+      "request_parking=" ^ string_of_bool t.request_parking;
+      "drain_ns=" ^ string_of_int t.drain_ns;
+      "concurrent_transfer=" ^ string_of_bool t.concurrent_transfer;
     ]
 
 let of_string_exn p v =
@@ -139,6 +155,11 @@ let of_kv s =
         slo_downtime_ns = opt "slo_downtime_ns" `Int;
         slo_total_ns = opt "slo_total_ns" `Int;
         image_dir = None;
+        request_parking =
+          scalar "request_parking" `Bool (if default.request_parking then 1 else 0) <> 0;
+        drain_ns = scalar "drain_ns" `Int default.drain_ns;
+        concurrent_transfer =
+          scalar "concurrent_transfer" `Bool (if default.concurrent_transfer then 1 else 0) <> 0;
       }
   with Stdlib.Failure msg -> Error msg
 
@@ -150,8 +171,10 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<hov>quiesce_deadline_ns=%a update_deadline_ns=%a retries=%d retry_backoff_ns=%d \
      fault_seed=%a dirty_only=%b precopy=%b precopy_max_rounds=%d precopy_threshold_words=%d \
-     transfer_workers=%d transfer_remap=%b slo_downtime_ns=%a slo_total_ns=%a image_dir=%s@]"
+     transfer_workers=%d transfer_remap=%b slo_downtime_ns=%a slo_total_ns=%a image_dir=%s \
+     request_parking=%b drain_ns=%d concurrent_transfer=%b@]"
     opt t.quiesce_deadline_ns opt t.update_deadline_ns t.retries t.retry_backoff_ns opt
     t.fault_seed t.dirty_only t.precopy t.precopy_max_rounds t.precopy_threshold_words
     t.transfer_workers t.transfer_remap opt t.slo_downtime_ns opt t.slo_total_ns
     (Option.value t.image_dir ~default:"-")
+    t.request_parking t.drain_ns t.concurrent_transfer

@@ -61,6 +61,25 @@ type t = {
           attempt's flight record attached) into this {e host} directory
           once the attempt completes — the input to crash recovery,
           migration and [mcr-postmortem --replay] (default none). *)
+  request_parking : bool;
+      (** Park in-flight connections during the update window: listeners
+          stop refusing (no [ECONNREFUSED] retry storms) and instead queue
+          new connections kernel-side, resuming them FIFO on the surviving
+          version after commit or rollback. Established connections get a
+          bounded [drain_ns] grace period before quiescence is requested
+          (default false). *)
+  drain_ns : int;
+      (** How long to keep serving after parking the listeners, so
+          requests already being processed finish before the quiescence
+          barrier is requested (default 2 ms; only meaningful with
+          [request_parking]). *)
+  concurrent_transfer : bool;
+      (** Bill the state-transfer copy to a dedicated core
+          ({!Mcr_simos.Kernel.charge_concurrent}): the rest of the machine
+          — in particular client processes standing in for remote hosts —
+          keeps running through the copy window, so their retry/backoff
+          timers fire inside it instead of leapfrogging to its end. Off by
+          default: single-core accounting, window freezes everything. *)
 }
 
 val default : t
@@ -90,6 +109,15 @@ val with_slo : downtime_ns:int option -> total_ns:int option -> t -> t
 val with_image_dir : string option -> t -> t
 (** Set (or clear) the host directory update-time checkpoint images are
     written into. *)
+
+val with_request_parking : ?drain_ns:int -> bool -> t -> t
+(** [with_request_parking true p] parks in-flight connections through
+    update windows; [drain_ns] defaults to the current value of [p].
+    @raise Invalid_argument if the drain budget is negative. *)
+
+val with_concurrent_transfer : bool -> t -> t
+(** Enable or disable dedicated-core accounting for the state-transfer
+    window. *)
 
 val to_kv : t -> string
 (** Render the scalar fields as a [key=value ...] line — the form embedded

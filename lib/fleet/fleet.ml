@@ -102,6 +102,24 @@ let state_str = function
   | Balancer.Draining -> "draining"
   | Balancer.Out -> "out"
 
+(* Fleet-wide client latency: the open-loop driver observes
+   mcr_request_latency_ns into each instance manager's own registry;
+   merging the per-instance histograms (same log bounds everywhere) gives
+   the tail a client of the whole fleet sees. *)
+let client_latency t =
+  Array.fold_left
+    (fun acc inst ->
+      match
+        Metrics.find_histogram (Manager.metrics_snapshot inst.manager)
+          "mcr_request_latency_ns"
+      with
+      | Some h when h.Metrics.total > 0 -> (
+          match acc with
+          | None -> Some h
+          | Some m -> Some (Metrics.hist_snapshot_merge m h))
+      | Some _ | None -> acc)
+    None t.instances
+
 let status_text t =
   let buf = Buffer.create 512 in
   let pol = !(t.policy) in
@@ -121,6 +139,18 @@ let status_text t =
            (Manager.version inst.manager).P.version_tag
            (state_str (Balancer.state t.balancer inst.id))))
     t.instances;
+  (match client_latency t with
+  | None -> ()
+  | Some h ->
+      let s = Metrics.hist_snapshot_summary h in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "client latency: %d request(s), p50 %d us, p99 %d us, p99.9 %d us, max %d us\n"
+           s.Mcr_util.Stats.count
+           (s.Mcr_util.Stats.p50_ns / 1000)
+           (s.Mcr_util.Stats.p99_ns / 1000)
+           (s.Mcr_util.Stats.p999_ns / 1000)
+           (s.Mcr_util.Stats.max_ns / 1000)));
   Buffer.contents buf
 
 (* FNV over the whole root-process address space: region identity plus

@@ -80,7 +80,16 @@ val last_summary : t -> Mcr_obs.Fleet_flight.t option
 
 val status_text : t -> string
 (** The [FLEET STATUS] payload: fleet headline, policy knobs, one line per
-    instance (version and balancer state). *)
+    instance (version and balancer state), and — once any instance has
+    request-latency observations — the fleet-wide client-latency tail
+    ({!client_latency}). *)
+
+val client_latency : t -> Mcr_obs.Metrics.hist_snapshot option
+(** The [mcr_request_latency_ns] histograms of every instance manager's
+    registry, merged ({!Mcr_obs.Metrics.hist_snapshot_merge}) into the
+    fleet-wide client-perceived latency distribution; [None] until some
+    instance has observations (e.g. an open-loop {!Mcr_workloads.Loadgen}
+    started with that manager's registry). *)
 
 val metrics : t -> Mcr_obs.Metrics.t
 (** The fleet-level registry ([mcr_fleet_*] instruments). Independent of

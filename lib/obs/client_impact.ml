@@ -1,0 +1,144 @@
+(* Correlate per-request stamps with a flight record's downtime waterfall.
+   Pure arithmetic over already-recorded data — nothing here touches the
+   kernel. *)
+
+type req = {
+  q_id : int;
+  q_scheduled_ns : int;
+  q_first_byte_ns : int;
+  q_complete_ns : int;
+  q_retries : int;
+  q_ok : bool;
+}
+
+let window (r : Flight.record) =
+  if r.Flight.f_downtime_ns <= 0 then None
+  else
+    let w_end = r.Flight.f_start_ns + r.Flight.f_total_ns in
+    Some (w_end - r.Flight.f_downtime_ns, w_end)
+
+let overlaps (w_start, w_end) q = q.q_scheduled_ns < w_end && q.q_complete_ns > w_start
+
+(* The waterfall component containing [offset] ns into the window: walk the
+   components cumulatively, skipping zero-length ones. Offsets past the
+   attributed span (possible only if the record failed reconciliation) fall
+   into the last non-empty segment. *)
+let segment_at (a : Flight.attribution) offset =
+  let components = List.filter (fun (_, ns) -> ns > 0) (Flight.attribution_components a) in
+  let rec walk acc last = function
+    | [] -> last
+    | (label, ns) :: rest ->
+        if offset < acc + ns then Some label else walk (acc + ns) (Some label) rest
+  in
+  walk 0 None components
+
+let stalling_segment (r : Flight.record) q =
+  match window r with
+  | None -> None
+  | Some ((w_start, _) as w) ->
+      if not (overlaps w q) then None
+      else segment_at r.Flight.f_attribution (max (q.q_scheduled_ns - w_start) 0)
+
+type summary = {
+  ci_window_start_ns : int;
+  ci_window_end_ns : int;
+  ci_total : int;
+  ci_stalled : int;
+  ci_retried : int;
+  ci_errored : int;
+  ci_by_segment : (string * int) list;
+  ci_stalled_p50_ns : int;
+  ci_stalled_p99_ns : int;
+  ci_stalled_max_ns : int;
+  ci_clear_p99_ns : int;
+}
+
+(* Exact percentile, rank = ceil(p/100 * n) — same rule the load driver's
+   [exact_percentile] uses, so report and bench numbers agree. *)
+let percentile ds p =
+  let ds = List.sort compare ds |> Array.of_list in
+  let n = Array.length ds in
+  if n = 0 then 0
+  else
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+    ds.(min (n - 1) (rank - 1))
+
+let analyze (r : Flight.record) reqs =
+  let w_start, w_end = match window r with Some w -> w | None -> (0, 0) in
+  let stalled, clear =
+    if w_end = 0 then ([], reqs) else List.partition (overlaps (w_start, w_end)) reqs
+  in
+  let counts =
+    List.map
+      (fun (label, _) ->
+        ( label,
+          List.length
+            (List.filter
+               (fun q -> segment_at r.Flight.f_attribution (max (q.q_scheduled_ns - w_start) 0)
+                         = Some label)
+               stalled) ))
+      (Flight.attribution_components r.Flight.f_attribution)
+    |> List.filter (fun (_, n) -> n > 0)
+  in
+  let lat q = q.q_complete_ns - q.q_scheduled_ns in
+  let stalled_lat = List.map lat stalled in
+  {
+    ci_window_start_ns = w_start;
+    ci_window_end_ns = w_end;
+    ci_total = List.length reqs;
+    ci_stalled = List.length stalled;
+    ci_retried = List.length (List.filter (fun q -> q.q_retries > 0) stalled);
+    ci_errored = List.length (List.filter (fun q -> not q.q_ok) stalled);
+    ci_by_segment = counts;
+    ci_stalled_p50_ns = percentile stalled_lat 50.;
+    ci_stalled_p99_ns = percentile stalled_lat 99.;
+    ci_stalled_max_ns = List.fold_left max 0 stalled_lat;
+    ci_clear_p99_ns = percentile (List.map lat clear) 99.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON: integers only, fixed field order, same dialect as Flight. *)
+
+let req_to_json q =
+  Printf.sprintf
+    {|{"id":%d,"scheduled_ns":%d,"first_byte_ns":%d,"complete_ns":%d,"retries":%d,"ok":%b}|}
+    q.q_id q.q_scheduled_ns q.q_first_byte_ns q.q_complete_ns q.q_retries q.q_ok
+
+let reqs_to_json ~server reqs =
+  Printf.sprintf {|{"server":"%s","requests":[%s]}|}
+    (Json_escape.escape server)
+    (String.concat ",\n" (List.map req_to_json reqs))
+
+let ( let* ) = Result.bind
+
+let req_of_json j =
+  let req what = function Some v -> Ok v | None -> Error ("request: missing " ^ what) in
+  let* q_id = req "id" (Json.int_field "id" j) in
+  let* q_scheduled_ns = req "scheduled_ns" (Json.int_field "scheduled_ns" j) in
+  let* q_first_byte_ns = req "first_byte_ns" (Json.int_field "first_byte_ns" j) in
+  let* q_complete_ns = req "complete_ns" (Json.int_field "complete_ns" j) in
+  let* q_retries = req "retries" (Json.int_field "retries" j) in
+  let* q_ok = req "ok" (Json.bool_field "ok" j) in
+  Ok { q_id; q_scheduled_ns; q_first_byte_ns; q_complete_ns; q_retries; q_ok }
+
+let reqs_of_json data =
+  let* j = Json.parse data in
+  let* server =
+    match Json.str_field "server" j with
+    | Some s -> Ok s
+    | None -> Error "requests file: missing server"
+  in
+  let* items =
+    match Json.list_field "requests" j with
+    | Some l -> Ok l
+    | None -> Error "requests file: missing requests array"
+  in
+  let* reqs =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* q = req_of_json item in
+        Ok (q :: acc))
+      (Ok []) items
+  in
+  Ok (server, List.rev reqs)

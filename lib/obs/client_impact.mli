@@ -1,0 +1,60 @@
+(** Client-perceived impact of an update window.
+
+    Correlates per-request latency stamps (the open-loop load driver's
+    records, serialized by [Loadgen.requests_json]) with a {!Flight.record}:
+    for every request whose lifetime overlapped the service-interruption
+    window, names the attribution segment — quiesce, copy, relink, … — that
+    the request first stalled in, by walking the downtime waterfall to the
+    offset at which the request entered the window. The result is the
+    "client impact" section of [mcr-postmortem]: not just {e how long} the
+    window was, but {e who} it hit and {e which} pipeline stage held them.
+
+    Plain data like {!Flight}: no kernel clock, no charges. *)
+
+type req = {
+  q_id : int;
+  q_scheduled_ns : int;  (** Open-loop scheduled arrival (submit instant). *)
+  q_first_byte_ns : int;  (** First server byte; -1 if none arrived. *)
+  q_complete_ns : int;
+  q_retries : int;  (** ECONNREFUSED-driven reconnect attempts. *)
+  q_ok : bool;
+}
+
+val window : Flight.record -> (int * int) option
+(** The service-interruption window
+    [[f_start_ns + f_total_ns - f_downtime_ns, f_start_ns + f_total_ns)];
+    [None] when the attempt had zero downtime (window never opened). *)
+
+val stalling_segment : Flight.record -> req -> string option
+(** The attribution segment the request first stalled in: the waterfall
+    component containing the offset [max (q_scheduled_ns - window_start) 0]
+    into the window. [None] when the request's [scheduled, complete) span
+    does not overlap the window (or the window never opened). *)
+
+type summary = {
+  ci_window_start_ns : int;
+  ci_window_end_ns : int;
+  ci_total : int;  (** Requests analyzed. *)
+  ci_stalled : int;  (** Requests overlapping the window. *)
+  ci_retried : int;  (** Stalled requests that cycled connect backoff. *)
+  ci_errored : int;  (** Stalled requests that ultimately failed. *)
+  ci_by_segment : (string * int) list;
+      (** Stalled count per entry segment, waterfall order, zeros omitted. *)
+  ci_stalled_p50_ns : int;  (** Exact percentiles over stalled requests. *)
+  ci_stalled_p99_ns : int;
+  ci_stalled_max_ns : int;
+  ci_clear_p99_ns : int;
+      (** Exact p99 over requests that never touched the window — the
+          baseline the stalled tail is read against. *)
+}
+
+val analyze : Flight.record -> req list -> summary
+
+(** {1 JSON}
+
+    Same dialect as {!Flight}: integers only, fixed field order.
+    [reqs_of_json] inverts [reqs_to_json]; the wrapper object carries the
+    server name so reports can label themselves. *)
+
+val reqs_to_json : server:string -> req list -> string
+val reqs_of_json : string -> (string * req list, string) result

@@ -55,7 +55,13 @@ let observe h v = Stats.hist_observe h.h_hist v
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
 
-type hist_snapshot = { bounds : int array; counts : int array; total : int; sum : int }
+type hist_snapshot = {
+  bounds : int array;
+  counts : int array;
+  total : int;
+  sum : int;
+  vmax : int;
+}
 
 type snapshot = {
   counters : (string * int) list;
@@ -79,6 +85,7 @@ let snapshot t =
                 counts = Array.copy h.h_hist.Stats.counts;
                 total = h.h_hist.Stats.total;
                 sum = h.h_hist.Stats.sum;
+                vmax = h.h_hist.Stats.vmax;
               } )
             :: !hists
       | None -> ())
@@ -120,10 +127,29 @@ let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
 let find_histogram s name = List.assoc_opt name s.histograms
 
+(* Pointwise sum via Stats.hist_merge, so the bounds check and the merge
+   arithmetic live in one place. *)
+let hist_snapshot_merge (a : hist_snapshot) (b : hist_snapshot) =
+  let to_hist (h : hist_snapshot) =
+    { Stats.bounds = h.bounds; counts = h.counts; total = h.total; sum = h.sum; vmax = h.vmax }
+  in
+  let m = Stats.hist_merge (to_hist a) (to_hist b) in
+  {
+    bounds = m.Stats.bounds;
+    counts = m.Stats.counts;
+    total = m.Stats.total;
+    sum = m.Stats.sum;
+    vmax = m.Stats.vmax;
+  }
+
 let hist_snapshot_percentile (h : hist_snapshot) p =
   Stats.hist_percentile
-    { Stats.bounds = h.bounds; counts = h.counts; total = h.total; sum = h.sum }
+    { Stats.bounds = h.bounds; counts = h.counts; total = h.total; sum = h.sum; vmax = h.vmax }
     p
+
+let hist_snapshot_summary (h : hist_snapshot) =
+  Stats.hist_summary
+    { Stats.bounds = h.bounds; counts = h.counts; total = h.total; sum = h.sum; vmax = h.vmax }
 
 let render s =
   let module T = Mcr_util.Tablefmt in
@@ -135,7 +161,7 @@ let render s =
     Buffer.add_string buf (T.render t)
   end;
   if s.histograms <> [] then begin
-    let t = T.create ~header:[ "histogram"; "count"; "sum"; "p50"; "p90"; "p99" ] in
+    let t = T.create ~header:[ "histogram"; "count"; "sum"; "p50"; "p90"; "p99"; "p99.9"; "max" ] in
     List.iter
       (fun (n, h) ->
         T.add_row t
@@ -146,6 +172,8 @@ let render s =
             string_of_int (hist_snapshot_percentile h 50.);
             string_of_int (hist_snapshot_percentile h 90.);
             string_of_int (hist_snapshot_percentile h 99.);
+            string_of_int (hist_snapshot_percentile h 99.9);
+            string_of_int h.vmax;
           ])
       s.histograms;
     Buffer.add_string buf (T.render t)

@@ -39,6 +39,7 @@ type hist_snapshot = {
   counts : int array;  (** Length [bounds + 1]; last cell is overflow. *)
   total : int;
   sum : int;
+  vmax : int;  (** Largest value observed (0 when empty). *)
 }
 
 type snapshot = {
@@ -57,7 +58,16 @@ val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option
 val find_histogram : snapshot -> string -> hist_snapshot option
 
+val hist_snapshot_merge : hist_snapshot -> hist_snapshot -> hist_snapshot
+(** Pointwise sum (counts, total, sum; max of maxima) — aggregating one
+    instrument across registries, e.g. per-instance request-latency
+    histograms into a fleet-wide tail.
+    @raise Invalid_argument when the bounds differ. *)
+
 val hist_snapshot_percentile : hist_snapshot -> float -> int
+
+val hist_snapshot_summary : hist_snapshot -> Mcr_util.Stats.hist_summary
+(** Tail summary (p50/p90/p99/p99.9/max) of a snapshotted histogram. *)
 
 val render : snapshot -> string
 (** Plain-text rendering (via {!Mcr_util.Tablefmt}) — the payload of the

@@ -138,6 +138,56 @@ let render (r : Flight.record) =
 let render_list records = String.concat "\n" (List.map render records)
 
 (* ------------------------------------------------------------------ *)
+(* Client impact: which requests the window hit, and which waterfall
+   segment held them. Same bar/fixed-point conventions as the waterfall
+   so the two sections read side by side. *)
+
+let render_client_impact (r : Flight.record) reqs =
+  let s = Client_impact.analyze r reqs in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "client impact:\n";
+  if s.Client_impact.ci_window_end_ns = 0 then
+    Buffer.add_string buf "  (window never opened: zero downtime, no requests stalled)\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "  window %s -> %s (%s)\n"
+         (fms s.Client_impact.ci_window_start_ns)
+         (fms s.Client_impact.ci_window_end_ns)
+         (fms (s.Client_impact.ci_window_end_ns - s.Client_impact.ci_window_start_ns)));
+    Buffer.add_string buf
+      (Printf.sprintf "  requests in flight or arriving inside the window: %d of %d\n"
+         s.Client_impact.ci_stalled s.Client_impact.ci_total);
+    (match s.Client_impact.ci_by_segment with
+    | [] -> ()
+    | counts ->
+        let widest = List.fold_left (fun acc (_, n) -> max acc n) 0 counts in
+        Buffer.add_string buf "  stalled in segment:\n";
+        List.iter
+          (fun (label, n) ->
+            let len = if widest = 0 then 0 else n * bar_width / widest in
+            let len = if len = 0 then 1 else len in
+            Buffer.add_string buf
+              (Printf.sprintf "    %-14s %6d  %s  |%s%s|\n" label n
+                 (pct n s.Client_impact.ci_stalled)
+                 (String.make len '#')
+                 (String.make (bar_width - len) ' ')))
+          counts);
+    if s.Client_impact.ci_stalled > 0 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "  stalled latency: p50 %s, p99 %s, max %s\n"
+           (fms s.Client_impact.ci_stalled_p50_ns)
+           (fms s.Client_impact.ci_stalled_p99_ns)
+           (fms s.Client_impact.ci_stalled_max_ns));
+      Buffer.add_string buf
+        (Printf.sprintf "  unaffected latency: p99 %s\n" (fms s.Client_impact.ci_clear_p99_ns));
+      Buffer.add_string buf
+        (Printf.sprintf "  retried (connect backoff): %d; errored: %d\n"
+           s.Client_impact.ci_retried s.Client_impact.ci_errored)
+    end
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Fleet rollout rendering: the wave timeline with per-instance verdicts,
    then the blocking verdict's full conflict narrative (its embedded
    flight record rendered like any single update). *)

@@ -12,6 +12,13 @@ val render : Flight.record -> string
 val render_list : Flight.record list -> string
 (** Concatenated {!render}s, blank-line separated. *)
 
+val render_client_impact : Flight.record -> Client_impact.req list -> string
+(** The client-impact section: the service-interruption window, how many
+    requests stalled in it, the stall count per attribution segment
+    ({!Client_impact.analyze}), and stalled-vs-unaffected latency tails.
+    Appended to {!render} output when [mcr-postmortem --requests] supplies
+    per-request stamps. *)
+
 val render_fleet : Fleet_flight.t -> string
 (** A fleet rollout: headline outcome, policy knobs, availability floor,
     the wave timeline with per-instance verdicts, and — when a verdict

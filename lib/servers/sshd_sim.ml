@@ -201,8 +201,9 @@ let strings = [ "sshd"; "AUTH"; "RUN"; "EXIT"; "SSH-2.0-mcr_sshd" ]
 
 let qpoints = [ ("ssh_server_loop", "accept"); ("ssh_session_read", "read") ]
 
-let version_of_step ~step ~final ~tag =
-  P.make_version ~prog:"sshd" ~version_tag:tag ~layout_bias:(step * 1024) ~tyenv:(env ~final)
+let version_of_step ?heap_words ~step ~final ~tag () =
+  P.make_version ~prog:"sshd" ~version_tag:tag ~layout_bias:(step * 1024) ?heap_words
+    ~tyenv:(env ~final)
     ~globals:(globals ~step) ~funcs:(funcs ~step) ~strings
     ~entries:
       [
@@ -220,7 +221,9 @@ let versions () =
       let tag =
         if step = 0 then "3.5p1" else if final then "3.8p1" else Printf.sprintf "3.5p1+u%d" step
       in
-      version_of_step ~step ~final ~tag)
+      version_of_step ~step ~final ~tag ())
 
-let base () = version_of_step ~step:0 ~final:false ~tag:"3.5p1"
-let final () = version_of_step ~step:meta.Table_meta.num_updates ~final:true ~tag:"3.8p1"
+let base ?heap_words () = version_of_step ?heap_words ~step:0 ~final:false ~tag:"3.5p1" ()
+
+let final ?heap_words () =
+  version_of_step ?heap_words ~step:meta.Table_meta.num_updates ~final:true ~tag:"3.8p1" ()

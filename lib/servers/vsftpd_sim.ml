@@ -243,8 +243,8 @@ let strings = [ "vsftpd"; "USER"; "PASS"; "RETR"; "STAT"; "QUIT"; ftp_root ]
 
 let qpoints = [ ("vsf_standalone_main", "accept"); ("vsf_session_read", "read") ]
 
-let version_of_step ~step ~final ~tag =
-  P.make_version ~prog:"vsftpd" ~version_tag:tag ~layout_bias:(step * 1024)
+let version_of_step ?heap_words ~step ~final ~tag () =
+  P.make_version ~prog:"vsftpd" ~version_tag:tag ~layout_bias:(step * 1024) ?heap_words
     ~tyenv:(env ~final) ~globals:(globals ~step) ~funcs:(funcs ~step) ~strings
     ~entries:[ ("main", master_body); ("vsf_session", session_body ~final) ]
     ~qpoints
@@ -257,7 +257,9 @@ let versions () =
       let tag =
         if step = 0 then "1.1.0" else if final then "2.0.2" else Printf.sprintf "1.1.0+u%d" step
       in
-      version_of_step ~step ~final ~tag)
+      version_of_step ~step ~final ~tag ())
 
-let base () = version_of_step ~step:0 ~final:false ~tag:"1.1.0"
-let final () = version_of_step ~step:meta.Table_meta.num_updates ~final:true ~tag:"2.0.2"
+let base ?heap_words () = version_of_step ?heap_words ~step:0 ~final:false ~tag:"1.1.0" ()
+
+let final ?heap_words () =
+  version_of_step ?heap_words ~step:meta.Table_meta.num_updates ~final:true ~tag:"2.0.2" ()

@@ -18,6 +18,6 @@ val versions : unit -> Mcr_program.Progdef.version list
 (** 6 versions (5 updates); the final update adds a [bytes_sent] field to
     the session structure. *)
 
-val base : unit -> Mcr_program.Progdef.version
-val final : unit -> Mcr_program.Progdef.version
+val base : ?heap_words:int -> unit -> Mcr_program.Progdef.version
+val final : ?heap_words:int -> unit -> Mcr_program.Progdef.version
 val meta : Table_meta.t

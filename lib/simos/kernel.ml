@@ -20,6 +20,11 @@ and listener = {
   l_addr : addr;
   mutable l_waiters : waiter list;
   mutable l_closed : bool;
+  mutable l_parked : bool;
+  parked_q : endpoint Queue.t;
+      (* SYN-queue analog: while parked, new connections accumulate here —
+         established from the client's point of view but invisible to
+         Accept/Poll — and move FIFO into [backlog_q] on unpark. *)
 }
 
 and addr = Port of int | Path of string
@@ -77,13 +82,78 @@ and interception =
   | Rewrite of S.call
   | Post of S.call * (S.result -> S.result)
 
+(* Binary min-heap of pending timers, keyed (time, insertion seq) so equal
+   deadlines fire in insertion order — exactly the order the previous
+   sorted-list representation (stable merge, existing entries first)
+   produced. The heap turns the O(n) insert that dominated 10k-client
+   retry storms into O(log n) without changing any schedule. *)
+module Theap = struct
+  type entry = { at : int; seq : int; fn : unit -> unit }
+  type h = { mutable arr : entry array; mutable n : int; mutable next_seq : int }
+
+  let dummy = { at = 0; seq = 0; fn = ignore }
+  let create () = { arr = Array.make 64 dummy; n = 0; next_seq = 0 }
+  let is_empty h = h.n = 0
+  let lt a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+  let push h ~at fn =
+    if h.n = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.n) dummy in
+      Array.blit h.arr 0 bigger 0 h.n;
+      h.arr <- bigger
+    end;
+    let e = { at; seq = h.next_seq; fn } in
+    h.next_seq <- h.next_seq + 1;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.arr.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if lt h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(parent) in
+        h.arr.(parent) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.n <- h.n - 1;
+      h.arr.(0) <- h.arr.(h.n);
+      h.arr.(h.n) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.n && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+
+  let peek_at h = if h.n = 0 then None else Some h.arr.(0).at
+end
+
 type t = {
   kid : int;
   costs : Costs.t;
   mutable clock : int;
   mutable idle : int;
   runq : (unit -> unit) Queue.t;
-  mutable timers : (int * (unit -> unit)) list; (* sorted by time *)
+  timers : Theap.h;
   mutable next_pid : int;
   mutable next_tid : int;
   mutable all_procs : proc list; (* reversed creation order *)
@@ -96,6 +166,12 @@ type t = {
   mutable fault_hook : (thread -> S.call -> S.result option) option;
   shm_ids : (int, int) Hashtbl.t; (* key -> globally-unique id; no namespaces *)
   mutable next_shm_id : int;
+  (* Connection-parking conservation ledger: every parked connection is
+     eventually resumed or aborted — [parked = resumed + aborted + still
+     queued] at all times. *)
+  mutable parked_total : int;
+  mutable resumed_total : int;
+  mutable aborted_total : int;
 }
 
 and sem = { mutable count : int; mutable sem_waiters : waiter list }
@@ -114,7 +190,7 @@ let create ?(costs = Costs.default) () =
     clock = 0;
     idle = 0;
     runq = Queue.create ();
-    timers = [];
+    timers = Theap.create ();
     next_pid = 1;
     next_tid = 1;
     all_procs = [];
@@ -127,6 +203,9 @@ let create ?(costs = Costs.default) () =
     fault_hook = None;
     shm_ids = Hashtbl.create 8;
     next_shm_id = 100;
+    parked_total = 0;
+    resumed_total = 0;
+    aborted_total = 0;
   }
 
 let id t = t.kid
@@ -147,9 +226,7 @@ let fs_exists t ~path = Hashtbl.mem t.fs path
 
 let schedule t job = Queue.push job t.runq
 
-let add_timer t ~at f =
-  t.timers <-
-    List.merge (fun (a, _) (b, _) -> compare a b) t.timers [ (at, f) ]
+let add_timer t ~at f = Theap.push t.timers ~at f
 
 (* Run one scheduling step. [deadline] stops the clock from jumping past a
    horizon. Returns false when there is nothing left to do (before the
@@ -161,9 +238,9 @@ let step t ?deadline () =
     true
   end
   else
-    match t.timers with
-    | [] -> false
-    | (time, f) :: rest -> begin
+    match Theap.peek_at t.timers with
+    | None -> false
+    | Some time -> begin
         match deadline with
         | Some d when time > d ->
             t.clock <- max t.clock d;
@@ -171,8 +248,9 @@ let step t ?deadline () =
         | _ ->
             if time > t.clock then t.idle <- t.idle + (time - t.clock);
             t.clock <- max t.clock time;
-            t.timers <- rest;
-            f ();
+            (match Theap.pop t.timers with
+            | Some e -> e.Theap.fn ()
+            | None -> assert false);
             true
       end
 
@@ -196,7 +274,19 @@ let run_for t ns =
   let deadline = t.clock + ns in
   while t.clock < deadline && step t ~deadline () do () done
 
-let quiescent_system t = Queue.is_empty t.runq && t.timers = []
+(* Charge [ns] of coordinator-side work (a state-transfer copy) while the
+   rest of the machine stays live: the copy occupies one core, so runnable
+   threads and due timers — client processes are separate machines whose
+   retry timers do not stop for a server-side copy — keep dispatching as
+   the window elapses. A plain [charge] freezes them: every timer pending
+   at the start of the window leapfrogs to its end, which erases exactly
+   the client-side retry dynamics an update window causes. *)
+let charge_concurrent t ns =
+  let deadline = t.clock + ns in
+  while t.clock < deadline && step t ~deadline () do () done;
+  if t.clock < deadline then t.clock <- deadline
+
+let quiescent_system t = Queue.is_empty t.runq && Theap.is_empty t.timers
 
 (* ------------------------------------------------------------------ *)
 (* Waiters *)
@@ -301,7 +391,13 @@ let release_desc t desc =
                    (see unlink_path) *)
                 ());
             Queue.iter close_endpoint l.backlog_q;
-            Queue.clear l.backlog_q
+            Queue.clear l.backlog_q;
+            (* Parked connections that never reached an accept queue are
+               aborted, not lost silently — the conservation ledger records
+               them. *)
+            t.aborted_total <- t.aborted_total + Queue.length l.parked_q;
+            Queue.iter close_endpoint l.parked_q;
+            Queue.clear l.parked_q
         | Bound (Port port) -> Hashtbl.remove t.ports port
         | Bound (Path _) -> ()
         | Unbound -> ()
@@ -695,6 +791,8 @@ and execute_call t th call (k : (S.result, unit) Effect.Deep.continuation) =
                     l_addr = addr;
                     l_waiters = [];
                     l_closed = false;
+                    l_parked = false;
+                    parked_q = Queue.create ();
                   };
               ret S.Ok_unit
           | Unbound | Listening _ | Stream _ -> ret (S.Err S.EINVAL)
@@ -751,7 +849,25 @@ and execute_call t th call (k : (S.result, unit) Effect.Deep.continuation) =
   | S.Connect { port } -> begin
       match Hashtbl.find_opt t.ports port with
       | Some { obj = Tcp { role = Listening l }; _ } when not l.l_closed ->
-          if Queue.length l.backlog_q >= l.backlog then ret (S.Err S.ECONNREFUSED)
+          if l.l_parked then begin
+            (* Parked listener: the handshake still completes (no refusal),
+               but the connection waits in the SYN-queue analog until
+               unpark — invisible to Accept and Poll meanwhile. *)
+            let client_ep =
+              { inbox = Queue.create (); fd_inbox = Queue.create (); peer = None;
+                local_closed = false; ep_waiters = [] }
+            in
+            let server_ep =
+              { inbox = Queue.create (); fd_inbox = Queue.create (); peer = Some client_ep;
+                local_closed = false; ep_waiters = [] }
+            in
+            client_ep.peer <- Some server_ep;
+            Queue.push server_ep l.parked_q;
+            t.parked_total <- t.parked_total + 1;
+            let desc = { refs = 1; obj = Tcp { role = Stream client_ep } } in
+            ret (S.Ok_fd (alloc_fd proc desc))
+          end
+          else if Queue.length l.backlog_q >= l.backlog then ret (S.Err S.ECONNREFUSED)
           else begin
             let client_ep =
               { inbox = Queue.create (); fd_inbox = Queue.create (); peer = None;
@@ -933,7 +1049,7 @@ and execute_call t th call (k : (S.result, unit) Effect.Deep.continuation) =
       else begin
         let l =
           { backlog_q = Queue.create (); backlog = 64; l_addr = Path path; l_waiters = [];
-            l_closed = false }
+            l_closed = false; l_parked = false; parked_q = Queue.create () }
         in
         let desc = { refs = 1; obj = Tcp { role = Listening l } } in
         Hashtbl.replace t.paths path desc;
@@ -951,8 +1067,14 @@ and execute_call t th call (k : (S.result, unit) Effect.Deep.continuation) =
               local_closed = false; ep_waiters = [] }
           in
           client_ep.peer <- Some server_ep;
-          Queue.push server_ep l.backlog_q;
-          notify_listener l;
+          if l.l_parked then begin
+            Queue.push server_ep l.parked_q;
+            t.parked_total <- t.parked_total + 1
+          end
+          else begin
+            Queue.push server_ep l.backlog_q;
+            notify_listener l
+          end;
           ret (S.Ok_fd (alloc_fd proc { refs = 1; obj = Tcp { role = Stream client_ep } }))
       | Some _ | None -> ret (S.Err S.ECONNREFUSED)
     end
@@ -1063,3 +1185,50 @@ let transfer_fd t ~src ~fd ~dst ~at =
       end
 
 let close_fd_external t p fd = ignore (close_fd t p fd)
+
+(* ------------------------------------------------------------------ *)
+(* Connection parking (controller-side) *)
+
+let proc_listeners p =
+  Hashtbl.fold
+    (fun _ desc acc ->
+      match desc.obj with
+      | Tcp { role = Listening l } when not l.l_closed ->
+          if List.memq l acc then acc else l :: acc
+      | _ -> acc)
+    p.p_fdt []
+
+let park_listeners _t p =
+  List.fold_left
+    (fun n l ->
+      if l.l_parked then n
+      else begin
+        l.l_parked <- true;
+        n + 1
+      end)
+    0 (proc_listeners p)
+
+let unpark_listeners t p =
+  List.fold_left
+    (fun n l ->
+      if not l.l_parked then n
+      else begin
+        l.l_parked <- false;
+        let moved = ref 0 in
+        (* FIFO drain: arrival order is preserved across the parked window.
+           The backlog bound applies to new connections only — the kernel
+           owes every parked connection an accept slot. *)
+        while not (Queue.is_empty l.parked_q) do
+          Queue.push (Queue.pop l.parked_q) l.backlog_q;
+          incr moved
+        done;
+        t.resumed_total <- t.resumed_total + !moved;
+        if !moved > 0 then notify_listener l;
+        n + !moved
+      end)
+    0 (proc_listeners p)
+
+type parking_stats = { parked : int; resumed : int; aborted : int }
+
+let parking_stats t =
+  { parked = t.parked_total; resumed = t.resumed_total; aborted = t.aborted_total }

@@ -36,7 +36,17 @@ val idle_ns : t -> int
 
 val charge : t -> int -> unit
 (** Advance the virtual clock by a cost (ns). The program and MCR layers use
-    this to bill instrumentation work to virtual time. *)
+    this to bill instrumentation work to virtual time. Every timer pending
+    at the call leapfrogs the charged span (it fires late, at the span's
+    end) — appropriate for costs billed to the whole machine. *)
+
+val charge_concurrent : t -> int -> unit
+(** Advance the virtual clock by a coordinator-side cost (ns) while the
+    rest of the machine stays live: runnable threads and due timers keep
+    dispatching as the span elapses, as if the charged work occupied one
+    core of many. Client processes standing in for remote machines see a
+    state-transfer window as elapsed time, not frozen time — their retry
+    and backoff timers fire inside it. *)
 
 (** {1 Filesystem} *)
 
@@ -206,6 +216,32 @@ val transfer_fd :
     new versions "share" the object until one of them closes it. Errors:
     [EBADF] if [fd] is not open in [src], [EEXIST] if [at] is taken in
     [dst]. *)
+
+(** {1 Connection parking}
+
+    The in-flight-request half of live update: while a listener is parked,
+    new connections complete their handshake (no [ECONNREFUSED]) but wait
+    in a SYN-queue analog, invisible to [Accept] and [Poll]; unparking
+    moves them FIFO into the accept backlog of the surviving version
+    (listener descriptors are shared across versions via {!transfer_fd}).
+    The kernel keeps a conservation ledger: every parked connection is
+    eventually resumed or aborted. *)
+
+val park_listeners : t -> proc -> int
+(** Park every open listener of [p]; returns how many listeners
+    transitioned to parked (already-parked ones don't count). *)
+
+val unpark_listeners : t -> proc -> int
+(** Unpark [p]'s listeners, moving parked connections FIFO into their
+    accept backlogs (the backlog bound applies only to new connections);
+    returns the number of connections resumed. *)
+
+type parking_stats = { parked : int; resumed : int; aborted : int }
+(** Kernel-lifetime totals; [parked = resumed + aborted + still-queued]
+    holds at all times. Aborted counts parked connections whose listener
+    was closed before unpark. *)
+
+val parking_stats : t -> parking_stats
 
 val blocked_in : thread -> Sysdefs.call option
 (** The blocking call a parked thread is sitting in, if any. *)

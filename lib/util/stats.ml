@@ -78,6 +78,7 @@ type hist = {
   counts : int array;  (* length bounds + 1; last is overflow *)
   mutable total : int;
   mutable sum : int;
+  mutable vmax : int;
 }
 
 let hist_create ~bounds =
@@ -87,12 +88,40 @@ let hist_create ~bounds =
     if bounds.(i) <= bounds.(i - 1) then
       invalid_arg "Stats.hist_create: bounds must be strictly increasing"
   done;
-  { bounds = Array.copy bounds; counts = Array.make (n + 1) 0; total = 0; sum = 0 }
+  { bounds = Array.copy bounds; counts = Array.make (n + 1) 0; total = 0; sum = 0; vmax = 0 }
 
 (* 1 us .. 10 s, the range of virtual-time stage durations *)
 let default_ns_bounds =
   [| 1_000; 10_000; 100_000; 1_000_000; 5_000_000; 10_000_000; 50_000_000;
      100_000_000; 500_000_000; 1_000_000_000; 5_000_000_000; 10_000_000_000 |]
+
+(* HDR-style log-bucketed bounds: geometric octaves from [lo] up past [hi],
+   each split into [sub] linear sub-buckets, so relative error per bucket is
+   bounded by 1/sub regardless of magnitude. With the defaults (1 us .. 10 s,
+   8 sub-buckets) that is ~190 buckets — cheap, mergeable, and fine enough
+   for a meaningful p99.9. *)
+let log_bounds ?(lo = 1_000) ?(hi = 10_000_000_000) ?(sub = 8) () =
+  if lo <= 0 || hi <= lo || sub <= 0 then invalid_arg "Stats.log_bounds";
+  let out = ref [ lo ] in
+  let base = ref lo in
+  let last = ref lo in
+  (try
+     while !last < hi do
+       let step = max 1 (!base / sub) in
+       for k = 1 to sub do
+         let b = !base + (k * step) in
+         if b > !last then begin
+           out := b :: !out;
+           last := b
+         end;
+         if !last >= hi then raise Exit
+       done;
+       base := !base * 2
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !out)
+
+let log_ns_bounds = log_bounds ()
 
 let bucket_index h v =
   let n = Array.length h.bounds in
@@ -108,10 +137,17 @@ let bucket_index h v =
 let hist_observe h v =
   h.counts.(bucket_index h v) <- h.counts.(bucket_index h v) + 1;
   h.total <- h.total + 1;
-  h.sum <- h.sum + v
+  h.sum <- h.sum + v;
+  if v > h.vmax then h.vmax <- v
 
 let hist_copy h =
-  { bounds = Array.copy h.bounds; counts = Array.copy h.counts; total = h.total; sum = h.sum }
+  {
+    bounds = Array.copy h.bounds;
+    counts = Array.copy h.counts;
+    total = h.total;
+    sum = h.sum;
+    vmax = h.vmax;
+  }
 
 let hist_merge a b =
   if a.bounds <> b.bounds then invalid_arg "Stats.hist_merge: bucket bounds differ";
@@ -119,6 +155,7 @@ let hist_merge a b =
   Array.iteri (fun i c -> m.counts.(i) <- m.counts.(i) + c) b.counts;
   m.total <- a.total + b.total;
   m.sum <- a.sum + b.sum;
+  m.vmax <- max a.vmax b.vmax;
   m
 
 let hist_percentile h p =
@@ -137,3 +174,24 @@ let hist_percentile h p =
     in
     go 0 0
   end
+
+let hist_max h = h.vmax
+
+type hist_summary = {
+  count : int;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+}
+
+let hist_summary h =
+  {
+    count = h.total;
+    p50_ns = hist_percentile h 50.;
+    p90_ns = hist_percentile h 90.;
+    p99_ns = hist_percentile h 99.;
+    p999_ns = hist_percentile h 99.9;
+    max_ns = h.vmax;
+  }

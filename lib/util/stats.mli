@@ -55,12 +55,22 @@ type hist = {
   counts : int array;  (** Per-bucket counts; last cell counts overflow. *)
   mutable total : int;
   mutable sum : int;
+  mutable vmax : int;  (** Largest value observed (0 when empty). *)
 }
 
 val hist_create : bounds:int array -> hist
 
 val default_ns_bounds : int array
 (** 1 us .. 10 s — the range virtual-time stage durations fall in. *)
+
+val log_bounds : ?lo:int -> ?hi:int -> ?sub:int -> unit -> int array
+(** HDR-style log-bucketed bounds: geometric octaves from [lo] (default
+    1 us) up past [hi] (default 10 s), each octave split into [sub]
+    (default 8) linear sub-buckets, bounding per-bucket relative error by
+    [1/sub] at every magnitude. Fine enough for a meaningful p99.9. *)
+
+val log_ns_bounds : int array
+(** [log_bounds ()] — the bounds client-latency histograms use. *)
 
 val hist_observe : hist -> int -> unit
 
@@ -73,3 +83,18 @@ val hist_percentile : hist -> float -> int
 (** [hist_percentile h p] is the upper bound of the bucket holding the
     nearest-rank [p]-th percentile (saturating at the last finite bound);
     0 when the histogram is empty. *)
+
+val hist_max : hist -> int
+(** Largest value observed; 0 when empty. Exact, not a bucket bound. *)
+
+type hist_summary = {
+  count : int;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+}
+
+val hist_summary : hist -> hist_summary
+(** One-shot tail summary (p50/p90/p99/p99.9/max) of a histogram. *)

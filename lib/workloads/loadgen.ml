@@ -1,0 +1,312 @@
+(* Open-loop Poisson-arrival load driver.
+
+   Closed-loop clients (http_bench and friends) hide update stalls behind
+   coordinated omission: a client stuck in the window simply issues its
+   next request late, so the stall shows up once instead of in every
+   request that *would* have been sent. This driver is open-loop: every
+   request has a scheduled arrival time drawn up front from a seeded
+   exponential inter-arrival stream, and latency is measured from that
+   schedule, so a 40 ms update window is charged to every request whose
+   arrival it delayed.
+
+   All client processes are pre-spawned before the run starts (spawning
+   costs virtual time; paying it at arrival time would serialize the
+   arrival process) and each sleeps until its scheduled arrival. *)
+
+module K = Mcr_simos.Kernel
+module S = Mcr_simos.Sysdefs
+module Stats = Mcr_util.Stats
+module Rng = Mcr_util.Rng
+module Metrics = Mcr_obs.Metrics
+module Trace = Mcr_obs.Trace
+
+let latency_metric = "mcr_request_latency_ns"
+
+type record = {
+  rq_id : int;
+  rq_scheduled_ns : int;  (* open-loop submit instant *)
+  rq_first_byte_ns : int;  (* first server byte; -1 if none arrived *)
+  rq_complete_ns : int;
+  rq_retries : int;  (* ECONNREFUSED-driven reconnect attempts *)
+  rq_ok : bool;
+}
+
+type t = {
+  kernel : K.t;
+  server : Testbed.server;
+  total : int;
+  issued : int ref;
+  completed : int ref;
+  errored : int ref;
+  refused_retries : int ref;
+  in_flight : int ref;
+  peak_in_flight : int ref;
+  latency : Stats.hist;  (* scheduled arrival -> completion *)
+  ttfb : Stats.hist;  (* scheduled arrival -> first server byte *)
+  records : record option array;
+  offsets : int array;
+  base : int ref;  (* absolute schedule origin, set once spawning is done *)
+  procs : K.proc list;
+}
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Seeded exponential inter-arrivals; same seed, same schedule. *)
+let arrival_offsets ~seed ~rate ~n =
+  if rate <= 0 then invalid_arg "Loadgen: rate must be positive";
+  let rng = Rng.create seed in
+  let mean_ns = 1e9 /. float_of_int rate in
+  let at = ref 0. in
+  Array.init n (fun _ ->
+      let u = (float_of_int (Rng.int rng 1_000_000) +. 1.) /. 1_000_000. in
+      at := !at +. (-.log u *. mean_ns);
+      int_of_float !at)
+
+(* One request's protocol dialog on an established connection. Returns
+   (ok, first_byte_clock, bytes). The first server byte is the banner for
+   FTP/SSH and the response head for HTTP. *)
+let dialog kernel server fd user =
+  let fb = ref (-1) in
+  let recv () =
+    let r = Client.recv fd in
+    (match r with
+    | Some d when String.length d > 0 && !fb < 0 -> fb := K.clock_ns kernel
+    | _ -> ());
+    r
+  in
+  let cmd c =
+    Client.send fd c;
+    recv ()
+  in
+  let ok =
+    match (server : Testbed.server) with
+    | Testbed.Nginx | Testbed.Httpd -> (
+        Client.send fd "GET /index.html";
+        match recv () with
+        | Some reply -> String.length reply >= 3 && String.sub reply 0 3 = "200"
+        | None -> false)
+    | Testbed.Vsftpd ->
+        let _banner = recv () in
+        let _ = cmd (Printf.sprintf "USER user%d" user) in
+        let _ = cmd "PASS secret" in
+        Client.send fd "RETR big.bin";
+        let rec drain saw150 =
+          match recv () with
+          | Some reply when contains reply "226" -> saw150
+          | Some reply when contains reply "550" -> false
+          | Some reply -> drain (saw150 || contains reply "150")
+          | None -> false
+        in
+        let ok = drain false in
+        let _ = cmd "QUIT" in
+        ok
+    | Testbed.Sshd -> (
+        let _banner = recv () in
+        match cmd (Printf.sprintf "AUTH user%d" user) with
+        | Some r when contains r "auth-ok" ->
+            let ok =
+              match cmd "RUN cmd1" with
+              | Some reply -> contains reply "out:"
+              | None -> false
+            in
+            let _ = cmd "EXIT" in
+            ok
+        | Some _ | None -> false)
+  in
+  (ok, !fb)
+
+let start kernel ~server ?(seed = 1) ?metrics ?trace ~rate ~requests () =
+  let port = Testbed.port server in
+  let offsets = arrival_offsets ~seed ~rate ~n:requests in
+  let lat_metric =
+    Option.map (fun m -> Metrics.histogram m ~bounds:Stats.log_ns_bounds latency_metric) metrics
+  in
+  let issued_c = Option.map (fun m -> Metrics.counter m "mcr_requests_issued_total") metrics in
+  let completed_c =
+    Option.map (fun m -> Metrics.counter m "mcr_requests_completed_total") metrics
+  in
+  let errored_c = Option.map (fun m -> Metrics.counter m "mcr_requests_errored_total") metrics in
+  let inflight_g = Option.map (fun m -> Metrics.gauge m "mcr_requests_in_flight") metrics in
+  (* The absolute schedule base: set after every client process has been
+     spawned (spawning advances the virtual clock), read by the clients
+     when the kernel first runs them. *)
+  let base = ref 0 in
+  let t =
+    {
+      kernel;
+      server;
+      total = requests;
+      issued = ref 0;
+      completed = ref 0;
+      errored = ref 0;
+      refused_retries = ref 0;
+      in_flight = ref 0;
+      peak_in_flight = ref 0;
+      latency = Stats.hist_create ~bounds:Stats.log_ns_bounds;
+      ttfb = Stats.hist_create ~bounds:Stats.log_ns_bounds;
+      records = Array.make requests None;
+      offsets;
+      base;
+      procs = [];
+    }
+  in
+  let span_name =
+    match server with
+    | Testbed.Nginx | Testbed.Httpd -> "request.http"
+    | Testbed.Vsftpd -> "request.ftp"
+    | Testbed.Sshd -> "request.ssh"
+  in
+  let procs =
+    List.init requests (fun i ->
+        Client.spawn kernel
+          (Printf.sprintf "load-%d" i)
+          (fun th ->
+            let scheduled = !base + offsets.(i) in
+            let now = K.clock_ns kernel in
+            if scheduled > now then ignore (K.syscall (S.Nanosleep { ns = scheduled - now }));
+            incr t.issued;
+            Option.iter Metrics.incr issued_c;
+            incr t.in_flight;
+            if !(t.in_flight) > !(t.peak_in_flight) then t.peak_in_flight := !(t.in_flight);
+            Option.iter (fun g -> Metrics.set g !(t.in_flight)) inflight_g;
+            let retries = ref 0 in
+            (* Exponential backoff on refused connects (1 ms doubling to a
+               64 ms cap), the standard client response to an overloaded
+               accept queue. This is what makes refusal expensive at the
+               tail: a client refused by an update window sleeps past the
+               window's end by up to its whole last backoff interval. *)
+            let backoff = ref 1_000_000 in
+            let rec connect n =
+              match K.syscall (S.Connect { port }) with
+              | S.Ok_fd fd -> Some fd
+              | S.Err S.ECONNREFUSED when n > 0 ->
+                  incr retries;
+                  incr t.refused_retries;
+                  ignore (K.syscall (S.Nanosleep { ns = !backoff }));
+                  backoff := min (2 * !backoff) 64_000_000;
+                  connect (n - 1)
+              | _ -> None
+            in
+            let ok, fb =
+              match connect 2000 with
+              | None -> (false, -1)
+              | Some fd ->
+                  let ok, fb = dialog kernel server fd i in
+                  Client.close fd;
+                  (ok, fb)
+            in
+            let finish = K.clock_ns kernel in
+            decr t.in_flight;
+            Option.iter (fun g -> Metrics.set g !(t.in_flight)) inflight_g;
+            let d = finish - scheduled in
+            Stats.hist_observe t.latency d;
+            if fb >= 0 then Stats.hist_observe t.ttfb (fb - scheduled);
+            Option.iter (fun h -> Metrics.observe h d) lat_metric;
+            if ok then begin
+              incr t.completed;
+              Option.iter Metrics.incr completed_c
+            end
+            else begin
+              incr t.errored;
+              Option.iter Metrics.incr errored_c
+            end;
+            Trace.complete trace ~pid:(K.pid (K.thread_proc th))
+              ~cat:"request"
+              ~args:
+                [ ("id", string_of_int i);
+                  ("server", Testbed.name server);
+                  ("ok", if ok then "yes" else "no");
+                  ("retries", string_of_int !retries) ]
+              ~dur_ns:d span_name;
+            t.records.(i) <-
+              Some
+                {
+                  rq_id = i;
+                  rq_scheduled_ns = scheduled;
+                  rq_first_byte_ns = fb;
+                  rq_complete_ns = finish;
+                  rq_retries = !retries;
+                  rq_ok = ok;
+                }))
+  in
+  base := K.clock_ns kernel;
+  { t with procs }
+
+let finished t = List.for_all (fun p -> not (K.alive p)) t.procs
+let drive ?max_s t = ignore (Client.drive ?max_s t.kernel (fun () -> finished t))
+
+let issued t = !(t.issued)
+let completed t = !(t.completed)
+let errored t = !(t.errored)
+let refused_retries t = !(t.refused_retries)
+
+(* Open-loop concurrency: a request is outstanding from its *scheduled*
+   arrival (the client-perceived submit) until completion, regardless of
+   when the scheduler got around to running its thread — the same
+   no-coordinated-omission rule the latency stamps follow. Classic
+   max-overlap sweep over the completed records; requests still on the
+   wire count from their schedule to now. *)
+let peak_in_flight t =
+  let now = K.clock_ns t.kernel in
+  let events = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r ->
+          events := (r.rq_scheduled_ns, 1) :: (r.rq_complete_ns, -1) :: !events
+      | None ->
+          (* still on the wire: outstanding from its schedule until now *)
+          let sched = !(t.base) + t.offsets.(i) in
+          if sched <= now then events := (sched, 1) :: (now, -1) :: !events)
+    t.records;
+  let events =
+    List.sort (fun (a, da) (b, db) -> if a <> b then compare a b else compare db da) !events
+  in
+  let cur = ref 0 and peak = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      cur := !cur + d;
+      if !cur > !peak then peak := !cur)
+    events;
+  !peak
+let latency t = Stats.hist_copy t.latency
+let ttfb t = Stats.hist_copy t.ttfb
+let summary t = Stats.hist_summary t.latency
+
+(* Exact (unbucketed) percentile over the per-request records — the
+   bucketed histograms bound relative error at the bucket width, which
+   can tie two genuinely different tails; comparisons gate on this. *)
+let exact_percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Loadgen.exact_percentile";
+  let ds =
+    Array.to_list t.records
+    |> List.filter_map (Option.map (fun r -> r.rq_complete_ns - r.rq_scheduled_ns))
+    |> List.sort compare |> Array.of_list
+  in
+  let n = Array.length ds in
+  if n = 0 then 0
+  else
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+    ds.(min (n - 1) (rank - 1))
+let records t = Array.to_list t.records |> List.filter_map Fun.id
+
+(* The per-request stamps in mcr-postmortem's --requests dialect: feed this
+   plus the update's flight record to [Postmortem.render_client_impact] to
+   see which waterfall segment stalled which requests. *)
+let requests_json t =
+  Mcr_obs.Client_impact.reqs_to_json ~server:(Testbed.name t.server)
+    (records t
+    |> List.map (fun r ->
+           {
+             Mcr_obs.Client_impact.q_id = r.rq_id;
+             q_scheduled_ns = r.rq_scheduled_ns;
+             q_first_byte_ns = r.rq_first_byte_ns;
+             q_complete_ns = r.rq_complete_ns;
+             q_retries = r.rq_retries;
+             q_ok = r.rq_ok;
+           }))
+let server t = t.server
+let total t = t.total

@@ -768,6 +768,31 @@ let test_run_until_respects_deadline () =
   Alcotest.(check bool) "clock did not run past the deadline by much" true
     (K.clock_ns k < 10_000_000)
 
+(* charge freezes pending timers for the span (they leapfrog to its end);
+   charge_concurrent dispatches them inside it — the dedicated-core
+   accounting the latency bench's client processes rely on. *)
+let test_charge_vs_charge_concurrent () =
+  let woke_at charge =
+    let k = fresh () in
+    let woke = ref (-1) in
+    let _ =
+      spawn k "sleeper" (fun _ ->
+          ignore (K.syscall (S.Nanosleep { ns = 5_000_000 }));
+          woke := K.clock_ns k)
+    in
+    (* let the sleeper enter its sleep, then bill a 20 ms span *)
+    ignore (K.run_until k ~max_ns:1_000_000 (fun () -> false));
+    charge k 20_000_000;
+    K.run k;
+    !woke
+  in
+  let frozen = woke_at K.charge in
+  let live = woke_at K.charge_concurrent in
+  Alcotest.(check bool) "charge leapfrogs the timer to the span end" true
+    (frozen >= 20_000_000);
+  Alcotest.(check bool) "charge_concurrent fires the timer inside the span" true
+    (live >= 5_000_000 && live < 20_000_000)
+
 let test_transfer_fd_semantics () =
   let k = fresh () in
   K.fs_write k ~path:"/f" "shared";
@@ -909,6 +934,8 @@ let () =
       ( "time-and-ids",
         [
           Alcotest.test_case "run_until deadline" `Quick test_run_until_respects_deadline;
+          Alcotest.test_case "charge vs charge_concurrent" `Quick
+            test_charge_vs_charge_concurrent;
           Alcotest.test_case "callstack hash" `Quick test_callstack_id_matches_manual_hash;
         ] );
     ]
